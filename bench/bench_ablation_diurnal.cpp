@@ -1,0 +1,83 @@
+// Ablation: the diurnal activity model behind Fig 4.
+//
+// The paper argues the day-night oscillation of HELLO arrivals reflects the
+// regional (European / North-African) nature of eDonkey activity: a
+// worldwide population would flatten it. This harness runs the first
+// measurement week under (a) the calibrated European mixture, (b) a flat
+// profile, and (c) a worldwide mixture, and reports the day/night contrast
+// of hourly HELLO counts for each.
+
+#include <cmath>
+
+#include "analysis/log_stats.hpp"
+#include "bench_common.hpp"
+#include "sim/diurnal.hpp"
+
+using namespace edhp;
+
+namespace {
+
+double contrast_of(const scenario::ScenarioResult& result) {
+  const auto hours_total = static_cast<std::size_t>(result.days * 24);
+  const auto hourly = analysis::messages_by_hour(
+      result.merged, logbook::QueryType::hello, hours_total);
+  double day = 0, night = 0;
+  std::size_t dn = 0, nn = 0;
+  for (std::size_t h = 24; h < hours_total; ++h) {
+    const double hod = hour_of_day(static_cast<double>(h) * kHour + 1800);
+    if (hod >= 12 && hod < 22) {
+      day += static_cast<double>(hourly[h]);
+      ++dn;
+    } else if (hod < 7) {
+      night += static_cast<double>(hourly[h]);
+      ++nn;
+    }
+  }
+  if (nn == 0 || night <= 0) return 0;
+  return (day / static_cast<double>(dn)) / (night / static_cast<double>(nn));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse_options(argc, argv, 0.05);
+  if (!opt.days) opt.days = 7;
+
+  std::cout << "ablation: regional day-night structure of peer activity\n\n";
+
+  // (a) calibrated European/North-African mixture (the scenario default).
+  {
+    auto config = bench::distributed_config(opt);
+    config.with_top_peer = false;
+    const auto result = scenario::run_distributed(config);
+    std::cout << "  european mixture: day/night contrast " << contrast_of(result)
+              << "x (the Fig 4 regime)\n";
+  }
+
+  // (b) worldwide population: the same activity spread over all timezones.
+  {
+    auto config = bench::distributed_config(opt);
+    config.with_top_peer = false;
+    config.diurnal = sim::DiurnalProfile({
+        {0.0, 1}, {-8.0, 1}, {-5.0, 1}, {3.0, 1}, {8.0, 1}, {12.0, 1},
+    });
+    const auto result = scenario::run_distributed(config);
+    std::cout << "  worldwide mixture: day/night contrast "
+              << contrast_of(result) << "x (flattened)\n";
+  }
+
+  // (c) no diurnal structure at all.
+  {
+    auto config = bench::distributed_config(opt);
+    config.with_top_peer = false;
+    config.diurnal = sim::DiurnalProfile::flat();
+    const auto result = scenario::run_distributed(config);
+    std::cout << "  flat profile: day/night contrast " << contrast_of(result)
+              << "x (control, ~1x)\n";
+  }
+
+  std::cout << "\nexpected: the European mixture shows a clear >1.5x "
+               "contrast; a worldwide population flattens it toward 1x, "
+               "supporting the paper's regional-activity reading of Fig 4\n";
+  return 0;
+}

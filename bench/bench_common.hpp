@@ -1,0 +1,97 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every harness accepts:
+//   --scale=<f>   population scale (default 0.2; 1.0 = paper scale)
+//   --paper       shorthand for --scale=1.0
+//   --seed=<n>    RNG seed
+//   --days=<d>    shorten the measurement (shapes preserved)
+//   --quiet       suppress per-day progress
+// and prints the same rows/series the paper reports, plus a recap of the
+// paper's values for comparison.
+
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace edhp::bench {
+
+struct Options {
+  double scale = 0.2;
+  std::uint64_t seed = 0;  ///< 0: keep the scenario default
+  std::optional<double> days;
+  bool quiet = false;
+};
+
+inline Options parse_options(int argc, char** argv, double default_scale = 0.2) {
+  Options opt;
+  opt.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--paper") {
+      opt.scale = 1.0;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::stod(arg.substr(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--days=", 0) == 0) {
+      opt.days = std::stod(arg.substr(7));
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help") {
+      std::cout << "options: --scale=<f> | --paper | --seed=<n> | --days=<d> "
+                   "| --quiet\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline scenario::DistributedConfig distributed_config(const Options& opt) {
+  scenario::DistributedConfig config;
+  config.scale = opt.scale;
+  if (opt.seed != 0) config.seed = opt.seed;
+  if (opt.days) config.days = *opt.days;
+  return config;
+}
+
+inline scenario::GreedyConfig greedy_config(const Options& opt) {
+  scenario::GreedyConfig config;
+  config.scale = opt.scale;
+  if (opt.seed != 0) config.seed = opt.seed;
+  if (opt.days) config.days = *opt.days;
+  return config;
+}
+
+inline scenario::ScenarioResult run_distributed(const Options& opt) {
+  auto config = distributed_config(opt);
+  std::cout << "running distributed measurement: scale=" << config.scale
+            << " honeypots=" << config.honeypots << " days=" << config.days
+            << "\n";
+  return scenario::run_distributed(config, opt.quiet ? nullptr : &std::cout);
+}
+
+inline scenario::ScenarioResult run_greedy(const Options& opt) {
+  auto config = greedy_config(opt);
+  std::cout << "running greedy measurement: scale=" << config.scale
+            << " days=" << config.days << "\n";
+  return scenario::run_greedy(config, opt.quiet ? nullptr : &std::cout);
+}
+
+/// "paper reports X (at scale 1.0); measured Y" one-liner.
+inline void paper_vs_measured(std::string_view what, double paper_value,
+                              double measured, double scale) {
+  std::cout << "  " << what << ": paper " << paper_value
+            << " | measured " << measured;
+  if (scale != 1.0) {
+    std::cout << " (at scale " << scale << ", scale-adjusted paper ~"
+              << paper_value * scale << ")";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace edhp::bench

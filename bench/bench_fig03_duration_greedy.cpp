@@ -1,0 +1,48 @@
+// Figure 3: evolution of the number of distinct peers observed during the
+// greedy measurement plus new peers per day.
+//
+// Paper shape: negligible day 1 (the harvest/initialisation phase), then a
+// stable ~54,000 new peers per day up to ~871k total at day 15.
+
+#include "analysis/log_stats.hpp"
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+
+using namespace edhp;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv, 0.1);
+  const auto result = bench::run_greedy(opt);
+
+  const auto days = static_cast<std::size_t>(result.days);
+  const auto series =
+      analysis::distinct_peers_by_day(result.merged, std::nullopt, days);
+
+  std::vector<analysis::Series> cols(2);
+  cols[0].name = "total_peers";
+  cols[1].name = "new_peers";
+  for (std::size_t d = 0; d < days; ++d) {
+    cols[0].values.push_back(static_cast<double>(series.cumulative[d]));
+    cols[1].values.push_back(static_cast<double>(series.fresh[d]));
+  }
+  analysis::print_table(std::cout, "Fig 3: distinct peers over time (greedy)",
+                        "day", analysis::index_axis(days), cols);
+
+  std::cout << "advertised files after harvest: " << result.advertised_files
+            << " (paper: 3,175)\n";
+  bench::paper_vs_measured("total distinct peers", 871445,
+                           static_cast<double>(series.total), opt.scale);
+  if (days >= 3) {
+    const double day1 = static_cast<double>(series.fresh[0]);
+    double later = 0;
+    for (std::size_t d = 2; d < days; ++d) {
+      later += static_cast<double>(series.fresh[d]);
+    }
+    later /= static_cast<double>(days - 2);
+    std::cout << "initialisation check: day-1 new peers " << day1
+              << " vs steady-state " << later
+              << "/day (paper: day 1 invisible on the plot; then ~54,000/day "
+               "at scale 1)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5: distinct peers sending HELLO to the random-content vs
+// no-content honeypot groups over the distributed measurement.
+//
+// Paper shape: both grow near-linearly all month; random-content ends
+// noticeably (but not hugely) above no-content — the blacklisting signal.
+
+#include "analysis/log_stats.hpp"
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+
+using namespace edhp;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv, 0.1);
+  const auto result = bench::run_distributed(opt);
+  const auto days = static_cast<std::size_t>(result.days);
+
+  const auto random_series = analysis::distinct_peers_by_day(
+      result.merged, logbook::QueryType::hello, days,
+      scenario::strategy_filter(result, true));
+  const auto none_series = analysis::distinct_peers_by_day(
+      result.merged, logbook::QueryType::hello, days,
+      scenario::strategy_filter(result, false));
+
+  std::vector<analysis::Series> cols(2);
+  cols[0].name = "random_content";
+  cols[1].name = "no_content";
+  for (std::size_t d = 0; d < days; ++d) {
+    cols[0].values.push_back(static_cast<double>(random_series.cumulative[d]));
+    cols[1].values.push_back(static_cast<double>(none_series.cumulative[d]));
+  }
+  analysis::print_table(std::cout,
+                        "Fig 5: distinct peers sending HELLO, by strategy",
+                        "day", analysis::index_axis(days), cols);
+
+  const double rc = static_cast<double>(random_series.total);
+  const double nc = static_cast<double>(none_series.total);
+  std::cout << "final: random-content " << rc << ", no-content " << nc
+            << " -> ratio " << (nc > 0 ? rc / nc : 0)
+            << " (paper plot: ~85k vs ~72k, ratio ~1.15-1.2)\n";
+  std::cout << "blacklist: " << result.blacklist_reports
+            << " published detections; mean reputation no-content "
+            << result.reputation_no_content << " vs random-content "
+            << result.reputation_random_content << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks + ablation for the Fig 10-12 subset estimators.
+//
+// DESIGN.md's design choice: dense bitsets + permutation-prefix sampling,
+// parallelised with per-sample RNG streams. The ablation compares the naive
+// independent-subset hash-set estimator against the bitset estimator,
+// serial and on the thread pool.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/subsets.hpp"
+
+namespace {
+
+using namespace edhp;
+using namespace edhp::analysis;
+
+struct Data {
+  std::vector<DynBitset> sets;
+  std::vector<std::vector<std::uint64_t>> lists;
+};
+
+Data make_data(std::size_t n_sets, std::size_t universe, std::size_t set_size) {
+  Data d;
+  Rng rng(99);
+  d.sets.assign(n_sets, DynBitset(universe));
+  d.lists.resize(n_sets);
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    for (std::size_t i = 0; i < set_size; ++i) {
+      const auto v = rng.below(universe);
+      if (!d.sets[s].test(v)) {
+        d.sets[s].set(v);
+        d.lists[s].push_back(v);
+      }
+    }
+  }
+  return d;
+}
+
+void BM_SubsetCurve_NaiveHashSets(benchmark::State& state) {
+  const auto d = make_data(24, static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)) / 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subset_union_curve_naive(d.lists, 20, Rng(1)));
+  }
+}
+BENCHMARK(BM_SubsetCurve_NaiveHashSets)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubsetCurve_BitsetSerial(benchmark::State& state) {
+  const auto d = make_data(24, static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)) / 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subset_union_curve(d.sets, 100, Rng(1), nullptr));
+  }
+}
+BENCHMARK(BM_SubsetCurve_BitsetSerial)->Arg(2000)->Arg(20000)->Arg(120000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubsetCurve_BitsetPool(benchmark::State& state) {
+  const auto d = make_data(24, static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(0)) / 5);
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subset_union_curve(d.sets, 100, Rng(1), &pool));
+  }
+}
+BENCHMARK(BM_SubsetCurve_BitsetPool)->Arg(2000)->Arg(20000)->Arg(120000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SubsetCurve_100FilesGreedyShape(benchmark::State& state) {
+  // Fig 11/12 shape: 100 file-sets over a large peer universe.
+  const auto d = make_data(100, 800000, 2000);
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(subset_union_curve(d.sets, 100, Rng(1), &pool));
+  }
+}
+BENCHMARK(BM_SubsetCurve_100FilesGreedyShape)->Unit(benchmark::kMillisecond);
+
+void BM_BitsetMerge(benchmark::State& state) {
+  DynBitset a(static_cast<std::size_t>(state.range(0)));
+  DynBitset b(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (int i = 0; i < state.range(0) / 10; ++i) {
+    b.set(rng.below(static_cast<std::uint64_t>(state.range(0))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.merge_count_new(b));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) / 8);
+}
+BENCHMARK(BM_BitsetMerge)->Arg(120000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Microbenchmarks: directory-server index at greedy-measurement scale.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "server/index.hpp"
+
+namespace {
+
+using namespace edhp;
+using namespace edhp::server;
+
+std::vector<proto::PublishedFile> make_list(Rng& rng, std::size_t n) {
+  std::vector<proto::PublishedFile> files;
+  files.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    proto::PublishedFile f;
+    f.file = FileId::from_words(rng(), rng());
+    f.name = "file." + std::to_string(rng() % 100000) + ".avi";
+    f.size = static_cast<std::uint32_t>(rng());
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+void BM_IndexOfferSmallLists(benchmark::State& state) {
+  // Typical peers: replace a ~50-file list.
+  Rng rng(1);
+  FileIndex index;
+  const auto list = make_list(rng, 50);
+  SessionKey session = 1;
+  for (auto _ : state) {
+    index.set_shared_list(session++ % 1000, 0x2000000, 4662, list);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_IndexOfferSmallLists);
+
+void BM_IndexOfferGreedyList(benchmark::State& state) {
+  // The greedy honeypot's keep-alive re-offers thousands of files.
+  Rng rng(2);
+  FileIndex index;
+  const auto list = make_list(rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    index.set_shared_list(1, 0x2000000, 4662, list);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexOfferGreedyList)->Arg(3175);
+
+void BM_IndexSourceLookup(benchmark::State& state) {
+  Rng rng(3);
+  FileIndex index;
+  // 200 providers of one hot file plus background noise.
+  proto::PublishedFile hot;
+  hot.file = FileId::from_words(42, 42);
+  hot.name = "hot.file.avi";
+  for (SessionKey s = 1; s <= 200; ++s) {
+    auto list = make_list(rng, 20);
+    list.push_back(hot);
+    index.set_shared_list(s, static_cast<std::uint32_t>(0x2000000 + s), 4662,
+                          list);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.sources(hot.file, 200));
+  }
+}
+BENCHMARK(BM_IndexSourceLookup);
+
+void BM_IndexKeywordSearch(benchmark::State& state) {
+  Rng rng(4);
+  FileIndex index;
+  for (SessionKey s = 1; s <= 500; ++s) {
+    index.set_shared_list(s, static_cast<std::uint32_t>(0x2000000 + s), 4662,
+                          make_list(rng, 40));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.search("file 4242", 50));
+  }
+}
+BENCHMARK(BM_IndexKeywordSearch);
+
+void BM_IndexSessionChurn(benchmark::State& state) {
+  // Connect-offer-disconnect cycles, the server's steady-state load.
+  Rng rng(5);
+  FileIndex index;
+  const auto list = make_list(rng, 30);
+  for (auto _ : state) {
+    index.set_shared_list(7, 0x2000000, 4662, list);
+    index.drop_session(7);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexSessionChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Microbenchmarks: simulation kernel, RNG and network primitives — the
+// per-event costs that bound full-measurement runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "sim/diurnal.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace edhp;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  // Schedule/execute cycles through a queue preloaded to the given depth.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation s;
+    std::uint64_t sink = 0;
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < depth; ++i) {
+      s.schedule_at(static_cast<double>(i % 97), [&sink] { ++sink; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1024)->Arg(65536);
+
+void BM_TimerCancelChurn(benchmark::State& state) {
+  // The downloader pattern: arm a timeout, cancel it when the answer lands.
+  sim::Simulation s;
+  for (auto _ : state) {
+    auto h = s.schedule_at(s.now() + 1000.0, [] {});
+    s.cancel(h);
+    s.schedule_at(s.now() + 0.001, [] {});
+    s.run_until(s.now() + 0.001);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerCancelChurn);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngPoissonSmallMean(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.poisson(2.2));
+  }
+}
+BENCHMARK(BM_RngPoissonSmallMean);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(8000)->Arg(500000);
+
+void BM_DiurnalFactor(benchmark::State& state) {
+  const auto profile = sim::DiurnalProfile::european_2008();
+  double t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.factor(t));
+    t += 37.0;
+  }
+}
+BENCHMARK(BM_DiurnalFactor);
+
+void BM_NetworkMessageRoundtrip(benchmark::State& state) {
+  // One message through the simulated transport (send + delivery event).
+  sim::Simulation s;
+  net::Network net(s);
+  const auto a = net.add_node(true);
+  const auto b = net.add_node(true);
+  net::EndpointPtr client, server_side;
+  std::uint64_t received = 0;
+  net.listen(b, [&](net::EndpointPtr ep) {
+    server_side = std::move(ep);
+    server_side->on_message([&](net::Bytes) { ++received; });
+  });
+  net.connect(a, b, [&](net::EndpointPtr ep) { client = std::move(ep); });
+  s.run();
+
+  net::Bytes payload(64, 0xAB);
+  for (auto _ : state) {
+    client->send(payload);
+    s.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkMessageRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

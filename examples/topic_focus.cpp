@@ -1,0 +1,100 @@
+// Topic-focused measurement: the paper's Section III.A notes the manager
+// can "study the activity on a specific topic by choosing the files
+// accordingly". This example advertises files for one topic keyword,
+// verifies the server's keyword search finds them, and measures which peers
+// query the topic — including per-file splits.
+//
+// Run: ./build/examples/topic_focus
+
+#include <iostream>
+
+#include "analysis/log_stats.hpp"
+#include "analysis/report.hpp"
+#include "honeypot/manager.hpp"
+#include "peer/population.hpp"
+#include "scenario/calibration.hpp"
+#include "server/server.hpp"
+
+using namespace edhp;
+
+int main() {
+  sim::Simulation simulation(2024);
+  net::Network network(simulation);
+  auto diurnal = sim::DiurnalProfile::european_2008();
+  auto params = scenario::behavior_2008();
+  peer::FileCatalog catalog(peer::CatalogParams{5'000, 0.9, 0.05},
+                            simulation.rng().split(1));
+  peer::SharedBlacklist blacklist(params.gossip_penalty);
+
+  const auto server_node = network.add_node(true);
+  server::Server server(network, server_node, {});
+  server.start();
+  honeypot::ServerRef ref{server_node, "topic-server", 4661};
+
+  // Three honeypots advertising one topic's files (a music act, say).
+  honeypot::Manager manager(network, {});
+  for (int h = 0; h < 3; ++h) {
+    honeypot::HoneypotConfig c;
+    c.id = static_cast<std::uint16_t>(h);
+    c.name = "topic-hp-" + std::to_string(h);
+    c.strategy = honeypot::ContentStrategy::random_content;
+    manager.launch(std::move(c), network.add_node(true), ref);
+  }
+  manager.start();
+
+  std::vector<honeypot::AdvertisedFile> topic_files{
+      {FileId::from_words(1, 1), "crimson.echo.live.2008.mp3", 7'000'000},
+      {FileId::from_words(2, 2), "crimson.echo.studio.album.mp3", 62'000'000},
+      {FileId::from_words(3, 3), "crimson.echo.interview.avi", 180'000'000},
+  };
+  simulation.run_until(10.0);
+  manager.advertise_all(topic_files);
+  simulation.run_until(20.0);
+
+  // Sanity: a keyword search on the server now surfaces the topic.
+  std::cout << "server keyword index: 'crimson echo' -> "
+            << server.index().search("crimson echo", 10).size()
+            << " files (expected 3)\n\n";
+
+  // Topic audience: separate demand per file, sharing one interested pool
+  // phase-wise (the live recording is hottest).
+  peer::PeerContext ctx;
+  ctx.net = &network;
+  ctx.server_node = server_node;
+  ctx.blacklist = &blacklist;
+  ctx.catalog = &catalog;
+  ctx.params = &params;
+  ctx.diurnal = &diurnal;
+  peer::Population population(ctx, simulation.rng().split(2));
+  population.add_demand({topic_files[0].id, 300, 0.05, 2000});
+  population.add_demand({topic_files[1].id, 150, 0.02, 1200});
+  population.add_demand({topic_files[2].id, 60, 0.0, 500});
+  population.start();
+
+  simulation.run_until(days(7));
+  population.stop();
+
+  std::uint64_t distinct = 0;
+  auto merged = manager.merged_anonymized(&distinct);
+
+  std::cout << "one week of topic measurement: " << distinct
+            << " distinct peers, " << merged.records.size() << " queries\n\n";
+
+  // Per-file interest within the topic.
+  std::vector<FileId> ids;
+  for (const auto& f : topic_files) ids.push_back(f.id);
+  const auto sets = analysis::peer_sets_by_file(merged, ids);
+  for (std::size_t i = 0; i < topic_files.size(); ++i) {
+    std::cout << "  " << topic_files[i].name << ": " << sets[i].count()
+              << " peers\n";
+  }
+
+  // Daily rhythm of the topic's audience.
+  const auto series = analysis::distinct_peers_by_day(merged, std::nullopt, 7);
+  std::cout << "\nnew topic peers per day:";
+  for (auto fresh : series.fresh) {
+    std::cout << ' ' << fresh;
+  }
+  std::cout << "\n";
+  return 0;
+}

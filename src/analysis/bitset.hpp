@@ -1,0 +1,76 @@
+#pragma once
+// Dense dynamic bitset used by the subset-sampling estimators: peer sets at
+// paper scale hold hundreds of thousands of members, and Figs 10-12 need
+// thousands of unions over them, so sets are bit vectors over the dense
+// stage-2 peer index (13 KB per 100k peers) and unions are word-wise ORs.
+
+#include <cstdint>
+#include <vector>
+
+namespace edhp::analysis {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) {
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Population count.
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t c = 0;
+    for (auto w : words_) {
+      c += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    }
+    return c;
+  }
+
+  /// Merge `other` into *this, returning how many bits were newly set —
+  /// the incremental-union primitive behind the subset curves.
+  std::uint64_t merge_count_new(const DynBitset& other) {
+    std::uint64_t added = 0;
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t fresh = other.words_[i] & ~words_[i];
+      added += static_cast<std::uint64_t>(__builtin_popcountll(fresh));
+      words_[i] |= other.words_[i];
+    }
+    return added;
+  }
+
+  /// |*this AND other| without modifying either side.
+  [[nodiscard]] std::uint64_t intersect_count(const DynBitset& other) const {
+    std::uint64_t c = 0;
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      c += static_cast<std::uint64_t>(
+          __builtin_popcountll(words_[i] & other.words_[i]));
+    }
+    return c;
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool operator==(const DynBitset&) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace edhp::analysis

@@ -1,0 +1,66 @@
+#include "analysis/client_stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace edhp::analysis {
+namespace {
+
+void require_stage2(const logbook::LogFile& log) {
+  if (log.header.peer_kind != logbook::PeerIdKind::stage2_index) {
+    throw std::invalid_argument(
+        "analysis requires stage-2 anonymised logs (run renumber_peers)");
+  }
+}
+
+}  // namespace
+
+std::vector<ClientShare> client_mix(const logbook::LogFile& log) {
+  require_stage2(log);
+  // A peer's client is whatever its records present; first record wins
+  // (clients do not change identity mid-measurement).
+  std::unordered_map<std::uint64_t, std::uint16_t> client_of;
+  for (const auto& r : log.records) {
+    client_of.try_emplace(r.peer, r.name_ref);
+  }
+  std::unordered_map<std::uint16_t, std::uint64_t> counts;
+  for (const auto& [peer, ref] : client_of) {
+    ++counts[ref];
+  }
+  std::vector<ClientShare> out;
+  out.reserve(counts.size());
+  const double total = static_cast<double>(client_of.size());
+  for (const auto& [ref, peers] : counts) {
+    ClientShare share;
+    share.name = ref < log.names.size() ? log.names[ref] : "";
+    share.peers = peers;
+    share.share = total > 0 ? static_cast<double>(peers) / total : 0;
+    out.push_back(std::move(share));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if ((a.name.empty()) != (b.name.empty())) return b.name.empty();
+    if (a.peers != b.peers) return a.peers > b.peers;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+IdShare high_id_share(const logbook::LogFile& log) {
+  require_stage2(log);
+  std::unordered_set<std::uint64_t> high, low;
+  for (const auto& r : log.records) {
+    (r.high_id() ? high : low).insert(r.peer);
+  }
+  // A peer can flip between sessions (LowID on a bad day); count it where
+  // it appeared most recently deterministic: count as high if ever high.
+  IdShare out;
+  out.high = high.size();
+  for (const auto peer : low) {
+    if (!high.contains(peer)) ++out.low;
+  }
+  return out;
+}
+
+}  // namespace edhp::analysis

@@ -1,0 +1,39 @@
+#pragma once
+// Client-population statistics from the metadata the honeypots log with
+// every query: client-name strings, protocol versions, and HighID/LowID
+// status — the "name, userID, version of client and ID status" fields of
+// Section III.B.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logbook/record.hpp"
+
+namespace edhp::analysis {
+
+/// One client software kind and how many distinct peers presented it.
+struct ClientShare {
+  std::string name;
+  std::uint64_t peers = 0;
+  double share = 0;  ///< fraction of attributed peers
+};
+
+/// Distinct peers per client-name string, descending. Peers whose HELLO
+/// carried no name tag fall under "" (listed last if present).
+[[nodiscard]] std::vector<ClientShare> client_mix(const logbook::LogFile& log);
+
+/// Fraction of distinct peers that connected with a HighID; the LowID rest
+/// are the firewalled population. Returns {high, low, fraction_high}.
+struct IdShare {
+  std::uint64_t high = 0;
+  std::uint64_t low = 0;
+  [[nodiscard]] double fraction_high() const {
+    const auto total = high + low;
+    return total > 0 ? static_cast<double>(high) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+[[nodiscard]] IdShare high_id_share(const logbook::LogFile& log);
+
+}  // namespace edhp::analysis

@@ -1,0 +1,79 @@
+#include "analysis/co_interest.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/log_stats.hpp"
+
+namespace edhp::analysis {
+
+std::vector<FilePairOverlap> top_file_overlaps(const logbook::LogFile& log,
+                                               std::span<const FileId> files,
+                                               std::size_t top_k,
+                                               ThreadPool* pool) {
+  const auto sets = peer_sets_by_file(log, files);
+  std::vector<std::uint64_t> sizes(sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    sizes[i] = sets[i].count();
+  }
+
+  std::vector<FilePairOverlap> all;
+  std::mutex mutex;
+  parallel_for(pool, sets.size(), [&](std::size_t i) {
+    std::vector<FilePairOverlap> local;
+    for (std::size_t j = i + 1; j < sets.size(); ++j) {
+      const auto shared = sets[i].intersect_count(sets[j]);
+      if (shared == 0) continue;
+      FilePairOverlap edge;
+      edge.a = files[i];
+      edge.b = files[j];
+      edge.shared_peers = shared;
+      const auto uni = sizes[i] + sizes[j] - shared;
+      edge.jaccard = uni > 0 ? static_cast<double>(shared) /
+                                   static_cast<double>(uni)
+                             : 0.0;
+      local.push_back(edge);
+    }
+    if (!local.empty()) {
+      std::lock_guard lock(mutex);
+      all.insert(all.end(), local.begin(), local.end());
+    }
+  });
+
+  std::sort(all.begin(), all.end(), [](const auto& x, const auto& y) {
+    if (x.shared_peers != y.shared_peers) return x.shared_peers > y.shared_peers;
+    if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+  if (all.size() > top_k) {
+    all.resize(top_k);
+  }
+  return all;
+}
+
+CoInterestSummary co_interest_summary(const logbook::LogFile& log) {
+  // Count distinct files per peer.
+  std::unordered_map<std::uint64_t, std::unordered_set<FileId>> files_of;
+  for (const auto& r : log.records) {
+    if (!r.has_file()) continue;
+    files_of[r.peer].insert(r.file);
+  }
+  CoInterestSummary out;
+  out.attributed_peers = files_of.size();
+  std::uint64_t total_files = 0;
+  for (const auto& [peer, files] : files_of) {
+    total_files += files.size();
+    if (files.size() >= 2) ++out.multi_file_peers;
+    out.max_files_one_peer = std::max<std::uint64_t>(out.max_files_one_peer,
+                                                     files.size());
+  }
+  if (out.attributed_peers > 0) {
+    out.avg_files_per_peer = static_cast<double>(total_files) /
+                             static_cast<double>(out.attributed_peers);
+  }
+  return out;
+}
+
+}  // namespace edhp::analysis

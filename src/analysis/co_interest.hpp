@@ -1,0 +1,44 @@
+#pragma once
+// Co-interest analysis — the paper's announced follow-up: "explore the
+// relationships between peers inferred from the fact that they are
+// interested in the same files, and conversely study relations between
+// files from the fact that they are downloaded by the same peers."
+//
+// Works on merged stage-2 logs; peers are attributed to files through their
+// START-UPLOAD / REQUEST-PART queries.
+
+#include <span>
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "analysis/thread_pool.hpp"
+#include "logbook/record.hpp"
+
+namespace edhp::analysis {
+
+/// One edge of the file-file projection: how many peers queried both.
+struct FilePairOverlap {
+  FileId a;
+  FileId b;
+  std::uint64_t shared_peers = 0;
+  double jaccard = 0;  ///< shared / (|a| + |b| - shared)
+};
+
+/// The strongest file-file relations among `files` (ranked by shared peer
+/// count, ties by Jaccard), up to `top_k` pairs. Pairwise bitset
+/// intersection, parallelised over the first index.
+[[nodiscard]] std::vector<FilePairOverlap> top_file_overlaps(
+    const logbook::LogFile& log, std::span<const FileId> files,
+    std::size_t top_k, ThreadPool* pool = nullptr);
+
+/// Aggregate structure of peer interest.
+struct CoInterestSummary {
+  std::uint64_t attributed_peers = 0;   ///< peers with >= 1 file query
+  std::uint64_t multi_file_peers = 0;   ///< peers querying >= 2 files
+  double avg_files_per_peer = 0;        ///< among attributed peers
+  std::uint64_t max_files_one_peer = 0;
+};
+
+[[nodiscard]] CoInterestSummary co_interest_summary(const logbook::LogFile& log);
+
+}  // namespace edhp::analysis

@@ -1,0 +1,205 @@
+#include "analysis/log_stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace edhp::analysis {
+namespace {
+
+void require_stage2(const logbook::LogFile& log) {
+  if (log.header.peer_kind != logbook::PeerIdKind::stage2_index) {
+    throw std::invalid_argument(
+        "analysis requires stage-2 anonymised logs (run renumber_peers)");
+  }
+}
+
+bool match(const logbook::LogRecord& r, std::optional<logbook::QueryType> type,
+           const HoneypotFilter& filter) {
+  if (type && r.type != *type) return false;
+  if (filter && !filter(r.honeypot)) return false;
+  return true;
+}
+
+std::uint64_t peer_universe(const logbook::LogFile& log) {
+  std::uint64_t max_peer = 0;
+  for (const auto& r : log.records) {
+    max_peer = std::max(max_peer, r.peer);
+  }
+  return log.records.empty() ? 0 : max_peer + 1;
+}
+
+}  // namespace
+
+DistinctSeries distinct_peers_by_day(const logbook::LogFile& log,
+                                     std::optional<logbook::QueryType> type,
+                                     std::size_t days,
+                                     const HoneypotFilter& filter) {
+  require_stage2(log);
+  DistinctSeries out;
+  out.cumulative.assign(days, 0);
+  out.fresh.assign(days, 0);
+
+  DynBitset seen(peer_universe(log));
+  std::vector<std::uint64_t> fresh_per_day(days, 0);
+  for (const auto& r : log.records) {
+    if (!match(r, type, filter)) continue;
+    const auto day = day_index(r.timestamp);
+    if (day >= days) continue;
+    if (!seen.test(r.peer)) {
+      seen.set(r.peer);
+      ++fresh_per_day[day];
+      ++out.total;
+    }
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t d = 0; d < days; ++d) {
+    acc += fresh_per_day[d];
+    out.cumulative[d] = acc;
+    out.fresh[d] = fresh_per_day[d];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> cumulative_messages_by_day(const logbook::LogFile& log,
+                                                      logbook::QueryType type,
+                                                      std::size_t days,
+                                                      const HoneypotFilter& filter) {
+  require_stage2(log);
+  std::vector<std::uint64_t> out(days, 0);
+  for (const auto& r : log.records) {
+    if (!match(r, type, filter)) continue;
+    const auto day = day_index(r.timestamp);
+    if (day < days) ++out[day];
+  }
+  std::uint64_t acc = 0;
+  for (auto& v : out) {
+    acc += v;
+    v = acc;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> messages_by_hour(const logbook::LogFile& log,
+                                            logbook::QueryType type,
+                                            std::size_t hours,
+                                            const HoneypotFilter& filter) {
+  require_stage2(log);
+  std::vector<std::uint64_t> out(hours, 0);
+  for (const auto& r : log.records) {
+    if (!match(r, type, filter)) continue;
+    const auto hour = hour_index(r.timestamp);
+    if (hour < hours) ++out[hour];
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> most_active_peer(const logbook::LogFile& log) {
+  require_stage2(log);
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& r : log.records) {
+    ++counts[r.peer];
+  }
+  std::optional<std::uint64_t> best;
+  std::uint64_t best_count = 0;
+  for (const auto& [peer, count] : counts) {
+    if (count > best_count || (count == best_count && (!best || peer < *best))) {
+      best = peer;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> peer_messages_by_day(const logbook::LogFile& log,
+                                                std::uint64_t peer,
+                                                logbook::QueryType type,
+                                                std::size_t days,
+                                                const HoneypotFilter& filter) {
+  require_stage2(log);
+  std::vector<std::uint64_t> out(days, 0);
+  for (const auto& r : log.records) {
+    if (r.peer != peer || !match(r, type, filter)) continue;
+    const auto day = day_index(r.timestamp);
+    if (day < days) ++out[day];
+  }
+  std::uint64_t acc = 0;
+  for (auto& v : out) {
+    acc += v;
+    v = acc;
+  }
+  return out;
+}
+
+std::vector<DynBitset> peer_sets_by_honeypot(const logbook::LogFile& log,
+                                             std::size_t num_honeypots) {
+  require_stage2(log);
+  const auto universe = peer_universe(log);
+  std::vector<DynBitset> sets(num_honeypots);
+  for (auto& s : sets) {
+    s.resize(universe);
+  }
+  for (const auto& r : log.records) {
+    if (r.honeypot < num_honeypots) {
+      sets[r.honeypot].set(r.peer);
+    }
+  }
+  return sets;
+}
+
+std::vector<DynBitset> peer_sets_by_file(const logbook::LogFile& log,
+                                         std::span<const FileId> files) {
+  require_stage2(log);
+  const auto universe = peer_universe(log);
+  std::unordered_map<FileId, std::size_t> index;
+  index.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    index.emplace(files[i], i);
+  }
+  std::vector<DynBitset> sets(files.size());
+  for (auto& s : sets) {
+    s.resize(universe);
+  }
+  for (const auto& r : log.records) {
+    if (!r.has_file()) continue;
+    auto it = index.find(r.file);
+    if (it != index.end()) {
+      sets[it->second].set(r.peer);
+    }
+  }
+  return sets;
+}
+
+std::vector<FilePopularity> file_popularity(const logbook::LogFile& log) {
+  require_stage2(log);
+  std::unordered_map<FileId, std::unordered_set<std::uint64_t>> peers_of;
+  for (const auto& r : log.records) {
+    if (!r.has_file()) continue;
+    peers_of[r.file].insert(r.peer);
+  }
+  std::vector<FilePopularity> out;
+  out.reserve(peers_of.size());
+  for (const auto& [file, peers] : peers_of) {
+    out.push_back(FilePopularity{file, peers.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.peers != b.peers) return a.peers > b.peers;
+    return a.file < b.file;
+  });
+  return out;
+}
+
+std::uint64_t distinct_peers(const logbook::LogFile& log) {
+  require_stage2(log);
+  DynBitset seen(peer_universe(log));
+  std::uint64_t total = 0;
+  for (const auto& r : log.records) {
+    if (!seen.test(r.peer)) {
+      seen.set(r.peer);
+      ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace edhp::analysis

@@ -1,0 +1,79 @@
+#pragma once
+// Statistics over merged, stage-2-anonymised honeypot logs: everything the
+// paper's evaluation section plots.
+//
+// All functions take a LogFile whose peer field holds dense stage-2 indices
+// (PeerIdKind::stage2_index); passing a stage-1 log throws, which doubles
+// as a privacy guard: analyses only run on fully anonymised data.
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "logbook/record.hpp"
+
+namespace edhp::analysis {
+
+/// Filter over record's honeypot id; empty means "all".
+using HoneypotFilter = std::function<bool(std::uint16_t)>;
+
+/// Cumulative distinct peers per day plus the per-day novelty (Figs 2/3/5/6).
+struct DistinctSeries {
+  std::vector<std::uint64_t> cumulative;  ///< index d: distinct after day d
+  std::vector<std::uint64_t> fresh;       ///< index d: first-seen on day d
+  std::uint64_t total = 0;
+};
+
+/// Distinct peers per day among records matching `type` (all types when
+/// nullopt) and `filter`. `days` fixes the series length.
+[[nodiscard]] DistinctSeries distinct_peers_by_day(
+    const logbook::LogFile& log, std::optional<logbook::QueryType> type,
+    std::size_t days, const HoneypotFilter& filter = {});
+
+/// Cumulative message counts per day (Fig 7).
+[[nodiscard]] std::vector<std::uint64_t> cumulative_messages_by_day(
+    const logbook::LogFile& log, logbook::QueryType type, std::size_t days,
+    const HoneypotFilter& filter = {});
+
+/// Messages of `type` per hour (Fig 4).
+[[nodiscard]] std::vector<std::uint64_t> messages_by_hour(
+    const logbook::LogFile& log, logbook::QueryType type, std::size_t hours,
+    const HoneypotFilter& filter = {});
+
+/// Stage-2 index of the peer with the most records (Figs 8/9), or nullopt
+/// for an empty log.
+[[nodiscard]] std::optional<std::uint64_t> most_active_peer(
+    const logbook::LogFile& log);
+
+/// Cumulative messages of `type` from one peer per day (Figs 8/9).
+[[nodiscard]] std::vector<std::uint64_t> peer_messages_by_day(
+    const logbook::LogFile& log, std::uint64_t peer, logbook::QueryType type,
+    std::size_t days, const HoneypotFilter& filter = {});
+
+/// Per-honeypot distinct-peer bitsets over the dense peer universe (Fig 10).
+[[nodiscard]] std::vector<DynBitset> peer_sets_by_honeypot(
+    const logbook::LogFile& log, std::size_t num_honeypots);
+
+/// Per-file distinct-peer bitsets for the given files (Figs 11/12); peers
+/// are attributed to a file by START-UPLOAD/REQUEST-PART records.
+[[nodiscard]] std::vector<DynBitset> peer_sets_by_file(
+    const logbook::LogFile& log, std::span<const FileId> files);
+
+/// Number of distinct peers querying each file, descending — used to pick
+/// the "popular-files" subset (Fig 12) and the per-file extremes quoted in
+/// the paper.
+struct FilePopularity {
+  FileId file;
+  std::uint64_t peers = 0;
+};
+[[nodiscard]] std::vector<FilePopularity> file_popularity(
+    const logbook::LogFile& log);
+
+/// Total distinct peers in the log (= stage-2 universe size when the log is
+/// the complete merged measurement).
+[[nodiscard]] std::uint64_t distinct_peers(const logbook::LogFile& log);
+
+}  // namespace edhp::analysis

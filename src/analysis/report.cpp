@@ -1,0 +1,130 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace edhp::analysis {
+namespace {
+
+std::string format_value(double v) {
+  if (std::fabs(v - std::round(v)) < 1e-9 && std::fabs(v) < 1e15) {
+    std::string s = with_commas(static_cast<std::uint64_t>(std::llround(std::fabs(v))));
+    if (v < -0.5) {
+      s = "-" + s;
+    }
+    return s;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> index_axis(std::size_t n, bool from_zero) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(from_zero ? i : i + 1);
+  }
+  return x;
+}
+
+std::vector<std::size_t> stride_rows(std::size_t n, std::size_t max_rows) {
+  std::vector<std::size_t> rows;
+  if (n == 0) return rows;
+  if (max_rows < 2) max_rows = 2;
+  if (n <= max_rows) {
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+    return rows;
+  }
+  const double step = static_cast<double>(n - 1) / static_cast<double>(max_rows - 1);
+  for (std::size_t i = 0; i < max_rows; ++i) {
+    rows.push_back(static_cast<std::size_t>(
+        std::llround(static_cast<double>(i) * step)));
+  }
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+void print_table(std::ostream& out, std::string_view title,
+                 std::string_view xlabel, std::span<const double> x,
+                 std::span<const Series> series) {
+  out << "== " << title << " ==\n";
+  // Header.
+  out << std::setw(12) << xlabel;
+  for (const auto& s : series) {
+    out << std::setw(11 + static_cast<int>(std::max<std::size_t>(s.name.size(), 8)) -
+                     static_cast<int>(std::min<std::size_t>(s.name.size(), 8)))
+        << s.name;
+  }
+  out << '\n';
+  for (std::size_t row = 0; row < x.size(); ++row) {
+    out << std::setw(12) << format_value(x[row]);
+    for (const auto& s : series) {
+      if (row < s.values.size()) {
+        out << std::setw(11 + static_cast<int>(std::max<std::size_t>(s.name.size(), 8)) -
+                         static_cast<int>(std::min<std::size_t>(s.name.size(), 8)))
+            << format_value(s.values[row]);
+      } else {
+        out << std::setw(11) << "-";
+      }
+    }
+    out << '\n';
+  }
+  out << '\n';
+}
+
+void print_kv(std::ostream& out, std::string_view title,
+              std::span<const std::pair<std::string, std::string>> rows) {
+  out << "== " << title << " ==\n";
+  std::size_t width = 0;
+  for (const auto& [k, v] : rows) {
+    width = std::max(width, k.size());
+  }
+  for (const auto& [k, v] : rows) {
+    out << "  " << std::left << std::setw(static_cast<int>(width) + 2) << k
+        << std::right << v << '\n';
+  }
+  out << '\n';
+}
+
+void write_gnuplot(const std::string& path, std::span<const double> x,
+                   std::span<const Series> series) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write gnuplot data: " + path);
+  }
+  out << "# x";
+  for (const auto& s : series) {
+    out << ' ' << s.name;
+  }
+  out << '\n';
+  for (std::size_t row = 0; row < x.size(); ++row) {
+    out << x[row];
+    for (const auto& s : series) {
+      out << ' ' << (row < s.values.size() ? s.values[row] : 0.0);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace edhp::analysis

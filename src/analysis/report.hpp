@@ -1,0 +1,45 @@
+#pragma once
+// Plain-text reporting helpers shared by the bench harnesses: aligned
+// series tables (one row per x value) and key/value summaries, plus
+// gnuplot-ready data files for external plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace edhp::analysis {
+
+/// One named data column.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Print a titled table: x column plus one column per series. Rows where
+/// every series is missing (shorter than x) are skipped.
+void print_table(std::ostream& out, std::string_view title,
+                 std::string_view xlabel, std::span<const double> x,
+                 std::span<const Series> series);
+
+/// Evenly strided x values 1..n (or 0..n-1 when `from_zero`).
+[[nodiscard]] std::vector<double> index_axis(std::size_t n, bool from_zero = false);
+
+/// Key/value block, aligned.
+void print_kv(std::ostream& out, std::string_view title,
+              std::span<const std::pair<std::string, std::string>> rows);
+
+/// "12,345" style human formatting.
+[[nodiscard]] std::string with_commas(std::uint64_t v);
+
+/// Write "x y1 y2 ..." rows for gnuplot.
+void write_gnuplot(const std::string& path, std::span<const double> x,
+                   std::span<const Series> series);
+
+/// Downsample a series to at most `max_rows` evenly spaced rows (keeps the
+/// last row). Used to keep printed tables readable for hourly data.
+[[nodiscard]] std::vector<std::size_t> stride_rows(std::size_t n,
+                                                   std::size_t max_rows);
+
+}  // namespace edhp::analysis

@@ -1,0 +1,77 @@
+#include "analysis/subsets.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace edhp::analysis {
+
+SubsetCurve subset_union_curve(std::span<const DynBitset> sets,
+                               std::size_t samples, Rng rng, ThreadPool* pool) {
+  const std::size_t n = sets.size();
+  SubsetCurve curve;
+  curve.avg.assign(n, 0.0);
+  curve.min.assign(n, std::numeric_limits<std::uint64_t>::max());
+  curve.max.assign(n, 0);
+  if (n == 0 || samples == 0) {
+    return curve;
+  }
+
+  const std::size_t universe = sets.front().size();
+
+  // Per-sample prefix-union counts, written into a dense matrix so worker
+  // threads never contend.
+  std::vector<std::uint64_t> counts(samples * n, 0);
+  parallel_for(pool, samples, [&](std::size_t s) {
+    Rng local = rng.split(s + 1);  // stable per-sample stream
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    local.shuffle(order);
+    DynBitset acc(universe);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += acc.merge_count_new(sets[order[i]]);
+      counts[s * n + i] = total;
+    }
+  });
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = counts[s * n + i];
+      curve.avg[i] += static_cast<double>(v);
+      curve.min[i] = std::min(curve.min[i], v);
+      curve.max[i] = std::max(curve.max[i], v);
+    }
+  }
+  for (auto& a : curve.avg) {
+    a /= static_cast<double>(samples);
+  }
+  return curve;
+}
+
+SubsetCurve subset_union_curve_naive(
+    std::span<const std::vector<std::uint64_t>> sets, std::size_t samples,
+    Rng rng) {
+  const std::size_t n = sets.size();
+  SubsetCurve curve;
+  curve.avg.assign(n, 0.0);
+  curve.min.assign(n, std::numeric_limits<std::uint64_t>::max());
+  curve.max.assign(n, 0);
+
+  for (std::size_t size = 1; size <= n; ++size) {
+    for (std::size_t s = 0; s < samples; ++s) {
+      const auto chosen = rng.sample_indices(n, size);
+      std::unordered_set<std::uint64_t> uni;
+      for (auto idx : chosen) {
+        uni.insert(sets[idx].begin(), sets[idx].end());
+      }
+      const std::uint64_t v = uni.size();
+      curve.avg[size - 1] += static_cast<double>(v);
+      curve.min[size - 1] = std::min(curve.min[size - 1], v);
+      curve.max[size - 1] = std::max(curve.max[size - 1], v);
+    }
+    curve.avg[size - 1] /= static_cast<double>(samples);
+  }
+  return curve;
+}
+
+}  // namespace edhp::analysis

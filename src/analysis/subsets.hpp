@@ -1,0 +1,45 @@
+#pragma once
+// Subset-sampling estimators for Figs 10-12: "how many distinct peers would
+// n honeypots (or n advertised files) have observed?"
+//
+// For each sample, a random permutation of the entity sets is walked and
+// the union size recorded at every prefix length — a prefix of length n of
+// a uniform random permutation is a uniform random n-subset, so one pass
+// yields every n at once. The paper repeats with 100 samples and plots the
+// average, minimum and maximum; so do we. Samples are independent and run
+// on a thread pool with per-sample RNG streams, keeping results identical
+// for any thread count.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/bitset.hpp"
+#include "analysis/thread_pool.hpp"
+#include "common/rng.hpp"
+
+namespace edhp::analysis {
+
+/// Result curves, indexed by n-1 for n = 1..N entities.
+struct SubsetCurve {
+  std::vector<double> avg;
+  std::vector<std::uint64_t> min;
+  std::vector<std::uint64_t> max;
+
+  [[nodiscard]] std::size_t size() const noexcept { return avg.size(); }
+};
+
+/// Distinct-union curve over `sets` with `samples` random orderings.
+/// Deterministic in (sets, samples, rng seed) regardless of `pool`.
+[[nodiscard]] SubsetCurve subset_union_curve(std::span<const DynBitset> sets,
+                                             std::size_t samples, Rng rng,
+                                             ThreadPool* pool = nullptr);
+
+/// Reference implementation used by tests and the ablation benchmark:
+/// independently samples an n-subset per (n, sample) pair with hash-set
+/// unions. O(samples * N^2 * |set|); only for small inputs.
+[[nodiscard]] SubsetCurve subset_union_curve_naive(
+    std::span<const std::vector<std::uint64_t>> sets, std::size_t samples,
+    Rng rng);
+
+}  // namespace edhp::analysis

@@ -1,0 +1,83 @@
+#include "analysis/thread_pool.hpp"
+
+namespace edhp::analysis {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // One task per worker pulling indices from a shared atomic counter.
+  auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t tasks = std::min(pool->size(), n);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool->submit([counter, n, &body] {
+      while (true) {
+        const std::size_t i = counter->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        body(i);
+      }
+    });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace edhp::analysis

@@ -1,0 +1,25 @@
+#include "anonymize/ip_anonymizer.hpp"
+
+#include "common/sha1.hpp"
+
+namespace edhp::anonymize {
+
+IpAnonymizer::IpAnonymizer(std::string salt) : salt_(std::move(salt)) {}
+
+std::uint64_t IpAnonymizer::anonymize(IpAddr ip) const {
+  Sha1 h;
+  h.update(salt_);
+  const std::uint32_t v = ip.value();
+  const std::uint8_t be[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  h.update(std::span<const std::uint8_t>(be, 4));
+  const auto digest = h.finish();
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | digest[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace edhp::anonymize

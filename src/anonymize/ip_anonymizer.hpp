@@ -1,0 +1,35 @@
+#pragma once
+// Stage-1 anonymisation: a keyed one-way hash applied to peer IP addresses
+// inside each honeypot, before anything is written to disk or sent to the
+// manager.
+//
+// A plain hash of an IPv4 address would be reversible by brute force (2^32
+// candidates), which is why the paper uses a second stage; the salt makes
+// the honeypot-side hash non-invertible for anyone who does not hold it.
+// The manager distributes one salt per measurement so that all honeypots
+// hash coherently (the same peer gets the same value everywhere), and
+// discards the salt when the measurement ends — after which even the
+// operators cannot recover addresses. Stage 2 (renumber.hpp) then replaces
+// hashes by dense integers so published data is secure even if the salt
+// ever leaked.
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace edhp::anonymize {
+
+/// Salted one-way IP hasher (SHA-1, truncated to 64 bits).
+class IpAnonymizer {
+ public:
+  explicit IpAnonymizer(std::string salt);
+
+  /// Stable anonymous identifier for an address under this salt.
+  [[nodiscard]] std::uint64_t anonymize(IpAddr ip) const;
+
+ private:
+  std::string salt_;
+};
+
+}  // namespace edhp::anonymize

@@ -1,0 +1,48 @@
+#include "anonymize/name_anonymizer.hpp"
+
+#include <unordered_set>
+
+#include "common/text.hpp"
+
+namespace edhp::anonymize {
+
+NameAnonymizer::NameAnonymizer(std::span<const std::string> corpus,
+                               std::uint64_t threshold)
+    : threshold_(threshold) {
+  // A word's frequency is the number of *names* it appears in, so repeating
+  // a word inside one title does not make it "frequent".
+  for (const auto& name : corpus) {
+    std::unordered_set<std::string> seen;
+    for (auto& w : tokenize(name)) {
+      if (seen.insert(w).second) {
+        ++frequency_[w];
+      }
+    }
+  }
+  stats_.distinct_words = frequency_.size();
+  for (const auto& [word, count] : frequency_) {
+    if (count >= threshold_) {
+      ++stats_.kept_words;
+    } else {
+      ++stats_.replaced_words;
+    }
+  }
+}
+
+std::string NameAnonymizer::anonymize(const std::string& name) {
+  std::string out;
+  for (auto& w : tokenize(name)) {
+    if (!out.empty()) out.push_back(' ');
+    auto it = frequency_.find(w);
+    if (it != frequency_.end() && it->second >= threshold_) {
+      out += w;
+      continue;
+    }
+    auto [rit, inserted] = replacement_.try_emplace(w, next_token_);
+    if (inserted) ++next_token_;
+    out += std::to_string(rit->second);
+  }
+  return out;
+}
+
+}  // namespace edhp::anonymize

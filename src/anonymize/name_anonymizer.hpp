@@ -1,0 +1,44 @@
+#pragma once
+// Filename anonymisation: file names may embed personal information, so the
+// paper replaces every word that appears less often than a threshold by an
+// integer token. Frequent words (codec names, "dvdrip", years, ...) carry
+// no personal information and are kept; rare words are what identifies
+// content or people.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace edhp::anonymize {
+
+struct NameAnonymizerStats {
+  std::uint64_t distinct_words = 0;
+  std::uint64_t kept_words = 0;      ///< distinct words at/above threshold
+  std::uint64_t replaced_words = 0;  ///< distinct words below threshold
+};
+
+/// Anonymises a corpus of file names with a shared, coherent word mapping.
+class NameAnonymizer {
+ public:
+  /// Build the word-frequency table from `corpus`; words occurring in fewer
+  /// than `threshold` names are replaced by integers.
+  NameAnonymizer(std::span<const std::string> corpus, std::uint64_t threshold);
+
+  /// Anonymised form of a name: frequent words kept, rare words replaced by
+  /// their integer token, joined by spaces. Words never seen in the corpus
+  /// are treated as rare.
+  [[nodiscard]] std::string anonymize(const std::string& name);
+
+  [[nodiscard]] NameAnonymizerStats stats() const noexcept { return stats_; }
+
+ private:
+  std::uint64_t threshold_;
+  std::unordered_map<std::string, std::uint64_t> frequency_;
+  std::unordered_map<std::string, std::uint64_t> replacement_;
+  std::uint64_t next_token_ = 0;
+  NameAnonymizerStats stats_;
+};
+
+}  // namespace edhp::anonymize

@@ -1,0 +1,35 @@
+#include "anonymize/renumber.hpp"
+
+#include <stdexcept>
+
+namespace edhp::anonymize {
+
+std::uint64_t renumber_peers(std::span<logbook::LogFile> logs,
+                             PeerMapping* mapping_out) {
+  for (const auto& log : logs) {
+    if (log.header.peer_kind != logbook::PeerIdKind::stage1_hash) {
+      throw std::invalid_argument("renumber_peers: log is already stage-2");
+    }
+  }
+
+  PeerMapping mapping;
+  std::uint64_t next = 0;
+  for (auto& log : logs) {
+    for (auto& r : log.records) {
+      auto [it, inserted] = mapping.try_emplace(r.peer, next);
+      if (inserted) ++next;
+      r.peer = it->second;
+    }
+    log.header.peer_kind = logbook::PeerIdKind::stage2_index;
+  }
+  if (mapping_out != nullptr) {
+    *mapping_out = std::move(mapping);
+  }
+  return next;
+}
+
+std::uint64_t renumber_peers(logbook::LogFile& log, PeerMapping* mapping_out) {
+  return renumber_peers(std::span<logbook::LogFile>(&log, 1), mapping_out);
+}
+
+}  // namespace edhp::anonymize

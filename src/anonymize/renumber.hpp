@@ -1,0 +1,29 @@
+#pragma once
+// Stage-2 anonymisation: replace stage-1 peer hashes by dense integers, in
+// first-appearance order, coherently across all logs of a measurement. The
+// result contains no value derived from an IP address at all, so it cannot
+// be attacked with a reverse dictionary.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "logbook/record.hpp"
+
+namespace edhp::anonymize {
+
+/// The hash -> integer mapping built during renumbering; exposed so callers
+/// can verify coherence properties in tests (it is discarded in production).
+using PeerMapping = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+/// Renumber peers coherently across `logs` (the same stage-1 hash becomes
+/// the same integer in every log). Logs must be stage-1; their peer_kind is
+/// updated. Returns the number of distinct peers.
+std::uint64_t renumber_peers(std::span<logbook::LogFile> logs,
+                             PeerMapping* mapping_out = nullptr);
+
+/// Convenience overload for a single (typically merged) log.
+std::uint64_t renumber_peers(logbook::LogFile& log,
+                             PeerMapping* mapping_out = nullptr);
+
+}  // namespace edhp::anonymize

@@ -1,0 +1,105 @@
+#include "common/bytes.hpp"
+
+namespace edhp {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::str16(std::string_view s) {
+  if (s.size() > 0xFFFF) {
+    throw DecodeError("str16: string too long to serialize");
+  }
+  u16(static_cast<std::uint16_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  if (at + 4 > buf_.size()) {
+    throw DecodeError("patch_u32: offset out of range");
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf_[at + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("ByteReader: truncated buffer (need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  need(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::string ByteReader::str16() {
+  const std::size_t n = u16();
+  auto raw = bytes(n);
+  return std::string(raw.begin(), raw.end());
+}
+
+void ByteReader::expect_done(std::string_view context) const {
+  if (!done()) {
+    throw DecodeError(std::string(context) + ": " + std::to_string(remaining()) +
+                      " trailing bytes");
+  }
+}
+
+}  // namespace edhp

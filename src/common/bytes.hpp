@@ -1,0 +1,87 @@
+#pragma once
+// Bounds-checked little-endian byte buffer reader/writer.
+//
+// The eDonkey wire format is little-endian throughout; every protocol codec
+// in edhp::proto is built on these two classes. Both throw DecodeError /
+// never write out of bounds, so a malformed packet can never corrupt memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edhp {
+
+/// Thrown when a read runs past the end of a buffer or a length field is
+/// inconsistent with the surrounding message.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian serializer producing a std::vector<std::uint8_t>.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// Raw bytes, appended verbatim.
+  void bytes(std::span<const std::uint8_t> v);
+
+  /// eDonkey string: u16 length followed by raw bytes (no terminator).
+  void str16(std::string_view s);
+
+  /// Number of bytes written so far.
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Overwrite a previously written u32 at byte offset `at` (used to patch
+  /// message-length fields after the payload is known).
+  void patch_u32(std::size_t at, std::uint32_t v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& view() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian deserializer over a borrowed buffer.
+/// The underlying bytes must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+
+  /// Read exactly n raw bytes.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+
+  /// eDonkey string: u16 length prefix then raw bytes.
+  [[nodiscard]] std::string str16();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  /// Throw DecodeError unless the whole buffer has been consumed.
+  void expect_done(std::string_view context) const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace edhp

@@ -1,0 +1,53 @@
+#pragma once
+// Simulated-time representation and calendar helpers.
+//
+// Simulation time is a double count of seconds since the start of the
+// measurement. The measurement start is anchored at local midnight of the
+// observed region (the paper's campaigns started on 1 Oct 2008 and 1 Nov
+// 2008), so hour-of-day arithmetic needs only an offset.
+
+#include <cmath>
+#include <cstdint>
+
+namespace edhp {
+
+/// Seconds since the beginning of the measurement.
+using Time = double;
+/// A span of simulated seconds.
+using Duration = double;
+
+constexpr Duration kSecond = 1.0;
+constexpr Duration kMinute = 60.0;
+constexpr Duration kHour = 3600.0;
+constexpr Duration kDay = 86400.0;
+constexpr Duration kWeek = 7 * kDay;
+
+constexpr Duration minutes(double m) { return m * kMinute; }
+constexpr Duration hours(double h) { return h * kHour; }
+constexpr Duration days(double d) { return d * kDay; }
+
+/// Completed days since measurement start (0 during the first day).
+inline std::uint32_t day_index(Time t) {
+  return t < 0 ? 0 : static_cast<std::uint32_t>(t / kDay);
+}
+
+/// Completed hours since measurement start.
+inline std::uint32_t hour_index(Time t) {
+  return t < 0 ? 0 : static_cast<std::uint32_t>(t / kHour);
+}
+
+/// Local hour-of-day in [0, 24) for a region offset in hours relative to the
+/// measurement's reference timezone (CET for the paper's campaigns).
+inline double hour_of_day(Time t, double tz_offset_hours = 0.0) {
+  double h = std::fmod(t / kHour + tz_offset_hours, 24.0);
+  if (h < 0) h += 24.0;
+  return h;
+}
+
+/// Day-of-week index in [0, 7); the measurement is anchored so that day 0 is
+/// a Wednesday (1 Oct 2008), matching the paper's distributed campaign.
+inline std::uint32_t day_of_week(Time t) {
+  return (day_index(t) + 2) % 7;  // 0 = Monday
+}
+
+}  // namespace edhp

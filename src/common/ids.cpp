@@ -1,0 +1,34 @@
+#include "common/ids.hpp"
+
+namespace edhp {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (auto b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+template <typename Tag>
+std::string Hash128<Tag>::hex() const {
+  return to_hex(bytes_);
+}
+
+template std::string Hash128<FileTag>::hex() const;
+template std::string Hash128<UserTag>::hex() const;
+
+std::string IpAddr::str() const {
+  return std::to_string((value_ >> 24) & 0xFF) + "." +
+         std::to_string((value_ >> 16) & 0xFF) + "." +
+         std::to_string((value_ >> 8) & 0xFF) + "." + std::to_string(value_ & 0xFF);
+}
+
+}  // namespace edhp

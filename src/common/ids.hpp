@@ -1,0 +1,133 @@
+#pragma once
+// Strong identifier types used throughout the platform.
+//
+// eDonkey identifies files and users by 128-bit MD4 digests and peers within
+// a server session by a 32-bit clientID: the peer's IPv4 address when it is
+// directly reachable (HighID) or a value below 0x1000000 otherwise (LowID).
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace edhp {
+
+/// 128-bit identifier (an MD4 digest) with a type tag so FileId and UserId
+/// cannot be mixed up at compile time.
+template <typename Tag>
+class Hash128 {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Hash128() = default;
+  constexpr explicit Hash128(const Bytes& b) : bytes_(b) {}
+
+  /// Construct from two 64-bit words (handy for synthetic ids in tests and
+  /// the simulator); word order is little-endian like the wire format.
+  static constexpr Hash128 from_words(std::uint64_t lo, std::uint64_t hi) {
+    Bytes b{};
+    for (int i = 0; i < 8; ++i) {
+      b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((lo >> (8 * i)) & 0xFF);
+      b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>((hi >> (8 * i)) & 0xFF);
+    }
+    return Hash128(b);
+  }
+
+  [[nodiscard]] constexpr const Bytes& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (auto b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  /// Lowercase hex string, e.g. "31d6cfe0d16ae931b73c59d7e0c089c0".
+  [[nodiscard]] std::string hex() const;
+
+  friend constexpr auto operator<=>(const Hash128&, const Hash128&) = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+struct FileTag {};
+struct UserTag {};
+
+/// Identifier of a file's content (MD4-based); identical content implies
+/// identical FileId regardless of name.
+using FileId = Hash128<FileTag>;
+/// Persistent user hash identifying a client across sessions.
+using UserId = Hash128<UserTag>;
+
+/// IPv4 address in host byte order with dotted-quad formatting.
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : value_(v) {}
+  constexpr IpAddr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string str() const;
+
+  friend constexpr auto operator<=>(const IpAddr&, const IpAddr&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Server-assigned session identifier. LowIDs are below kLowIdThreshold.
+class ClientId {
+ public:
+  static constexpr std::uint32_t kLowIdThreshold = 0x1000000;  // 2^24
+
+  constexpr ClientId() = default;
+  constexpr explicit ClientId(std::uint32_t v) : value_(v) {}
+
+  /// A directly reachable peer's clientID is its IP address.
+  static constexpr ClientId high(IpAddr ip) { return ClientId(ip.value()); }
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool is_low() const noexcept {
+    return value_ < kLowIdThreshold;
+  }
+  [[nodiscard]] constexpr bool is_high() const noexcept { return !is_low(); }
+
+  friend constexpr auto operator<=>(const ClientId&, const ClientId&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// FNV-1a over the digest bytes; good enough for hash-map keys, not security.
+template <typename Tag>
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128<Tag>& h) const noexcept {
+    std::uint64_t x = 0xcbf29ce484222325ull;
+    for (auto b : h.bytes()) {
+      x = (x ^ b) * 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(x);
+  }
+};
+
+using FileIdHasher = Hash128Hasher<FileTag>;
+using UserIdHasher = Hash128Hasher<UserTag>;
+
+/// Lowercase hex of arbitrary bytes.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace edhp
+
+template <typename Tag>
+struct std::hash<edhp::Hash128<Tag>> : edhp::Hash128Hasher<Tag> {};
+
+template <>
+struct std::hash<edhp::IpAddr> {
+  std::size_t operator()(const edhp::IpAddr& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,142 @@
+#include "common/md4.hpp"
+
+#include <cstring>
+
+namespace edhp {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+inline std::uint32_t F(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) | (~x & z);
+}
+inline std::uint32_t G(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) | (x & z) | (y & z);
+}
+inline std::uint32_t H(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return x ^ y ^ z;
+}
+
+}  // namespace
+
+void Md4::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md4::compress(const std::uint8_t* block) {
+  std::uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  auto round1 = [&](std::uint32_t& p, std::uint32_t q, std::uint32_t r,
+                    std::uint32_t s, int k, int sh) {
+    p = rotl(p + F(q, r, s) + x[k], sh);
+  };
+  auto round2 = [&](std::uint32_t& p, std::uint32_t q, std::uint32_t r,
+                    std::uint32_t s, int k, int sh) {
+    p = rotl(p + G(q, r, s) + x[k] + 0x5a827999u, sh);
+  };
+  auto round3 = [&](std::uint32_t& p, std::uint32_t q, std::uint32_t r,
+                    std::uint32_t s, int k, int sh) {
+    p = rotl(p + H(q, r, s) + x[k] + 0x6ed9eba1u, sh);
+  };
+
+  for (int i = 0; i < 4; ++i) {
+    round1(a, b, c, d, 4 * i + 0, 3);
+    round1(d, a, b, c, 4 * i + 1, 7);
+    round1(c, d, a, b, 4 * i + 2, 11);
+    round1(b, c, d, a, 4 * i + 3, 19);
+  }
+  for (int i = 0; i < 4; ++i) {
+    round2(a, b, c, d, i + 0, 3);
+    round2(d, a, b, c, i + 4, 5);
+    round2(c, d, a, b, i + 8, 9);
+    round2(b, c, d, a, i + 12, 13);
+  }
+  static constexpr int kOrder3[4] = {0, 2, 1, 3};
+  for (int i = 0; i < 4; ++i) {
+    const int k = kOrder3[i];
+    round3(a, b, c, d, k + 0, 3);
+    round3(d, a, b, c, k + 8, 9);
+    round3(c, d, a, b, k + 4, 11);
+    round3(b, c, d, a, k + 12, 15);
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md4::update(std::span<const std::uint8_t> data) {
+  length_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == buffer_.size()) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    compress(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+void Md4::update(std::string_view data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Md4::Digest Md4::finish() {
+  const std::uint64_t bit_length = length_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(std::span<const std::uint8_t>(kPad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((bit_length >> (8 * i)) & 0xFF);
+  }
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Digest out{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[static_cast<std::size_t>(4 * i + j)] =
+          static_cast<std::uint8_t>((state_[static_cast<std::size_t>(i)] >> (8 * j)) & 0xFF);
+    }
+  }
+  return out;
+}
+
+Md4::Digest Md4::hash(std::span<const std::uint8_t> data) {
+  Md4 h;
+  h.update(data);
+  return h.finish();
+}
+
+Md4::Digest Md4::hash(std::string_view data) {
+  Md4 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace edhp

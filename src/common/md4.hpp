@@ -1,0 +1,43 @@
+#pragma once
+// MD4 (RFC 1320). eDonkey identifies files and users by 128-bit MD4 digests:
+// each 9,728,000-byte part is hashed with MD4 and, for multi-part files, the
+// file hash is the MD4 of the concatenated part hashes. This implementation
+// is from scratch and validated against the RFC test vectors.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace edhp {
+
+/// Incremental MD4 hasher. Feed bytes with update(), read the digest with
+/// finish(); a finished hasher can be reset() and reused.
+class Md4 {
+ public:
+  using Digest = std::array<std::uint8_t, 16>;
+
+  Md4() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalize and return the digest. The hasher must be reset() before reuse.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest hash(std::string_view data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::uint64_t length_ = 0;                  // total bytes fed
+  std::array<std::uint8_t, 64> buffer_{};     // partial block
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace edhp

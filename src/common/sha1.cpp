@@ -1,0 +1,127 @@
+#include "common/sha1.hpp"
+
+#include <cstring>
+
+namespace edhp {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+}  // namespace
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::compress(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  length_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == buffer_.size()) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    compress(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+void Sha1::update(std::string_view data) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1::Digest Sha1::finish() {
+  const std::uint64_t bit_length = length_ * 8;
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(std::span<const std::uint8_t>(kPad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>((bit_length >> (8 * (7 - i))) & 0xFF);
+  }
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      out[static_cast<std::size_t>(4 * i + j)] = static_cast<std::uint8_t>(
+          (state_[static_cast<std::size_t>(i)] >> (8 * (3 - j))) & 0xFF);
+    }
+  }
+  return out;
+}
+
+Sha1::Digest Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha1::Digest Sha1::hash(std::string_view data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace edhp

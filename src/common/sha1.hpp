@@ -1,0 +1,38 @@
+#pragma once
+// SHA-1 (RFC 3174), used by the anonymisation pipeline as the stage-1
+// cryptographic one-way function applied to IP addresses inside each
+// honeypot before anything reaches disk or the manager.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace edhp {
+
+/// Incremental SHA-1 hasher with the same interface shape as Md4.
+class Sha1 {
+ public:
+  using Digest = std::array<std::uint8_t, 20>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
+  [[nodiscard]] static Digest hash(std::string_view data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace edhp

@@ -1,0 +1,19 @@
+#pragma once
+// Small text helpers shared by the server's keyword index and the filename
+// anonymiser: eDonkey clients and servers treat file names as sequences of
+// words separated by any non-alphanumeric character.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edhp {
+
+/// Lowercased copy (ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Split into lowercase words at non-alphanumeric boundaries; empty words
+/// are dropped. "The.Best_Movie(2008)" -> {"the", "best", "movie", "2008"}.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view s);
+
+}  // namespace edhp

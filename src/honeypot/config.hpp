@@ -1,0 +1,60 @@
+#pragma once
+// Configuration types for honeypots and measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace edhp::honeypot {
+
+/// How a honeypot answers REQUEST-PART queries (Section IV.B of the paper).
+enum class ContentStrategy : std::uint8_t {
+  no_content,      ///< never answer part requests
+  random_content,  ///< answer with random bytes
+};
+
+[[nodiscard]] std::string_view to_string(ContentStrategy s);
+
+/// A fake file the manager orders a honeypot to advertise: the manager
+/// specifies name, size and fileID (Section III.A).
+struct AdvertisedFile {
+  FileId id;
+  std::string name;
+  std::uint32_t size = 0;
+
+  bool operator==(const AdvertisedFile&) const = default;
+};
+
+/// Per-honeypot configuration, assembled by the manager at launch.
+struct HoneypotConfig {
+  std::uint16_t id = 0;
+  std::string name = "edhp";          ///< client name shown in handshakes
+  std::uint32_t client_version = 0x3C;  ///< presented protocol version
+  ContentStrategy strategy = ContentStrategy::no_content;
+
+  /// Ask every contacting peer for its shared-file list (used for the
+  /// distinct-files statistics and by the greedy strategy).
+  bool harvest_shared_lists = true;
+
+  /// Greedy mode: adopt harvested files into the advertised list during the
+  /// harvest window (the greedy measurement's first day).
+  bool greedy = false;
+  Duration greedy_harvest_window = days(1);
+  std::size_t greedy_max_files = 100000;
+
+  /// Period of the OFFER-FILES keep-alive to the server.
+  Duration offer_keepalive = minutes(30);
+
+  /// Upload slots granted concurrently; 0 = unlimited (the paper's
+  /// honeypots accept everyone to maximise observed queries, but a
+  /// realistic-client disguise can enable queueing).
+  std::size_t max_upload_slots = 0;
+
+  /// Stage-1 anonymisation salt, shared measurement-wide by the manager.
+  std::string salt = "edhp-measurement";
+};
+
+}  // namespace edhp::honeypot

@@ -1,0 +1,461 @@
+#include "honeypot/honeypot.hpp"
+
+#include "common/md4.hpp"
+
+namespace edhp::honeypot {
+namespace {
+
+/// Truncate a 128-bit user hash to the 64-bit form stored in log records.
+std::uint64_t truncate_user(const UserId& user) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | user.bytes()[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+/// Approximate wire overhead of a SENDING-PART packet (header + hash +
+/// offsets), used when accounting the un-materialized block body.
+constexpr std::size_t kSendingPartOverhead = 5 + 1 + 16 + 8;
+
+}  // namespace
+
+std::string_view to_string(ContentStrategy s) {
+  return s == ContentStrategy::no_content ? "no-content" : "random-content";
+}
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::idle:
+      return "idle";
+    case Status::connecting:
+      return "connecting";
+    case Status::connected:
+      return "connected";
+    case Status::dead:
+      return "dead";
+  }
+  return "?";
+}
+
+Honeypot::Honeypot(net::Network& network, net::NodeId self, HoneypotConfig config)
+    : net_(network),
+      self_(self),
+      config_(std::move(config)),
+      ip_anon_(config_.salt) {
+  // Persistent user hash, derived deterministically from the honeypot
+  // identity (a real client stores one in its config file).
+  Md4 h;
+  h.update(config_.name);
+  const std::uint32_t ip = net_.info(self_).ip.value();
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(&ip), sizeof(ip)));
+  user_hash_ = UserId(h.finish());
+
+  log_.header.honeypot = config_.id;
+  log_.header.honeypot_name = config_.name;
+  log_.header.strategy = std::string(to_string(config_.strategy));
+}
+
+Honeypot::~Honeypot() {
+  disconnect();
+  net_.stop_listening(self_);
+}
+
+void Honeypot::connect_to_server(const ServerRef& server) {
+  server_ = server;
+  status_ = Status::connecting;
+  log_.header.server_name = server.name;
+  log_.header.server_ip = net_.info(server.node).ip.value();
+  log_.header.server_port = server.port;
+
+  net_.listen(self_, [this](net::EndpointPtr ep) { on_peer_accept(std::move(ep)); });
+
+  net_.connect(self_, server.node, [this](net::EndpointPtr ep) {
+    if (!ep) {
+      status_ = Status::dead;
+      counters_.add("server_connect_failures");
+      return;
+    }
+    server_ep_ = std::move(ep);
+    server_ep_->on_message([this](net::Bytes p) { on_server_message(std::move(p)); });
+    server_ep_->on_close([this] { on_server_closed(); });
+
+    proto::LoginRequest login;
+    login.user = user_hash_;
+    login.client_id = 0;
+    login.port = net_.info(self_).port;
+    login.tags = {proto::Tag::string_tag(proto::kTagName, config_.name),
+                  proto::Tag::u32_tag(proto::kTagVersion, config_.client_version),
+                  proto::Tag::u32_tag(proto::kTagPort, login.port)};
+    server_ep_->send(proto::encode(proto::AnyMessage{login}));
+  });
+}
+
+void Honeypot::on_server_message(net::Bytes packet) {
+  proto::AnyMessage msg;
+  try {
+    msg = proto::decode(proto::Channel::client_server, packet);
+  } catch (const DecodeError&) {
+    counters_.add("server_decode_errors");
+    return;
+  }
+  if (const auto* results = std::get_if<proto::SearchResult>(&msg)) {
+    std::size_t adopted = 0;
+    for (const auto& f : results->files) {
+      if (adopted >= pending_search_adopt_) break;
+      if (advertised_ids_.contains(f.file)) continue;
+      add_advertised(AdvertisedFile{f.file, f.name, f.size});
+      ++adopted;
+    }
+    pending_search_adopt_ = 0;
+    counters_.add("search_adopted", adopted);
+    return;
+  }
+  if (const auto* id = std::get_if<proto::IdChange>(&msg)) {
+    client_id_ = ClientId(id->client_id);
+    const bool first_login = status_ != Status::connected;
+    status_ = Status::connected;
+    if (first_login && started_at_ == 0) {
+      started_at_ = net_.simulation().now();
+    }
+    counters_.add("logins");
+    send_offer();
+    offer_timer_ = std::make_unique<sim::PeriodicTimer>(
+        net_.simulation(), config_.offer_keepalive, [this] { send_offer(); });
+    offer_timer_->start();
+  }
+  // FOUND-SOURCES / SERVER-MESSAGE are accepted silently.
+}
+
+void Honeypot::on_server_closed() {
+  counters_.add("server_connection_lost");
+  status_ = Status::dead;
+  offer_timer_.reset();
+  server_ep_.reset();
+}
+
+void Honeypot::send_offer() {
+  if (!server_ep_ || !server_ep_->open()) return;
+  proto::OfferFiles offer;
+  offer.files.reserve(advertised_.size());
+  for (const auto& f : advertised_) {
+    proto::PublishedFile pf;
+    pf.file = f.id;
+    pf.client_id = client_id_.value();
+    pf.port = net_.info(self_).port;
+    pf.name = f.name;
+    pf.size = f.size;
+    offer.files.push_back(std::move(pf));
+  }
+  server_ep_->send(proto::encode(proto::AnyMessage{std::move(offer)}));
+  offer_dirty_ = false;
+  counters_.add("offers_sent");
+}
+
+void Honeypot::advertise(std::vector<AdvertisedFile> files) {
+  advertised_ = std::move(files);
+  advertised_ids_.clear();
+  for (const auto& f : advertised_) {
+    advertised_ids_.insert(f.id);
+  }
+  if (status_ == Status::connected) {
+    send_offer();
+  }
+}
+
+void Honeypot::add_advertised(AdvertisedFile file) {
+  if (!advertised_ids_.insert(file.id).second) return;
+  advertised_.push_back(std::move(file));
+  // Batch growth into the keep-alive OFFER instead of spamming the server
+  // on every harvested file; push promptly at small sizes so the first
+  // advertisements go out quickly.
+  offer_dirty_ = true;
+  if (status_ == Status::connected &&
+      (advertised_.size() < 8 || advertised_.size() % 64 == 0)) {
+    send_offer();
+  }
+}
+
+void Honeypot::search_and_adopt(const std::string& query, std::size_t limit) {
+  if (!server_ep_ || !server_ep_->open() || limit == 0) return;
+  pending_search_adopt_ = limit;
+  server_ep_->send(proto::encode(proto::AnyMessage{proto::SearchRequest{query}}));
+  counters_.add("searches_sent");
+}
+
+void Honeypot::disconnect() {
+  offer_timer_.reset();
+  if (server_ep_) {
+    server_ep_->close();
+    server_ep_.reset();
+  }
+  for (auto& [key, conn] : peers_) {
+    if (conn.endpoint) conn.endpoint->close();
+  }
+  peers_.clear();
+  slots_used_ = 0;
+  upload_queue_.clear();
+  status_ = Status::idle;
+}
+
+void Honeypot::crash() {
+  counters_.add("crashes");
+  offer_timer_.reset();
+  if (server_ep_) {
+    server_ep_->close();
+    server_ep_.reset();
+  }
+  for (auto& [key, conn] : peers_) {
+    if (conn.endpoint) conn.endpoint->close();
+  }
+  peers_.clear();
+  slots_used_ = 0;
+  upload_queue_.clear();
+  net_.stop_listening(self_);
+  status_ = Status::dead;
+}
+
+logbook::LogFile Honeypot::take_log() {
+  logbook::LogFile out = std::move(log_);
+  log_ = logbook::LogFile{};
+  log_.header = out.header;
+  name_cache_.clear();
+  return out;
+}
+
+void Honeypot::on_peer_accept(net::EndpointPtr ep) {
+  const ConnKey key = next_conn_++;
+  PeerConn conn;
+  conn.endpoint = std::move(ep);
+  auto [it, inserted] = peers_.emplace(key, std::move(conn));
+  net::Endpoint& endpoint = *it->second.endpoint;
+  endpoint.on_message([this, key](net::Bytes p) { on_peer_message(key, std::move(p)); });
+  endpoint.on_close([this, key] {
+    auto conn_it = peers_.find(key);
+    if (conn_it != peers_.end()) {
+      release_slot(key, conn_it->second);
+      peers_.erase(conn_it);
+    }
+  });
+  counters_.add("peer_connections");
+}
+
+void Honeypot::on_peer_message(ConnKey key, net::Bytes packet) {
+  auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  PeerConn& conn = it->second;
+
+  proto::AnyMessage msg;
+  try {
+    msg = proto::decode(proto::Channel::client_client, packet);
+  } catch (const DecodeError&) {
+    counters_.add("peer_decode_errors");
+    conn.endpoint->close();
+    release_slot(key, conn);
+    peers_.erase(key);
+    return;
+  }
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::Hello>) {
+          handle_hello(conn, m);
+        } else if constexpr (std::is_same_v<T, proto::StartUpload>) {
+          handle_start_upload(key, conn, m);
+        } else if constexpr (std::is_same_v<T, proto::RequestParts>) {
+          handle_request_parts(conn, m);
+        } else if constexpr (std::is_same_v<T, proto::AskSharedFilesAnswer>) {
+          handle_shared_list(conn, m);
+        } else if constexpr (std::is_same_v<T, proto::AskSharedFiles>) {
+          // A peer may browse us; answer with the advertised list to look
+          // like a normal sharer.
+          proto::AskSharedFilesAnswer answer;
+          answer.files.reserve(advertised_.size());
+          for (const auto& f : advertised_) {
+            proto::PublishedFile pf;
+            pf.file = f.id;
+            pf.client_id = client_id_.value();
+            pf.port = net_.info(self_).port;
+            pf.name = f.name;
+            pf.size = f.size;
+            answer.files.push_back(std::move(pf));
+          }
+          conn.endpoint->send(proto::encode(proto::AnyMessage{std::move(answer)}));
+        } else if constexpr (std::is_same_v<T, proto::CancelTransfer>) {
+          counters_.add("cancels");
+        } else {
+          counters_.add("unexpected_peer_messages");
+        }
+      },
+      msg);
+}
+
+void Honeypot::handle_hello(PeerConn& conn, const proto::Hello& msg) {
+  // Stage-1 anonymisation happens here, before the record exists.
+  conn.peer_hash = ip_anon_.anonymize(net_.info(conn.endpoint->remote_node()).ip);
+  conn.user = truncate_user(msg.user);
+  conn.client_id = msg.client_id;
+  conn.port = msg.port;
+  if (const auto* t = proto::find_tag(msg.tags, proto::kTagName)) {
+    conn.name_ref = intern_name(t->as_string());
+  }
+  if (const auto* t = proto::find_tag(msg.tags, proto::kTagVersion)) {
+    conn.version = t->as_u32();
+  }
+  conn.hello_seen = true;
+
+  append_record(conn, logbook::QueryType::hello, nullptr);
+
+  proto::HelloAnswer answer;
+  answer.user = user_hash_;
+  answer.client_id = client_id_.value();
+  answer.port = net_.info(self_).port;
+  answer.tags = {proto::Tag::string_tag(proto::kTagName, config_.name),
+                 proto::Tag::u32_tag(proto::kTagVersion, config_.client_version)};
+  if (server_) {
+    answer.server_ip = net_.info(server_->node).ip.value();
+    answer.server_port = server_->port;
+  }
+  conn.endpoint->send(proto::encode(proto::AnyMessage{std::move(answer)}));
+
+  if (config_.harvest_shared_lists) {
+    conn.endpoint->send(proto::encode(proto::AnyMessage{proto::AskSharedFiles{}}));
+  }
+}
+
+void Honeypot::handle_start_upload(ConnKey key, PeerConn& conn,
+                                   const proto::StartUpload& msg) {
+  if (!conn.hello_seen) {
+    counters_.add("start_upload_without_hello");
+  }
+  append_record(conn, logbook::QueryType::start_upload, &msg.file);
+  if (conn.uploading) {
+    // Additional wanted files on an already-granted connection: the slot
+    // covers the connection, just log the query (done above).
+    return;
+  }
+  // Default configuration grants everyone immediately — keeping peers out
+  // of a queue maximises the queries we observe. With a slot cap the
+  // honeypot behaves like a loaded client and queues the peer.
+  if (config_.max_upload_slots == 0 || slots_used_ < config_.max_upload_slots) {
+    grant_slot(key, conn);
+    return;
+  }
+  if (!conn.queued) {
+    conn.queued = true;
+    upload_queue_.push_back(key);
+  }
+  const auto rank = static_cast<std::uint32_t>(upload_queue_.size());
+  conn.endpoint->send(proto::encode(proto::AnyMessage{proto::QueueRank{rank}}));
+  counters_.add("queued_peers");
+}
+
+void Honeypot::grant_slot(ConnKey key, PeerConn& conn) {
+  (void)key;
+  conn.uploading = true;
+  conn.queued = false;
+  ++slots_used_;
+  conn.endpoint->send(proto::encode(proto::AnyMessage{proto::AcceptUpload{}}));
+}
+
+void Honeypot::release_slot(ConnKey key, PeerConn& conn) {
+  (void)key;
+  if (!conn.uploading) return;
+  conn.uploading = false;
+  if (slots_used_ > 0) --slots_used_;
+  // Promote the next queued connection that is still alive.
+  while (!upload_queue_.empty()) {
+    const auto next = upload_queue_.front();
+    upload_queue_.pop_front();
+    auto it = peers_.find(next);
+    if (it == peers_.end() || !it->second.queued || !it->second.endpoint) {
+      continue;
+    }
+    grant_slot(next, it->second);
+    counters_.add("promoted_from_queue");
+    break;
+  }
+}
+
+void Honeypot::handle_request_parts(PeerConn& conn, const proto::RequestParts& msg) {
+  append_record(conn, logbook::QueryType::request_part, &msg.file);
+  if (config_.strategy == ContentStrategy::no_content) {
+    return;  // silence: the downloader will time out
+  }
+  // random-content: answer every non-empty range with random bytes. Only a
+  // small sample of the block is materialized; the transport accounts for
+  // the full wire size (send_sized), so timing matches a real upload.
+  auto& rng = net_.simulation().rng();
+  for (std::size_t i = 0; i < proto::kRequestPartRanges; ++i) {
+    if (msg.end[i] <= msg.begin[i]) continue;
+    const std::uint32_t block = msg.end[i] - msg.begin[i];
+    proto::SendingPart part;
+    part.file = msg.file;
+    part.begin = msg.begin[i];
+    part.end = msg.end[i];
+    part.data.resize(std::min<std::uint32_t>(block, 32));
+    for (auto& b : part.data) {
+      b = static_cast<std::uint8_t>(rng());
+    }
+    conn.endpoint->send_sized(proto::encode(proto::AnyMessage{std::move(part)}),
+                              block + kSendingPartOverhead);
+    counters_.add("blocks_sent");
+  }
+}
+
+void Honeypot::handle_shared_list(PeerConn& conn,
+                                  const proto::AskSharedFilesAnswer& msg) {
+  counters_.add("shared_lists_received");
+  for (const auto& f : msg.files) {
+    if (observed_files_.try_emplace(f.file, f.size).second) {
+      observed_bytes_ += f.size;
+      observed_names_.push_back(f.name);
+    }
+    if (config_.greedy && in_harvest_window() &&
+        advertised_.size() < config_.greedy_max_files &&
+        !advertised_ids_.contains(f.file)) {
+      add_advertised(AdvertisedFile{f.file, f.name, f.size});
+    }
+  }
+  (void)conn;
+}
+
+void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
+                             const FileId* file) {
+  logbook::LogRecord r;
+  r.timestamp = net_.simulation().now();
+  r.peer = conn.peer_hash;
+  r.user = conn.user;
+  r.client_version = conn.version;
+  r.honeypot = config_.id;
+  r.peer_port = conn.port;
+  r.name_ref = conn.name_ref;
+  r.type = type;
+  r.flags = 0;
+  if (ClientId(conn.client_id).is_high()) {
+    r.flags |= logbook::kFlagHighId;
+  }
+  if (file != nullptr) {
+    r.file = *file;
+    r.flags |= logbook::kFlagHasFile;
+  }
+  log_.records.push_back(r);
+  counters_.add(std::string(logbook::to_string(type)));
+}
+
+std::uint16_t Honeypot::intern_name(const std::string& name) {
+  auto it = name_cache_.find(name);
+  if (it != name_cache_.end()) return it->second;
+  const auto ref = log_.intern(name);
+  name_cache_.emplace(name, ref);
+  return ref;
+}
+
+bool Honeypot::in_harvest_window() const {
+  if (status_ != Status::connected) return false;
+  return net_.simulation().now() - started_at_ <= config_.greedy_harvest_window;
+}
+
+}  // namespace edhp::honeypot

@@ -1,0 +1,183 @@
+#pragma once
+// The honeypot: a fake eDonkey peer that advertises files it does not have
+// and logs every query it receives for them.
+//
+// Built as a modified client (the paper modifies aMule): it keeps the
+// normal protocol behaviour — server login, OFFER-FILES advertisement and
+// keep-alive, HELLO/HELLO-ANSWER, START-UPLOAD/ACCEPT-UPLOAD — and diverges
+// only at the final step: it never delivers real content. Depending on its
+// strategy it either ignores REQUEST-PART queries (no-content) or answers
+// them with random bytes (random-content).
+//
+// Every HELLO, START-UPLOAD and REQUEST-PART received is appended to the
+// query log together with the peer metadata the paper lists. IP addresses
+// pass through stage-1 anonymisation before entering the log.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "anonymize/ip_anonymizer.hpp"
+#include "honeypot/config.hpp"
+#include "logbook/record.hpp"
+#include "net/network.hpp"
+#include "proto/messages.hpp"
+#include "sim/metrics.hpp"
+
+namespace edhp::honeypot {
+
+/// Lifecycle state reported to the manager.
+enum class Status : std::uint8_t {
+  idle,        ///< launched, not yet told to connect
+  connecting,  ///< server connection / login in progress
+  connected,   ///< logged in, advertising
+  dead,        ///< lost the server connection (or crashed)
+};
+
+[[nodiscard]] std::string_view to_string(Status s);
+
+/// Where a honeypot should connect (resolved by the manager).
+struct ServerRef {
+  net::NodeId node = 0;
+  std::string name;
+  std::uint16_t port = 4661;
+};
+
+class Honeypot {
+ public:
+  Honeypot(net::Network& network, net::NodeId self, HoneypotConfig config);
+  ~Honeypot();
+
+  Honeypot(const Honeypot&) = delete;
+  Honeypot& operator=(const Honeypot&) = delete;
+
+  // --- Manager orders -----------------------------------------------------
+
+  /// Connect to a server and log in; safe to call again after death
+  /// (relaunch), preserving the query log.
+  void connect_to_server(const ServerRef& server);
+
+  /// Replace the advertised file list and push it to the server.
+  void advertise(std::vector<AdvertisedFile> files);
+
+  /// Append one file (greedy growth); the OFFER keep-alive pushes it.
+  void add_advertised(AdvertisedFile file);
+
+  /// Keyword bootstrap: search the server for `query` and adopt up to
+  /// `limit` results into the advertised list — the paper's suggested way
+  /// of capturing "all the activity regarding ... a specific keyword".
+  /// Results arrive asynchronously; adopted count is visible via
+  /// counters()["search_adopted"].
+  void search_and_adopt(const std::string& query, std::size_t limit);
+
+  /// Drop the server connection and stop accepting peers.
+  void disconnect();
+
+  /// Simulate a host crash: connection lost without cleanup. The log
+  /// survives (it is streamed/stored out-of-band), status becomes dead.
+  void crash();
+
+  // --- Status for the manager's polling loop ------------------------------
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  [[nodiscard]] ClientId client_id() const noexcept { return client_id_; }
+  [[nodiscard]] const HoneypotConfig& config() const noexcept { return config_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return self_; }
+  [[nodiscard]] const std::vector<AdvertisedFile>& advertised() const noexcept {
+    return advertised_;
+  }
+
+  // --- Collected data ------------------------------------------------------
+
+  [[nodiscard]] const logbook::LogFile& log() const noexcept { return log_; }
+  /// Move the accumulated log out (manager collection); logging continues
+  /// into a fresh log with the same header.
+  [[nodiscard]] logbook::LogFile take_log();
+
+  /// Distinct files seen in harvested shared-file lists (with their sizes),
+  /// for Table I's "distinct files" / "space used".
+  [[nodiscard]] const std::unordered_map<FileId, std::uint32_t>& observed_files()
+      const noexcept {
+    return observed_files_;
+  }
+  [[nodiscard]] std::uint64_t observed_bytes() const noexcept {
+    return observed_bytes_;
+  }
+  /// Names of observed files (for the manager's anonymised catalog export).
+  [[nodiscard]] const std::vector<std::string>& observed_names() const noexcept {
+    return observed_names_;
+  }
+
+  [[nodiscard]] const sim::CounterSet& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct PeerConn {
+    net::EndpointPtr endpoint;
+    std::uint64_t peer_hash = 0;      // stage-1 anonymised identity
+    std::uint64_t user = 0;
+    std::uint32_t client_id = 0;
+    std::uint16_t port = 0;
+    std::uint16_t name_ref = 0;
+    std::uint32_t version = 0;
+    bool hello_seen = false;
+    bool uploading = false;  ///< holds an upload slot
+    bool queued = false;     ///< waiting for a slot
+  };
+  using ConnKey = std::uint64_t;
+
+  void on_server_message(net::Bytes packet);
+  void on_server_closed();
+  void send_offer();
+  void on_peer_accept(net::EndpointPtr ep);
+  void on_peer_message(ConnKey key, net::Bytes packet);
+
+  void handle_hello(PeerConn& conn, const proto::Hello& msg);
+  void handle_start_upload(ConnKey key, PeerConn& conn,
+                           const proto::StartUpload& msg);
+  void handle_request_parts(PeerConn& conn, const proto::RequestParts& msg);
+  void handle_shared_list(PeerConn& conn, const proto::AskSharedFilesAnswer& msg);
+
+  void append_record(const PeerConn& conn, logbook::QueryType type,
+                     const FileId* file);
+  std::uint16_t intern_name(const std::string& name);
+  [[nodiscard]] bool in_harvest_window() const;
+  void grant_slot(ConnKey key, PeerConn& conn);
+  void release_slot(ConnKey key, PeerConn& conn);
+
+  net::Network& net_;
+  net::NodeId self_;
+  HoneypotConfig config_;
+  anonymize::IpAnonymizer ip_anon_;
+  UserId user_hash_;
+
+  Status status_ = Status::idle;
+  std::optional<ServerRef> server_;
+  net::EndpointPtr server_ep_;
+  ClientId client_id_{};
+  std::unique_ptr<sim::PeriodicTimer> offer_timer_;
+  bool offer_dirty_ = false;  ///< advertised list changed since last OFFER
+
+  std::vector<AdvertisedFile> advertised_;
+  std::unordered_set<FileId> advertised_ids_;
+  std::size_t pending_search_adopt_ = 0;  ///< limit of the in-flight search
+
+  std::unordered_map<ConnKey, PeerConn> peers_;
+  ConnKey next_conn_ = 1;
+  std::size_t slots_used_ = 0;
+  std::deque<ConnKey> upload_queue_;
+
+  logbook::LogFile log_;
+  std::unordered_map<std::string, std::uint16_t> name_cache_;
+  std::unordered_map<FileId, std::uint32_t> observed_files_;
+  std::uint64_t observed_bytes_ = 0;
+  std::vector<std::string> observed_names_;
+  Time started_at_ = 0;
+
+  sim::CounterSet counters_;
+};
+
+}  // namespace edhp::honeypot

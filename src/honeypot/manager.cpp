@@ -1,0 +1,211 @@
+#include "honeypot/manager.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "anonymize/name_anonymizer.hpp"
+#include "anonymize/renumber.hpp"
+#include "logbook/log_io.hpp"
+#include "proto/udp_messages.hpp"
+
+namespace edhp::honeypot {
+
+Manager::Manager(net::Network& network, ManagerConfig config)
+    : net_(network), config_(std::move(config)) {}
+
+Manager::~Manager() { stop(); }
+
+std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
+                            const ServerRef& server) {
+  config.salt = config_.salt;
+  if (config.id == 0) {
+    config.id = static_cast<std::uint16_t>(fleet_.size());
+  }
+  Slot slot;
+  slot.honeypot = std::make_unique<Honeypot>(net_, host, std::move(config));
+  slot.server = server;
+  slot.honeypot->connect_to_server(server);
+  fleet_.push_back(std::move(slot));
+  return fleet_.size() - 1;
+}
+
+void Manager::survey_servers(std::vector<ServerRef> candidates,
+                             net::NodeId probe_node, Duration timeout,
+                             SurveyCallback done) {
+  struct Survey {
+    std::vector<ServerRef> candidates;
+    std::vector<std::optional<proto::ServStatResponse>> answers;
+  };
+  auto survey = std::make_shared<Survey>();
+  survey->candidates = std::move(candidates);
+  survey->answers.resize(survey->candidates.size());
+
+  net_.listen_datagram(probe_node, [survey](net::NodeId, net::Bytes datagram) {
+    proto::AnyUdpMessage msg;
+    try {
+      msg = proto::decode_udp(datagram);
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (const auto* res = std::get_if<proto::ServStatResponse>(&msg)) {
+      // The challenge encodes the candidate index.
+      if (res->challenge < survey->answers.size()) {
+        survey->answers[res->challenge] = *res;
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < survey->candidates.size(); ++i) {
+    proto::ServStatRequest req;
+    req.challenge = static_cast<std::uint32_t>(i);
+    net_.send_datagram(probe_node, survey->candidates[i].node,
+                       proto::encode_udp(req));
+  }
+
+  net_.simulation().schedule_in(
+      timeout, [this, survey, probe_node, done = std::move(done)] {
+        net_.stop_listening_datagram(probe_node);
+        std::vector<ServerSurveyEntry> out;
+        for (std::size_t i = 0; i < survey->candidates.size(); ++i) {
+          if (!survey->answers[i]) continue;
+          out.push_back(ServerSurveyEntry{survey->candidates[i],
+                                          survey->answers[i]->users,
+                                          survey->answers[i]->files});
+        }
+        std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+          return a.users > b.users;
+        });
+        done(std::move(out));
+      });
+}
+
+void Manager::reassign(std::size_t index, const ServerRef& server) {
+  auto& slot = fleet_.at(index);
+  slot.server = server;
+  slot.honeypot->disconnect();
+  slot.honeypot->connect_to_server(server);
+  if (!slot.honeypot->advertised().empty()) {
+    // Re-push the current list once the new login completes: advertise()
+    // re-sends OFFER-FILES when connected, and the keep-alive covers the
+    // race where login is still in flight.
+    slot.honeypot->advertise(
+        std::vector<AdvertisedFile>(slot.honeypot->advertised()));
+  } else if (!slot.files.empty()) {
+    slot.honeypot->advertise(slot.files);
+  }
+}
+
+void Manager::advertise(std::size_t index, std::vector<AdvertisedFile> files) {
+  auto& slot = fleet_.at(index);
+  slot.files = files;
+  slot.honeypot->advertise(std::move(files));
+}
+
+void Manager::advertise_all(std::vector<AdvertisedFile> files) {
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    advertise(i, files);
+  }
+}
+
+void Manager::start() {
+  if (poll_timer_) return;
+  poll_timer_ = std::make_unique<sim::PeriodicTimer>(
+      net_.simulation(), config_.status_poll, [this] { poll(); });
+  poll_timer_->start();
+}
+
+void Manager::stop() {
+  poll_timer_.reset();
+  for (auto& slot : fleet_) {
+    slot.honeypot->disconnect();
+  }
+}
+
+void Manager::poll() {
+  if (!config_.auto_relaunch) return;
+  for (auto& slot : fleet_) {
+    if (slot.honeypot->status() == Status::dead) {
+      ++relaunches_;
+      // Relaunch: reconnect to the assigned server and re-advertise the
+      // file list previously ordered (plus anything the honeypot grew
+      // itself in greedy mode, which it kept).
+      slot.honeypot->connect_to_server(slot.server);
+      if (slot.honeypot->advertised().empty() && !slot.files.empty()) {
+        slot.honeypot->advertise(slot.files);
+      }
+    }
+  }
+}
+
+Honeypot& Manager::honeypot(std::size_t index) {
+  return *fleet_.at(index).honeypot;
+}
+
+const Honeypot& Manager::honeypot(std::size_t index) const {
+  return *fleet_.at(index).honeypot;
+}
+
+std::vector<logbook::LogFile> Manager::collect_logs() const {
+  std::vector<logbook::LogFile> logs;
+  logs.reserve(fleet_.size());
+  for (const auto& slot : fleet_) {
+    logs.push_back(slot.honeypot->log());
+  }
+  return logs;
+}
+
+std::vector<std::string> Manager::persist_logs(const std::string& directory) const {
+  std::vector<std::string> paths;
+  paths.reserve(fleet_.size());
+  for (const auto& slot : fleet_) {
+    const auto path = directory + "/hp-" +
+                      std::to_string(slot.honeypot->config().id) + ".edhplog";
+    logbook::save(path, slot.honeypot->log());
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+logbook::LogFile Manager::merged_anonymized(std::uint64_t* distinct_peers_out) const {
+  auto logs = collect_logs();
+  auto merged = logbook::merge_logs(logs);
+  const auto distinct = anonymize::renumber_peers(merged);
+  if (distinct_peers_out != nullptr) {
+    *distinct_peers_out = distinct;
+  }
+  return merged;
+}
+
+std::vector<std::string> Manager::export_observed_names(
+    std::uint64_t threshold) const {
+  std::vector<std::string> corpus;
+  for (const auto& slot : fleet_) {
+    const auto& names = slot.honeypot->observed_names();
+    corpus.insert(corpus.end(), names.begin(), names.end());
+  }
+  anonymize::NameAnonymizer anonymizer(corpus, threshold);
+  std::vector<std::string> out;
+  out.reserve(corpus.size());
+  for (const auto& name : corpus) {
+    out.push_back(anonymizer.anonymize(name));
+  }
+  return out;
+}
+
+Manager::ObservedFiles Manager::observed_files() const {
+  std::unordered_map<FileId, std::uint32_t> all;
+  for (const auto& slot : fleet_) {
+    for (const auto& [file, size] : slot.honeypot->observed_files()) {
+      all.try_emplace(file, size);
+    }
+  }
+  ObservedFiles out;
+  out.distinct = all.size();
+  for (const auto& [file, size] : all) {
+    out.bytes += size;
+  }
+  return out;
+}
+
+}  // namespace edhp::honeypot

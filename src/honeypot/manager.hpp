@@ -1,0 +1,125 @@
+#pragma once
+// The measurement manager (Section III.A of the paper).
+//
+// The manager launches honeypots, assigns each to a server, tells them which
+// files to advertise, periodically checks their status (relaunching dead
+// ones), and finally gathers their logs, merges them and runs stage-2
+// anonymisation. In the field the control channel is out-of-band (SSH to
+// PlanetLab hosts); here it is direct method calls on the honeypot objects,
+// which preserves the observable eDonkey-side behaviour exactly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "honeypot/honeypot.hpp"
+#include "logbook/merge.hpp"
+
+namespace edhp::honeypot {
+
+struct ManagerConfig {
+  /// Status-poll period (the manager "regularly checks the status of each
+  /// honeypot").
+  Duration status_poll = minutes(10);
+  /// Relaunch dead honeypots automatically.
+  bool auto_relaunch = true;
+  /// Measurement-wide stage-1 anonymisation salt pushed to every honeypot.
+  std::string salt = "edhp-measurement-salt";
+};
+
+/// Owns and coordinates a fleet of honeypots.
+class Manager {
+ public:
+  Manager(net::Network& network, ManagerConfig config = {});
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Launch a honeypot on `host` and point it at `server`. The manager
+  /// injects its measurement salt into the honeypot configuration.
+  /// Returns the fleet index.
+  std::size_t launch(HoneypotConfig config, net::NodeId host,
+                     const ServerRef& server);
+
+  /// One probed candidate server, with its self-reported load.
+  struct ServerSurveyEntry {
+    ServerRef server;
+    std::uint32_t users = 0;
+    std::uint32_t files = 0;
+  };
+  using SurveyCallback = std::function<void(std::vector<ServerSurveyEntry>)>;
+
+  /// Probe candidate servers over UDP from `probe_node` and deliver the
+  /// ones that answered within `timeout`, busiest first — the paper's
+  /// manager guides server choice "by their resources and number of users".
+  void survey_servers(std::vector<ServerRef> candidates, net::NodeId probe_node,
+                      Duration timeout, SurveyCallback done);
+
+  /// Redirect honeypot `index` toward another server (the paper's manager
+  /// "re-launch[es] dead honeypots or redirect[s] them toward other
+  /// servers"). The query log survives; the advertised list is re-offered
+  /// to the new server.
+  void reassign(std::size_t index, const ServerRef& server);
+
+  /// Order honeypot `index` to advertise `files`.
+  void advertise(std::size_t index, std::vector<AdvertisedFile> files);
+  /// Order every honeypot to advertise the same list (the paper's
+  /// distributed measurement advertised identical files everywhere).
+  void advertise_all(std::vector<AdvertisedFile> files);
+
+  /// Begin the status-polling loop.
+  void start();
+  /// Stop polling and disconnect every honeypot.
+  void stop();
+
+  [[nodiscard]] std::size_t fleet_size() const noexcept { return fleet_.size(); }
+  [[nodiscard]] Honeypot& honeypot(std::size_t index);
+  [[nodiscard]] const Honeypot& honeypot(std::size_t index) const;
+  [[nodiscard]] std::uint64_t relaunches() const noexcept { return relaunches_; }
+
+  /// Snapshot every honeypot's current log (without draining).
+  [[nodiscard]] std::vector<logbook::LogFile> collect_logs() const;
+
+  /// Write every honeypot's current (stage-1) log to
+  /// `<directory>/hp-<id>.edhplog` in the binary format; returns the paths.
+  /// This is the periodic gathering the paper's manager performs.
+  std::vector<std::string> persist_logs(const std::string& directory) const;
+
+  /// Merge all logs and apply stage-2 anonymisation: the published dataset.
+  /// Returns the merged log; `distinct_peers_out` (optional) receives the
+  /// number of distinct peers assigned by renumbering.
+  [[nodiscard]] logbook::LogFile merged_anonymized(
+      std::uint64_t* distinct_peers_out = nullptr) const;
+
+  /// Union of observed (harvested) files across the fleet with their total
+  /// size in bytes — Table I's distinct-files and space-used statistics.
+  struct ObservedFiles {
+    std::uint64_t distinct = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] ObservedFiles observed_files() const;
+
+  /// Publishable catalog of observed file names: every name harvested by
+  /// the fleet, passed through the word-frequency anonymiser (words rarer
+  /// than `threshold` become integer tokens).
+  [[nodiscard]] std::vector<std::string> export_observed_names(
+      std::uint64_t threshold) const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Honeypot> honeypot;
+    ServerRef server;
+    std::vector<AdvertisedFile> files;
+  };
+
+  void poll();
+
+  net::Network& net_;
+  ManagerConfig config_;
+  std::vector<Slot> fleet_;
+  std::unique_ptr<sim::PeriodicTimer> poll_timer_;
+  std::uint64_t relaunches_ = 0;
+};
+
+}  // namespace edhp::honeypot

@@ -1,0 +1,172 @@
+#include "logbook/log_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/bytes.hpp"
+
+namespace edhp::logbook {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'D', 'H', 'P', 'L', 'O', 'G', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(b, 8);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  unsigned char b[8];
+  in.read(reinterpret_cast<char*>(b), 8);
+  if (!in) throw DecodeError("log: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[i];
+  }
+  return v;
+}
+
+void write_str(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_str(std::istream& in) {
+  const auto n = read_u64(in);
+  if (n > (1u << 20)) throw DecodeError("log: absurd string length");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in) throw DecodeError("log: truncated string");
+  return s;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t v;
+  static_assert(sizeof(v) == sizeof(d));
+  __builtin_memcpy(&v, &d, sizeof(v));
+  return v;
+}
+
+double bits_double(std::uint64_t v) {
+  double d;
+  __builtin_memcpy(&d, &v, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const LogFile& log) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto& h = log.header;
+  write_u64(out, h.honeypot);
+  write_str(out, h.honeypot_name);
+  write_str(out, h.strategy);
+  write_str(out, h.server_name);
+  write_u64(out, h.server_ip);
+  write_u64(out, h.server_port);
+  write_u64(out, static_cast<std::uint64_t>(h.peer_kind));
+
+  write_u64(out, log.names.size());
+  for (const auto& n : log.names) {
+    write_str(out, n);
+  }
+
+  write_u64(out, log.records.size());
+  for (const auto& r : log.records) {
+    write_u64(out, double_bits(r.timestamp));
+    write_u64(out, r.peer);
+    write_u64(out, r.user);
+    out.write(reinterpret_cast<const char*>(r.file.bytes().data()), 16);
+    write_u64(out, r.client_version);
+    write_u64(out, (static_cast<std::uint64_t>(r.honeypot) << 48) |
+                       (static_cast<std::uint64_t>(r.peer_port) << 32) |
+                       (static_cast<std::uint64_t>(r.name_ref) << 16) |
+                       (static_cast<std::uint64_t>(r.type) << 8) |
+                       static_cast<std::uint64_t>(r.flags));
+  }
+}
+
+LogFile read_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, 8);
+  if (!in || !std::equal(magic, magic + 8, kMagic)) {
+    throw DecodeError("log: bad magic");
+  }
+  LogFile log;
+  auto& h = log.header;
+  h.honeypot = static_cast<std::uint16_t>(read_u64(in));
+  h.honeypot_name = read_str(in);
+  h.strategy = read_str(in);
+  h.server_name = read_str(in);
+  h.server_ip = static_cast<std::uint32_t>(read_u64(in));
+  h.server_port = static_cast<std::uint16_t>(read_u64(in));
+  const auto kind = read_u64(in);
+  if (kind > 1) throw DecodeError("log: bad peer-id kind");
+  h.peer_kind = static_cast<PeerIdKind>(kind);
+
+  const auto n_names = read_u64(in);
+  if (n_names == 0 || n_names > 0x10000) {
+    throw DecodeError("log: bad name-table size");
+  }
+  log.names.clear();
+  log.names.reserve(n_names);
+  for (std::uint64_t i = 0; i < n_names; ++i) {
+    log.names.push_back(read_str(in));
+  }
+
+  const auto n_records = read_u64(in);
+  log.records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    LogRecord r;
+    r.timestamp = bits_double(read_u64(in));
+    r.peer = read_u64(in);
+    r.user = read_u64(in);
+    FileId::Bytes fb{};
+    in.read(reinterpret_cast<char*>(fb.data()), 16);
+    if (!in) throw DecodeError("log: truncated record");
+    r.file = FileId(fb);
+    r.client_version = static_cast<std::uint32_t>(read_u64(in));
+    const auto packed = read_u64(in);
+    r.honeypot = static_cast<std::uint16_t>(packed >> 48);
+    r.peer_port = static_cast<std::uint16_t>((packed >> 32) & 0xFFFF);
+    r.name_ref = static_cast<std::uint16_t>((packed >> 16) & 0xFFFF);
+    const auto type = static_cast<std::uint8_t>((packed >> 8) & 0xFF);
+    if (type > 2) throw DecodeError("log: bad record type");
+    r.type = static_cast<QueryType>(type);
+    r.flags = static_cast<std::uint8_t>(packed & 0xFF);
+    if (r.name_ref >= log.names.size()) {
+      throw DecodeError("log: name reference out of range");
+    }
+    log.records.push_back(r);
+  }
+  return log;
+}
+
+void save(const std::string& path, const LogFile& log) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_binary(out, log);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+LogFile load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_binary(in);
+}
+
+void write_csv(std::ostream& out, const LogFile& log) {
+  out << "timestamp,honeypot,type,peer,user,high_id,file,peer_port,"
+         "client_name,client_version\n";
+  for (const auto& r : log.records) {
+    out << r.timestamp << ',' << r.honeypot << ',' << to_string(r.type) << ','
+        << r.peer << ',' << r.user << ',' << (r.high_id() ? 1 : 0) << ','
+        << (r.has_file() ? r.file.hex() : std::string{}) << ',' << r.peer_port
+        << ',' << log.names[r.name_ref] << ',' << r.client_version << '\n';
+  }
+}
+
+}  // namespace edhp::logbook

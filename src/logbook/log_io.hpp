@@ -1,0 +1,27 @@
+#pragma once
+// Serialization of honeypot logs: a compact binary format (what honeypots
+// write to disk or stream to the manager) and a CSV export for external
+// analysis tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "logbook/record.hpp"
+
+namespace edhp::logbook {
+
+/// Serialize a log to the binary on-disk format.
+void write_binary(std::ostream& out, const LogFile& log);
+
+/// Parse a binary log; throws DecodeError on malformed input.
+[[nodiscard]] LogFile read_binary(std::istream& in);
+
+/// Convenience: write/read via a file path (throws std::runtime_error on
+/// I/O failure).
+void save(const std::string& path, const LogFile& log);
+[[nodiscard]] LogFile load(const std::string& path);
+
+/// CSV export with a header row; one line per record.
+void write_csv(std::ostream& out, const LogFile& log);
+
+}  // namespace edhp::logbook

@@ -1,0 +1,58 @@
+#include "logbook/merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edhp::logbook {
+
+LogFile merge_logs(std::span<const LogFile> logs) {
+  LogFile merged;
+  merged.header.honeypot = 0xFFFF;
+  merged.header.honeypot_name = "merged";
+
+  if (logs.empty()) return merged;
+
+  merged.header.peer_kind = logs.front().header.peer_kind;
+  merged.header.server_name = logs.front().header.server_name;
+  merged.header.server_ip = logs.front().header.server_ip;
+  merged.header.server_port = logs.front().header.server_port;
+
+  std::size_t total = 0;
+  for (const auto& log : logs) {
+    if (log.header.peer_kind != merged.header.peer_kind) {
+      throw std::invalid_argument(
+          "merge_logs: cannot mix stage-1 and stage-2 logs");
+    }
+    if (log.header.server_ip != merged.header.server_ip) {
+      // Honeypots on different servers: no single server identity.
+      merged.header.server_name.clear();
+      merged.header.server_ip = 0;
+      merged.header.server_port = 0;
+    }
+    total += log.records.size();
+  }
+
+  merged.records.reserve(total);
+  for (const auto& log : logs) {
+    // Re-intern names into the unified table and remap references.
+    std::vector<std::uint16_t> remap(log.names.size());
+    for (std::size_t i = 0; i < log.names.size(); ++i) {
+      remap[i] = merged.intern(log.names[i]);
+    }
+    for (LogRecord r : log.records) {
+      r.name_ref = remap[r.name_ref];
+      merged.records.push_back(r);
+    }
+  }
+
+  std::stable_sort(merged.records.begin(), merged.records.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.honeypot < b.honeypot;
+                   });
+  return merged;
+}
+
+}  // namespace edhp::logbook

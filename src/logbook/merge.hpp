@@ -1,0 +1,18 @@
+#pragma once
+// Merging and unifying honeypot logs (one of the manager's roles): combine
+// per-honeypot log files into a single time-ordered log with a unified
+// client-name table.
+
+#include <span>
+
+#include "logbook/record.hpp"
+
+namespace edhp::logbook {
+
+/// Merge per-honeypot logs into one log ordered by (timestamp, honeypot).
+/// All inputs must carry the same PeerIdKind; record honeypot ids are
+/// preserved. The merged header keeps the shared server identity when all
+/// inputs agree, and marks the honeypot field with 0xFFFF ("merged").
+[[nodiscard]] LogFile merge_logs(std::span<const LogFile> logs);
+
+}  // namespace edhp::logbook

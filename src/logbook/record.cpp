@@ -1,0 +1,30 @@
+#include "logbook/record.hpp"
+
+#include <stdexcept>
+
+namespace edhp::logbook {
+
+std::string_view to_string(QueryType t) {
+  switch (t) {
+    case QueryType::hello:
+      return "HELLO";
+    case QueryType::start_upload:
+      return "START-UPLOAD";
+    case QueryType::request_part:
+      return "REQUEST-PART";
+  }
+  return "UNKNOWN";
+}
+
+std::uint16_t LogFile::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  if (names.size() >= 0xFFFF) {
+    throw std::length_error("LogFile::intern: name table full");
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint16_t>(names.size() - 1);
+}
+
+}  // namespace edhp::logbook

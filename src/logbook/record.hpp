@@ -1,0 +1,95 @@
+#pragma once
+// Honeypot query-log data model.
+//
+// Each honeypot records one LogRecord per logged query (HELLO,
+// START-UPLOAD, REQUEST-PART — the message types the paper logs), plus the
+// metadata the paper lists: peer identity, port, client name and version,
+// HighID/LowID status, the file concerned, and a reception timestamp. The
+// server's identity and the honeypot's configuration are per-log-file
+// constants and live in the LogHeader.
+//
+// PRIVACY: the peer identity field never contains an IP address. Stage-1
+// anonymisation (a salted one-way hash, see anonymize/ip_anonymizer.hpp)
+// runs inside the honeypot before a record is constructed, so neither the
+// in-memory log nor any serialized form ever holds raw addresses. After the
+// manager's stage-2 pass the field holds a small dense integer instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace edhp::logbook {
+
+/// Message types the honeypot logs.
+enum class QueryType : std::uint8_t {
+  hello = 0,
+  start_upload = 1,
+  request_part = 2,
+};
+
+[[nodiscard]] std::string_view to_string(QueryType t);
+
+/// Bit flags describing the recorded query.
+enum RecordFlags : std::uint8_t {
+  kFlagHighId = 1u << 0,  ///< the peer had a HighID
+  kFlagHasFile = 1u << 1, ///< the file field is meaningful
+};
+
+/// One logged query. 56 bytes; honeypots at paper scale produce tens of
+/// millions of these, so the layout is deliberately compact: client-name
+/// strings are interned per log file and referenced by index.
+struct LogRecord {
+  Time timestamp = 0;        ///< seconds since measurement start
+  std::uint64_t peer = 0;    ///< stage-1 hash, or stage-2 index after merge
+  std::uint64_t user = 0;    ///< truncated user hash (persistent client id)
+  FileId file{};             ///< queried file (valid when kFlagHasFile)
+  std::uint32_t client_version = 0;
+  std::uint16_t honeypot = 0;  ///< honeypot index within the measurement
+  std::uint16_t peer_port = 0;
+  std::uint16_t name_ref = 0;  ///< index into LogFile::names
+  QueryType type = QueryType::hello;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool high_id() const noexcept { return flags & kFlagHighId; }
+  [[nodiscard]] bool has_file() const noexcept { return flags & kFlagHasFile; }
+
+  bool operator==(const LogRecord&) const = default;
+};
+
+/// Whether stage-2 anonymisation has been applied to the peer fields.
+enum class PeerIdKind : std::uint8_t {
+  stage1_hash = 0,   ///< salted one-way hash (honeypot output)
+  stage2_index = 1,  ///< coherent dense integers (manager output)
+};
+
+/// Per-log-file constants.
+struct LogHeader {
+  std::uint16_t honeypot = 0;
+  std::string honeypot_name;
+  std::string strategy;  ///< "no-content" or "random-content"
+  std::string server_name;
+  std::uint32_t server_ip = 0;
+  std::uint16_t server_port = 0;
+  PeerIdKind peer_kind = PeerIdKind::stage1_hash;
+
+  bool operator==(const LogHeader&) const = default;
+};
+
+/// A complete honeypot log: header, interned client-name table, records.
+struct LogFile {
+  LogHeader header;
+  std::vector<std::string> names;  ///< index 0 is always "" (unknown)
+  std::vector<LogRecord> records;
+
+  LogFile() : names{""} {}
+
+  /// Intern a client-name string, returning its stable index.
+  std::uint16_t intern(std::string_view name);
+
+  bool operator==(const LogFile&) const = default;
+};
+
+}  // namespace edhp::logbook

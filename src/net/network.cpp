@@ -1,0 +1,171 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edhp::net {
+
+struct Endpoint::Shared {
+  Network* net = nullptr;
+  double latency = 0.0;  // one-way propagation delay, seconds
+  bool open = true;
+  std::weak_ptr<Endpoint> a;
+  std::weak_ptr<Endpoint> b;
+};
+
+bool Endpoint::open() const noexcept { return shared_ && shared_->open; }
+
+void Endpoint::send_sized(Bytes payload, std::size_t wire_size) {
+  if (!open()) return;
+  const std::size_t bytes_on_wire = std::max(wire_size, payload.size());
+  Network& net = *shared_->net;
+  auto& simulation = net.sim_;
+  const double now = simulation.now();
+  const double serialization =
+      upload_bps_ > 0 ? static_cast<double>(bytes_on_wire) / upload_bps_ : 0.0;
+  const double start = std::max(now, next_free_tx_);
+  next_free_tx_ = start + serialization;
+  const double arrival = next_free_tx_ + shared_->latency;
+
+  std::weak_ptr<Endpoint> target = is_a_ ? shared_->b : shared_->a;
+  auto shared = shared_;
+  simulation.schedule_at(
+      arrival, [target = std::move(target), payload = std::move(payload),
+                bytes_on_wire, shared = std::move(shared)]() mutable {
+        if (!shared->open) return;
+        auto ep = target.lock();
+        if (!ep || !ep->on_message_) return;
+        shared->net->messages_delivered_ += 1;
+        shared->net->bytes_delivered_ += bytes_on_wire;
+        ep->on_message_(std::move(payload));
+      });
+}
+
+void Endpoint::close() {
+  if (!open()) return;
+  auto shared = shared_;
+  shared->open = false;
+  std::weak_ptr<Endpoint> target = is_a_ ? shared->b : shared->a;
+  shared->net->sim_.schedule_in(shared->latency,
+                                [target = std::move(target)] {
+                                  auto ep = target.lock();
+                                  if (ep && ep->on_close_) ep->on_close_();
+                                });
+}
+
+Network::Network(sim::Simulation& simulation, LinkModel model)
+    : sim_(simulation), model_(model), rng_(simulation.rng().split(0x4e455457ull)) {}
+
+NodeId Network::add_node(bool reachable, double tz_offset_hours,
+                         std::optional<double> upload_bps) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  // Knuth multiplicative hash is a bijection on 32-bit ints, so every node
+  // gets a distinct synthetic IP; add 1 so node 0 does not map to 0.0.0.0.
+  std::uint32_t ip = (id + 1u) * 2654435761u;
+  if (ip == 0) ip = 1;
+  nodes_.push_back(NodeInfo{IpAddr(ip), 4662, reachable, tz_offset_hours});
+  upload_bps_.push_back(upload_bps.value_or(model_.default_upload_bps));
+  by_ip_.emplace(ip, id);
+  return id;
+}
+
+std::optional<NodeId> Network::find_by_ip(std::uint32_t ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+const NodeInfo& Network::info(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::info: unknown node");
+  }
+  return nodes_[id];
+}
+
+void Network::listen(NodeId id, AcceptHandler handler) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::listen: unknown node");
+  }
+  listeners_[id] = std::move(handler);
+}
+
+void Network::stop_listening(NodeId id) { listeners_.erase(id); }
+
+void Network::listen_datagram(NodeId id, DatagramHandler handler) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::listen_datagram: unknown node");
+  }
+  datagram_listeners_[id] = std::move(handler);
+}
+
+void Network::stop_listening_datagram(NodeId id) {
+  datagram_listeners_.erase(id);
+}
+
+void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("Network::send_datagram: unknown node");
+  }
+  if (!nodes_[to].reachable || rng_.chance(model_.datagram_loss)) {
+    return;  // silently lost, as UDP does
+  }
+  const double latency = std::max(
+      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
+  sim_.schedule_in(latency, [this, from, to, payload = std::move(payload)]() mutable {
+    auto it = datagram_listeners_.find(to);
+    if (it == datagram_listeners_.end() || !it->second) return;
+    messages_delivered_ += 1;
+    bytes_delivered_ += payload.size();
+    it->second(from, std::move(payload));
+  });
+}
+
+void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("Network::connect: unknown node");
+  }
+  const double latency = std::max(
+      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
+
+  auto listener = listeners_.find(to);
+  const bool ok = nodes_[to].reachable && listener != listeners_.end();
+  if (!ok) {
+    // Failure is learned after a round trip (SYN, then RST / timeout).
+    sim_.schedule_in(2 * latency, [done = std::move(done)] { done(nullptr); });
+    return;
+  }
+
+  auto shared = std::make_shared<Endpoint::Shared>();
+  shared->net = this;
+  shared->latency = latency;
+
+  auto side_a = std::make_shared<Endpoint>();
+  side_a->local_ = from;
+  side_a->remote_ = to;
+  side_a->is_a_ = true;
+  side_a->upload_bps_ = upload_bps_[from];
+  side_a->shared_ = shared;
+
+  auto side_b = std::make_shared<Endpoint>();
+  side_b->local_ = to;
+  side_b->remote_ = from;
+  side_b->is_a_ = false;
+  side_b->upload_bps_ = upload_bps_[to];
+  side_b->shared_ = shared;
+
+  shared->a = side_a;
+  shared->b = side_b;
+
+  // The acceptor sees the connection after one latency, the initiator's
+  // completion fires after the full round trip.
+  sim_.schedule_in(latency, [this, to, side_b] {
+    auto it = listeners_.find(to);
+    if (it != listeners_.end() && it->second) {
+      it->second(side_b);
+    }
+  });
+  sim_.schedule_in(2 * latency,
+                   [done = std::move(done), side_a] { done(side_a); });
+}
+
+}  // namespace edhp::net

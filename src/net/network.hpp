@@ -1,0 +1,158 @@
+#pragma once
+// Simulated network substrate.
+//
+// Nodes are registered with the Network and may listen for incoming
+// connections. A connection is a reliable, ordered, bidirectional message
+// channel between two nodes; each side holds an Endpoint. Delivery delay is
+// a per-connection latency (sampled once at establishment) plus a
+// serialization delay proportional to payload size and the sender's upload
+// bandwidth, so large transfers (random-content part uploads) take realistic
+// time while handshakes are fast.
+//
+// Reachability models eDonkey's HighID/LowID distinction: a non-reachable
+// (firewalled) node can open outgoing connections but cannot accept incoming
+// ones.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/simulation.hpp"
+
+namespace edhp::net {
+
+using NodeId = std::uint32_t;
+using Bytes = std::vector<std::uint8_t>;
+
+class Endpoint;
+using EndpointPtr = std::shared_ptr<Endpoint>;
+
+/// Static properties of a registered node.
+struct NodeInfo {
+  IpAddr ip;
+  std::uint16_t port = 4662;
+  bool reachable = true;      ///< can accept incoming connections (HighID)
+  double tz_offset_hours = 0; ///< region, used by behaviour models
+};
+
+/// Configuration of the latency/bandwidth model.
+struct LinkModel {
+  double latency_mu = -3.0;      ///< lognormal mu of one-way latency (s)
+  double latency_sigma = 0.45;   ///< lognormal sigma
+  double min_latency = 0.005;    ///< floor (s)
+  double default_upload_bps = 80.0 * 1024;  ///< 2008 ADSL uplink, bytes/s
+  double datagram_loss = 0.02;   ///< UDP drop probability
+};
+
+/// One side of an established connection. Handlers are invoked from the
+/// simulation loop; an Endpoint stays valid as long as someone holds the
+/// shared_ptr, but sends on a closed connection are silently dropped (as
+/// with a real socket race).
+class Endpoint {
+ public:
+  using MessageHandler = std::function<void(Bytes)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Queue a message to the remote side.
+  void send(Bytes payload) { send_sized(std::move(payload), 0); }
+
+  /// Queue a message whose wire footprint is `wire_size` bytes even though
+  /// only `payload` is materialized (used for bulk content blocks: a
+  /// random-content honeypot "uploads" terabytes over a full measurement,
+  /// which would be pointless to allocate). `wire_size` is clamped up to at
+  /// least the payload size; timing and byte statistics use it.
+  void send_sized(Bytes payload, std::size_t wire_size);
+
+  /// Close both directions; the remote side learns after one latency.
+  void close();
+
+  void on_message(MessageHandler h) { on_message_ = std::move(h); }
+  void on_close(CloseHandler h) { on_close_ = std::move(h); }
+
+  [[nodiscard]] bool open() const noexcept;
+  [[nodiscard]] NodeId local_node() const noexcept { return local_; }
+  [[nodiscard]] NodeId remote_node() const noexcept { return remote_; }
+
+ private:
+  friend class Network;
+  struct Shared;  // state common to both endpoints
+
+  NodeId local_ = 0;
+  NodeId remote_ = 0;
+  bool is_a_ = false;          ///< which side of the shared state we are
+  double upload_bps_ = 0.0;    ///< sender bandwidth, cached at establishment
+  std::shared_ptr<Shared> shared_;
+  MessageHandler on_message_;
+  CloseHandler on_close_;
+  double next_free_tx_ = 0.0;  ///< sender-side serialization horizon
+};
+
+/// The registry of nodes plus connection establishment and statistics.
+class Network {
+ public:
+  using AcceptHandler = std::function<void(EndpointPtr)>;
+  using ConnectHandler = std::function<void(EndpointPtr)>;  ///< nullptr on failure
+
+  Network(sim::Simulation& simulation, LinkModel model = {});
+
+  /// Register a node; its IP is derived deterministically from the id.
+  NodeId add_node(bool reachable, double tz_offset_hours = 0.0,
+                  std::optional<double> upload_bps = std::nullopt);
+
+  [[nodiscard]] const NodeInfo& info(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Node owning a given IP (peers resolve FOUND-SOURCES entries, whose
+  /// HighID *is* the provider's address, to a connection target).
+  [[nodiscard]] std::optional<NodeId> find_by_ip(std::uint32_t ip) const;
+
+  /// Start (or replace) accepting connections on `id`.
+  void listen(NodeId id, AcceptHandler handler);
+  void stop_listening(NodeId id);
+
+  /// Attempt to connect; `done` fires after the connection round-trip with
+  /// the local endpoint, or with nullptr if the target is unreachable or not
+  /// listening.
+  void connect(NodeId from, NodeId to, ConnectHandler done);
+
+  // --- Datagrams (UDP): unreliable, connectionless -------------------------
+
+  using DatagramHandler = std::function<void(NodeId from, Bytes)>;
+
+  /// Receive datagrams on `id` (replaces any previous handler).
+  void listen_datagram(NodeId id, DatagramHandler handler);
+  void stop_listening_datagram(NodeId id);
+
+  /// Fire-and-forget datagram: delivered after one latency unless dropped
+  /// (LinkModel::datagram_loss) or the target has no datagram handler or is
+  /// unreachable. The sender learns nothing either way.
+  void send_datagram(NodeId from, NodeId to, Bytes payload);
+
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t bytes_delivered() const noexcept {
+    return bytes_delivered_;
+  }
+
+ private:
+  friend class Endpoint;
+
+  sim::Simulation& sim_;
+  LinkModel model_;
+  Rng rng_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<double> upload_bps_;
+  std::unordered_map<std::uint32_t, NodeId> by_ip_;
+  std::unordered_map<NodeId, AcceptHandler> listeners_;
+  std::unordered_map<NodeId, DatagramHandler> datagram_listeners_;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace edhp::net

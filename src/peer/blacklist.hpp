@@ -1,0 +1,44 @@
+#pragma once
+// Network-level honeypot blacklisting dynamics.
+//
+// The paper observes that fewer *distinct* peers contact no-content
+// honeypots than random-content ones and attributes it to "some kind of
+// blacklisting". We model the community side of that: when a client detects
+// a bogus provider it may publish the fact (forums, shared ipfilter lists);
+// each published detection shaves the provider's reputation, and newly
+// arriving peers skip a source with probability (1 - reputation). Because
+// silence is detected faster than corrupt content, no-content honeypots
+// lose reputation earlier, producing the Fig 5/6 gap.
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace edhp::peer {
+
+/// Shared, per-measurement reputation table keyed by provider clientID.
+class SharedBlacklist {
+ public:
+  explicit SharedBlacklist(double penalty) : penalty_(penalty) {}
+
+  /// A published detection against `client_id`.
+  void report(std::uint32_t client_id) {
+    auto [it, inserted] = reputation_.try_emplace(client_id, 1.0);
+    it->second *= (1.0 - penalty_);
+    ++reports_;
+  }
+
+  /// Probability a new peer still includes this source in its selection.
+  [[nodiscard]] double reputation(std::uint32_t client_id) const {
+    auto it = reputation_.find(client_id);
+    return it == reputation_.end() ? 1.0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t reports() const noexcept { return reports_; }
+
+ private:
+  double penalty_;
+  std::unordered_map<std::uint32_t, double> reputation_;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace edhp::peer

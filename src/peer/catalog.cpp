@@ -1,0 +1,124 @@
+#include "peer/catalog.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace edhp::peer {
+namespace {
+
+// Word pools for synthetic names. Frequent structural words ("dvdrip",
+// "2008", codecs) appear across many names; title words are rarer — the
+// distribution the filename anonymiser is designed for.
+constexpr std::array kTitleWords = {
+    "shadow", "river",  "empire", "night",  "garden", "stone",   "echo",
+    "winter", "crimson", "hidden", "voyage", "signal", "harbor",  "machine",
+    "island", "mirror", "thunder", "silent", "golden", "forgotten"};
+constexpr std::array kStructureWords = {"dvdrip", "xvid", "ac3", "vostfr",
+                                        "limited", "proper", "retail"};
+constexpr std::array kYears = {"2005", "2006", "2007", "2008"};
+
+struct Category {
+  const char* extension;
+  double weight;
+  double size_mu;     // lognormal mu of size in bytes
+  double size_sigma;
+};
+
+// 2008-era catalog mixture; means chosen so the catalog-wide average file
+// size is ~330 MB, matching Table I's space-per-file in both measurements.
+constexpr std::array<Category, 4> kCategories = {{
+    {".avi", 0.45, 20.3, 0.45},  // video, ~700 MB median
+    {".mp3", 0.35, 15.5, 0.55},  // audio, ~5.4 MB median
+    {".iso", 0.10, 19.6, 0.60},  // images/archives, ~330 MB median
+    {".pdf", 0.10, 14.0, 0.80},  // documents, ~1.2 MB median
+}};
+
+}  // namespace
+
+std::string synth_file_name(std::size_t rank, Rng& rng) {
+  std::string name;
+  const std::size_t words = 2 + rng.below(3);
+  for (std::size_t w = 0; w < words; ++w) {
+    if (!name.empty()) name.push_back('.');
+    name += kTitleWords[rng.below(kTitleWords.size())];
+  }
+  name.push_back('.');
+  name += kYears[rng.below(kYears.size())];
+  if (rng.chance(0.7)) {
+    name.push_back('.');
+    name += kStructureWords[rng.below(kStructureWords.size())];
+  }
+  // A rank marker keeps names unique without changing their word structure.
+  name += ".r" + std::to_string(rank);
+  return name;
+}
+
+namespace {
+
+/// Size sampler shared by catalog construction and private files.
+std::uint32_t sample_size(Rng& rng, const Category& cat) {
+  const double size = rng.lognormal(cat.size_mu, cat.size_sigma);
+  return static_cast<std::uint32_t>(std::min(size, 4.0e9));
+}
+
+const Category& sample_category(Rng& rng) {
+  std::array<double, kCategories.size()> weights{};
+  for (std::size_t i = 0; i < kCategories.size(); ++i) {
+    weights[i] = kCategories[i].weight;
+  }
+  return kCategories[rng.weighted(weights)];
+}
+
+}  // namespace
+
+FileCatalog::FileCatalog(const CatalogParams& params, Rng rng)
+    : params_(params), zipf_(params.num_files, params.zipf_alpha) {
+  files_.reserve(params.num_files);
+  for (std::size_t rank = 0; rank < params.num_files; ++rank) {
+    CatalogFile f;
+    f.id = FileId::from_words(rng(), rng());
+    const auto& cat = sample_category(rng);
+    f.name = synth_file_name(rank, rng) + cat.extension;
+    f.size = sample_size(rng, cat);  // 2008 wire format caps at 4 GB
+    f.popularity = zipf_.pmf(rank);
+    files_.push_back(std::move(f));
+  }
+}
+
+CatalogFile FileCatalog::make_private_file(Rng& rng) const {
+  CatalogFile f;
+  f.id = FileId::from_words(rng(), rng());
+  const auto& cat = sample_category(rng);
+  // Private files reuse realistic word structure; the "p" marker keeps the
+  // synthetic name unique without inventing new vocabulary.
+  f.name = synth_file_name(900'000 + rng.below(1'000'000), rng) + cat.extension;
+  f.size = sample_size(rng, cat);
+  f.popularity = 0.0;
+  return f;
+}
+
+std::vector<CatalogFile> FileCatalog::sample_cache(Rng& rng,
+                                                   std::size_t count) const {
+  std::unordered_set<std::size_t> seen;
+  std::vector<CatalogFile> out;
+  out.reserve(count);
+  // Popularity-weighted distinct sampling with a bounded number of retries
+  // (caches are tiny relative to the catalog so collisions are rare), mixed
+  // with owner-unique private files.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 8 + 16;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    if (rng.chance(params_.unique_tail_prob)) {
+      out.push_back(make_private_file(rng));
+      continue;
+    }
+    const std::size_t rank = zipf_.sample(rng);
+    if (seen.insert(rank).second) {
+      out.push_back(files_[rank]);
+    }
+  }
+  return out;
+}
+
+}  // namespace edhp::peer

@@ -1,0 +1,68 @@
+#pragma once
+// Synthetic catalog of the files circulating in the simulated eDonkey
+// network.
+//
+// Files have Zipf-distributed popularity and realistic names and sizes
+// drawn from a category mixture (video / audio / archive / document), so
+// that shared-file lists harvested by honeypots reproduce the magnitudes of
+// Table I (hundreds of thousands of distinct files, tens of terabytes) and
+// give the name anonymiser realistic material.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace edhp::peer {
+
+/// One catalog entry.
+struct CatalogFile {
+  FileId id;
+  std::string name;
+  std::uint32_t size = 0;       ///< bytes
+  double popularity = 0;        ///< Zipf pmf of its rank
+};
+
+struct CatalogParams {
+  std::size_t num_files = 100'000;
+  double zipf_alpha = 0.9;  ///< popularity skew across files
+  /// Probability a cache entry is a file essentially unique to its owner
+  /// (personal rips, renamed archives, partial files). This tail is what
+  /// makes the distinct-file counts of Table I grow linearly with the
+  /// number of observed peers instead of saturating on a shared catalog.
+  double unique_tail_prob = 0.05;
+};
+
+/// Immutable after construction; shared by all peers of a scenario.
+class FileCatalog {
+ public:
+  FileCatalog(const CatalogParams& params, Rng rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+  [[nodiscard]] const CatalogFile& at(std::size_t rank) const {
+    return files_.at(rank);
+  }
+
+  /// Sample one file rank by popularity.
+  [[nodiscard]] std::size_t sample(Rng& rng) const { return zipf_.sample(rng); }
+
+  /// Sample a peer's cache: `count` entries mixing popularity-weighted
+  /// distinct catalog files with owner-unique private files.
+  [[nodiscard]] std::vector<CatalogFile> sample_cache(Rng& rng,
+                                                      std::size_t count) const;
+
+  /// A file effectively unique to one peer (fresh id, realistic name/size).
+  [[nodiscard]] CatalogFile make_private_file(Rng& rng) const;
+
+ private:
+  CatalogParams params_;
+  std::vector<CatalogFile> files_;
+  ZipfSampler zipf_;
+};
+
+/// A synthetic but realistic file name for the given rank and category die.
+[[nodiscard]] std::string synth_file_name(std::size_t rank, Rng& rng);
+
+}  // namespace edhp::peer

@@ -1,0 +1,148 @@
+#include "peer/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edhp::peer {
+
+Population::Population(PeerContext ctx, Rng rng) : ctx_(ctx), rng_(rng) {
+  // Bound of the diurnal factor for thinning, scanned over one week.
+  for (double t = 0; t < kWeek; t += kMinute * 10) {
+    diurnal_max_ = std::max(diurnal_max_, ctx_.diurnal->factor(t));
+  }
+}
+
+Population::~Population() = default;
+
+void Population::add_demand(FileDemand demand) {
+  demands_.push_back(Demand{demand, ctx_.net->simulation().now(), 0});
+  const double prev =
+      demand_cumulative_.empty() ? 0.0 : demand_cumulative_.back();
+  demand_cumulative_.push_back(prev +
+                               std::max(0.0, demand.base_rate_per_day));
+  if (running_) {
+    schedule_arrival(demands_.size() - 1);
+  }
+}
+
+std::vector<FileId> Population::sample_secondary(Rng& rng,
+                                                 std::size_t primary_index) {
+  std::vector<FileId> out;
+  const double mean = ctx_.params->secondary_targets_mean;
+  if (demands_.size() < 2 || mean <= 0 || demand_cumulative_.back() <= 0) {
+    return out;
+  }
+  const auto want = rng.poisson(mean);
+  if (want == 0) return out;
+  // Weighted sampling (with replacement + dedup) by demand rate via binary
+  // search in the prefix sums; a few collisions are fine — real download
+  // lists are weighted the same way popularity is.
+  const double total = demand_cumulative_.back();
+  for (std::uint64_t attempt = 0; attempt < want * 2 && out.size() < want;
+       ++attempt) {
+    const double u = rng.uniform() * total;
+    const auto it = std::upper_bound(demand_cumulative_.begin(),
+                                     demand_cumulative_.end(), u);
+    const auto idx = static_cast<std::size_t>(
+        std::distance(demand_cumulative_.begin(), it));
+    if (idx >= demands_.size() || idx == primary_index) continue;
+    const auto& file = demands_[idx].cfg.file;
+    if (std::find(out.begin(), out.end(), file) == out.end()) {
+      out.push_back(file);
+    }
+  }
+  return out;
+}
+
+void Population::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < demands_.size(); ++i) {
+    schedule_arrival(i);
+  }
+}
+
+void Population::stop() { running_ = false; }
+
+double Population::rate_at(const Demand& d, Time t) const {
+  const double age = t - d.added_at;
+  const double ramp =
+      d.cfg.ramp_up > 0 ? std::clamp(age / d.cfg.ramp_up, 0.0, 1.0) : 1.0;
+  const double decay = std::exp(-d.cfg.decay_per_day * (age / kDay));
+  return (d.cfg.base_rate_per_day / kDay) * ramp * decay *
+         ctx_.diurnal->factor(t);
+}
+
+void Population::schedule_arrival(std::size_t demand_index) {
+  Demand& d = demands_[demand_index];
+  if (!running_ || d.spawned >= d.cfg.population) return;
+
+  // Thinning: draw candidates at the max rate, accept with the ratio of the
+  // true instantaneous rate.
+  const double max_rate = (d.cfg.base_rate_per_day / kDay) * diurnal_max_;
+  if (max_rate <= 0) return;
+  const Duration dt = rng_.exponential(1.0 / max_rate);
+  ctx_.net->simulation().schedule_in(dt, [this, demand_index, max_rate] {
+    Demand& dd = demands_[demand_index];
+    if (!running_ || dd.spawned >= dd.cfg.population) return;
+    const Time now = ctx_.net->simulation().now();
+    if (rng_.chance(rate_at(dd, now) / max_rate)) {
+      spawn(demand_index);
+    }
+    schedule_arrival(demand_index);
+  });
+}
+
+void Population::spawn(std::size_t demand_index) {
+  Demand& d = demands_[demand_index];
+  ++d.spawned;
+  ++arrivals_;
+
+  Rng peer_rng = rng_.split(arrivals_);
+  PeerProfile profile = sample_profile(peer_rng, *ctx_.params, *ctx_.diurnal);
+  const auto node = ctx_.net->add_node(profile.reachable, profile.tz_offset_hours,
+                                       profile.upload_bps);
+
+  const std::uint64_t id = next_id_++;
+  auto secondary = sample_secondary(peer_rng, demand_index);
+  auto peer = std::make_unique<Peer>(
+      ctx_, node, std::move(profile), d.cfg.file, peer_rng.split(1),
+      [this, id] {
+        // Reclaim on the next step: the peer may still be on the call stack.
+        ctx_.net->simulation().schedule_in(0.0, [this, id] {
+          auto it = peers_.find(id);
+          if (it == peers_.end()) return;
+          const auto& s = it->second->stats();
+          finished_totals_.sessions += s.sessions;
+          finished_totals_.hellos_sent += s.hellos_sent;
+          finished_totals_.start_uploads_sent += s.start_uploads_sent;
+          finished_totals_.request_parts_sent += s.request_parts_sent;
+          finished_totals_.parts_completed += s.parts_completed;
+          finished_totals_.detections += s.detections;
+          finished_totals_.connect_failures += s.connect_failures;
+          peers_.erase(it);
+          ++finished_;
+        });
+      },
+      std::move(secondary));
+  Peer& ref = *peer;
+  peers_.emplace(id, std::move(peer));
+  ref.start();
+}
+
+PeerStats Population::totals() const {
+  PeerStats out = finished_totals_;
+  for (const auto& [id, p] : peers_) {
+    const auto& s = p->stats();
+    out.sessions += s.sessions;
+    out.hellos_sent += s.hellos_sent;
+    out.start_uploads_sent += s.start_uploads_sent;
+    out.request_parts_sent += s.request_parts_sent;
+    out.parts_completed += s.parts_completed;
+    out.detections += s.detections;
+    out.connect_failures += s.connect_failures;
+  }
+  return out;
+}
+
+}  // namespace edhp::peer

@@ -1,0 +1,85 @@
+#pragma once
+// The peer population: non-homogeneous Poisson arrival of interested peers
+// per advertised file, with finite pools and popularity decay.
+//
+// Each advertised file has a demand: a base arrival rate of newly
+// interested peers, an exponential popularity decay (new releases cool
+// down, producing Fig 2's declining new-peers-per-day), and a finite
+// population of potentially interested peers (long measurements eventually
+// saturate). Arrival intensity is modulated by the diurnal profile, giving
+// Fig 4's day-night oscillation.
+//
+// The Population owns the live Peer objects; a finished peer is reclaimed
+// on the next simulation step, and its counters are folded into aggregate
+// statistics.
+
+#include <memory>
+#include <unordered_map>
+
+#include "peer/downloader.hpp"
+
+namespace edhp::peer {
+
+/// Demand for one file.
+struct FileDemand {
+  FileId file;
+  double base_rate_per_day = 0;  ///< new interested peers per day at t=0
+  double decay_per_day = 0;      ///< exponential decay rate of the rate
+  std::uint64_t population = 0;  ///< finite pool of interested peers
+  /// Discovery ramp: interested peers only notice a fresh advertisement as
+  /// their periodic source queries come around, so the arrival rate climbs
+  /// linearly from 0 to full over this span (0 = instantaneous).
+  Duration ramp_up = 0;
+};
+
+class Population {
+ public:
+  /// `ctx` holds non-owning pointers that must outlive the Population.
+  Population(PeerContext ctx, Rng rng);
+  ~Population();
+
+  Population(const Population&) = delete;
+  Population& operator=(const Population&) = delete;
+
+  void add_demand(FileDemand demand);
+
+  /// Begin arrival processes (call after honeypots advertise, so that
+  /// GET-SOURCES finds providers).
+  void start();
+  /// Stop new arrivals (running peers finish naturally).
+  void stop();
+
+  [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+  [[nodiscard]] std::uint64_t active() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::uint64_t finished() const noexcept { return finished_; }
+
+  /// Aggregate behaviour counters (finished peers plus live ones).
+  [[nodiscard]] PeerStats totals() const;
+
+ private:
+  struct Demand {
+    FileDemand cfg;
+    Time added_at = 0;  ///< when the demand was registered (ramp anchor)
+    std::uint64_t spawned = 0;
+  };
+
+  void schedule_arrival(std::size_t demand_index);
+  void spawn(std::size_t demand_index);
+  [[nodiscard]] double rate_at(const Demand& d, Time t) const;
+  [[nodiscard]] std::vector<FileId> sample_secondary(Rng& rng,
+                                                     std::size_t primary_index);
+
+  PeerContext ctx_;
+  Rng rng_;
+  std::vector<Demand> demands_;
+  std::vector<double> demand_cumulative_;  ///< prefix sums of demand rates
+  std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t finished_ = 0;
+  PeerStats finished_totals_;
+  double diurnal_max_ = 1.0;
+  bool running_ = false;
+};
+
+}  // namespace edhp::peer

@@ -1,0 +1,54 @@
+#include "peer/profile.hpp"
+
+#include <array>
+
+namespace edhp::peer {
+namespace {
+
+struct ClientKind {
+  const char* name;
+  std::uint32_t version;
+  double weight;
+};
+
+// Rough 2008 eDonkey client landscape.
+constexpr std::array<ClientKind, 6> kClients = {{
+    {"eMule 0.49b", 0x31, 0.52},
+    {"eMule 0.48a", 0x30, 0.18},
+    {"aMule 2.2.2", 0x3C, 0.12},
+    {"eMule 0.47c", 0x2F, 0.09},
+    {"MLDonkey 2.9", 0x29, 0.06},
+    {"Shareaza 2.3", 0x28, 0.03},
+}};
+
+}  // namespace
+
+PeerProfile sample_profile(Rng& rng, const BehaviorParams& params,
+                           const sim::DiurnalProfile& regions) {
+  PeerProfile p;
+  p.user = UserId::from_words(rng(), rng());
+
+  std::array<double, kClients.size()> weights{};
+  for (std::size_t i = 0; i < kClients.size(); ++i) {
+    weights[i] = kClients[i].weight;
+  }
+  const auto& kind = kClients[rng.weighted(weights)];
+  p.client_name = kind.name;
+  p.client_version = kind.version;
+
+  p.reachable = rng.chance(params.high_id_fraction);
+
+  std::vector<double> region_weights;
+  region_weights.reserve(regions.regions().size());
+  for (const auto& r : regions.regions()) {
+    region_weights.push_back(r.weight);
+  }
+  p.tz_offset_hours = regions.regions()[rng.weighted(region_weights)].tz_offset_hours;
+
+  // Bandwidth spread around the ADSL mean; floor keeps transfers finite.
+  p.upload_bps = std::max(16.0 * 1024, rng.lognormal(
+      std::log(params.upload_bps_mean) - 0.125, 0.5));
+  return p;
+}
+
+}  // namespace edhp::peer

@@ -1,0 +1,29 @@
+#pragma once
+// Per-peer static attributes, sampled at arrival time.
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "peer/behavior.hpp"
+#include "sim/diurnal.hpp"
+
+namespace edhp::peer {
+
+/// Static identity and capabilities of one simulated peer.
+struct PeerProfile {
+  UserId user;
+  std::string client_name;       ///< e.g. "eMule 0.49b"
+  std::uint32_t client_version = 0;
+  bool reachable = true;         ///< HighID-capable
+  double tz_offset_hours = 0;    ///< region (drives its diurnal activity)
+  double upload_bps = 80 * 1024;
+};
+
+/// Sample a profile from the 2008 client mix and the region mixture of the
+/// given diurnal profile.
+[[nodiscard]] PeerProfile sample_profile(Rng& rng, const BehaviorParams& params,
+                                         const sim::DiurnalProfile& regions);
+
+}  // namespace edhp::peer

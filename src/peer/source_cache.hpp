@@ -1,0 +1,49 @@
+#pragma once
+// Community source knowledge for peer/source exchange.
+//
+// eDonkey clients exchange provider lists among themselves, so a honeypot
+// "may be contacted by peers which are not connected to the server" (paper,
+// Section III.B). We model the community side as a per-file cache of
+// sources that earlier downloaders learned from FOUND-SOURCES; a fraction
+// of newly arriving peers consults the cache instead of the server.
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "proto/messages.hpp"
+
+namespace edhp::peer {
+
+class SourceCache {
+ public:
+  /// Record sources a peer learned for `file` (deduplicated by clientID).
+  void offer(const FileId& file, const std::vector<proto::SourceEntry>& sources) {
+    auto& known = cache_[file];
+    for (const auto& s : sources) {
+      const bool present =
+          std::any_of(known.begin(), known.end(), [&](const proto::SourceEntry& k) {
+            return k.client_id == s.client_id;
+          });
+      if (!present) {
+        known.push_back(s);
+      }
+    }
+  }
+
+  /// Sources the community knows for `file` (empty if never looked up).
+  [[nodiscard]] const std::vector<proto::SourceEntry>& lookup(
+      const FileId& file) const {
+    static const std::vector<proto::SourceEntry> kEmpty;
+    auto it = cache_.find(file);
+    return it == cache_.end() ? kEmpty : it->second;
+  }
+
+  [[nodiscard]] std::size_t files_known() const noexcept { return cache_.size(); }
+
+ private:
+  std::unordered_map<FileId, std::vector<proto::SourceEntry>> cache_;
+};
+
+}  // namespace edhp::peer

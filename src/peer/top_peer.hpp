@@ -1,0 +1,101 @@
+#pragma once
+// The "single most active peer" of Figures 8 and 9: a crawler-like client
+// that queries honeypots continuously for the whole measurement.
+//
+// Observed behaviour in the paper: it sends queries back-to-back, gated
+// only by the completion of the previous query (a timeout against
+// no-content honeypots, a variable transfer time against random-content
+// ones), de-prioritises sources that never deliver, and shows long idle
+// plateaus. Each encounter is a fresh connection: HELLO, START-UPLOAD, then
+// a fixed number of REQUEST-PART rounds.
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "peer/behavior.hpp"
+#include "peer/profile.hpp"
+#include "proto/messages.hpp"
+
+namespace edhp::peer {
+
+struct TopPeerParams {
+  /// REQUEST-PART rounds per encounter.
+  std::uint32_t rounds_per_encounter = 2;
+  /// Mean gap before re-visiting a source that delivered data.
+  Duration gap_after_data = minutes(70);
+  /// Mean gap before re-visiting a source that timed out (lower priority).
+  Duration gap_after_timeout = minutes(105);
+  /// Client timeout per REQUEST-PART.
+  Duration request_timeout = 45.0;
+  /// Mean length of an active period before an idle plateau.
+  Duration active_period_mean = days(4);
+  /// Idle plateau length bounds.
+  Duration pause_min = hours(10);
+  Duration pause_max = hours(40);
+};
+
+/// Per-source counters, exported for the Fig 8/9 series.
+struct TopPeerSourceStats {
+  std::uint32_t client_id = 0;
+  std::uint64_t hellos = 0;
+  std::uint64_t start_uploads = 0;
+  std::uint64_t request_parts = 0;
+};
+
+class TopPeer {
+ public:
+  TopPeer(net::Network& network, net::NodeId server_node, PeerProfile profile,
+          FileId target, TopPeerParams params, Rng rng);
+  ~TopPeer();
+
+  TopPeer(const TopPeer&) = delete;
+  TopPeer& operator=(const TopPeer&) = delete;
+
+  /// Discover providers through the server and start hammering them.
+  void start();
+  /// Stop after in-flight encounters settle.
+  void stop();
+
+  [[nodiscard]] const std::vector<TopPeerSourceStats>& per_source() const noexcept {
+    return sources_stats_;
+  }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+
+ private:
+  struct Encounter {
+    std::size_t index = 0;
+    net::EndpointPtr endpoint;
+    std::uint32_t rounds = 0;
+    std::uint64_t expected = 0;
+    std::uint64_t received = 0;
+    std::uint64_t offset = 0;
+    bool timed_out = false;
+    sim::EventHandle timeout{};
+  };
+
+  void on_server_message(net::Bytes packet);
+  void schedule_encounter(std::size_t index, Duration gap);
+  void run_encounter(std::size_t index);
+  void on_message(std::size_t index, net::Bytes packet);
+  void send_round(std::size_t index);
+  void finish_encounter(std::size_t index);
+  void toggle_activity();
+
+  net::Network& net_;
+  net::NodeId node_;
+  net::NodeId server_node_;
+  PeerProfile profile_;
+  FileId target_;
+  TopPeerParams params_;
+  Rng rng_;
+
+  std::uint32_t client_id_ = 0;
+  net::EndpointPtr server_ep_;
+  std::vector<proto::SourceEntry> sources_;
+  std::vector<TopPeerSourceStats> sources_stats_;
+  std::vector<Encounter> encounters_;
+  bool running_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace edhp::peer

@@ -1,0 +1,40 @@
+#include "proto/filehash.hpp"
+
+namespace edhp::proto {
+
+std::vector<Md4::Digest> part_hashes(std::span<const std::uint8_t> content) {
+  std::vector<Md4::Digest> parts;
+  const std::size_t n = content.size();
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min<std::size_t>(kPartSize, n - off);
+    parts.push_back(Md4::hash(content.subspan(off, len)));
+    off += len;
+  } while (off < n);
+  return parts;
+}
+
+FileId file_id_from_parts(std::span<const Md4::Digest> parts) {
+  if (parts.empty()) {
+    return FileId{};
+  }
+  if (parts.size() == 1) {
+    return FileId(parts.front());
+  }
+  Md4 h;
+  for (const auto& p : parts) {
+    h.update(std::span<const std::uint8_t>(p.data(), p.size()));
+  }
+  return FileId(h.finish());
+}
+
+FileId hash_file(std::span<const std::uint8_t> content) {
+  const auto parts = part_hashes(content);
+  return file_id_from_parts(parts);
+}
+
+bool verify_part(std::span<const std::uint8_t> data, const Md4::Digest& expected) {
+  return Md4::hash(data) == expected;
+}
+
+}  // namespace edhp::proto

@@ -1,0 +1,41 @@
+#pragma once
+// eDonkey file hashing.
+//
+// A file is split into parts of kPartSize (9,728,000) bytes. Each part is
+// hashed with MD4; a single-part file's FileId is that digest, while a
+// multi-part file's FileId is the MD4 of the concatenated part digests.
+// This is how a downloader detects that a honeypot sent random content: the
+// completed part's MD4 does not match the expected part hash.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/md4.hpp"
+#include "proto/opcodes.hpp"
+
+namespace edhp::proto {
+
+/// Per-part MD4 digests of a content buffer (at least one part, even for an
+/// empty file, matching eDonkey semantics).
+[[nodiscard]] std::vector<Md4::Digest> part_hashes(
+    std::span<const std::uint8_t> content);
+
+/// FileId from precomputed part digests.
+[[nodiscard]] FileId file_id_from_parts(std::span<const Md4::Digest> parts);
+
+/// FileId straight from content.
+[[nodiscard]] FileId hash_file(std::span<const std::uint8_t> content);
+
+/// Number of parts a file of `size` bytes occupies (>= 1).
+[[nodiscard]] constexpr std::uint32_t part_count(std::uint64_t size) {
+  return size == 0 ? 1u : static_cast<std::uint32_t>((size + kPartSize - 1) / kPartSize);
+}
+
+/// Whether `data` is a valid copy of the part whose expected digest is
+/// `expected` — the check a real client performs when a part completes.
+[[nodiscard]] bool verify_part(std::span<const std::uint8_t> data,
+                               const Md4::Digest& expected);
+
+}  // namespace edhp::proto

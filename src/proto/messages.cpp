@@ -1,0 +1,334 @@
+#include "proto/messages.hpp"
+
+#include <limits>
+
+namespace edhp::proto {
+namespace {
+
+constexpr std::size_t kMaxListedFiles = 1 << 20;  // hostile-input bound
+
+void put_hash(ByteWriter& w, std::span<const std::uint8_t> bytes16) {
+  w.bytes(bytes16);
+}
+
+template <typename Tag128>
+Hash128<Tag128> get_hash(ByteReader& r) {
+  auto raw = r.bytes(16);
+  typename Hash128<Tag128>::Bytes b{};
+  std::copy(raw.begin(), raw.end(), b.begin());
+  return Hash128<Tag128>(b);
+}
+
+void encode_published_file(ByteWriter& w, const PublishedFile& f) {
+  put_hash(w, f.file.bytes());
+  w.u32(f.client_id);
+  w.u16(f.port);
+  std::vector<Tag> tags;
+  tags.push_back(Tag::string_tag(kTagName, f.name));
+  tags.push_back(Tag::u32_tag(kTagFileSize, f.size));
+  encode_tags(w, tags);
+}
+
+PublishedFile decode_published_file(ByteReader& r) {
+  PublishedFile f;
+  f.file = get_hash<FileTag>(r);
+  f.client_id = r.u32();
+  f.port = r.u16();
+  const auto tags = decode_tags(r);
+  if (const Tag* t = find_tag(tags, kTagName)) {
+    f.name = t->as_string();
+  }
+  if (const Tag* t = find_tag(tags, kTagFileSize)) {
+    f.size = t->as_u32();
+  }
+  return f;
+}
+
+void encode_file_list(ByteWriter& w, const std::vector<PublishedFile>& files) {
+  w.u32(static_cast<std::uint32_t>(files.size()));
+  for (const auto& f : files) {
+    encode_published_file(w, f);
+  }
+}
+
+std::vector<PublishedFile> decode_file_list(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > kMaxListedFiles) {
+    throw DecodeError("file list: absurd count " + std::to_string(n));
+  }
+  std::vector<PublishedFile> files;
+  files.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    files.push_back(decode_published_file(r));
+  }
+  return files;
+}
+
+void encode_hello_body(ByteWriter& w, const UserId& user, std::uint32_t client_id,
+                       std::uint16_t port, const std::vector<Tag>& tags,
+                       std::uint32_t server_ip, std::uint16_t server_port) {
+  w.u8(16);  // hash size, always 16 for MD4
+  put_hash(w, user.bytes());
+  w.u32(client_id);
+  w.u16(port);
+  encode_tags(w, tags);
+  w.u32(server_ip);
+  w.u16(server_port);
+}
+
+template <typename T>
+T decode_hello_body(ByteReader& r) {
+  const std::uint8_t hash_size = r.u8();
+  if (hash_size != 16) {
+    throw DecodeError("HELLO: unexpected hash size " + std::to_string(hash_size));
+  }
+  T m;
+  m.user = get_hash<UserTag>(r);
+  m.client_id = r.u32();
+  m.port = r.u16();
+  m.tags = decode_tags(r);
+  m.server_ip = r.u32();
+  m.server_port = r.u16();
+  return m;
+}
+
+struct Encoder {
+  ByteWriter& w;
+
+  void operator()(const LoginRequest& m) {
+    put_hash(w, m.user.bytes());
+    w.u32(m.client_id);
+    w.u16(m.port);
+    encode_tags(w, m.tags);
+  }
+  void operator()(const IdChange& m) {
+    w.u32(m.client_id);
+    w.u32(m.tcp_flags);
+  }
+  void operator()(const OfferFiles& m) { encode_file_list(w, m.files); }
+  void operator()(const GetSources& m) { put_hash(w, m.file.bytes()); }
+  void operator()(const FoundSources& m) {
+    put_hash(w, m.file.bytes());
+    if (m.sources.size() > 0xFF) {
+      throw DecodeError("FoundSources: more than 255 sources in one packet");
+    }
+    w.u8(static_cast<std::uint8_t>(m.sources.size()));
+    for (const auto& s : m.sources) {
+      w.u32(s.client_id);
+      w.u16(s.port);
+    }
+  }
+  void operator()(const SearchRequest& m) {
+    w.u8(0x01);  // search-type: plain string expression
+    w.str16(m.query);
+  }
+  void operator()(const SearchResult& m) { encode_file_list(w, m.files); }
+  void operator()(const ServerMessage& m) { w.str16(m.text); }
+  void operator()(const Hello& m) {
+    encode_hello_body(w, m.user, m.client_id, m.port, m.tags, m.server_ip,
+                      m.server_port);
+  }
+  void operator()(const HelloAnswer& m) {
+    encode_hello_body(w, m.user, m.client_id, m.port, m.tags, m.server_ip,
+                      m.server_port);
+  }
+  void operator()(const StartUpload& m) { put_hash(w, m.file.bytes()); }
+  void operator()(const AcceptUpload&) {}
+  void operator()(const QueueRank& m) { w.u32(m.rank); }
+  void operator()(const RequestParts& m) {
+    put_hash(w, m.file.bytes());
+    for (auto b : m.begin) w.u32(b);
+    for (auto e : m.end) w.u32(e);
+  }
+  void operator()(const SendingPart& m) {
+    put_hash(w, m.file.bytes());
+    w.u32(m.begin);
+    w.u32(m.end);
+    w.bytes(m.data);
+  }
+  void operator()(const CancelTransfer&) {}
+  void operator()(const AskSharedFiles&) {}
+  void operator()(const AskSharedFilesAnswer& m) { encode_file_list(w, m.files); }
+};
+
+}  // namespace
+
+std::uint8_t opcode_of(const AnyMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::uint8_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginRequest>) return kOpLoginRequest;
+        else if constexpr (std::is_same_v<T, IdChange>) return kOpIdChange;
+        else if constexpr (std::is_same_v<T, OfferFiles>) return kOpOfferFiles;
+        else if constexpr (std::is_same_v<T, GetSources>) return kOpGetSources;
+        else if constexpr (std::is_same_v<T, FoundSources>) return kOpFoundSources;
+        else if constexpr (std::is_same_v<T, SearchRequest>) return kOpSearchRequest;
+        else if constexpr (std::is_same_v<T, SearchResult>) return kOpSearchResult;
+        else if constexpr (std::is_same_v<T, ServerMessage>) return kOpServerMessage;
+        else if constexpr (std::is_same_v<T, Hello>) return kOpHello;
+        else if constexpr (std::is_same_v<T, HelloAnswer>) return kOpHelloAnswer;
+        else if constexpr (std::is_same_v<T, StartUpload>) return kOpStartUpload;
+        else if constexpr (std::is_same_v<T, AcceptUpload>) return kOpAcceptUpload;
+        else if constexpr (std::is_same_v<T, QueueRank>) return kOpQueueRank;
+        else if constexpr (std::is_same_v<T, RequestParts>) return kOpRequestParts;
+        else if constexpr (std::is_same_v<T, SendingPart>) return kOpSendingPart;
+        else if constexpr (std::is_same_v<T, CancelTransfer>) return kOpCancelTransfer;
+        else if constexpr (std::is_same_v<T, AskSharedFiles>) return kOpAskSharedFiles;
+        else if constexpr (std::is_same_v<T, AskSharedFilesAnswer>)
+          return kOpAskSharedFilesAnswer;
+      },
+      msg);
+}
+
+std::string_view name_of(const AnyMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string_view {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginRequest>) return "LOGIN-REQUEST";
+        else if constexpr (std::is_same_v<T, IdChange>) return "ID-CHANGE";
+        else if constexpr (std::is_same_v<T, OfferFiles>) return "OFFER-FILES";
+        else if constexpr (std::is_same_v<T, GetSources>) return "GET-SOURCES";
+        else if constexpr (std::is_same_v<T, FoundSources>) return "FOUND-SOURCES";
+        else if constexpr (std::is_same_v<T, SearchRequest>) return "SEARCH-REQUEST";
+        else if constexpr (std::is_same_v<T, SearchResult>) return "SEARCH-RESULT";
+        else if constexpr (std::is_same_v<T, ServerMessage>) return "SERVER-MESSAGE";
+        else if constexpr (std::is_same_v<T, Hello>) return "HELLO";
+        else if constexpr (std::is_same_v<T, HelloAnswer>) return "HELLO-ANSWER";
+        else if constexpr (std::is_same_v<T, StartUpload>) return "START-UPLOAD";
+        else if constexpr (std::is_same_v<T, AcceptUpload>) return "ACCEPT-UPLOAD";
+        else if constexpr (std::is_same_v<T, QueueRank>) return "QUEUE-RANK";
+        else if constexpr (std::is_same_v<T, RequestParts>) return "REQUEST-PART";
+        else if constexpr (std::is_same_v<T, SendingPart>) return "SENDING-PART";
+        else if constexpr (std::is_same_v<T, CancelTransfer>) return "CANCEL-TRANSFER";
+        else if constexpr (std::is_same_v<T, AskSharedFiles>) return "ASK-SHARED-FILES";
+        else if constexpr (std::is_same_v<T, AskSharedFilesAnswer>)
+          return "ASK-SHARED-FILES-ANSWER";
+      },
+      msg);
+}
+
+std::vector<std::uint8_t> encode(const AnyMessage& msg) {
+  ByteWriter w(64);
+  w.u8(kProtoEDonkey);
+  w.u32(0);  // length, patched below
+  w.u8(opcode_of(msg));
+  std::visit(Encoder{w}, msg);
+  // Length counts the opcode byte plus payload.
+  w.patch_u32(1, static_cast<std::uint32_t>(w.size() - 5));
+  return std::move(w).take();
+}
+
+AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
+  ByteReader r(packet);
+  const std::uint8_t marker = r.u8();
+  if (marker != kProtoEDonkey) {
+    throw DecodeError("packet: bad protocol marker");
+  }
+  const std::uint32_t length = r.u32();
+  if (length != r.remaining()) {
+    throw DecodeError("packet: length field " + std::to_string(length) +
+                      " does not match payload " + std::to_string(r.remaining()));
+  }
+  if (length == 0) {
+    throw DecodeError("packet: missing opcode");
+  }
+  const std::uint8_t op = r.u8();
+
+  auto finish = [&r](AnyMessage m) {
+    r.expect_done(std::string(name_of(m)));
+    return m;
+  };
+
+  if (channel == Channel::client_server) {
+    switch (op) {
+      case kOpLoginRequest: {
+        LoginRequest m;
+        m.user = get_hash<UserTag>(r);
+        m.client_id = r.u32();
+        m.port = r.u16();
+        m.tags = decode_tags(r);
+        return finish(std::move(m));
+      }
+      case kOpIdChange: {
+        IdChange m;
+        m.client_id = r.u32();
+        m.tcp_flags = r.u32();
+        return finish(m);
+      }
+      case kOpOfferFiles:
+        return finish(OfferFiles{decode_file_list(r)});
+      case kOpGetSources:
+        return finish(GetSources{get_hash<FileTag>(r)});
+      case kOpFoundSources: {
+        FoundSources m;
+        m.file = get_hash<FileTag>(r);
+        const std::uint8_t n = r.u8();
+        m.sources.reserve(n);
+        for (std::uint8_t i = 0; i < n; ++i) {
+          SourceEntry s;
+          s.client_id = r.u32();
+          s.port = r.u16();
+          m.sources.push_back(s);
+        }
+        return finish(std::move(m));
+      }
+      case kOpSearchRequest: {
+        const std::uint8_t search_type = r.u8();
+        if (search_type != 0x01) {
+          throw DecodeError("SEARCH-REQUEST: unsupported search type");
+        }
+        return finish(SearchRequest{r.str16()});
+      }
+      case kOpSearchResult:
+        return finish(SearchResult{decode_file_list(r)});
+      case kOpServerMessage:
+        return finish(ServerMessage{r.str16()});
+      default:
+        throw DecodeError("client-server packet: unknown opcode " +
+                          std::to_string(op));
+    }
+  }
+
+  switch (op) {
+    case kOpHello:
+      return finish(decode_hello_body<Hello>(r));
+    case kOpHelloAnswer:
+      return finish(decode_hello_body<HelloAnswer>(r));
+    case kOpStartUpload:
+      return finish(StartUpload{get_hash<FileTag>(r)});
+    case kOpAcceptUpload:
+      return finish(AcceptUpload{});
+    case kOpQueueRank:
+      return finish(QueueRank{r.u32()});
+    case kOpRequestParts: {
+      RequestParts m;
+      m.file = get_hash<FileTag>(r);
+      for (auto& b : m.begin) b = r.u32();
+      for (auto& e : m.end) e = r.u32();
+      return finish(m);
+    }
+    case kOpSendingPart: {
+      SendingPart m;
+      m.file = get_hash<FileTag>(r);
+      m.begin = r.u32();
+      m.end = r.u32();
+      if (m.end < m.begin) {
+        throw DecodeError("SENDING-PART: end before begin");
+      }
+      auto raw = r.bytes(r.remaining());
+      m.data.assign(raw.begin(), raw.end());
+      return finish(std::move(m));
+    }
+    case kOpCancelTransfer:
+      return finish(CancelTransfer{});
+    case kOpAskSharedFiles:
+      return finish(AskSharedFiles{});
+    case kOpAskSharedFilesAnswer:
+      return finish(AskSharedFilesAnswer{decode_file_list(r)});
+    default:
+      throw DecodeError("client-client packet: unknown opcode " +
+                        std::to_string(op));
+  }
+}
+
+}  // namespace edhp::proto

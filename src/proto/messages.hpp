@@ -1,0 +1,224 @@
+#pragma once
+// eDonkey message structures and their wire codecs.
+//
+// Every message exchanged in the platform — between honeypots and servers,
+// peers and servers, and peers and honeypots — is one of these structs. The
+// simulator serializes each message to real eDonkey wire bytes (header,
+// opcode, payload) and the receiver parses them back, so this layer is
+// exactly what a live deployment would link against.
+//
+// The opcode space is contextual: 0x01 is LOGIN-REQUEST on a client-server
+// connection but HELLO on a client-client connection, so decoding requires
+// the Channel the packet arrived on.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "proto/opcodes.hpp"
+#include "proto/tags.hpp"
+
+namespace edhp::proto {
+
+/// Which kind of connection a packet travelled on (selects the opcode map).
+enum class Channel : std::uint8_t {
+  client_server,  ///< peer or honeypot <-> directory server
+  client_client,  ///< peer <-> peer (including honeypots)
+};
+
+/// A file as advertised to a server (OFFER-FILES) or listed to another peer
+/// (ASK-SHARED-FILES answer): hash, the advertiser's address, and metadata.
+struct PublishedFile {
+  FileId file;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  std::string name;
+  std::uint32_t size = 0;  ///< bytes; 2008-era wire format is 32-bit
+
+  bool operator==(const PublishedFile&) const = default;
+};
+
+/// One provider returned by FOUND-SOURCES.
+struct SourceEntry {
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const SourceEntry&) const = default;
+};
+
+// --- Client <-> server messages -------------------------------------------
+
+/// First message on a server connection: identifies the client.
+struct LoginRequest {
+  UserId user;
+  std::uint32_t client_id = 0;  ///< 0 until the server assigns one
+  std::uint16_t port = 0;
+  std::vector<Tag> tags;  ///< kTagName, kTagVersion, kTagPort
+
+  bool operator==(const LoginRequest&) const = default;
+};
+
+/// Server's reply to login: the clientID for this session (HighID = the
+/// peer's IP as u32, LowID < 2^24 when the peer is not reachable).
+struct IdChange {
+  std::uint32_t client_id = 0;
+  std::uint32_t tcp_flags = 0;
+
+  bool operator==(const IdChange&) const = default;
+};
+
+/// Advertise (replace) the sender's shared-file list; also the keep-alive.
+struct OfferFiles {
+  std::vector<PublishedFile> files;
+
+  bool operator==(const OfferFiles&) const = default;
+};
+
+/// Ask the server for providers of a file.
+struct GetSources {
+  FileId file;
+
+  bool operator==(const GetSources&) const = default;
+};
+
+/// Server's provider list for a file.
+struct FoundSources {
+  FileId file;
+  std::vector<SourceEntry> sources;
+
+  bool operator==(const FoundSources&) const = default;
+};
+
+/// Keyword search (single expression; the honeypot platform only needs
+/// plain keyword queries).
+struct SearchRequest {
+  std::string query;
+
+  bool operator==(const SearchRequest&) const = default;
+};
+
+/// Search results.
+struct SearchResult {
+  std::vector<PublishedFile> files;
+
+  bool operator==(const SearchResult&) const = default;
+};
+
+/// Free-text administrative message from the server.
+struct ServerMessage {
+  std::string text;
+
+  bool operator==(const ServerMessage&) const = default;
+};
+
+// --- Client <-> client messages -------------------------------------------
+
+/// Handshake opening a peer connection. Carries the persistent user hash,
+/// the session clientID, the listening port, metadata tags, and the address
+/// of the server the peer is connected to.
+struct Hello {
+  UserId user;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  std::vector<Tag> tags;  ///< kTagName, kTagVersion
+  std::uint32_t server_ip = 0;
+  std::uint16_t server_port = 0;
+
+  bool operator==(const Hello&) const = default;
+};
+
+/// Handshake reply; same payload as Hello.
+struct HelloAnswer {
+  UserId user;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  std::vector<Tag> tags;
+  std::uint32_t server_ip = 0;
+  std::uint16_t server_port = 0;
+
+  bool operator==(const HelloAnswer&) const = default;
+};
+
+/// Request to be granted an upload slot for a file.
+struct StartUpload {
+  FileId file;
+
+  bool operator==(const StartUpload&) const = default;
+};
+
+/// Grant of an upload slot.
+struct AcceptUpload {
+  bool operator==(const AcceptUpload&) const = default;
+};
+
+/// Position in the provider's upload queue.
+struct QueueRank {
+  std::uint32_t rank = 0;
+
+  bool operator==(const QueueRank&) const = default;
+};
+
+/// Request up to three byte ranges [begin, end) of a file.
+struct RequestParts {
+  FileId file;
+  std::array<std::uint32_t, kRequestPartRanges> begin{};
+  std::array<std::uint32_t, kRequestPartRanges> end{};
+
+  bool operator==(const RequestParts&) const = default;
+};
+
+/// One block of file content.
+struct SendingPart {
+  FileId file;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const SendingPart&) const = default;
+};
+
+/// Abort an in-progress transfer.
+struct CancelTransfer {
+  bool operator==(const CancelTransfer&) const = default;
+};
+
+/// Ask a peer for the list of files it shares (the "view shared files"
+/// feature; may be refused by configuration).
+struct AskSharedFiles {
+  bool operator==(const AskSharedFiles&) const = default;
+};
+
+/// The peer's shared-file list.
+struct AskSharedFilesAnswer {
+  std::vector<PublishedFile> files;
+
+  bool operator==(const AskSharedFilesAnswer&) const = default;
+};
+
+/// Any protocol message.
+using AnyMessage =
+    std::variant<LoginRequest, IdChange, OfferFiles, GetSources, FoundSources,
+                 SearchRequest, SearchResult, ServerMessage, Hello, HelloAnswer,
+                 StartUpload, AcceptUpload, QueueRank, RequestParts, SendingPart,
+                 CancelTransfer, AskSharedFiles, AskSharedFilesAnswer>;
+
+/// Serialize a message into a complete packet (header + opcode + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode(const AnyMessage& msg);
+
+/// Parse a complete packet received on `channel`; throws DecodeError on any
+/// malformed input (bad marker, bad length, unknown opcode, short payload,
+/// trailing bytes).
+[[nodiscard]] AnyMessage decode(Channel channel,
+                                std::span<const std::uint8_t> packet);
+
+/// Opcode a message serializes to (for logging and tests).
+[[nodiscard]] std::uint8_t opcode_of(const AnyMessage& msg);
+
+/// Human-readable message name (for logs and reports).
+[[nodiscard]] std::string_view name_of(const AnyMessage& msg);
+
+}  // namespace edhp::proto

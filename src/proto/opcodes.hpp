@@ -1,0 +1,58 @@
+#pragma once
+// eDonkey protocol constants, following the eMule protocol specification
+// (Kulbak & Bickson, 2005) for the subset of messages the honeypot platform
+// exchanges. All messages travel in packets headed by the protocol marker,
+// a little-endian 32-bit length and an opcode byte.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace edhp::proto {
+
+/// Packet protocol marker for classic eDonkey messages.
+inline constexpr std::uint8_t kProtoEDonkey = 0xE3;
+
+/// Size of one eDonkey part: files are hashed and exchanged in 9,728,000
+/// byte parts; the file hash of a multi-part file is the MD4 of the
+/// concatenated part hashes.
+inline constexpr std::uint64_t kPartSize = 9'728'000;
+
+/// Largest byte range a single REQUEST-PART entry may cover (one "block").
+inline constexpr std::uint32_t kBlockSize = 184'320;  // 180 KiB
+
+// --- Client <-> server opcodes -------------------------------------------
+inline constexpr std::uint8_t kOpLoginRequest = 0x01;
+inline constexpr std::uint8_t kOpServerMessage = 0x38;
+inline constexpr std::uint8_t kOpIdChange = 0x40;
+inline constexpr std::uint8_t kOpOfferFiles = 0x15;
+inline constexpr std::uint8_t kOpGetSources = 0x19;
+inline constexpr std::uint8_t kOpFoundSources = 0x42;
+inline constexpr std::uint8_t kOpSearchRequest = 0x16;
+inline constexpr std::uint8_t kOpSearchResult = 0x33;
+
+// --- Client <-> client opcodes -------------------------------------------
+inline constexpr std::uint8_t kOpHello = 0x01;
+inline constexpr std::uint8_t kOpHelloAnswer = 0x4C;
+inline constexpr std::uint8_t kOpStartUpload = 0x54;
+inline constexpr std::uint8_t kOpAcceptUpload = 0x55;
+inline constexpr std::uint8_t kOpQueueRank = 0x5C;
+inline constexpr std::uint8_t kOpRequestParts = 0x47;
+inline constexpr std::uint8_t kOpSendingPart = 0x46;
+inline constexpr std::uint8_t kOpCancelTransfer = 0x56;
+inline constexpr std::uint8_t kOpAskSharedFiles = 0x4E;
+inline constexpr std::uint8_t kOpAskSharedFilesAnswer = 0x4F;
+
+// --- Tag names (1-byte special names) ------------------------------------
+inline constexpr std::uint8_t kTagName = 0x01;      ///< client or file name
+inline constexpr std::uint8_t kTagFileSize = 0x02;  ///< file size in bytes
+inline constexpr std::uint8_t kTagPort = 0x0F;
+inline constexpr std::uint8_t kTagVersion = 0x11;
+
+// --- Tag types ------------------------------------------------------------
+inline constexpr std::uint8_t kTagTypeString = 0x02;
+inline constexpr std::uint8_t kTagTypeU32 = 0x03;
+
+/// Number of (begin, end) ranges carried by one REQUEST-PART message.
+inline constexpr std::size_t kRequestPartRanges = 3;
+
+}  // namespace edhp::proto

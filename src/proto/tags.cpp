@@ -1,0 +1,87 @@
+#include "proto/tags.hpp"
+
+#include "proto/opcodes.hpp"
+
+namespace edhp::proto {
+
+Tag Tag::string_tag(std::uint8_t name, std::string v) {
+  return Tag{name, std::move(v)};
+}
+
+Tag Tag::u32_tag(std::uint8_t name, std::uint32_t v) { return Tag{name, v}; }
+
+const std::string& Tag::as_string() const {
+  const auto* s = std::get_if<std::string>(&value);
+  if (s == nullptr) {
+    throw DecodeError("Tag: expected string value");
+  }
+  return *s;
+}
+
+std::uint32_t Tag::as_u32() const {
+  const auto* v = std::get_if<std::uint32_t>(&value);
+  if (v == nullptr) {
+    throw DecodeError("Tag: expected u32 value");
+  }
+  return *v;
+}
+
+void encode_tag(ByteWriter& w, const Tag& tag) {
+  w.u8(tag.is_string() ? kTagTypeString : kTagTypeU32);
+  w.u16(1);  // special 1-byte tag name
+  w.u8(tag.name);
+  if (tag.is_string()) {
+    w.str16(tag.as_string());
+  } else {
+    w.u32(tag.as_u32());
+  }
+}
+
+Tag decode_tag(ByteReader& r) {
+  const std::uint8_t type = r.u8();
+  const std::uint16_t name_len = r.u16();
+  if (name_len == 0) {
+    throw DecodeError("Tag: empty tag name");
+  }
+  // We emit 1-byte names; tolerate longer names by using the first byte as
+  // the identifier, as real clients do for unknown metadata tags.
+  const auto name_bytes = r.bytes(name_len);
+  const std::uint8_t name = name_bytes[0];
+  switch (type) {
+    case kTagTypeString:
+      return Tag::string_tag(name, r.str16());
+    case kTagTypeU32:
+      return Tag::u32_tag(name, r.u32());
+    default:
+      throw DecodeError("Tag: unsupported tag type " + std::to_string(type));
+  }
+}
+
+void encode_tags(ByteWriter& w, const std::vector<Tag>& tags) {
+  w.u32(static_cast<std::uint32_t>(tags.size()));
+  for (const auto& t : tags) {
+    encode_tag(w, t);
+  }
+}
+
+std::vector<Tag> decode_tags(ByteReader& r, std::size_t max_tags) {
+  const std::uint32_t n = r.u32();
+  if (n > max_tags) {
+    throw DecodeError("Tag list: count " + std::to_string(n) + " exceeds limit");
+  }
+  std::vector<Tag> tags;
+  tags.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    tags.push_back(decode_tag(r));
+  }
+  return tags;
+}
+
+const Tag* find_tag(const std::vector<Tag>& tags, std::uint8_t name) {
+  for (const auto& t : tags) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace edhp::proto

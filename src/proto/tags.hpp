@@ -1,0 +1,46 @@
+#pragma once
+// eDonkey tag system: self-describing (type, name, value) attributes used in
+// login, offer-files and search messages. We implement the two types the
+// 2008 protocol actually relies on for these messages — strings and 32-bit
+// integers — with the common 1-byte "special" tag names.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace edhp::proto {
+
+/// A single tag: 1-byte name plus a string or u32 value.
+struct Tag {
+  std::uint8_t name = 0;
+  std::variant<std::string, std::uint32_t> value;
+
+  [[nodiscard]] static Tag string_tag(std::uint8_t name, std::string v);
+  [[nodiscard]] static Tag u32_tag(std::uint8_t name, std::uint32_t v);
+
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value);
+  }
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] std::uint32_t as_u32() const;
+
+  bool operator==(const Tag&) const = default;
+};
+
+/// Serialize one tag.
+void encode_tag(ByteWriter& w, const Tag& tag);
+/// Parse one tag; throws DecodeError on malformed input.
+[[nodiscard]] Tag decode_tag(ByteReader& r);
+
+/// Serialize a tag list with its u32 count prefix.
+void encode_tags(ByteWriter& w, const std::vector<Tag>& tags);
+/// Parse a tag list; `max_tags` bounds memory for hostile input.
+[[nodiscard]] std::vector<Tag> decode_tags(ByteReader& r, std::size_t max_tags = 256);
+
+/// First tag with the given name, or nullptr.
+[[nodiscard]] const Tag* find_tag(const std::vector<Tag>& tags, std::uint8_t name);
+
+}  // namespace edhp::proto

@@ -1,0 +1,66 @@
+#include "proto/udp_messages.hpp"
+
+#include "proto/opcodes.hpp"
+
+namespace edhp::proto {
+
+std::vector<std::uint8_t> encode_udp(const AnyUdpMessage& msg) {
+  ByteWriter w(16);
+  w.u8(kProtoEDonkey);
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ServStatRequest>) {
+          w.u8(kOpGlobServStatReq);
+          w.u32(m.challenge);
+        } else if constexpr (std::is_same_v<T, ServStatResponse>) {
+          w.u8(kOpGlobServStatRes);
+          w.u32(m.challenge);
+          w.u32(m.users);
+          w.u32(m.files);
+        } else if constexpr (std::is_same_v<T, ServDescRequest>) {
+          w.u8(kOpGlobServDescReq);
+        } else if constexpr (std::is_same_v<T, ServDescResponse>) {
+          w.u8(kOpGlobServDescRes);
+          w.str16(m.name);
+          w.str16(m.description);
+        }
+      },
+      msg);
+  return std::move(w).take();
+}
+
+AnyUdpMessage decode_udp(std::span<const std::uint8_t> datagram) {
+  ByteReader r(datagram);
+  if (r.u8() != kProtoEDonkey) {
+    throw DecodeError("udp datagram: bad protocol marker");
+  }
+  const std::uint8_t op = r.u8();
+  auto finish = [&r](AnyUdpMessage m) {
+    r.expect_done("udp datagram");
+    return m;
+  };
+  switch (op) {
+    case kOpGlobServStatReq:
+      return finish(ServStatRequest{r.u32()});
+    case kOpGlobServStatRes: {
+      ServStatResponse m;
+      m.challenge = r.u32();
+      m.users = r.u32();
+      m.files = r.u32();
+      return finish(m);
+    }
+    case kOpGlobServDescReq:
+      return finish(ServDescRequest{});
+    case kOpGlobServDescRes: {
+      ServDescResponse m;
+      m.name = r.str16();
+      m.description = r.str16();
+      return finish(std::move(m));
+    }
+    default:
+      throw DecodeError("udp datagram: unknown opcode " + std::to_string(op));
+  }
+}
+
+}  // namespace edhp::proto

@@ -1,0 +1,65 @@
+#pragma once
+// eDonkey UDP (datagram) server messages.
+//
+// Clients probe servers over UDP for load and liveness: a status request
+// returns the server's user and file counts. The paper's manager uses this
+// information to assign honeypots ("the choice of servers may also be
+// guided by their resources and number of users, so that the honeypots may
+// reach the largest possible number of peers").
+//
+// Wire format: one datagram = protocol marker 0xE3, opcode, payload (no
+// length field — datagrams are self-delimiting).
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace edhp::proto {
+
+inline constexpr std::uint8_t kOpGlobServStatReq = 0x96;
+inline constexpr std::uint8_t kOpGlobServStatRes = 0x97;
+inline constexpr std::uint8_t kOpGlobServDescReq = 0xA2;
+inline constexpr std::uint8_t kOpGlobServDescRes = 0xA3;
+
+/// Ping a server for its status. The challenge is echoed in the reply so
+/// the client can match responses to requests over the unreliable channel.
+struct ServStatRequest {
+  std::uint32_t challenge = 0;
+
+  bool operator==(const ServStatRequest&) const = default;
+};
+
+/// Server status: current load.
+struct ServStatResponse {
+  std::uint32_t challenge = 0;
+  std::uint32_t users = 0;
+  std::uint32_t files = 0;
+
+  bool operator==(const ServStatResponse&) const = default;
+};
+
+/// Ask for the server's name and description.
+struct ServDescRequest {
+  bool operator==(const ServDescRequest&) const = default;
+};
+
+struct ServDescResponse {
+  std::string name;
+  std::string description;
+
+  bool operator==(const ServDescResponse&) const = default;
+};
+
+using AnyUdpMessage = std::variant<ServStatRequest, ServStatResponse,
+                                   ServDescRequest, ServDescResponse>;
+
+/// Serialize one datagram.
+[[nodiscard]] std::vector<std::uint8_t> encode_udp(const AnyUdpMessage& msg);
+
+/// Parse one datagram; throws DecodeError on malformed input.
+[[nodiscard]] AnyUdpMessage decode_udp(std::span<const std::uint8_t> datagram);
+
+}  // namespace edhp::proto

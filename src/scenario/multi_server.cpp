@@ -1,0 +1,216 @@
+#include "scenario/multi_server.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "analysis/log_stats.hpp"
+#include "peer/population.hpp"
+#include "scenario/calibration.hpp"
+#include "server/server.hpp"
+#include "sim/diurnal.hpp"
+
+namespace edhp::scenario {
+namespace {
+
+/// An idle resident client: logs in and just sits on the server, giving it
+/// a standing user count for the manager's survey.
+struct Resident {
+  net::EndpointPtr endpoint;
+};
+
+}  // namespace
+
+MultiServerConfig::MultiServerConfig() : behavior(behavior_2008()) {}
+
+MultiServerResult run_multi_server(const MultiServerConfig& config,
+                                   std::ostream* progress) {
+  sim::Simulation simulation(config.seed);
+  net::Network network(simulation);
+  auto diurnal = sim::DiurnalProfile::european_2008();
+  peer::FileCatalog catalog(catalog_2008(), simulation.rng().split(0xCA7A));
+  auto params = config.behavior;
+  peer::SharedBlacklist blacklist(params.gossip_penalty /
+                                  std::max(config.scale, 1e-6));
+  peer::SourceCache source_cache;
+  auto& rng = simulation.rng();
+
+  // --- Servers of different sizes -------------------------------------------
+  const std::size_t n_servers = config.server_sizes.size();
+  std::vector<std::unique_ptr<server::Server>> servers;
+  std::vector<honeypot::ServerRef> refs;
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    const auto node = network.add_node(true);
+    server::ServerConfig sc;
+    sc.name = "server-" + std::to_string(i);
+    servers.push_back(std::make_unique<server::Server>(network, node, sc));
+    servers.back()->start();
+    refs.push_back(honeypot::ServerRef{node, sc.name, 4661});
+  }
+
+  // Residents give each server its standing population.
+  std::vector<Resident> residents;
+  double total_size = 0;
+  for (double s : config.server_sizes) total_size += s;
+  std::vector<std::size_t> resident_counts;
+  std::size_t resident_total = 0;
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    resident_counts.push_back(static_cast<std::size_t>(std::llround(
+        static_cast<double>(config.residents_at_scale_1) * config.scale *
+        config.server_sizes[i] / total_size)));
+    resident_total += resident_counts.back();
+  }
+  // Callbacks capture references into this vector: reserve up front so they
+  // never dangle.
+  residents.reserve(resident_total);
+  Rng resident_rng = rng.split(0x4E5);
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    const auto count = resident_counts[i];
+    for (std::size_t c = 0; c < count; ++c) {
+      const auto node = network.add_node(true);
+      residents.emplace_back();
+      auto& resident = residents.back();
+      network.connect(node, refs[i].node, [&resident, node,
+                                           &resident_rng](net::EndpointPtr ep) {
+        if (!ep) return;
+        resident.endpoint = std::move(ep);
+        proto::LoginRequest login;
+        login.user = UserId::from_words(resident_rng(), resident_rng());
+        login.port = 4662;
+        login.tags = {proto::Tag::string_tag(proto::kTagName, "resident")};
+        resident.endpoint->send(proto::encode(proto::AnyMessage{login}));
+      });
+    }
+  }
+  simulation.run_until(30.0);
+
+  // --- Manager surveys and assigns -------------------------------------------
+  honeypot::Manager manager(network, {});
+  MultiServerResult result;
+  result.base.honeypots = config.honeypots;
+  result.base.days = config.days;
+  result.base.random_content.assign(config.honeypots, true);
+
+  const auto probe = network.add_node(true);
+  std::vector<honeypot::Manager::ServerSurveyEntry> survey;
+  manager.survey_servers(refs, probe, 5.0,
+                         [&survey](auto entries) { survey = std::move(entries); });
+  simulation.run_until(40.0);
+
+  for (const auto& entry : survey) {
+    result.survey.emplace_back(entry.server.name, entry.users);
+  }
+
+  // Assign honeypots proportionally to surveyed user counts (largest-
+  // remainder): busy servers get more honeypots.
+  std::vector<std::size_t> assignment;
+  if (!survey.empty()) {
+    double users_total = 0;
+    for (const auto& e : survey) users_total += e.users;
+    std::size_t assigned = 0;
+    for (const auto& e : survey) {
+      const auto share = users_total > 0
+                             ? static_cast<std::size_t>(std::floor(
+                                   static_cast<double>(config.honeypots) *
+                                   static_cast<double>(e.users) / users_total))
+                             : 0;
+      for (std::size_t k = 0; k < share && assigned < config.honeypots; ++k) {
+        for (std::size_t i = 0; i < refs.size(); ++i) {
+          if (refs[i].name == e.server.name) assignment.push_back(i);
+        }
+        ++assigned;
+      }
+    }
+    std::size_t next = 0;
+    while (assigned < config.honeypots) {  // leftovers round-robin by rank
+      const auto& e = survey[next++ % survey.size()];
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].name == e.server.name) assignment.push_back(i);
+      }
+      ++assigned;
+    }
+  } else {
+    for (std::size_t h = 0; h < config.honeypots; ++h) {
+      assignment.push_back(h % n_servers);
+    }
+  }
+
+  for (std::size_t h = 0; h < config.honeypots; ++h) {
+    honeypot::HoneypotConfig hp;
+    hp.id = static_cast<std::uint16_t>(h);
+    hp.name = "mhp-" + std::to_string(h);
+    hp.strategy = honeypot::ContentStrategy::random_content;
+    manager.launch(std::move(hp), network.add_node(true), refs[assignment[h]]);
+  }
+  result.server_of_honeypot = assignment;
+  manager.start();
+
+  // --- Advertised files + demand ----------------------------------------------
+  std::vector<honeypot::AdvertisedFile> files;
+  Rng id_rng = rng.split(0xF11E);
+  for (const auto& d : kDistributedFiles) {
+    files.push_back(honeypot::AdvertisedFile{
+        FileId::from_words(id_rng(), id_rng()), d.name, d.size});
+  }
+  simulation.run_until(60.0);
+  manager.advertise_all(files);
+  for (const auto& f : files) {
+    result.base.advertised_ids.push_back(f.id);
+  }
+  result.base.advertised_files = files.size();
+
+  peer::PeerContext ctx;
+  ctx.net = &network;
+  ctx.server_node = refs[0].node;
+  ctx.blacklist = &blacklist;
+  ctx.catalog = &catalog;
+  ctx.params = &params;
+  ctx.diurnal = &diurnal;
+  ctx.source_cache = &source_cache;
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    ctx.home_servers.push_back(refs[i].node);
+    ctx.home_server_weights.push_back(config.server_sizes[i]);
+  }
+
+  peer::Population population(ctx, rng.split(0x90B));
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& d = kDistributedFiles[i];
+    peer::FileDemand demand;
+    demand.file = files[i].id;
+    demand.base_rate_per_day = d.rate_per_day * config.scale;
+    demand.decay_per_day = d.decay_per_day;
+    demand.population = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(d.population) * config.scale));
+    demand.ramp_up = hours(6);
+    population.add_demand(demand);
+  }
+  simulation.schedule_at(minutes(10), [&population] { population.start(); });
+
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(config.days); ++d) {
+    simulation.run_until((d + 1) * kDay);
+    if (progress != nullptr) {
+      *progress << "  day " << d + 1 << "/" << static_cast<int>(config.days)
+                << "\n";
+    }
+  }
+  population.stop();
+  manager.stop();
+  for (auto& r : residents) {
+    if (r.endpoint) r.endpoint->close();
+  }
+
+  result.base.merged = manager.merged_anonymized(&result.base.distinct_peers);
+  result.base.observed = manager.observed_files();
+  result.base.peer_totals = population.totals();
+  result.base.sim_events = simulation.executed();
+  result.base.wire_messages = network.messages_delivered();
+  result.base.wire_bytes = network.bytes_delivered();
+
+  const auto sets =
+      analysis::peer_sets_by_honeypot(result.base.merged, config.honeypots);
+  for (const auto& s : sets) {
+    result.peers_per_honeypot.push_back(s.count());
+  }
+  return result;
+}
+
+}  // namespace edhp::scenario

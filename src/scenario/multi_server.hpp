@@ -1,0 +1,45 @@
+#pragma once
+// Multi-server measurement: the strategy the paper sketches in Section
+// III.A — "one may typically choose a different server for each honeypot,
+// in order to obtain a more global view", with server choice "guided by
+// their resources and number of users".
+//
+// The simulated network runs several directory servers of different sizes;
+// each peer is homed on one server (weighted by size) and only discovers
+// providers indexed there. The manager surveys the servers over UDP and
+// spreads honeypots across them proportionally to their user counts, so
+// the fleet observes subpopulations a single-server deployment would miss.
+
+#include "scenario/scenario.hpp"
+
+namespace edhp::scenario {
+
+struct MultiServerConfig {
+  double scale = 0.1;
+  std::uint64_t seed = 20081201;
+  double days = 10;
+  std::size_t honeypots = 8;
+  /// Relative size (resident user share) of each simulated server.
+  std::vector<double> server_sizes = {0.45, 0.3, 0.15, 0.1};
+  /// Resident (idle, logged-in) clients representing each server's standing
+  /// population, at scale 1.
+  std::size_t residents_at_scale_1 = 2000;
+  peer::BehaviorParams behavior;
+
+  MultiServerConfig();
+};
+
+struct MultiServerResult {
+  ScenarioResult base;  ///< merged log, distinct peers, etc.
+  /// Manager's survey outcome: users seen per server, busiest first.
+  std::vector<std::pair<std::string, std::uint32_t>> survey;
+  /// server index assigned to each honeypot.
+  std::vector<std::size_t> server_of_honeypot;
+  /// Distinct peers observed per honeypot.
+  std::vector<std::uint64_t> peers_per_honeypot;
+};
+
+[[nodiscard]] MultiServerResult run_multi_server(const MultiServerConfig& config,
+                                                 std::ostream* progress = nullptr);
+
+}  // namespace edhp::scenario

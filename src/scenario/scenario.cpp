@@ -1,0 +1,321 @@
+#include "scenario/scenario.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <unordered_map>
+
+#include "peer/population.hpp"
+#include "peer/top_peer.hpp"
+#include "scenario/calibration.hpp"
+#include "server/server.hpp"
+#include "sim/diurnal.hpp"
+
+namespace edhp::scenario {
+namespace {
+
+/// Shared wiring of one measurement run.
+struct World {
+  sim::Simulation simulation;
+  net::Network network;
+  sim::DiurnalProfile diurnal = sim::DiurnalProfile::european_2008();
+  peer::FileCatalog catalog;
+  peer::SharedBlacklist blacklist;
+  peer::BehaviorParams params;
+  peer::SourceCache source_cache;
+  std::unordered_map<std::uint32_t, double> source_weights;
+
+  World(std::uint64_t seed, const peer::BehaviorParams& behavior, double scale)
+      : simulation(seed),
+        network(simulation),
+        catalog(catalog_2008(), simulation.rng().split(0xCA7A)),
+        // The penalty models the *fraction* of the community a published
+        // detection reaches, so the product (reports x penalty) must be
+        // scale-invariant: fewer simulated peers, louder each report.
+        blacklist(behavior.gossip_penalty / std::max(scale, 1e-6)),
+        params(behavior) {}
+
+  [[nodiscard]] peer::PeerContext context(net::NodeId server_node) {
+    peer::PeerContext ctx;
+    ctx.net = &network;
+    ctx.server_node = server_node;
+    ctx.server_port = 4661;
+    ctx.blacklist = &blacklist;
+    ctx.catalog = &catalog;
+    ctx.params = &params;
+    ctx.diurnal = &diurnal;
+    ctx.source_weights = &source_weights;
+    ctx.source_cache = &source_cache;
+    return ctx;
+  }
+};
+
+void fill_result(ScenarioResult& result, World& world,
+                 const honeypot::Manager& manager,
+                 const peer::Population& population) {
+  result.merged = manager.merged_anonymized(&result.distinct_peers);
+  result.observed = manager.observed_files();
+  result.relaunches = manager.relaunches();
+  result.peer_totals = population.totals();
+  result.sim_events = world.simulation.executed();
+  result.wire_messages = world.network.messages_delivered();
+  result.wire_bytes = world.network.bytes_delivered();
+}
+
+void report_progress(std::ostream* progress, World& world, double total_days) {
+  if (progress == nullptr) return;
+  *progress << "  day " << day_index(world.simulation.now()) << "/"
+            << static_cast<int>(total_days) << ", events "
+            << world.simulation.executed() << "\n";
+}
+
+}  // namespace
+
+DistributedConfig::DistributedConfig() : behavior(behavior_2008()) {}
+
+GreedyConfig::GreedyConfig() : behavior(behavior_2008()) {
+  // Among thousands of harvested files, clients typically want several from
+  // the same provider (Figs 11/12 imply ~3.6 files per observed peer).
+  behavior.secondary_targets_mean = 4.0;
+}
+
+ScenarioResult run_distributed(const DistributedConfig& config,
+                               std::ostream* progress) {
+  World world(config.seed, config.behavior, config.scale);
+  if (config.diurnal) {
+    world.diurnal = *config.diurnal;
+  }
+  auto& rng = world.simulation.rng();
+
+  // The large server all honeypots connect to.
+  const auto server_node = world.network.add_node(true);
+  server::Server server(world.network, server_node, {});
+  server.start();
+  honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
+
+  // Fleet: PlanetLab-like hosts; first half no-content, second half
+  // random-content (the paper's 12/12 split).
+  honeypot::Manager manager(world.network, {});
+  ScenarioResult result;
+  result.honeypots = config.honeypots;
+  result.days = config.days;
+  result.random_content.resize(config.honeypots);
+  // Visibility weights are drawn once per host *pair* (one no-content, one
+  // random-content honeypot share each draw), so the two strategy groups
+  // have identical weight profiles and the Fig 5/6 gap isolates the
+  // blacklisting effect instead of host heterogeneity.
+  Rng weight_rng = rng.split(0xBEEF);
+  const std::size_t half = std::max<std::size_t>(1, config.honeypots / 2);
+  std::vector<double> pair_weights(half);
+  for (auto& w : pair_weights) {
+    w = weight_rng.lognormal(0.0, config.behavior.source_weight_sigma);
+  }
+  for (std::size_t h = 0; h < config.honeypots; ++h) {
+    const bool random_content = h >= config.honeypots / 2;
+    result.random_content[h] = random_content;
+    honeypot::HoneypotConfig hp;
+    hp.id = static_cast<std::uint16_t>(h);
+    hp.name = "hp-" + std::to_string(h);
+    hp.strategy = random_content ? honeypot::ContentStrategy::random_content
+                                 : honeypot::ContentStrategy::no_content;
+    hp.harvest_shared_lists = true;
+    const auto host = world.network.add_node(true);
+    manager.launch(std::move(hp), host, server_ref);
+    // Per-honeypot visibility weight (uptime, bandwidth, position in
+    // provider lists): drives the Fig 10 min/max spread.
+    world.source_weights[world.network.info(host).ip.value()] =
+        pair_weights[h % half];
+  }
+  manager.start();
+
+  // The four advertised fake files.
+  std::vector<honeypot::AdvertisedFile> files;
+  Rng id_rng = rng.split(0xF11E);
+  for (const auto& d : kDistributedFiles) {
+    files.push_back(honeypot::AdvertisedFile{
+        FileId::from_words(id_rng(), id_rng()), d.name, d.size});
+  }
+  // Give honeypots a moment to log in before advertising.
+  world.simulation.run_until(30.0);
+  manager.advertise_all(files);
+  for (const auto& f : files) {
+    result.advertised_ids.push_back(f.id);
+  }
+  result.advertised_files = files.size();
+
+  // Interested-peer demand per file.
+  peer::Population population(world.context(server_node), rng.split(0x90B));
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto& d = kDistributedFiles[i];
+    peer::FileDemand demand;
+    demand.file = files[i].id;
+    demand.base_rate_per_day = d.rate_per_day * config.scale;
+    demand.decay_per_day = d.decay_per_day;
+    demand.population = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(d.population) * config.scale));
+    demand.ramp_up = hours(6);  // server indexing + peers' re-query cadence
+    population.add_demand(demand);
+  }
+  // Interested peers only find the honeypots once the server has indexed
+  // and republished the OFFER-FILES lists; the paper saw its first query
+  // after ~10 minutes.
+  world.simulation.schedule_at(minutes(8),
+                               [&population] { population.start(); });
+
+  // Host crash injection: dead honeypots are respawned by the manager's
+  // status poll, exactly the paper's relaunch mechanism.
+  std::unique_ptr<sim::PeriodicTimer> crash_timer;
+  if (config.host_mtbf > 0) {
+    Rng crash_rng = rng.split(0xDEAD);
+    crash_timer = std::make_unique<sim::PeriodicTimer>(
+        world.simulation, hours(1), [&manager, &config, crash_rng]() mutable {
+          for (std::size_t h = 0; h < manager.fleet_size(); ++h) {
+            if (crash_rng.chance(hours(1) / config.host_mtbf)) {
+              manager.honeypot(h).crash();
+            }
+          }
+        });
+    crash_timer->start();
+  }
+
+  // The single hyperactive peer of Figs 8/9.
+  std::unique_ptr<peer::TopPeer> top;
+  if (config.with_top_peer) {
+    Rng top_rng = rng.split(0x709);
+    peer::PeerProfile profile =
+        peer::sample_profile(top_rng, config.behavior, world.diurnal);
+    profile.client_name = "MLDonkey 2.9";  // crawler-ish client
+    top = std::make_unique<peer::TopPeer>(world.network, server_node, profile,
+                                          files[0].id, peer::TopPeerParams{},
+                                          top_rng.split(7));
+    world.simulation.schedule_at(hours(6), [&top] { top->start(); });
+  }
+
+  // Run the measurement day by day (progress + bounded queue growth).
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(config.days); ++d) {
+    world.simulation.run_until((d + 1) * kDay);
+    report_progress(progress, world, config.days);
+  }
+  world.simulation.run_until(config.days * kDay);
+
+  population.stop();
+  if (top) top->stop();
+
+  result.blacklist_reports = world.blacklist.reports();
+  double rep_nc = 0, rep_rc = 0;
+  std::size_t n_nc = 0, n_rc = 0;
+  for (std::size_t h = 0; h < manager.fleet_size(); ++h) {
+    const auto ip = world.network.info(manager.honeypot(h).node()).ip.value();
+    const double rep = world.blacklist.reputation(ip);
+    if (result.random_content[h]) {
+      rep_rc += rep;
+      ++n_rc;
+    } else {
+      rep_nc += rep;
+      ++n_nc;
+    }
+  }
+  if (n_nc > 0) result.reputation_no_content = rep_nc / static_cast<double>(n_nc);
+  if (n_rc > 0) result.reputation_random_content = rep_rc / static_cast<double>(n_rc);
+
+  manager.stop();
+  fill_result(result, world, manager, population);
+  return result;
+}
+
+ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
+  World world(config.seed, config.behavior, config.scale);
+  auto& rng = world.simulation.rng();
+
+  const auto server_node = world.network.add_node(true);
+  server::Server server(world.network, server_node, {});
+  server.start();
+  honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
+
+  honeypot::Manager manager(world.network, {});
+  honeypot::HoneypotConfig hp;
+  hp.id = 0;
+  hp.name = "hp-greedy";
+  hp.strategy = honeypot::ContentStrategy::no_content;  // sent no content
+  hp.harvest_shared_lists = true;
+  hp.greedy = true;
+  hp.greedy_harvest_window = config.harvest_window;
+  hp.greedy_max_files = std::max<std::size_t>(
+      kGreedyAdvertisedFloor,
+      static_cast<std::size_t>(
+          std::llround(static_cast<double>(kGreedyAdvertisedFiles) * config.scale)));
+  const auto host = world.network.add_node(true);
+  manager.launch(std::move(hp), host, server_ref);
+  manager.start();
+
+  ScenarioResult result;
+  result.honeypots = 1;
+  result.days = config.days;
+  result.random_content = {false};
+
+  // Seed files from the catalog.
+  std::vector<honeypot::AdvertisedFile> seeds;
+  for (const auto rank : kGreedySeeds) {
+    const auto& f = world.catalog.at(rank);
+    seeds.push_back(honeypot::AdvertisedFile{f.id, f.name, f.size});
+  }
+  world.simulation.run_until(30.0);
+  manager.advertise(0, seeds);
+
+  // Demands follow the advertised list as it grows: a watcher adds a demand
+  // for every newly advertised file. Per-file demand is a property of the
+  // network (not of the honeypot) and is NOT scaled: the greedy measurement
+  // scales through the size of the harvested list instead.
+  peer::Population population(world.context(server_node), rng.split(0x90B));
+  Rng demand_rng = rng.split(0xDE3A);
+  std::size_t demanded = 0;
+  auto sync_demands = [&] {
+    const auto& advertised = manager.honeypot(0).advertised();
+    while (demanded < advertised.size()) {
+      const auto& file = advertised[demanded];
+      ++demanded;
+      const double peers_over_run = demand_rng.lognormal(
+          kGreedyPeersPerFileMu, kGreedyPeersPerFileSigma);
+      peer::FileDemand demand;
+      demand.file = file.id;
+      demand.base_rate_per_day = peers_over_run / config.days;
+      demand.decay_per_day = 0.0;  // stable inflow (Fig 3)
+      demand.population = static_cast<std::uint64_t>(
+          std::llround(peers_over_run * kGreedyPoolFactor));
+      // Fresh advertisements are noticed gradually: this keeps day 1 (the
+      // harvest phase) nearly invisible in Fig 3, as the paper observed.
+      demand.ramp_up = hours(20);
+      population.add_demand(demand);
+    }
+  };
+  sync_demands();
+  sim::PeriodicTimer demand_watcher(world.simulation, minutes(10), sync_demands);
+  demand_watcher.start();
+  population.start();
+
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(config.days); ++d) {
+    world.simulation.run_until((d + 1) * kDay);
+    report_progress(progress, world, config.days);
+  }
+  world.simulation.run_until(config.days * kDay);
+
+  demand_watcher.stop();
+  population.stop();
+  manager.stop();
+
+  result.advertised_files = manager.honeypot(0).advertised().size();
+  for (const auto& f : manager.honeypot(0).advertised()) {
+    result.advertised_ids.push_back(f.id);
+  }
+  fill_result(result, world, manager, population);
+  return result;
+}
+
+std::function<bool(std::uint16_t)> strategy_filter(const ScenarioResult& result,
+                                                   bool random_content) {
+  std::vector<bool> mask = result.random_content;
+  return [mask, random_content](std::uint16_t h) {
+    return h < mask.size() && mask[h] == random_content;
+  };
+}
+
+}  // namespace edhp::scenario

@@ -1,0 +1,92 @@
+#pragma once
+// Canonical measurement scenarios reproducing the paper's two campaigns.
+//
+// run_distributed(): 24 honeypots on PlanetLab-like hosts, one large
+// server, 4 advertised files, 32 days, 12 no-content + 12 random-content
+// honeypots, plus the hyperactive "top peer" of Figs 8/9.
+//
+// run_greedy(): a single honeypot that harvests the shared-file lists of
+// contacting peers during its first day and advertises everything it
+// learns; 15 days.
+//
+// Both return the published dataset (merged + stage-2 anonymised log) plus
+// the scenario metadata analyses need. `scale` multiplies peer arrival
+// rates and pools; durations are unchanged, so shapes are preserved while
+// runtime drops.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include <optional>
+
+#include "honeypot/manager.hpp"
+#include "logbook/record.hpp"
+#include "peer/behavior.hpp"
+#include "peer/downloader.hpp"
+#include "sim/diurnal.hpp"
+
+namespace edhp::scenario {
+
+struct DistributedConfig {
+  double scale = 0.25;
+  std::uint64_t seed = 20081001;
+  std::size_t honeypots = 24;
+  double days = 32;
+  bool with_top_peer = true;
+  /// Mean time between honeypot host failures (0 disables crash injection).
+  Duration host_mtbf = days_(16);
+  peer::BehaviorParams behavior;  ///< defaults to behavior_2008()
+  /// Override of the regional activity mixture (default: european_2008).
+  std::optional<sim::DiurnalProfile> diurnal;
+
+  DistributedConfig();
+
+ private:
+  static constexpr Duration days_(double d) { return d * kDay; }
+};
+
+struct GreedyConfig {
+  double scale = 0.25;
+  std::uint64_t seed = 20081101;
+  double days = 15;
+  Duration harvest_window = kDay;
+  peer::BehaviorParams behavior;
+
+  GreedyConfig();
+};
+
+/// Everything a bench needs to regenerate the paper's tables and figures.
+struct ScenarioResult {
+  logbook::LogFile merged;  ///< stage-2 anonymised, time-ordered
+  std::uint64_t distinct_peers = 0;
+  std::size_t honeypots = 0;
+  double days = 0;
+  std::size_t advertised_files = 0;  ///< final advertised-list size
+  std::vector<FileId> advertised_ids;
+  honeypot::Manager::ObservedFiles observed;
+  /// strategy_of[h]: true when honeypot h used random-content.
+  std::vector<bool> random_content;
+  peer::PeerStats peer_totals;
+  std::uint64_t relaunches = 0;
+  std::uint64_t blacklist_reports = 0;
+  /// Mean end-of-run community reputation per strategy group (distributed
+  /// only; 1.0 = never reported).
+  double reputation_no_content = 1.0;
+  double reputation_random_content = 1.0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+[[nodiscard]] ScenarioResult run_distributed(const DistributedConfig& config,
+                                             std::ostream* progress = nullptr);
+
+[[nodiscard]] ScenarioResult run_greedy(const GreedyConfig& config,
+                                        std::ostream* progress = nullptr);
+
+/// Honeypot filter selecting one strategy group from a result.
+[[nodiscard]] std::function<bool(std::uint16_t)> strategy_filter(
+    const ScenarioResult& result, bool random_content);
+
+}  // namespace edhp::scenario

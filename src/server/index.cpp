@@ -1,0 +1,140 @@
+#include "server/index.hpp"
+
+#include <algorithm>
+
+#include "common/text.hpp"
+
+namespace edhp::server {
+
+void FileIndex::set_shared_list(SessionKey session, std::uint32_t client_id,
+                                std::uint16_t port,
+                                const std::vector<proto::PublishedFile>& files) {
+  // OFFER-FILES replaces the session's list: drop old entries first.
+  drop_session(session);
+
+  auto& owned = session_files_[session];
+  owned.reserve(files.size());
+  for (const auto& f : files) {
+    auto [it, inserted] = files_.try_emplace(f.file);
+    FileEntry& entry = it->second;
+    if (inserted) {
+      entry.name = f.name;
+      entry.size = f.size;
+      index_words(f.file, entry.name);
+    }
+    // A session may list the same hash twice under different names; keep a
+    // single provider record per (file, session).
+    const bool already =
+        std::any_of(entry.providers.begin(), entry.providers.end(),
+                    [&](const Provider& p) { return p.session == session; });
+    if (!already) {
+      entry.providers.push_back(Provider{session, client_id, port});
+      owned.push_back(f.file);
+      ++providers_;
+    }
+  }
+  if (owned.empty()) {
+    session_files_.erase(session);
+  }
+}
+
+void FileIndex::drop_session(SessionKey session) {
+  auto it = session_files_.find(session);
+  if (it == session_files_.end()) return;
+  for (const auto& file : it->second) {
+    remove_provider(file, session);
+  }
+  session_files_.erase(it);
+}
+
+void FileIndex::remove_provider(const FileId& file, SessionKey session) {
+  auto it = files_.find(file);
+  if (it == files_.end()) return;
+  auto& providers = it->second.providers;
+  auto pit = std::find_if(providers.begin(), providers.end(),
+                          [&](const Provider& p) { return p.session == session; });
+  if (pit == providers.end()) return;
+  *pit = providers.back();
+  providers.pop_back();
+  --providers_;
+  if (providers.empty()) {
+    unindex_words(file, it->second.name);
+    files_.erase(it);
+  }
+}
+
+std::vector<proto::SourceEntry> FileIndex::sources(const FileId& file,
+                                                   std::size_t limit) const {
+  std::vector<proto::SourceEntry> out;
+  auto it = files_.find(file);
+  if (it == files_.end()) return out;
+  const auto& providers = it->second.providers;
+  out.reserve(std::min(limit, providers.size()));
+  for (const auto& p : providers) {
+    if (out.size() >= limit) break;
+    out.push_back(proto::SourceEntry{p.client_id, p.port});
+  }
+  return out;
+}
+
+std::vector<proto::PublishedFile> FileIndex::search(std::string_view query,
+                                                    std::size_t limit) const {
+  std::vector<proto::PublishedFile> out;
+  const auto terms = tokenize(query);
+  if (terms.empty()) return out;
+
+  // Start from the rarest term's posting list, then filter by the rest.
+  const std::unordered_set<FileId>* smallest = nullptr;
+  for (const auto& t : terms) {
+    auto it = words_.find(t);
+    if (it == words_.end()) return out;  // AND semantics: missing term
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      smallest = &it->second;
+    }
+  }
+
+  for (const auto& file : *smallest) {
+    if (out.size() >= limit) break;
+    auto fit = files_.find(file);
+    if (fit == files_.end()) continue;
+    const auto words_of_file = tokenize(fit->second.name);
+    const bool all = std::all_of(terms.begin(), terms.end(), [&](const auto& t) {
+      return std::find(words_of_file.begin(), words_of_file.end(), t) !=
+             words_of_file.end();
+    });
+    if (!all) continue;
+    const auto& first = fit->second.providers.front();
+    proto::PublishedFile pf;
+    pf.file = file;
+    pf.client_id = first.client_id;
+    pf.port = first.port;
+    pf.name = fit->second.name;
+    pf.size = fit->second.size;
+    out.push_back(std::move(pf));
+  }
+  return out;
+}
+
+std::string FileIndex::name_of(const FileId& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? std::string{} : it->second.name;
+}
+
+void FileIndex::index_words(const FileId& file, const std::string& name) {
+  for (const auto& w : tokenize(name)) {
+    words_[w].insert(file);
+  }
+}
+
+void FileIndex::unindex_words(const FileId& file, const std::string& name) {
+  for (const auto& w : tokenize(name)) {
+    auto it = words_.find(w);
+    if (it == words_.end()) continue;
+    it->second.erase(file);
+    if (it->second.empty()) {
+      words_.erase(it);
+    }
+  }
+}
+
+}  // namespace edhp::server

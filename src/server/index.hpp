@@ -1,0 +1,75 @@
+#pragma once
+// The directory server's shared-file index: which sessions provide which
+// files, plus an inverted keyword index over file names for searches.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "proto/messages.hpp"
+
+namespace edhp::server {
+
+/// Server-internal session identifier (stable per connection).
+using SessionKey = std::uint64_t;
+
+/// Provider record kept per (file, session).
+struct Provider {
+  SessionKey session = 0;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+};
+
+/// File + keyword index. All operations are O(list size) or better; the
+/// greedy scenario indexes hundreds of thousands of files.
+class FileIndex {
+ public:
+  /// Replace the shared-file list of a session (OFFER-FILES semantics: the
+  /// message carries the full current list).
+  void set_shared_list(SessionKey session, std::uint32_t client_id,
+                       std::uint16_t port,
+                       const std::vector<proto::PublishedFile>& files);
+
+  /// Remove every entry of a disconnected session.
+  void drop_session(SessionKey session);
+
+  /// Providers of a file, up to `limit` entries. Order is insertion order,
+  /// matching the behaviour of 2008-era servers which returned their list
+  /// head; callers shuffle if they need sampling.
+  [[nodiscard]] std::vector<proto::SourceEntry> sources(const FileId& file,
+                                                        std::size_t limit) const;
+
+  /// All files whose name contains every word of `query` (AND semantics),
+  /// up to `limit` results.
+  [[nodiscard]] std::vector<proto::PublishedFile> search(std::string_view query,
+                                                         std::size_t limit) const;
+
+  [[nodiscard]] std::size_t file_count() const noexcept { return files_.size(); }
+  [[nodiscard]] std::size_t provider_count() const noexcept { return providers_; }
+  [[nodiscard]] bool has_file(const FileId& file) const {
+    return files_.contains(file);
+  }
+  /// Name recorded for a file (first advertiser wins), empty if unknown.
+  [[nodiscard]] std::string name_of(const FileId& file) const;
+
+ private:
+  struct FileEntry {
+    std::string name;
+    std::uint32_t size = 0;
+    std::vector<Provider> providers;
+  };
+
+  void remove_provider(const FileId& file, SessionKey session);
+  void index_words(const FileId& file, const std::string& name);
+  void unindex_words(const FileId& file, const std::string& name);
+
+  std::unordered_map<FileId, FileEntry> files_;
+  std::unordered_map<std::string, std::unordered_set<FileId>> words_;
+  std::unordered_map<SessionKey, std::vector<FileId>> session_files_;
+  std::size_t providers_ = 0;
+};
+
+}  // namespace edhp::server

@@ -1,0 +1,166 @@
+#include "server/server.hpp"
+
+#include "proto/udp_messages.hpp"
+
+namespace edhp::server {
+
+Server::Server(net::Network& network, net::NodeId self, ServerConfig config)
+    : net_(network), self_(self), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+IpAddr Server::ip() const { return net_.info(self_).ip; }
+
+void Server::start() {
+  if (running_) return;
+  running_ = true;
+  net_.listen(self_, [this](net::EndpointPtr ep) { on_accept(std::move(ep)); });
+  if (config_.answer_udp_status) {
+    net_.listen_datagram(self_, [this](net::NodeId from, net::Bytes datagram) {
+      on_datagram(from, std::move(datagram));
+    });
+  }
+}
+
+void Server::stop() {
+  if (!running_) return;
+  running_ = false;
+  net_.stop_listening(self_);
+  net_.stop_listening_datagram(self_);
+  for (auto& [key, session] : sessions_) {
+    index_.drop_session(key);
+    if (session.endpoint) session.endpoint->close();
+  }
+  sessions_.clear();
+}
+
+void Server::on_accept(net::EndpointPtr endpoint) {
+  const SessionKey key = next_key_++;
+  Session session;
+  session.endpoint = std::move(endpoint);
+  session.key = key;
+  auto [it, inserted] = sessions_.emplace(key, std::move(session));
+  net::Endpoint& ep = *it->second.endpoint;
+  ep.on_message([this, key](net::Bytes packet) { on_message(key, std::move(packet)); });
+  ep.on_close([this, key] { on_close(key); });
+  counters_.add("accepted");
+}
+
+void Server::on_datagram(net::NodeId from, net::Bytes datagram) {
+  proto::AnyUdpMessage msg;
+  try {
+    msg = proto::decode_udp(datagram);
+  } catch (const DecodeError&) {
+    counters_.add("udp_decode_errors");
+    return;
+  }
+  if (const auto* req = std::get_if<proto::ServStatRequest>(&msg)) {
+    counters_.add("udp_status_requests");
+    proto::ServStatResponse res;
+    res.challenge = req->challenge;
+    res.users = static_cast<std::uint32_t>(sessions_.size());
+    res.files = static_cast<std::uint32_t>(index_.file_count());
+    net_.send_datagram(self_, from, proto::encode_udp(res));
+    return;
+  }
+  if (std::holds_alternative<proto::ServDescRequest>(msg)) {
+    counters_.add("udp_desc_requests");
+    proto::ServDescResponse res;
+    res.name = config_.name;
+    res.description = config_.description;
+    net_.send_datagram(self_, from, proto::encode_udp(std::move(res)));
+    return;
+  }
+  counters_.add("udp_unexpected");
+}
+
+void Server::on_close(SessionKey key) {
+  counters_.add("closed");
+  drop(key);
+}
+
+void Server::drop(SessionKey key) {
+  index_.drop_session(key);
+  sessions_.erase(key);
+}
+
+void Server::on_message(SessionKey key, net::Bytes packet) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  proto::AnyMessage msg;
+  try {
+    msg = proto::decode(proto::Channel::client_server, packet);
+  } catch (const DecodeError&) {
+    // Malformed traffic: close the connection, as lugdunum servers do.
+    counters_.add("decode_errors");
+    session.endpoint->close();
+    drop(key);
+    return;
+  }
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::LoginRequest> ||
+                      std::is_same_v<T, proto::OfferFiles> ||
+                      std::is_same_v<T, proto::GetSources> ||
+                      std::is_same_v<T, proto::SearchRequest>) {
+          handle(session, m);
+        } else {
+          counters_.add("unexpected_messages");
+        }
+      },
+      msg);
+}
+
+void Server::handle(Session& session, const proto::LoginRequest& msg) {
+  counters_.add("logins");
+  session.user = msg.user;
+  session.port = msg.port;
+  session.logged_in = true;
+
+  // HighID when the client is directly reachable (the server "probes" the
+  // advertised port; in the simulation reachability is a node property),
+  // LowID otherwise.
+  const auto remote = session.endpoint->remote_node();
+  if (net_.info(remote).reachable) {
+    session.client_id = ClientId::high(net_.info(remote).ip);
+  } else {
+    session.client_id = ClientId(next_low_id_++);
+    if (next_low_id_ >= ClientId::kLowIdThreshold) next_low_id_ = 1;
+    counters_.add("low_ids");
+  }
+  session.endpoint->send(
+      proto::encode(proto::IdChange{session.client_id.value(), 0}));
+}
+
+void Server::handle(Session& session, const proto::OfferFiles& msg) {
+  if (!session.logged_in) {
+    counters_.add("offer_before_login");
+    return;
+  }
+  counters_.add("offers");
+  counters_.add("offered_files", msg.files.size());
+  index_.set_shared_list(session.key, session.client_id.value(), session.port,
+                         msg.files);
+}
+
+void Server::handle(Session& session, const proto::GetSources& msg) {
+  if (!session.logged_in) return;
+  counters_.add("get_sources");
+  auto sources =
+      index_.sources(msg.file, std::min<std::size_t>(config_.max_sources_per_reply, 255));
+  session.endpoint->send(
+      proto::encode(proto::FoundSources{msg.file, std::move(sources)}));
+}
+
+void Server::handle(Session& session, const proto::SearchRequest& msg) {
+  if (!session.logged_in) return;
+  counters_.add("searches");
+  auto files = index_.search(msg.query, config_.max_search_results);
+  session.endpoint->send(proto::encode(proto::SearchResult{std::move(files)}));
+}
+
+}  // namespace edhp::server

@@ -1,0 +1,90 @@
+#pragma once
+// eDonkey directory server.
+//
+// Implements the server half of the client-server protocol the honeypots
+// and simulated peers speak: login with HighID/LowID assignment, shared-file
+// indexing via OFFER-FILES, source lookup via GET-SOURCES and keyword
+// search. All traffic is real eDonkey wire bytes over the simulated
+// transport.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "proto/messages.hpp"
+#include "server/index.hpp"
+#include "sim/metrics.hpp"
+
+namespace edhp::server {
+
+struct ServerConfig {
+  std::string name = "edhp directory server";
+  std::string description = "simulated lugdunum-style server";
+  /// Cap on sources per FOUND-SOURCES reply (wire limit is 255).
+  std::size_t max_sources_per_reply = 200;
+  /// Cap on search results per reply.
+  std::size_t max_search_results = 200;
+  /// Answer UDP status pings (used by the manager's server selection).
+  bool answer_udp_status = true;
+};
+
+/// A directory server attached to one network node.
+class Server {
+ public:
+  Server(net::Network& network, net::NodeId self, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Begin accepting client connections.
+  void start();
+  /// Stop accepting and drop all sessions (simulates a server restart).
+  void stop();
+
+  [[nodiscard]] net::NodeId node() const noexcept { return self_; }
+  [[nodiscard]] IpAddr ip() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] const FileIndex& index() const noexcept { return index_; }
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] const sim::CounterSet& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct Session {
+    net::EndpointPtr endpoint;
+    SessionKey key = 0;
+    ClientId client_id{};
+    UserId user{};
+    std::uint16_t port = 0;
+    bool logged_in = false;
+  };
+
+  void on_accept(net::EndpointPtr endpoint);
+  void on_message(SessionKey key, net::Bytes packet);
+  void on_datagram(net::NodeId from, net::Bytes datagram);
+  void on_close(SessionKey key);
+  void drop(SessionKey key);
+
+  void handle(Session& session, const proto::LoginRequest& msg);
+  void handle(Session& session, const proto::OfferFiles& msg);
+  void handle(Session& session, const proto::GetSources& msg);
+  void handle(Session& session, const proto::SearchRequest& msg);
+
+  net::Network& net_;
+  net::NodeId self_;
+  ServerConfig config_;
+  FileIndex index_;
+  std::unordered_map<SessionKey, Session> sessions_;
+  SessionKey next_key_ = 1;
+  std::uint32_t next_low_id_ = 1;
+  sim::CounterSet counters_;
+  bool running_ = false;
+};
+
+}  // namespace edhp::server

@@ -1,0 +1,82 @@
+#include "sim/diurnal.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace edhp::sim {
+
+DiurnalProfile::DiurnalProfile(std::vector<Region> regions, DiurnalShape shape)
+    : regions_(std::move(regions)), shape_(shape) {
+  if (regions_.empty()) {
+    regions_.push_back(Region{0.0, 1.0});
+  }
+  double total_weight = 0.0;
+  for (const auto& r : regions_) {
+    if (r.weight < 0) {
+      throw std::invalid_argument("DiurnalProfile: negative region weight");
+    }
+    total_weight += r.weight;
+  }
+  if (total_weight <= 0) {
+    throw std::invalid_argument("DiurnalProfile: zero total weight");
+  }
+  for (auto& r : regions_) {
+    r.weight /= total_weight;
+  }
+
+  // Normalise so the weekday average over 24 h is 1.
+  double sum = 0.0;
+  constexpr int kSamples = 24 * 12;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = (24.0 * i) / kSamples;
+    double f = 0.0;
+    for (const auto& r : regions_) {
+      f += r.weight * region_factor(std::fmod(t + r.tz_offset_hours + 24.0, 24.0));
+    }
+    sum += f;
+  }
+  normalization_ = kSamples / sum;
+}
+
+DiurnalProfile DiurnalProfile::european_2008() {
+  return DiurnalProfile({
+      Region{0.0, 0.58},   // Western/Central Europe (CET)
+      Region{-1.0, 0.22},  // Iberia, UK, Morocco/Algeria
+      Region{1.0, 0.12},   // Eastern Europe
+      Region{-6.0, 0.05},  // Americas remainder
+      Region{7.0, 0.03},   // Asia remainder
+  });
+}
+
+DiurnalProfile DiurnalProfile::flat() {
+  DiurnalProfile p({Region{0.0, 1.0}});
+  p.flat_ = true;
+  return p;
+}
+
+double DiurnalProfile::region_factor(double local_hour) const {
+  // Smooth day bump: trough + (1 - trough) * bump(local_hour), where the
+  // bump is a wrapped cosine-shaped window centred on peak_hour.
+  double d = std::fabs(local_hour - shape_.peak_hour);
+  d = std::min(d, 24.0 - d);  // circular distance in hours
+  const double x = d / shape_.width_hours;
+  const double bump = x >= 1.6 ? 0.0 : std::exp(-x * x * 1.8);
+  return shape_.trough + (1.0 - shape_.trough) * bump;
+}
+
+double DiurnalProfile::factor(Time t) const {
+  if (flat_) return 1.0;
+  double f = 0.0;
+  for (const auto& r : regions_) {
+    f += r.weight * region_factor(hour_of_day(t, r.tz_offset_hours));
+  }
+  f *= normalization_;
+  const auto dow = day_of_week(t);
+  if (dow >= 5) {
+    f *= shape_.weekend_boost;
+  }
+  return f;
+}
+
+}  // namespace edhp::sim

@@ -1,0 +1,63 @@
+#pragma once
+// Diurnal (day/night) activity profiles.
+//
+// The paper's Fig 4 shows a strong day-night oscillation in HELLO arrivals
+// whose phase follows European / North-African daily life. We model peer
+// activity as a mixture of regions, each with a timezone offset and weight;
+// each region's activity over local hour-of-day is a smooth day-shaped curve
+// with a configurable trough-to-peak ratio, plus an optional weekend boost.
+
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace edhp::sim {
+
+/// One region contributing to the activity mixture.
+struct Region {
+  double tz_offset_hours;  ///< offset from the reference timezone (CET)
+  double weight;           ///< relative share of the peer population
+};
+
+/// Parameters of the per-region day curve.
+struct DiurnalShape {
+  double trough = 0.12;      ///< activity multiplier at the quietest hour
+  double peak_hour = 15.0;   ///< local hour of maximal activity
+  double width_hours = 6.5;  ///< spread of the active period
+  double weekend_boost = 1.12;  ///< multiplier on Saturdays/Sundays
+};
+
+/// Activity multiplier as a function of simulated time, normalised so that
+/// its average over 24 h (weekdays) is ~1. Used to modulate Poisson arrival
+/// rates and peer session starts.
+class DiurnalProfile {
+ public:
+  /// Mixture profile; an empty region list means a single region at the
+  /// reference timezone.
+  explicit DiurnalProfile(std::vector<Region> regions = {},
+                          DiurnalShape shape = {});
+
+  /// The paper's population: mostly Western/Central Europe plus North
+  /// Africa, with a small worldwide remainder.
+  [[nodiscard]] static DiurnalProfile european_2008();
+
+  /// Flat profile (factor 1 everywhere) for tests and ablations.
+  [[nodiscard]] static DiurnalProfile flat();
+
+  /// Activity multiplier at simulated time t. Always > 0.
+  [[nodiscard]] double factor(Time t) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+
+ private:
+  [[nodiscard]] double region_factor(double local_hour) const;
+
+  std::vector<Region> regions_;
+  DiurnalShape shape_;
+  double normalization_ = 1.0;
+  bool flat_ = false;
+};
+
+}  // namespace edhp::sim

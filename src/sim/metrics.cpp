@@ -1,0 +1,53 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edhp::sim {
+
+BucketSeries::BucketSeries(Duration bucket_width) : width_(bucket_width) {
+  if (bucket_width <= 0) {
+    throw std::invalid_argument("BucketSeries: bucket width must be > 0");
+  }
+}
+
+void BucketSeries::add(Time t, std::uint64_t count) {
+  if (t < 0) {
+    throw std::invalid_argument("BucketSeries::add: negative time");
+  }
+  const auto bucket = static_cast<std::size_t>(t / width_);
+  if (bucket >= counts_.size()) {
+    counts_.resize(bucket + 1, 0);
+  }
+  counts_[bucket] += count;
+  total_ += count;
+}
+
+std::uint64_t BucketSeries::at(std::size_t bucket) const {
+  return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+void CounterSet::add(const std::string& name, std::uint64_t n) {
+  for (auto& [key, value] : counters_) {
+    if (key == name) {
+      value += n;
+      return;
+    }
+  }
+  counters_.emplace_back(name, n);
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  for (const auto& [key, value] : counters_) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterSet::sorted() const {
+  auto out = counters_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace edhp::sim

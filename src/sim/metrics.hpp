@@ -1,0 +1,45 @@
+#pragma once
+// Lightweight metric recorders used by servers, honeypots and scenarios.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace edhp::sim {
+
+/// Counts events into fixed-width time buckets (e.g. one per hour). Buckets
+/// are created on demand; reading an untouched bucket yields 0.
+class BucketSeries {
+ public:
+  explicit BucketSeries(Duration bucket_width);
+
+  void add(Time t, std::uint64_t count = 1);
+
+  [[nodiscard]] Duration bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t num_buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t at(std::size_t bucket) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  Duration width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Simple named counter bundle for coarse run statistics.
+class CounterSet {
+ public:
+  void add(const std::string& name, std::uint64_t n = 1);
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+};
+
+}  // namespace edhp::sim

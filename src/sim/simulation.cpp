@@ -1,0 +1,107 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edhp::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulation::schedule_at(Time t, Action action) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, std::move(action)});
+  ++live_;
+  return EventHandle(seq);
+}
+
+EventHandle Simulation::schedule_in(Duration delay, Action action) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulation::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulation::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  cancelled_.insert(h.id_);
+}
+
+bool Simulation::is_cancelled(std::uint64_t seq) {
+  return cancelled_.erase(seq) > 0;
+}
+
+std::uint64_t Simulation::run_until(Time end) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Entry& top = queue_.top();
+    if (top.t > end) break;
+    Entry e{top.t, top.seq, std::move(const_cast<Entry&>(top).action)};
+    queue_.pop();
+    --live_;
+    if (is_cancelled(e.seq)) continue;
+    now_ = e.t;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  if (queue_.empty()) {
+    cancelled_.clear();
+    now_ = std::max(now_, end);
+  }
+  return n;
+}
+
+std::uint64_t Simulation::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    Entry e{queue_.top().t, queue_.top().seq,
+            std::move(const_cast<Entry&>(queue_.top()).action)};
+    queue_.pop();
+    --live_;
+    if (is_cancelled(e.seq)) continue;
+    now_ = e.t;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  if (queue_.empty()) cancelled_.clear();
+  return n;
+}
+
+PeriodicTimer::PeriodicTimer(Simulation& simulation, Duration period,
+                             Simulation::Action tick)
+    : sim_(simulation), period_(period), tick_(std::move(tick)) {
+  if (period <= 0) {
+    throw std::invalid_argument("PeriodicTimer: period must be > 0");
+  }
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicTimer::arm() {
+  pending_ = sim_.schedule_in(period_, [this] {
+    if (!running_) return;
+    tick_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace edhp::sim

@@ -1,0 +1,115 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// A Simulation owns a clock and an event queue. Events are closures
+// scheduled at absolute or relative times; ties are broken by scheduling
+// order (FIFO), which makes runs deterministic. Cancellation is lazy: a
+// cancelled event stays in the heap but is skipped when popped.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace edhp::sim {
+
+/// Handle to a scheduled event, usable to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Simulation(std::uint64_t seed = 1);
+
+  /// Current simulated time in seconds since measurement start.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Root RNG for the run; components should split() sub-streams from it.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Schedule `action` at absolute time `t` (>= now).
+  EventHandle schedule_at(Time t, Action action);
+  /// Schedule `action` after `delay` seconds (>= 0).
+  EventHandle schedule_in(Duration delay, Action action);
+
+  /// Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventHandle h);
+
+  /// Run until the queue is empty or the clock passes `end`. Events exactly
+  /// at `end` are executed. Returns the number of events executed.
+  std::uint64_t run_until(Time end);
+
+  /// Run until the queue is empty.
+  std::uint64_t run();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;  // FIFO tie-break and cancellation id
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Rng rng_;
+
+  [[nodiscard]] bool is_cancelled(std::uint64_t seq);
+};
+
+/// Repeating timer built on Simulation: invokes `tick` every `period`
+/// seconds (optionally jittered) until stopped or its owner destroys it.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulation& simulation, Duration period, Simulation::Action tick);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+ private:
+  void arm();
+
+  Simulation& sim_;
+  Duration period_;
+  Simulation::Action tick_;
+  EventHandle pending_{};
+  bool running_ = false;
+};
+
+}  // namespace edhp::sim

@@ -1,0 +1,239 @@
+// Log-statistics functions on hand-built stage-2 logs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/client_stats.hpp"
+#include "analysis/log_stats.hpp"
+
+namespace edhp::analysis {
+namespace {
+
+using logbook::LogFile;
+using logbook::LogRecord;
+using logbook::QueryType;
+
+LogRecord rec(double t, std::uint16_t hp, QueryType type, std::uint64_t peer,
+              FileId file = {}) {
+  LogRecord r;
+  r.timestamp = t;
+  r.honeypot = hp;
+  r.type = type;
+  r.peer = peer;
+  if (!file.is_zero()) {
+    r.file = file;
+    r.flags |= logbook::kFlagHasFile;
+  }
+  return r;
+}
+
+LogFile stage2(std::vector<LogRecord> records) {
+  LogFile log;
+  log.header.peer_kind = logbook::PeerIdKind::stage2_index;
+  log.records = std::move(records);
+  return log;
+}
+
+TEST(LogStats, RejectsStage1Logs) {
+  LogFile log;  // defaults to stage1
+  EXPECT_THROW((void)distinct_peers_by_day(log, std::nullopt, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)distinct_peers(log), std::invalid_argument);
+  EXPECT_THROW((void)most_active_peer(log), std::invalid_argument);
+}
+
+TEST(LogStats, DistinctPeersByDayCountsFirstSeen) {
+  auto log = stage2({
+      rec(hours(1), 0, QueryType::hello, 0),
+      rec(hours(2), 0, QueryType::hello, 1),
+      rec(hours(3), 0, QueryType::hello, 0),       // repeat, not fresh
+      rec(days(1) + 5, 1, QueryType::hello, 2),
+      rec(days(2) + 5, 1, QueryType::hello, 0),    // old peer on day 2
+      rec(days(2) + 9, 1, QueryType::hello, 3),
+  });
+  const auto series = distinct_peers_by_day(log, std::nullopt, 3);
+  EXPECT_EQ(series.total, 4u);
+  EXPECT_EQ(series.fresh, (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(series.cumulative, (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(LogStats, TypeFilterRestrictsCounting) {
+  auto log = stage2({
+      rec(1, 0, QueryType::hello, 0),
+      rec(2, 0, QueryType::start_upload, 1),
+      rec(3, 0, QueryType::request_part, 2),
+  });
+  EXPECT_EQ(distinct_peers_by_day(log, QueryType::hello, 1).total, 1u);
+  EXPECT_EQ(distinct_peers_by_day(log, QueryType::start_upload, 1).total, 1u);
+  EXPECT_EQ(distinct_peers_by_day(log, std::nullopt, 1).total, 3u);
+}
+
+TEST(LogStats, HoneypotFilterRestrictsCounting) {
+  auto log = stage2({
+      rec(1, 0, QueryType::hello, 0),
+      rec(2, 1, QueryType::hello, 1),
+      rec(3, 2, QueryType::hello, 2),
+  });
+  const auto only_even = [](std::uint16_t h) { return h % 2 == 0; };
+  EXPECT_EQ(distinct_peers_by_day(log, std::nullopt, 1, only_even).total, 2u);
+}
+
+TEST(LogStats, CumulativeMessagesByDayAccumulates) {
+  auto log = stage2({
+      rec(1, 0, QueryType::request_part, 0),
+      rec(2, 0, QueryType::request_part, 0),
+      rec(days(2) + 1, 0, QueryType::request_part, 1),
+      rec(days(2) + 2, 0, QueryType::hello, 1),  // different type: excluded
+  });
+  const auto series =
+      cumulative_messages_by_day(log, QueryType::request_part, 3);
+  EXPECT_EQ(series, (std::vector<std::uint64_t>{2, 2, 3}));
+}
+
+TEST(LogStats, MessagesByHourBuckets) {
+  auto log = stage2({
+      rec(60, 0, QueryType::hello, 0),
+      rec(61, 0, QueryType::hello, 0),
+      rec(hours(1) + 1, 0, QueryType::hello, 1),
+      rec(hours(5) + 1, 0, QueryType::hello, 1),
+  });
+  const auto hourly = messages_by_hour(log, QueryType::hello, 6);
+  EXPECT_EQ(hourly, (std::vector<std::uint64_t>{2, 1, 0, 0, 0, 1}));
+}
+
+TEST(LogStats, MostActivePeerByRecordCount) {
+  auto log = stage2({
+      rec(1, 0, QueryType::hello, 7),
+      rec(2, 0, QueryType::request_part, 7),
+      rec(3, 0, QueryType::request_part, 7),
+      rec(4, 0, QueryType::hello, 8),
+  });
+  const auto top = most_active_peer(log);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top, 7u);
+  EXPECT_FALSE(most_active_peer(stage2({})).has_value());
+}
+
+TEST(LogStats, PeerMessagesByDayTracksOnePeer) {
+  auto log = stage2({
+      rec(1, 0, QueryType::request_part, 7),
+      rec(2, 1, QueryType::request_part, 7),
+      rec(days(1) + 1, 0, QueryType::request_part, 8),  // other peer
+      rec(days(1) + 2, 0, QueryType::request_part, 7),
+  });
+  const auto series = peer_messages_by_day(log, 7, QueryType::request_part, 2);
+  EXPECT_EQ(series, (std::vector<std::uint64_t>{2, 3}));
+  // Honeypot filter applies too.
+  const auto hp0_only = peer_messages_by_day(
+      log, 7, QueryType::request_part, 2,
+      [](std::uint16_t h) { return h == 0; });
+  EXPECT_EQ(hp0_only, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(LogStats, PeerSetsByHoneypotBuildBitsets) {
+  auto log = stage2({
+      rec(1, 0, QueryType::hello, 0),
+      rec(2, 0, QueryType::hello, 2),
+      rec(3, 1, QueryType::hello, 1),
+      rec(4, 2, QueryType::hello, 2),
+  });
+  const auto sets = peer_sets_by_honeypot(log, 3);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].count(), 2u);
+  EXPECT_EQ(sets[1].count(), 1u);
+  EXPECT_EQ(sets[2].count(), 1u);
+  EXPECT_TRUE(sets[0].test(0));
+  EXPECT_TRUE(sets[0].test(2));
+  EXPECT_TRUE(sets[2].test(2));
+}
+
+TEST(LogStats, PeerSetsByFileAttributesByQueriedFile) {
+  const auto fa = FileId::from_words(1, 1);
+  const auto fb = FileId::from_words(2, 2);
+  auto log = stage2({
+      rec(1, 0, QueryType::start_upload, 0, fa),
+      rec(2, 0, QueryType::request_part, 1, fa),
+      rec(3, 0, QueryType::start_upload, 2, fb),
+      rec(4, 0, QueryType::hello, 3),  // no file: attributed nowhere
+  });
+  const std::vector<FileId> files{fa, fb};
+  const auto sets = peer_sets_by_file(log, files);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].count(), 2u);
+  EXPECT_EQ(sets[1].count(), 1u);
+}
+
+TEST(LogStats, FilePopularityDescending) {
+  const auto fa = FileId::from_words(1, 1);
+  const auto fb = FileId::from_words(2, 2);
+  auto log = stage2({
+      rec(1, 0, QueryType::start_upload, 0, fa),
+      rec(2, 0, QueryType::start_upload, 1, fa),
+      rec(2.5, 0, QueryType::request_part, 1, fa),  // same peer: not counted
+      rec(3, 0, QueryType::start_upload, 2, fb),
+  });
+  const auto pop = file_popularity(log);
+  ASSERT_EQ(pop.size(), 2u);
+  EXPECT_EQ(pop[0].file, fa);
+  EXPECT_EQ(pop[0].peers, 2u);
+  EXPECT_EQ(pop[1].peers, 1u);
+}
+
+TEST(LogStats, DistinctPeersTotal) {
+  auto log = stage2({
+      rec(1, 0, QueryType::hello, 5),
+      rec(2, 1, QueryType::hello, 5),
+      rec(3, 2, QueryType::hello, 6),
+  });
+  EXPECT_EQ(distinct_peers(log), 2u);
+  EXPECT_EQ(distinct_peers(stage2({})), 0u);
+}
+
+}  // namespace
+}  // namespace edhp::analysis
+
+namespace edhp::analysis {
+namespace {
+
+TEST(ClientStats, MixCountsDistinctPeersPerClient) {
+  logbook::LogFile log;
+  log.header.peer_kind = logbook::PeerIdKind::stage2_index;
+  const auto emule = log.intern("eMule 0.49b");
+  const auto amule = log.intern("aMule 2.2.2");
+  auto add = [&](std::uint64_t peer, std::uint16_t ref, bool high) {
+    logbook::LogRecord r;
+    r.peer = peer;
+    r.name_ref = ref;
+    if (high) r.flags |= logbook::kFlagHighId;
+    log.records.push_back(r);
+  };
+  add(0, emule, true);
+  add(0, emule, true);   // same peer twice: counted once
+  add(1, emule, false);
+  add(2, amule, true);
+  add(3, 0, false);      // no name tag
+
+  const auto mix = client_mix(log);
+  ASSERT_EQ(mix.size(), 3u);
+  EXPECT_EQ(mix[0].name, "eMule 0.49b");
+  EXPECT_EQ(mix[0].peers, 2u);
+  EXPECT_NEAR(mix[0].share, 0.5, 1e-9);
+  EXPECT_EQ(mix[1].name, "aMule 2.2.2");
+  EXPECT_TRUE(mix.back().name.empty());  // unnamed bucket listed last
+
+  const auto ids = high_id_share(log);
+  EXPECT_EQ(ids.high, 2u);
+  EXPECT_EQ(ids.low, 2u);
+  EXPECT_NEAR(ids.fraction_high(), 0.5, 1e-9);
+}
+
+TEST(ClientStats, RejectsStage1AndHandlesEmpty) {
+  logbook::LogFile stage1;
+  EXPECT_THROW((void)client_mix(stage1), std::invalid_argument);
+  logbook::LogFile empty;
+  empty.header.peer_kind = logbook::PeerIdKind::stage2_index;
+  EXPECT_TRUE(client_mix(empty).empty());
+  EXPECT_EQ(high_id_share(empty).fraction_high(), 0.0);
+}
+
+}  // namespace
+}  // namespace edhp::analysis

@@ -1,0 +1,172 @@
+// Anonymisation pipeline: stage-1 salted hashing, stage-2 coherent
+// renumbering, filename-word anonymisation — including the privacy
+// properties the paper's Section III.C requires.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "anonymize/ip_anonymizer.hpp"
+#include "anonymize/name_anonymizer.hpp"
+#include "anonymize/renumber.hpp"
+#include "common/rng.hpp"
+
+namespace edhp::anonymize {
+namespace {
+
+TEST(IpAnonymizer, DeterministicPerSalt) {
+  IpAnonymizer a("salt-1");
+  const IpAddr ip(82, 34, 1, 9);
+  EXPECT_EQ(a.anonymize(ip), a.anonymize(ip));
+}
+
+TEST(IpAnonymizer, CoherentAcrossInstancesWithSameSalt) {
+  // Two honeypots sharing the measurement salt hash coherently — required
+  // for cross-honeypot distinct-peer counting.
+  IpAnonymizer hp1("measurement-42");
+  IpAnonymizer hp2("measurement-42");
+  const IpAddr ip(134, 157, 1, 1);
+  EXPECT_EQ(hp1.anonymize(ip), hp2.anonymize(ip));
+}
+
+TEST(IpAnonymizer, DifferentSaltsDiverge) {
+  IpAnonymizer a("salt-a"), b("salt-b");
+  const IpAddr ip(10, 0, 0, 1);
+  EXPECT_NE(a.anonymize(ip), b.anonymize(ip));
+}
+
+TEST(IpAnonymizer, NoCollisionsOnRealisticScale) {
+  IpAnonymizer a("salt");
+  std::unordered_set<std::uint64_t> seen;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    seen.insert(a.anonymize(IpAddr(static_cast<std::uint32_t>(rng()))));
+  }
+  // 64-bit truncation: collisions at 1e5 scale are ~3e-10 likely.
+  EXPECT_GE(seen.size(), 99999u);
+}
+
+TEST(IpAnonymizer, OutputIsNotTheAddress) {
+  IpAnonymizer a("salt");
+  const IpAddr ip(1, 2, 3, 4);
+  EXPECT_NE(a.anonymize(ip), ip.value());
+}
+
+logbook::LogFile stage1_log(std::uint16_t hp,
+                            std::initializer_list<std::uint64_t> peers) {
+  logbook::LogFile log;
+  log.header.honeypot = hp;
+  double t = 1;
+  for (auto p : peers) {
+    logbook::LogRecord r;
+    r.timestamp = t++;
+    r.honeypot = hp;
+    r.peer = p;
+    log.records.push_back(r);
+  }
+  return log;
+}
+
+TEST(Renumber, FirstAppearanceOrder) {
+  auto log = stage1_log(0, {555, 777, 555, 999, 777});
+  const auto distinct = renumber_peers(log);
+  EXPECT_EQ(distinct, 3u);
+  EXPECT_EQ(log.header.peer_kind, logbook::PeerIdKind::stage2_index);
+  std::vector<std::uint64_t> peers;
+  for (const auto& r : log.records) peers.push_back(r.peer);
+  EXPECT_EQ(peers, (std::vector<std::uint64_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(Renumber, CoherentAcrossLogs) {
+  std::vector<logbook::LogFile> logs{stage1_log(0, {42, 43}),
+                                     stage1_log(1, {43, 44, 42})};
+  PeerMapping mapping;
+  const auto distinct =
+      renumber_peers(std::span<logbook::LogFile>(logs), &mapping);
+  EXPECT_EQ(distinct, 3u);
+  // Hash 43 appears in both logs; it must map to the same integer.
+  EXPECT_EQ(logs[0].records[1].peer, logs[1].records[0].peer);
+  EXPECT_EQ(logs[0].records[0].peer, logs[1].records[2].peer);
+  EXPECT_EQ(mapping.size(), 3u);
+}
+
+TEST(Renumber, OutputContainsNoOriginalHashes) {
+  auto log = stage1_log(0, {0xDEADBEEFCAFEBABEull, 0x1234567890ABCDEFull});
+  renumber_peers(log);
+  for (const auto& r : log.records) {
+    EXPECT_LT(r.peer, 2u);  // dense integers only
+  }
+}
+
+TEST(Renumber, RejectsDoubleApplication) {
+  auto log = stage1_log(0, {1, 2});
+  renumber_peers(log);
+  EXPECT_THROW(renumber_peers(log), std::invalid_argument);
+}
+
+TEST(Renumber, EmptyLogYieldsZeroPeers) {
+  logbook::LogFile log;
+  EXPECT_EQ(renumber_peers(log), 0u);
+}
+
+TEST(NameAnonymizer, FrequentWordsKeptRareWordsReplaced) {
+  std::vector<std::string> corpus{
+      "Holiday.Video.2008.avi", "holiday.music.2008.mp3",
+      "john.doe.holiday.2008.avi", "random.text.pdf"};
+  NameAnonymizer anonymizer(corpus, 2);
+  const auto out = anonymizer.anonymize("john.doe.holiday.2008.avi");
+  // "holiday" (3 names) and "2008" (3 names) survive; "john"/"doe"/"avi"...
+  EXPECT_NE(out.find("holiday"), std::string::npos);
+  EXPECT_NE(out.find("2008"), std::string::npos);
+  EXPECT_EQ(out.find("john"), std::string::npos);
+  EXPECT_EQ(out.find("doe"), std::string::npos);
+}
+
+TEST(NameAnonymizer, ReplacementIsCoherent) {
+  std::vector<std::string> corpus{"secret.file.one", "other.thing"};
+  NameAnonymizer anonymizer(corpus, 2);
+  const auto a = anonymizer.anonymize("secret.file.one");
+  const auto b = anonymizer.anonymize("secret.backup");
+  // "secret" must map to the same token both times.
+  const auto first_token_a = a.substr(0, a.find(' '));
+  const auto first_token_b = b.substr(0, b.find(' '));
+  EXPECT_EQ(first_token_a, first_token_b);
+}
+
+TEST(NameAnonymizer, DistinctRareWordsGetDistinctTokens) {
+  std::vector<std::string> corpus{"alpha.file", "beta.file"};
+  NameAnonymizer anonymizer(corpus, 5);  // everything rare
+  const auto a = anonymizer.anonymize("alpha");
+  const auto b = anonymizer.anonymize("beta");
+  EXPECT_NE(a, b);
+}
+
+TEST(NameAnonymizer, RepeatedWordInOneNameCountsOnce) {
+  std::vector<std::string> corpus{"spam.spam.spam.avi", "other.avi"};
+  NameAnonymizer anonymizer(corpus, 2);
+  // "spam" appears in 1 name only -> rare -> replaced.
+  const auto out = anonymizer.anonymize("spam.avi");
+  EXPECT_EQ(out.find("spam"), std::string::npos);
+  // "avi" appears in 2 names -> kept.
+  EXPECT_NE(out.find("avi"), std::string::npos);
+}
+
+TEST(NameAnonymizer, UnknownWordsTreatedAsRare) {
+  std::vector<std::string> corpus{"known.words.here"};
+  NameAnonymizer anonymizer(corpus, 1);
+  const auto out = anonymizer.anonymize("neverseen");
+  EXPECT_EQ(out.find("neverseen"), std::string::npos);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(NameAnonymizer, StatsAddUp) {
+  std::vector<std::string> corpus{"a.b.c", "a.b", "a"};
+  NameAnonymizer anonymizer(corpus, 2);
+  const auto stats = anonymizer.stats();
+  EXPECT_EQ(stats.distinct_words, 3u);
+  EXPECT_EQ(stats.kept_words + stats.replaced_words, stats.distinct_words);
+  EXPECT_EQ(stats.kept_words, 2u);  // "a" (3) and "b" (2)
+}
+
+}  // namespace
+}  // namespace edhp::anonymize

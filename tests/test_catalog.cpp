@@ -1,0 +1,112 @@
+// File catalog: construction, popularity skew, cache sampling, private
+// files, name realism.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/text.hpp"
+#include "peer/catalog.hpp"
+
+namespace edhp::peer {
+namespace {
+
+TEST(FileCatalog, ConstructsRequestedSize) {
+  FileCatalog c(CatalogParams{1000, 0.9, 0.0}, Rng(1));
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_THROW((void)c.at(1000), std::out_of_range);
+}
+
+TEST(FileCatalog, IdsAreDistinct) {
+  FileCatalog c(CatalogParams{2000, 0.9, 0.0}, Rng(2));
+  std::unordered_set<FileId> ids;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ids.insert(c.at(i).id);
+  }
+  EXPECT_EQ(ids.size(), c.size());
+}
+
+TEST(FileCatalog, PopularityDecreasesWithRank) {
+  FileCatalog c(CatalogParams{100, 0.9, 0.0}, Rng(3));
+  EXPECT_GT(c.at(0).popularity, c.at(50).popularity);
+  EXPECT_GT(c.at(50).popularity, c.at(99).popularity);
+}
+
+TEST(FileCatalog, SamplePrefersPopularRanks) {
+  FileCatalog c(CatalogParams{1000, 1.0, 0.0}, Rng(4));
+  Rng rng(5);
+  std::size_t low_ranks = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (c.sample(rng) < 100) ++low_ranks;
+  }
+  // Top 10% of ranks should draw far more than 10% of samples.
+  EXPECT_GT(low_ranks, n / 4);
+}
+
+TEST(FileCatalog, CacheEntriesDistinctWithoutTail) {
+  FileCatalog c(CatalogParams{500, 0.9, 0.0}, Rng(6));
+  Rng rng(7);
+  const auto cache = c.sample_cache(rng, 50);
+  EXPECT_GE(cache.size(), 40u);  // bounded retries may fall slightly short
+  std::unordered_set<FileId> ids;
+  for (const auto& f : cache) ids.insert(f.id);
+  EXPECT_EQ(ids.size(), cache.size());
+}
+
+TEST(FileCatalog, UniqueTailProducesPrivateFiles) {
+  FileCatalog c(CatalogParams{500, 0.9, 1.0}, Rng(8));  // all private
+  Rng rng(9);
+  const auto cache = c.sample_cache(rng, 30);
+  EXPECT_EQ(cache.size(), 30u);
+  std::unordered_set<FileId> catalog_ids;
+  for (std::size_t i = 0; i < c.size(); ++i) catalog_ids.insert(c.at(i).id);
+  for (const auto& f : cache) {
+    EXPECT_FALSE(catalog_ids.contains(f.id)) << "private file is in catalog";
+    EXPECT_EQ(f.popularity, 0.0);
+    EXPECT_GT(f.size, 0u);
+  }
+}
+
+TEST(FileCatalog, PrivateFilesAreDistinct) {
+  FileCatalog c(CatalogParams{10, 0.9, 0.0}, Rng(10));
+  Rng rng(11);
+  std::unordered_set<FileId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.insert(c.make_private_file(rng).id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(FileCatalog, NamesTokenizeIntoWords) {
+  FileCatalog c(CatalogParams{50, 0.9, 0.0}, Rng(12));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto words = tokenize(c.at(i).name);
+    EXPECT_GE(words.size(), 3u) << c.at(i).name;
+  }
+}
+
+TEST(FileCatalog, SizeMixtureSpansOrdersOfMagnitude) {
+  FileCatalog c(CatalogParams{5000, 0.9, 0.0}, Rng(13));
+  std::uint32_t smallest = UINT32_MAX, largest = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    smallest = std::min(smallest, c.at(i).size);
+    largest = std::max(largest, c.at(i).size);
+  }
+  EXPECT_LT(smallest, 10'000'000u);     // documents/songs
+  EXPECT_GT(largest, 400'000'000u);     // video
+  EXPECT_LE(largest, 4'000'000'000u);   // wire-format cap
+}
+
+TEST(FileCatalog, RejectsEmpty) {
+  EXPECT_THROW(FileCatalog(CatalogParams{0, 0.9, 0.0}, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(SynthFileName, DeterministicPerRngState) {
+  Rng a(42), b(42);
+  EXPECT_EQ(synth_file_name(7, a), synth_file_name(7, b));
+}
+
+}  // namespace
+}  // namespace edhp::peer

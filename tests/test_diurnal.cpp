@@ -1,0 +1,120 @@
+// Diurnal profile: normalisation, day/night contrast, region phase shifts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/diurnal.hpp"
+
+namespace edhp::sim {
+namespace {
+
+TEST(DiurnalProfile, FlatIsAlwaysOne) {
+  auto p = DiurnalProfile::flat();
+  for (double t = 0; t < 2 * kDay; t += kHour / 2) {
+    EXPECT_DOUBLE_EQ(p.factor(t), 1.0);
+  }
+}
+
+TEST(DiurnalProfile, WeekdayAverageIsNormalised) {
+  auto p = DiurnalProfile::european_2008();
+  double sum = 0;
+  int n = 0;
+  // Day 0 (1 Oct 2008) is a Wednesday; average over Wed+Thu.
+  for (double t = 0; t < 2 * kDay; t += kMinute * 5) {
+    sum += p.factor(t);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(DiurnalProfile, DayNightContrastIsStrong) {
+  auto p = DiurnalProfile::european_2008();
+  double lo = 1e9, hi = 0;
+  for (double t = 0; t < kDay; t += kMinute) {
+    const double f = p.factor(t);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  // Fig 4 shows roughly a 3-4x swing between night trough and day peak.
+  EXPECT_GT(hi / lo, 2.0);
+  EXPECT_LT(hi / lo, 8.0);
+  EXPECT_GT(lo, 0.0);
+}
+
+TEST(DiurnalProfile, PeakIsInDaytimeTroughAtNight) {
+  auto p = DiurnalProfile::european_2008();
+  double peak_t = 0, trough_t = 0, peak_v = 0, trough_v = 1e9;
+  for (double t = 0; t < kDay; t += kMinute) {
+    const double f = p.factor(t);
+    if (f > peak_v) {
+      peak_v = f;
+      peak_t = t;
+    }
+    if (f < trough_v) {
+      trough_v = f;
+      trough_t = t;
+    }
+  }
+  const double peak_hour = hour_of_day(peak_t);
+  const double trough_hour = hour_of_day(trough_t);
+  EXPECT_GE(peak_hour, 10.0);
+  EXPECT_LE(peak_hour, 22.0);
+  EXPECT_TRUE(trough_hour <= 8.0 || trough_hour >= 23.0)
+      << "trough at hour " << trough_hour;
+}
+
+TEST(DiurnalProfile, RegionOffsetShiftsPhase) {
+  DiurnalShape shape;
+  DiurnalProfile base({Region{0.0, 1.0}}, shape);
+  DiurnalProfile shifted({Region{-6.0, 1.0}}, shape);
+  // The shifted region peaks 6 hours later in reference time.
+  double base_peak = 0, base_peak_v = 0, sh_peak = 0, sh_peak_v = 0;
+  for (double t = 0; t < kDay; t += kMinute) {
+    if (base.factor(t) > base_peak_v) {
+      base_peak_v = base.factor(t);
+      base_peak = t;
+    }
+    if (shifted.factor(t) > sh_peak_v) {
+      sh_peak_v = shifted.factor(t);
+      sh_peak = t;
+    }
+  }
+  double diff_hours = (sh_peak - base_peak) / kHour;
+  if (diff_hours < 0) diff_hours += 24.0;
+  EXPECT_NEAR(diff_hours, 6.0, 0.5);
+}
+
+TEST(DiurnalProfile, WeekendBoostApplies) {
+  auto p = DiurnalProfile::european_2008();
+  // Day 0 is Wednesday, so day 3 is Saturday. Compare same hour of day.
+  const double weekday = p.factor(days(1) + hours(15));   // Thursday 15:00
+  const double weekend = p.factor(days(3) + hours(15));   // Saturday 15:00
+  EXPECT_GT(weekend, weekday);
+}
+
+TEST(DiurnalProfile, RejectsBadWeights) {
+  EXPECT_THROW(DiurnalProfile({Region{0.0, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(DiurnalProfile({Region{0.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(DiurnalProfile, MixtureWeightsAreNormalised) {
+  DiurnalProfile p({Region{0.0, 2.0}, Region{1.0, 6.0}});
+  double total = 0;
+  for (const auto& r : p.regions()) total += r.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Clock, CalendarHelpers) {
+  EXPECT_EQ(day_index(0.0), 0u);
+  EXPECT_EQ(day_index(kDay - 1), 0u);
+  EXPECT_EQ(day_index(kDay), 1u);
+  EXPECT_EQ(hour_index(3 * kHour + 10), 3u);
+  EXPECT_NEAR(hour_of_day(25 * kHour), 1.0, 1e-9);
+  EXPECT_NEAR(hour_of_day(2 * kHour, -3.0), 23.0, 1e-9);
+  EXPECT_EQ(day_of_week(0.0), 2u);           // Wednesday
+  EXPECT_EQ(day_of_week(days(5)), 0u);       // Monday
+}
+
+}  // namespace
+}  // namespace edhp::sim

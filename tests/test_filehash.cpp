@@ -1,0 +1,96 @@
+// eDonkey part hashing: part boundaries, multi-part file ids, verification.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "proto/filehash.hpp"
+
+namespace edhp::proto {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> v(n);
+  std::uint8_t x = seed;
+  for (auto& b : v) {
+    x = static_cast<std::uint8_t>(x * 31 + 7);
+    b = x;
+  }
+  return v;
+}
+
+TEST(PartCount, Boundaries) {
+  EXPECT_EQ(part_count(0), 1u);
+  EXPECT_EQ(part_count(1), 1u);
+  EXPECT_EQ(part_count(kPartSize), 1u);
+  EXPECT_EQ(part_count(kPartSize + 1), 2u);
+  EXPECT_EQ(part_count(3 * kPartSize), 3u);
+}
+
+TEST(PartHashes, EmptyFileHasOnePart) {
+  const auto parts = part_hashes({});
+  ASSERT_EQ(parts.size(), 1u);
+  // MD4 of the empty string.
+  EXPECT_EQ(to_hex(parts[0]), "31d6cfe0d16ae931b73c59d7e0c089c0");
+}
+
+TEST(PartHashes, SinglePartFileIdIsPartDigest) {
+  const auto content = pattern(1000);
+  const auto parts = part_hashes(content);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(hash_file(content).bytes(), parts[0]);
+}
+
+TEST(PartHashes, MultiPartSplitsAtPartSize) {
+  // Use a 2.5-part synthetic file; this allocates ~24 MB once.
+  const auto content = pattern(2 * kPartSize + kPartSize / 2);
+  const auto parts = part_hashes(content);
+  ASSERT_EQ(parts.size(), 3u);
+  // Each part digest matches hashing that slice alone.
+  std::span<const std::uint8_t> s(content);
+  EXPECT_EQ(parts[0], Md4::hash(s.subspan(0, kPartSize)));
+  EXPECT_EQ(parts[1], Md4::hash(s.subspan(kPartSize, kPartSize)));
+  EXPECT_EQ(parts[2], Md4::hash(s.subspan(2 * kPartSize)));
+  // Multi-part file id is the MD4 of concatenated part digests.
+  Md4 h;
+  for (const auto& p : parts) {
+    h.update(std::span<const std::uint8_t>(p.data(), p.size()));
+  }
+  EXPECT_EQ(hash_file(content), FileId(h.finish()));
+}
+
+TEST(FileId, ContentDefinedNotNameDefined) {
+  const auto a = pattern(5000, 1);
+  const auto b = pattern(5000, 1);
+  const auto c = pattern(5000, 2);
+  EXPECT_EQ(hash_file(a), hash_file(b));
+  EXPECT_NE(hash_file(a), hash_file(c));
+}
+
+TEST(VerifyPart, DetectsRandomContent) {
+  // This is the client-side check that eventually unmasks a random-content
+  // honeypot: the advertised part hash never matches random bytes.
+  const auto real = pattern(4096, 9);
+  const auto expected = Md4::hash(real);
+  EXPECT_TRUE(verify_part(real, expected));
+
+  Rng rng(555);
+  std::vector<std::uint8_t> random_bytes(4096);
+  for (auto& b : random_bytes) b = static_cast<std::uint8_t>(rng());
+  EXPECT_FALSE(verify_part(random_bytes, expected));
+}
+
+TEST(VerifyPart, SingleBitFlipDetected) {
+  auto data = pattern(1024, 3);
+  const auto expected = Md4::hash(data);
+  data[512] ^= 0x01;
+  EXPECT_FALSE(verify_part(data, expected));
+}
+
+TEST(FileIdFromParts, EmptyListYieldsZeroId) {
+  EXPECT_TRUE(file_id_from_parts({}).is_zero());
+}
+
+}  // namespace
+}  // namespace edhp::proto

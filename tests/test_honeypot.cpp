@@ -1,0 +1,459 @@
+// The honeypot itself: server protocol behaviour, advertisement, query
+// logging with stage-1 anonymisation, content strategies, harvesting,
+// greedy growth, crash/relaunch.
+
+#include <gtest/gtest.h>
+
+#include "honeypot/honeypot.hpp"
+#include "proto/filehash.hpp"
+#include "server/server.hpp"
+
+namespace edhp::honeypot {
+namespace {
+
+using proto::AnyMessage;
+using proto::Channel;
+
+class HoneypotTest : public ::testing::Test {
+ protected:
+  // run() would never return while honeypot keep-alive timers are armed;
+  // settle() drains a bounded window instead.
+  void settle(double span = 180.0) { s.run_until(s.now() + span); }
+
+  sim::Simulation s{11};
+  net::Network net{s};
+  net::NodeId server_node = net.add_node(true);
+  server::Server server{net, server_node, {}};
+  ServerRef ref{server_node, "test-server", 4661};
+
+  AdvertisedFile fake{FileId::from_words(0xAA, 0xBB), "bait.avi", 1000000};
+
+  void SetUp() override { server.start(); }
+
+  HoneypotConfig config(ContentStrategy strategy) {
+    HoneypotConfig c;
+    c.id = 1;
+    c.name = "hp-test";
+    c.strategy = strategy;
+    return c;
+  }
+
+  /// A scripted fake peer connection to the honeypot.
+  struct FakePeer {
+    net::EndpointPtr ep;
+    std::vector<AnyMessage> inbox;
+  };
+
+  FakePeer contact(Honeypot& hp, bool send_hello = true,
+                   std::uint32_t client_id = 0x7F000001) {
+    FakePeer p;
+    const auto node = net.add_node(true);
+    net.connect(node, hp.node(), [&, client_id](net::EndpointPtr ep) {
+      p.ep = std::move(ep);
+      ASSERT_TRUE(p.ep) << "honeypot not listening";
+      p.ep->on_message([&](net::Bytes bytes) {
+        p.inbox.push_back(proto::decode(Channel::client_client, bytes));
+      });
+      if (send_hello) {
+        proto::Hello hello;
+        hello.user = UserId::from_words(5, 6);
+        hello.client_id = client_id;
+        hello.port = 4662;
+        hello.tags = {proto::Tag::string_tag(proto::kTagName, "eMule 0.49b"),
+                      proto::Tag::u32_tag(proto::kTagVersion, 0x31)};
+        p.ep->send(proto::encode(AnyMessage{hello}));
+      }
+    });
+    settle();
+    return p;
+  }
+};
+
+TEST_F(HoneypotTest, LogsInAndGetsClientId) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  EXPECT_EQ(hp.status(), Status::idle);
+  hp.connect_to_server(ref);
+  EXPECT_EQ(hp.status(), Status::connecting);
+  settle();
+  EXPECT_EQ(hp.status(), Status::connected);
+  EXPECT_TRUE(hp.client_id().is_high());
+  EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST_F(HoneypotTest, AdvertisesFilesToServer) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.advertise({fake});
+  settle();
+  EXPECT_TRUE(server.index().has_file(fake.id));
+  auto sources = server.index().sources(fake.id, 10);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].client_id, hp.client_id().value());
+}
+
+TEST_F(HoneypotTest, OfferKeepAliveRefreshesServer) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.advertise({fake});
+  s.run_until(s.now() + hours(2));
+  EXPECT_GE(hp.counters().get("offers_sent"), 4u);  // initial + keepalives
+  EXPECT_TRUE(server.index().has_file(fake.id));
+}
+
+TEST_F(HoneypotTest, AnswersHelloAndLogsQuery) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.advertise({fake});
+  auto peer = contact(hp);
+  ASSERT_FALSE(peer.inbox.empty());
+  EXPECT_TRUE(std::holds_alternative<proto::HelloAnswer>(peer.inbox[0]));
+  // Harvesting defaults on: the honeypot also asks for the shared list.
+  ASSERT_GE(peer.inbox.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<proto::AskSharedFiles>(peer.inbox[1]));
+
+  ASSERT_EQ(hp.log().records.size(), 1u);
+  const auto& r = hp.log().records[0];
+  EXPECT_EQ(r.type, logbook::QueryType::hello);
+  EXPECT_TRUE(r.high_id());
+  EXPECT_EQ(hp.log().names[r.name_ref], "eMule 0.49b");
+  EXPECT_EQ(r.client_version, 0x31u);
+  EXPECT_EQ(r.honeypot, 1);
+}
+
+TEST_F(HoneypotTest, LogNeverContainsRawPeerIp) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  ASSERT_EQ(hp.log().records.size(), 1u);
+  // Stage-1: the peer field is a salted hash, not the IP (in any byte order).
+  const auto& r = hp.log().records[0];
+  for (std::uint32_t node_ip = 0; node_ip < net.node_count(); ++node_ip) {
+    const auto ip = net.info(node_ip).ip.value();
+    EXPECT_NE(r.peer, ip);
+    EXPECT_NE(r.peer, __builtin_bswap32(ip));
+  }
+  EXPECT_EQ(hp.log().header.peer_kind, logbook::PeerIdKind::stage1_hash);
+}
+
+TEST_F(HoneypotTest, SamePeerSameHashAcrossHoneypotsWithSharedSalt) {
+  auto c1 = config(ContentStrategy::no_content);
+  auto c2 = config(ContentStrategy::no_content);
+  c2.id = 2;
+  c1.salt = c2.salt = "shared-measurement-salt";
+  Honeypot hp1(net, net.add_node(true), c1);
+  Honeypot hp2(net, net.add_node(true), c2);
+  hp1.connect_to_server(ref);
+  hp2.connect_to_server(ref);
+  settle();
+
+  // One peer node contacts both honeypots.
+  const auto node = net.add_node(true);
+  for (Honeypot* hp : {&hp1, &hp2}) {
+    net::EndpointPtr keep;
+    net.connect(node, hp->node(), [&](net::EndpointPtr ep) {
+      keep = std::move(ep);
+      proto::Hello hello;
+      hello.user = UserId::from_words(1, 1);
+      hello.client_id = net.info(node).ip.value();
+      hello.port = 4662;
+      keep->send(proto::encode(AnyMessage{hello}));
+    });
+    settle();
+  }
+  ASSERT_EQ(hp1.log().records.size(), 1u);
+  ASSERT_EQ(hp2.log().records.size(), 1u);
+  EXPECT_EQ(hp1.log().records[0].peer, hp2.log().records[0].peer);
+}
+
+TEST_F(HoneypotTest, AcceptsUploadAndLogsStartUpload) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  peer.ep->send(proto::encode(AnyMessage{proto::StartUpload{fake.id}}));
+  settle();
+  bool accepted = false;
+  for (const auto& m : peer.inbox) {
+    if (std::holds_alternative<proto::AcceptUpload>(m)) accepted = true;
+  }
+  EXPECT_TRUE(accepted);
+  ASSERT_EQ(hp.log().records.size(), 2u);
+  EXPECT_EQ(hp.log().records[1].type, logbook::QueryType::start_upload);
+  EXPECT_EQ(hp.log().records[1].file, fake.id);
+  EXPECT_TRUE(hp.log().records[1].has_file());
+}
+
+TEST_F(HoneypotTest, NoContentStrategyStaysSilentOnRequestPart) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  proto::RequestParts rp;
+  rp.file = fake.id;
+  rp.begin = {0, 184320, 368640};
+  rp.end = {184320, 368640, 552960};
+  peer.ep->send(proto::encode(AnyMessage{rp}));
+  settle();
+  for (const auto& m : peer.inbox) {
+    EXPECT_FALSE(std::holds_alternative<proto::SendingPart>(m));
+  }
+  // ...but the query was logged.
+  EXPECT_EQ(hp.log().records.back().type, logbook::QueryType::request_part);
+}
+
+TEST_F(HoneypotTest, RandomContentStrategySendsBlocks) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::random_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  proto::RequestParts rp;
+  rp.file = fake.id;
+  rp.begin = {0, 184320, 0};
+  rp.end = {184320, 368640, 0};  // third range empty
+  peer.ep->send(proto::encode(AnyMessage{rp}));
+  settle();
+  std::size_t blocks = 0;
+  std::uint64_t advertised_bytes = 0;
+  for (const auto& m : peer.inbox) {
+    if (const auto* part = std::get_if<proto::SendingPart>(&m)) {
+      ++blocks;
+      advertised_bytes += part->end - part->begin;
+      EXPECT_FALSE(part->data.empty());
+      // The content cannot verify against any fixed expected digest.
+      EXPECT_FALSE(proto::verify_part(part->data, Md4::Digest{}));
+    }
+  }
+  EXPECT_EQ(blocks, 2u);  // one per non-empty range
+  EXPECT_EQ(advertised_bytes, 2u * 184320u);
+}
+
+TEST_F(HoneypotTest, HarvestsSharedListsAndAggregates) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  proto::AskSharedFilesAnswer answer;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    proto::PublishedFile f;
+    f.file = FileId::from_words(i, i);
+    f.name = "shared-" + std::to_string(i) + ".avi";
+    f.size = 1000 * (static_cast<std::uint32_t>(i) + 1);
+    answer.files.push_back(f);
+  }
+  peer.ep->send(proto::encode(AnyMessage{answer}));
+  // A second peer shares an overlapping list.
+  auto peer2 = contact(hp);
+  peer2.ep->send(proto::encode(AnyMessage{answer}));
+  settle();
+
+  EXPECT_EQ(hp.observed_files().size(), 3u);
+  EXPECT_EQ(hp.observed_bytes(), 1000u + 2000u + 3000u);
+  EXPECT_EQ(hp.counters().get("shared_lists_received"), 2u);
+  EXPECT_EQ(hp.observed_names().size(), 3u);
+}
+
+TEST_F(HoneypotTest, GreedyModeAdoptsHarvestedFiles) {
+  auto c = config(ContentStrategy::no_content);
+  c.greedy = true;
+  c.greedy_harvest_window = days(1);
+  Honeypot hp(net, net.add_node(true), c);
+  hp.connect_to_server(ref);
+  settle();
+  hp.advertise({fake});
+
+  auto peer = contact(hp);
+  proto::AskSharedFilesAnswer answer;
+  proto::PublishedFile f;
+  f.file = FileId::from_words(0xCC, 0xDD);
+  f.name = "harvested.mp3";
+  f.size = 123;
+  answer.files.push_back(f);
+  peer.ep->send(proto::encode(AnyMessage{answer}));
+  settle();
+
+  ASSERT_EQ(hp.advertised().size(), 2u);
+  EXPECT_EQ(hp.advertised()[1].name, "harvested.mp3");
+  EXPECT_TRUE(server.index().has_file(f.file));  // re-offered to server
+}
+
+TEST_F(HoneypotTest, GreedyStopsAfterHarvestWindow) {
+  auto c = config(ContentStrategy::no_content);
+  c.greedy = true;
+  c.greedy_harvest_window = hours(1);
+  Honeypot hp(net, net.add_node(true), c);
+  hp.connect_to_server(ref);
+  settle();
+  s.run_until(s.now() + hours(2));
+
+  auto peer = contact(hp);
+  proto::AskSharedFilesAnswer answer;
+  proto::PublishedFile f;
+  f.file = FileId::from_words(0xEE, 0xFF);
+  f.name = "late.avi";
+  answer.files.push_back(f);
+  peer.ep->send(proto::encode(AnyMessage{answer}));
+  settle();
+  EXPECT_TRUE(hp.advertised().empty());
+  // Still *observed* for the distinct-files statistics.
+  EXPECT_EQ(hp.observed_files().size(), 1u);
+}
+
+TEST_F(HoneypotTest, AnswersSharedFilesBrowsing) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.advertise({fake});
+  auto peer = contact(hp);
+  peer.ep->send(proto::encode(AnyMessage{proto::AskSharedFiles{}}));
+  settle();
+  const auto* answer =
+      std::get_if<proto::AskSharedFilesAnswer>(&peer.inbox.back());
+  ASSERT_NE(answer, nullptr);
+  ASSERT_EQ(answer->files.size(), 1u);
+  EXPECT_EQ(answer->files[0].file, fake.id);
+}
+
+TEST_F(HoneypotTest, CrashAndRelaunchKeepsLog) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  EXPECT_EQ(hp.log().records.size(), 1u);
+
+  hp.crash();
+  EXPECT_EQ(hp.status(), Status::dead);
+  settle();
+  EXPECT_EQ(server.session_count(), 0u);
+
+  hp.connect_to_server(ref);
+  settle();
+  EXPECT_EQ(hp.status(), Status::connected);
+  EXPECT_EQ(hp.log().records.size(), 1u);  // log survived the crash
+}
+
+TEST_F(HoneypotTest, TakeLogDrainsButKeepsHeader) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::random_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp);
+  auto taken = hp.take_log();
+  EXPECT_EQ(taken.records.size(), 1u);
+  EXPECT_TRUE(hp.log().records.empty());
+  EXPECT_EQ(hp.log().header.strategy, "random-content");
+  // Logging continues into the fresh log.
+  auto peer2 = contact(hp);
+  EXPECT_EQ(hp.log().records.size(), 1u);
+}
+
+TEST_F(HoneypotTest, MalformedPeerTrafficDropsConnection) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp, /*send_hello=*/false);
+  peer.ep->send(net::Bytes{0xFF, 0xFF});
+  settle();
+  EXPECT_EQ(hp.counters().get("peer_decode_errors"), 1u);
+  EXPECT_TRUE(hp.log().records.empty());
+}
+
+TEST_F(HoneypotTest, LowIdPeerFlaggedInLog) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  auto peer = contact(hp, true, /*client_id=*/1234);  // LowID
+  ASSERT_EQ(hp.log().records.size(), 1u);
+  EXPECT_FALSE(hp.log().records[0].high_id());
+}
+
+}  // namespace
+}  // namespace edhp::honeypot
+
+namespace edhp::honeypot {
+namespace {
+
+TEST_F(HoneypotTest, SearchAndAdoptPullsKeywordMatches) {
+  // Another client shares keyword-matching files with the server.
+  const auto sharer_node = net.add_node(true);
+  net::EndpointPtr keep;
+  net.connect(sharer_node, server_node, [&](net::EndpointPtr ep) {
+    keep = std::move(ep);
+    proto::LoginRequest login;
+    login.user = UserId::from_words(5, 5);
+    login.port = 4662;
+    keep->send(proto::encode(proto::AnyMessage{login}));
+    proto::OfferFiles offer;
+    for (int i = 0; i < 3; ++i) {
+      proto::PublishedFile f;
+      f.file = FileId::from_words(static_cast<std::uint64_t>(100 + i), 1);
+      f.name = "crimson.echo.track" + std::to_string(i) + ".mp3";
+      f.size = 5000;
+      offer.files.push_back(f);
+    }
+    proto::PublishedFile other;
+    other.file = FileId::from_words(999, 1);
+    other.name = "unrelated.iso";
+    offer.files.push_back(other);
+    keep->send(proto::encode(proto::AnyMessage{std::move(offer)}));
+  });
+  settle();
+
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.search_and_adopt("crimson echo", 10);
+  settle();
+
+  EXPECT_EQ(hp.advertised().size(), 3u);
+  EXPECT_EQ(hp.counters().get("search_adopted"), 3u);
+  for (const auto& f : hp.advertised()) {
+    EXPECT_NE(f.name.find("crimson"), std::string::npos);
+  }
+  // The honeypot now appears as a provider of the keyword files.
+  EXPECT_EQ(server.index()
+                .sources(FileId::from_words(100, 1), 10)
+                .size(),
+            2u);  // original sharer + honeypot
+}
+
+TEST_F(HoneypotTest, SearchAdoptRespectsLimit) {
+  const auto sharer_node = net.add_node(true);
+  net::EndpointPtr keep;
+  net.connect(sharer_node, server_node, [&](net::EndpointPtr ep) {
+    keep = std::move(ep);
+    proto::LoginRequest login;
+    login.user = UserId::from_words(6, 6);
+    login.port = 4662;
+    keep->send(proto::encode(proto::AnyMessage{login}));
+    proto::OfferFiles offer;
+    for (int i = 0; i < 8; ++i) {
+      proto::PublishedFile f;
+      f.file = FileId::from_words(static_cast<std::uint64_t>(200 + i), 1);
+      f.name = "topic.file" + std::to_string(i) + ".avi";
+      offer.files.push_back(f);
+    }
+    keep->send(proto::encode(proto::AnyMessage{std::move(offer)}));
+  });
+  settle();
+
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.connect_to_server(ref);
+  settle();
+  hp.search_and_adopt("topic", 2);
+  settle();
+  EXPECT_EQ(hp.advertised().size(), 2u);
+}
+
+TEST_F(HoneypotTest, SearchWhileDisconnectedIsNoOp) {
+  Honeypot hp(net, net.add_node(true), config(ContentStrategy::no_content));
+  hp.search_and_adopt("anything", 5);
+  settle();
+  EXPECT_TRUE(hp.advertised().empty());
+  EXPECT_EQ(hp.counters().get("searches_sent"), 0u);
+}
+
+}  // namespace
+}  // namespace edhp::honeypot

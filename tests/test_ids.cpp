@@ -1,0 +1,65 @@
+// Strong ID types: formatting, ordering, HighID/LowID semantics.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.hpp"
+
+namespace edhp {
+namespace {
+
+TEST(Hash128, HexFormatting) {
+  auto id = FileId::from_words(0x0807060504030201ull, 0x100f0e0d0c0b0a09ull);
+  EXPECT_EQ(id.hex(), "0102030405060708090a0b0c0d0e0f10");
+}
+
+TEST(Hash128, ZeroDetection) {
+  FileId zero;
+  EXPECT_TRUE(zero.is_zero());
+  auto nz = FileId::from_words(1, 0);
+  EXPECT_FALSE(nz.is_zero());
+}
+
+TEST(Hash128, OrderingAndEquality) {
+  auto a = FileId::from_words(1, 0);
+  auto b = FileId::from_words(2, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, FileId::from_words(1, 0));
+  EXPECT_TRUE(a < b || b < a);
+}
+
+TEST(Hash128, UsableAsUnorderedKey) {
+  std::unordered_set<FileId> s;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    s.insert(FileId::from_words(i, i * 3));
+  }
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_TRUE(s.contains(FileId::from_words(5, 15)));
+  EXPECT_FALSE(s.contains(FileId::from_words(5, 16)));
+}
+
+TEST(IpAddr, DottedQuad) {
+  EXPECT_EQ(IpAddr(192, 168, 1, 42).str(), "192.168.1.42");
+  EXPECT_EQ(IpAddr(0).str(), "0.0.0.0");
+  EXPECT_EQ(IpAddr(0xFFFFFFFFu).str(), "255.255.255.255");
+}
+
+TEST(ClientId, HighLowThreshold) {
+  EXPECT_TRUE(ClientId(0x00FFFFFF).is_low());
+  EXPECT_TRUE(ClientId(0x01000000).is_high());
+  EXPECT_TRUE(ClientId(0).is_low());
+  const IpAddr ip(88, 44, 22, 11);
+  const auto high = ClientId::high(ip);
+  EXPECT_TRUE(high.is_high());
+  EXPECT_EQ(high.value(), ip.value());
+}
+
+TEST(ToHex, EmptyAndBytes) {
+  EXPECT_EQ(to_hex({}), "");
+  const std::uint8_t b[3] = {0x00, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(b, 3)), "00abff");
+}
+
+}  // namespace
+}  // namespace edhp

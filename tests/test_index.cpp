@@ -1,0 +1,125 @@
+// Server file/keyword index: offer-files semantics, provider lifecycle,
+// source limits, AND-search.
+
+#include <gtest/gtest.h>
+
+#include "server/index.hpp"
+
+namespace edhp::server {
+namespace {
+
+proto::PublishedFile pub(std::uint64_t n, const std::string& name,
+                         std::uint32_t size = 1000) {
+  proto::PublishedFile f;
+  f.file = FileId::from_words(n, n + 1);
+  f.name = name;
+  f.size = size;
+  return f;
+}
+
+TEST(FileIndex, AddAndLookupSources) {
+  FileIndex index;
+  index.set_shared_list(1, 0x11111111, 4662, {pub(1, "a.avi"), pub(2, "b.mp3")});
+  index.set_shared_list(2, 0x22222222, 4663, {pub(1, "a.avi")});
+
+  EXPECT_EQ(index.file_count(), 2u);
+  EXPECT_EQ(index.provider_count(), 3u);
+
+  auto sources = index.sources(FileId::from_words(1, 2), 10);
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0].client_id, 0x11111111u);
+  EXPECT_EQ(sources[1].client_id, 0x22222222u);
+
+  EXPECT_TRUE(index.sources(FileId::from_words(99, 100), 10).empty());
+}
+
+TEST(FileIndex, SourceLimitRespected) {
+  FileIndex index;
+  for (std::uint64_t s = 1; s <= 50; ++s) {
+    index.set_shared_list(s, static_cast<std::uint32_t>(0x1000000 + s), 4662,
+                          {pub(7, "x.iso")});
+  }
+  EXPECT_EQ(index.sources(FileId::from_words(7, 8), 10).size(), 10u);
+  EXPECT_EQ(index.sources(FileId::from_words(7, 8), 200).size(), 50u);
+}
+
+TEST(FileIndex, OfferReplacesPreviousList) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "a.avi"), pub(2, "b.mp3")});
+  index.set_shared_list(1, 1, 4662, {pub(3, "c.pdf")});
+  EXPECT_EQ(index.file_count(), 1u);
+  EXPECT_TRUE(index.sources(FileId::from_words(1, 2), 10).empty());
+  EXPECT_EQ(index.sources(FileId::from_words(3, 4), 10).size(), 1u);
+}
+
+TEST(FileIndex, DropSessionRemovesProviders) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "a.avi")});
+  index.set_shared_list(2, 2, 4662, {pub(1, "a.avi")});
+  index.drop_session(1);
+  EXPECT_EQ(index.provider_count(), 1u);
+  EXPECT_EQ(index.file_count(), 1u);
+  index.drop_session(2);
+  EXPECT_EQ(index.file_count(), 0u);
+  EXPECT_FALSE(index.has_file(FileId::from_words(1, 2)));
+}
+
+TEST(FileIndex, DropUnknownSessionIsNoOp) {
+  FileIndex index;
+  EXPECT_NO_THROW(index.drop_session(42));
+}
+
+TEST(FileIndex, DuplicateHashInOneListKeptOnce) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "a.avi"), pub(1, "renamed.avi")});
+  EXPECT_EQ(index.provider_count(), 1u);
+  EXPECT_EQ(index.sources(FileId::from_words(1, 2), 10).size(), 1u);
+}
+
+TEST(FileIndex, FirstAdvertiserNamesTheFile) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "Original.Name.avi")});
+  index.set_shared_list(2, 2, 4662, {pub(1, "other_name.avi")});
+  EXPECT_EQ(index.name_of(FileId::from_words(1, 2)), "Original.Name.avi");
+}
+
+TEST(FileIndex, SearchMatchesAllTerms) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662,
+                        {pub(1, "Night.Voyage.2008.DVDRip.avi"),
+                         pub(2, "night.sky.mp3"), pub(3, "voyage.iso")});
+  auto hits = index.search("night voyage", 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, FileId::from_words(1, 2));
+
+  EXPECT_EQ(index.search("night", 10).size(), 2u);
+  EXPECT_TRUE(index.search("nothing matches", 10).empty());
+  EXPECT_TRUE(index.search("", 10).empty());
+}
+
+TEST(FileIndex, SearchCaseInsensitive) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "LINUX-Distribution.ISO")});
+  EXPECT_EQ(index.search("linux distribution", 10).size(), 1u);
+  EXPECT_EQ(index.search("LiNuX", 10).size(), 1u);
+}
+
+TEST(FileIndex, SearchLimitRespected) {
+  FileIndex index;
+  std::vector<proto::PublishedFile> files;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    files.push_back(pub(i, "common.word." + std::to_string(i) + ".avi"));
+  }
+  index.set_shared_list(1, 1, 4662, files);
+  EXPECT_EQ(index.search("common", 5).size(), 5u);
+}
+
+TEST(FileIndex, SearchAfterAllProvidersGone) {
+  FileIndex index;
+  index.set_shared_list(1, 1, 4662, {pub(1, "ghost.file.avi")});
+  index.drop_session(1);
+  EXPECT_TRUE(index.search("ghost", 10).empty());
+}
+
+}  // namespace
+}  // namespace edhp::server

@@ -1,0 +1,233 @@
+// The measurement manager: launching, advertising orders, status polling
+// with relaunch, log collection, merged anonymised output.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "honeypot/manager.hpp"
+#include "logbook/log_io.hpp"
+#include "server/server.hpp"
+
+namespace edhp::honeypot {
+namespace {
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  // run() would never return while honeypot keep-alive timers are armed;
+  // settle() drains a bounded window instead.
+  void settle(double span = 180.0) { s.run_until(s.now() + span); }
+
+  sim::Simulation s{41};
+  net::Network net{s};
+  net::NodeId server_node = net.add_node(true);
+  server::Server server{net, server_node, {}};
+  ServerRef ref{server_node, "srv", 4661};
+  Manager manager{net, {}};
+
+  void SetUp() override { server.start(); }
+
+  std::size_t launch_one(ContentStrategy strategy = ContentStrategy::no_content) {
+    HoneypotConfig c;
+    c.name = "hp-" + std::to_string(manager.fleet_size());
+    c.strategy = strategy;
+    return manager.launch(std::move(c), net.add_node(true), ref);
+  }
+};
+
+TEST_F(ManagerTest, LaunchConnectsAndAssignsIds) {
+  launch_one();
+  launch_one();
+  settle();
+  EXPECT_EQ(manager.fleet_size(), 2u);
+  EXPECT_EQ(manager.honeypot(0).status(), Status::connected);
+  EXPECT_EQ(manager.honeypot(1).status(), Status::connected);
+  EXPECT_NE(manager.honeypot(0).config().id, manager.honeypot(1).config().id);
+  EXPECT_EQ(server.session_count(), 2u);
+}
+
+TEST_F(ManagerTest, InjectsSharedSalt) {
+  launch_one();
+  launch_one();
+  EXPECT_EQ(manager.honeypot(0).config().salt, manager.honeypot(1).config().salt);
+  EXPECT_FALSE(manager.honeypot(0).config().salt.empty());
+}
+
+TEST_F(ManagerTest, AdvertiseAllPushesSameList) {
+  launch_one();
+  launch_one();
+  settle();
+  AdvertisedFile f{FileId::from_words(1, 2), "bait.avi", 100};
+  manager.advertise_all({f});
+  settle();
+  EXPECT_EQ(server.index().sources(f.id, 10).size(), 2u);
+  EXPECT_EQ(manager.honeypot(0).advertised().size(), 1u);
+  EXPECT_EQ(manager.honeypot(1).advertised().size(), 1u);
+}
+
+TEST_F(ManagerTest, PerHoneypotAdvertise) {
+  launch_one();
+  launch_one();
+  settle();
+  AdvertisedFile f{FileId::from_words(3, 4), "one.mp3", 5};
+  manager.advertise(1, {f});
+  settle();
+  EXPECT_TRUE(manager.honeypot(0).advertised().empty());
+  EXPECT_EQ(manager.honeypot(1).advertised().size(), 1u);
+  EXPECT_EQ(server.index().sources(f.id, 10).size(), 1u);
+}
+
+TEST_F(ManagerTest, PollRelaunchesDeadHoneypots) {
+  launch_one();
+  settle();
+  manager.start();
+  AdvertisedFile f{FileId::from_words(5, 6), "bait.avi", 9};
+  manager.advertise(0, {f});
+  settle();
+
+  manager.honeypot(0).crash();
+  EXPECT_EQ(manager.honeypot(0).status(), Status::dead);
+  s.run_until(s.now() + minutes(30));  // poll period is 10 minutes
+  EXPECT_EQ(manager.honeypot(0).status(), Status::connected);
+  EXPECT_GE(manager.relaunches(), 1u);
+  // The advertised list survived (honeypot kept it) and is re-offered.
+  EXPECT_TRUE(server.index().has_file(f.id));
+}
+
+TEST_F(ManagerTest, RepeatedCrashesKeepGettingRelaunched) {
+  launch_one();
+  settle();
+  manager.start();
+  for (int i = 0; i < 3; ++i) {
+    manager.honeypot(0).crash();
+    s.run_until(s.now() + minutes(30));
+    EXPECT_EQ(manager.honeypot(0).status(), Status::connected) << "cycle " << i;
+  }
+  EXPECT_GE(manager.relaunches(), 3u);
+}
+
+TEST_F(ManagerTest, CollectLogsSnapshotsEveryHoneypot) {
+  launch_one();
+  launch_one(ContentStrategy::random_content);
+  settle();
+  const auto logs = manager.collect_logs();
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs[0].header.strategy, "no-content");
+  EXPECT_EQ(logs[1].header.strategy, "random-content");
+}
+
+TEST_F(ManagerTest, MergedAnonymizedIsStage2) {
+  launch_one();
+  settle();
+  std::uint64_t distinct = 99;
+  const auto merged = manager.merged_anonymized(&distinct);
+  EXPECT_EQ(merged.header.peer_kind, logbook::PeerIdKind::stage2_index);
+  EXPECT_EQ(distinct, 0u);  // no peers contacted anything yet
+}
+
+TEST_F(ManagerTest, StopDisconnectsFleet) {
+  launch_one();
+  launch_one();
+  settle();
+  manager.stop();
+  settle();
+  EXPECT_EQ(manager.honeypot(0).status(), Status::idle);
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+TEST_F(ManagerTest, ObservedFilesUnionAcrossFleet) {
+  launch_one();
+  settle();
+  EXPECT_EQ(manager.observed_files().distinct, 0u);
+  EXPECT_EQ(manager.observed_files().bytes, 0u);
+}
+
+TEST_F(ManagerTest, OutOfRangeIndexThrows) {
+  EXPECT_THROW((void)manager.honeypot(0), std::out_of_range);
+  EXPECT_THROW(manager.advertise(5, {}), std::out_of_range);
+  EXPECT_THROW(manager.reassign(5, ref), std::out_of_range);
+}
+
+TEST_F(ManagerTest, ReassignMovesHoneypotToAnotherServer) {
+  // A second directory server.
+  const auto other_node = net.add_node(true);
+  server::Server other(net, other_node, {});
+  other.start();
+  ServerRef other_ref{other_node, "other-server", 4661};
+
+  launch_one();
+  settle();
+  AdvertisedFile f{FileId::from_words(7, 8), "bait.avi", 10};
+  manager.advertise(0, {f});
+  settle();
+  EXPECT_TRUE(server.index().has_file(f.id));
+  EXPECT_FALSE(other.index().has_file(f.id));
+
+  manager.reassign(0, other_ref);
+  settle();
+  EXPECT_EQ(manager.honeypot(0).status(), Status::connected);
+  // The old server dropped the session (and its offers); the new one has
+  // the re-advertised list.
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_TRUE(other.index().has_file(f.id));
+  EXPECT_EQ(manager.honeypot(0).log().header.server_name, "other-server");
+}
+
+TEST_F(ManagerTest, ExportObservedNamesAnonymises) {
+  launch_one();
+  settle();
+  // Feed the honeypot a shared list through the wire.
+  const auto peer_node = net.add_node(true);
+  net::EndpointPtr keep;
+  net.connect(peer_node, manager.honeypot(0).node(), [&](net::EndpointPtr ep) {
+    keep = std::move(ep);
+    proto::Hello hello;
+    hello.user = UserId::from_words(1, 1);
+    hello.client_id = net.info(peer_node).ip.value();
+    hello.port = 4662;
+    keep->send(proto::encode(proto::AnyMessage{hello}));
+    proto::AskSharedFilesAnswer answer;
+    for (int i = 0; i < 3; ++i) {
+      proto::PublishedFile pf;
+      pf.file = FileId::from_words(static_cast<std::uint64_t>(i), 9);
+      pf.name = "common.word.secret" + std::to_string(i) + ".avi";
+      pf.size = 10;
+      answer.files.push_back(pf);
+    }
+    keep->send(proto::encode(proto::AnyMessage{answer}));
+  });
+  settle();
+
+  const auto names = manager.export_observed_names(/*threshold=*/2);
+  ASSERT_EQ(names.size(), 3u);
+  for (const auto& n : names) {
+    // Frequent words survive, the per-file "secretN" tokens do not.
+    EXPECT_NE(n.find("common"), std::string::npos);
+    EXPECT_EQ(n.find("secret"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace edhp::honeypot
+
+namespace edhp::honeypot {
+namespace {
+
+TEST_F(ManagerTest, PersistLogsWritesLoadableFiles) {
+  launch_one();
+  launch_one(ContentStrategy::random_content);
+  settle();
+  const auto dir = ::testing::TempDir() + "edhp_persist";
+  std::filesystem::create_directories(dir);
+  const auto paths = manager.persist_logs(dir);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& path : paths) {
+    const auto log = logbook::load(path);
+    EXPECT_EQ(log.header.peer_kind, logbook::PeerIdKind::stage1_hash);
+  }
+  EXPECT_EQ(logbook::load(paths[1]).header.strategy, "random-content");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace edhp::honeypot

@@ -1,0 +1,218 @@
+// Message codecs: parameterized round-trip over every message type, wire
+// header layout, channel dispatch, malformed-packet rejection, and a
+// randomized property sweep.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "proto/messages.hpp"
+
+namespace edhp::proto {
+namespace {
+
+UserId user(std::uint64_t n) { return UserId::from_words(n, ~n); }
+FileId file(std::uint64_t n) { return FileId::from_words(n * 3, n * 7 + 1); }
+
+PublishedFile pub(std::uint64_t n) {
+  PublishedFile f;
+  f.file = file(n);
+  f.client_id = static_cast<std::uint32_t>(0x1000000 + n);
+  f.port = static_cast<std::uint16_t>(4662 + n);
+  f.name = "file-" + std::to_string(n) + ".avi";
+  f.size = static_cast<std::uint32_t>(1000 + n * 12345);
+  return f;
+}
+
+std::vector<Tag> hello_tags() {
+  return {Tag::string_tag(kTagName, "edhp-peer"), Tag::u32_tag(kTagVersion, 0x3C)};
+}
+
+// --- Parameterized round-trip across all message kinds --------------------
+
+using Case = std::tuple<const char*, Channel, AnyMessage>;
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  const auto& [name, channel, msg] = GetParam();
+  const auto wire = encode(msg);
+  const AnyMessage back = decode(channel, wire);
+  EXPECT_EQ(back, msg) << name;
+  EXPECT_EQ(name_of(back), name_of(msg));
+}
+
+TEST_P(RoundTrip, HeaderLayout) {
+  const auto& [name, channel, msg] = GetParam();
+  (void)name;
+  (void)channel;
+  const auto wire = encode(msg);
+  ASSERT_GE(wire.size(), 6u);
+  EXPECT_EQ(wire[0], kProtoEDonkey);
+  const std::uint32_t len = static_cast<std::uint32_t>(wire[1]) |
+                            (static_cast<std::uint32_t>(wire[2]) << 8) |
+                            (static_cast<std::uint32_t>(wire[3]) << 16) |
+                            (static_cast<std::uint32_t>(wire[4]) << 24);
+  EXPECT_EQ(len, wire.size() - 5);
+  EXPECT_EQ(wire[5], opcode_of(msg));
+}
+
+TEST_P(RoundTrip, TruncationAlwaysRejected) {
+  const auto& [name, channel, msg] = GetParam();
+  (void)name;
+  const auto wire = encode(msg);
+  // Chopping any suffix must throw, never crash or mis-decode. (The length
+  // field makes every truncation detectable.)
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    EXPECT_THROW(
+        (void)decode(channel, std::span<const std::uint8_t>(wire.data(), keep)),
+        DecodeError)
+        << name << " truncated to " << keep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMessages, RoundTrip,
+    ::testing::Values(
+        Case{"login", Channel::client_server,
+             LoginRequest{user(1), 0, 4662,
+                          {Tag::string_tag(kTagName, "hp-01"),
+                           Tag::u32_tag(kTagVersion, 60),
+                           Tag::u32_tag(kTagPort, 4662)}}},
+        Case{"id_change", Channel::client_server, IdChange{0xC0A80001, 0}},
+        Case{"id_change_lowid", Channel::client_server, IdChange{4242, 1}},
+        Case{"offer_none", Channel::client_server, OfferFiles{{}}},
+        Case{"offer_some", Channel::client_server,
+             OfferFiles{{pub(1), pub(2), pub(3), pub(4)}}},
+        Case{"get_sources", Channel::client_server, GetSources{file(9)}},
+        Case{"found_none", Channel::client_server, FoundSources{file(9), {}}},
+        Case{"found_some", Channel::client_server,
+             FoundSources{file(9),
+                          {SourceEntry{0x05060708, 4662},
+                           SourceEntry{123, 4672}}}},
+        Case{"search", Channel::client_server, SearchRequest{"linux iso"}},
+        Case{"search_result", Channel::client_server, SearchResult{{pub(7)}}},
+        Case{"server_message", Channel::client_server,
+             ServerMessage{"server full"}},
+        Case{"hello", Channel::client_client,
+             Hello{user(2), 0x0A000001, 4662, hello_tags(), 0x51234567, 4661}},
+        Case{"hello_answer", Channel::client_client,
+             HelloAnswer{user(3), 77, 4662, hello_tags(), 0x51234567, 4661}},
+        Case{"start_upload", Channel::client_client, StartUpload{file(5)}},
+        Case{"accept_upload", Channel::client_client, AcceptUpload{}},
+        Case{"queue_rank", Channel::client_client, QueueRank{42}},
+        Case{"request_parts", Channel::client_client,
+             RequestParts{file(5),
+                          {0u, 184320u, 368640u},
+                          {184320u, 368640u, 552960u}}},
+        Case{"sending_part", Channel::client_client,
+             SendingPart{file(5), 0, 5, {1, 2, 3, 4, 5}}},
+        Case{"sending_part_empty", Channel::client_client,
+             SendingPart{file(5), 10, 10, {}}},
+        Case{"cancel", Channel::client_client, CancelTransfer{}},
+        Case{"ask_shared", Channel::client_client, AskSharedFiles{}},
+        Case{"ask_shared_answer", Channel::client_client,
+             AskSharedFilesAnswer{{pub(1), pub(2)}}}),
+    [](const auto& inf) { return std::get<0>(inf.param); });
+
+// --- Channel dispatch ------------------------------------------------------
+
+TEST(Decode, OpcodeIsContextual) {
+  // 0x01 is LOGIN-REQUEST on a server link but HELLO on a peer link.
+  LoginRequest login{user(1), 0, 4662, {}};
+  const auto wire = encode(AnyMessage{login});
+  EXPECT_EQ(wire[5], kOpLoginRequest);
+  EXPECT_EQ(kOpLoginRequest, kOpHello);
+  EXPECT_TRUE(
+      std::holds_alternative<LoginRequest>(decode(Channel::client_server, wire)));
+  // On the client channel the LOGIN payload is not a valid HELLO (it lacks
+  // the hash-size byte), so decoding must fail rather than mis-parse.
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, ClientOpcodeRejectedOnServerChannel) {
+  const auto wire = encode(AnyMessage{StartUpload{file(1)}});
+  EXPECT_THROW((void)decode(Channel::client_server, wire), DecodeError);
+}
+
+// --- Malformed packets -----------------------------------------------------
+
+TEST(Decode, BadMarkerRejected) {
+  auto wire = encode(AnyMessage{AcceptUpload{}});
+  wire[0] = 0xE5;
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, LengthMismatchRejected) {
+  auto wire = encode(AnyMessage{QueueRank{1}});
+  wire[1] = static_cast<std::uint8_t>(wire[1] + 1);
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, TrailingBytesRejected) {
+  auto wire = encode(AnyMessage{AcceptUpload{}});
+  wire.push_back(0xAA);
+  wire[1] = static_cast<std::uint8_t>(wire[1] + 1);  // keep length consistent
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, UnknownOpcodeRejected) {
+  auto wire = encode(AnyMessage{AcceptUpload{}});
+  wire[5] = 0xEE;
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, SendingPartBackwardRangeRejected) {
+  SendingPart m{file(1), 100, 50, {}};
+  const auto wire = encode(AnyMessage{m});
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+TEST(Decode, EmptyPacketRejected) {
+  // Header claiming zero-length payload has no opcode.
+  std::vector<std::uint8_t> wire{kProtoEDonkey, 0, 0, 0, 0};
+  EXPECT_THROW((void)decode(Channel::client_client, wire), DecodeError);
+}
+
+// --- Randomized property sweep ---------------------------------------------
+
+TEST(Property, RandomOfferFilesRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    OfferFiles offer;
+    const auto n = rng.below(20);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      PublishedFile f;
+      f.file = FileId::from_words(rng(), rng());
+      f.client_id = static_cast<std::uint32_t>(rng());
+      f.port = static_cast<std::uint16_t>(rng());
+      const auto name_len = rng.below(64);
+      for (std::uint64_t c = 0; c < name_len; ++c) {
+        f.name.push_back(static_cast<char>('!' + rng.below(90)));
+      }
+      f.size = static_cast<std::uint32_t>(rng());
+      offer.files.push_back(std::move(f));
+    }
+    const AnyMessage msg{offer};
+    EXPECT_EQ(decode(Channel::client_server, encode(msg)), msg);
+  }
+}
+
+TEST(Property, RandomByteSoupNeverCrashes) {
+  Rng rng(77);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    for (auto ch : {Channel::client_server, Channel::client_client}) {
+      try {
+        (void)decode(ch, junk);
+      } catch (const DecodeError&) {
+        // expected for almost all inputs
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edhp::proto

@@ -1,0 +1,74 @@
+// Metric recorders and text helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/text.hpp"
+#include "sim/metrics.hpp"
+
+namespace edhp {
+namespace {
+
+TEST(BucketSeries, BucketsByWidth) {
+  sim::BucketSeries series(10.0);
+  series.add(0.0);
+  series.add(9.999);
+  series.add(10.0);
+  series.add(35.0, 5);
+  EXPECT_EQ(series.num_buckets(), 4u);
+  EXPECT_EQ(series.at(0), 2u);
+  EXPECT_EQ(series.at(1), 1u);
+  EXPECT_EQ(series.at(2), 0u);
+  EXPECT_EQ(series.at(3), 5u);
+  EXPECT_EQ(series.at(99), 0u);  // untouched bucket reads as 0
+  EXPECT_EQ(series.total(), 8u);
+}
+
+TEST(BucketSeries, RejectsBadInput) {
+  EXPECT_THROW(sim::BucketSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(sim::BucketSeries(-1.0), std::invalid_argument);
+  sim::BucketSeries series(1.0);
+  EXPECT_THROW(series.add(-0.5), std::invalid_argument);
+}
+
+TEST(CounterSet, AccumulatesAndSorts) {
+  sim::CounterSet counters;
+  counters.add("b");
+  counters.add("a", 3);
+  counters.add("b", 2);
+  EXPECT_EQ(counters.get("a"), 3u);
+  EXPECT_EQ(counters.get("b"), 3u);
+  EXPECT_EQ(counters.get("missing"), 0u);
+  const auto sorted = counters.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "a");
+  EXPECT_EQ(sorted[1].first, "b");
+}
+
+class TokenizeCase : public ::testing::TestWithParam<
+                         std::pair<const char*, std::vector<std::string>>> {};
+
+TEST_P(TokenizeCase, SplitsAsExpected) {
+  const auto& [input, expected] = GetParam();
+  EXPECT_EQ(tokenize(input), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TokenizeCase,
+    ::testing::Values(
+        std::pair{"The.Best_Movie(2008)",
+                  std::vector<std::string>{"the", "best", "movie", "2008"}},
+        std::pair{"", std::vector<std::string>{}},
+        std::pair{"...", std::vector<std::string>{}},
+        std::pair{"single", std::vector<std::string>{"single"}},
+        std::pair{"UPPER lower", std::vector<std::string>{"upper", "lower"}},
+        std::pair{"a-b_c d", std::vector<std::string>{"a", "b", "c", "d"}},
+        std::pair{"trailing.", std::vector<std::string>{"trailing"}},
+        std::pair{".leading", std::vector<std::string>{"leading"}}));
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("MiXeD 123!"), "mixed 123!");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+}  // namespace
+}  // namespace edhp

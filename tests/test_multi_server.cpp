@@ -1,0 +1,101 @@
+// Multi-server deployment scenario: survey-driven assignment, per-server
+// subpopulations, global-view union.
+
+#include <gtest/gtest.h>
+
+#include "analysis/log_stats.hpp"
+#include "scenario/multi_server.hpp"
+
+namespace edhp::scenario {
+namespace {
+
+const MultiServerResult& mini_run() {
+  static const MultiServerResult result = [] {
+    MultiServerConfig config;
+    config.scale = 0.03;
+    config.days = 4;
+    config.honeypots = 6;
+    config.server_sizes = {0.5, 0.3, 0.2};
+    return run_multi_server(config);
+  }();
+  return result;
+}
+
+TEST(MultiServer, SurveyRanksServersBySize) {
+  const auto& r = mini_run();
+  ASSERT_EQ(r.survey.size(), 3u);
+  // Busiest first, matching the configured resident shares.
+  EXPECT_EQ(r.survey[0].first, "server-0");
+  EXPECT_GE(r.survey[0].second, r.survey[1].second);
+  EXPECT_GE(r.survey[1].second, r.survey[2].second);
+  EXPECT_GT(r.survey[0].second, 0u);
+}
+
+TEST(MultiServer, BusyServersGetMoreHoneypots) {
+  const auto& r = mini_run();
+  std::vector<int> per_server(3, 0);
+  for (auto s : r.server_of_honeypot) {
+    ASSERT_LT(s, 3u);
+    ++per_server[s];
+  }
+  EXPECT_GE(per_server[0], per_server[2]);
+  EXPECT_GT(per_server[0], 0);
+}
+
+TEST(MultiServer, EveryAssignedHoneypotObservesPeers) {
+  const auto& r = mini_run();
+  ASSERT_EQ(r.peers_per_honeypot.size(), 6u);
+  for (std::size_t h = 0; h < r.peers_per_honeypot.size(); ++h) {
+    EXPECT_GT(r.peers_per_honeypot[h], 0u) << "honeypot " << h;
+  }
+}
+
+TEST(MultiServer, UnionExceedsBestSingleHoneypot) {
+  const auto& r = mini_run();
+  std::uint64_t best = 0;
+  for (auto v : r.peers_per_honeypot) best = std::max(best, v);
+  EXPECT_GT(r.base.distinct_peers, best);
+  // Cross-server observation: honeypots on different servers see largely
+  // disjoint subpopulations, so the union is much bigger than any single
+  // honeypot's view.
+  EXPECT_GT(static_cast<double>(r.base.distinct_peers),
+            1.5 * static_cast<double>(best));
+}
+
+TEST(MultiServer, HoneypotsOnDifferentServersSeeDifferentPeers) {
+  const auto& r = mini_run();
+  const auto sets = analysis::peer_sets_by_honeypot(r.base.merged, 6);
+  // Find two honeypots on different servers and compare overlap with two on
+  // the same server.
+  std::optional<std::size_t> a, b_same, b_other;
+  for (std::size_t h = 1; h < 6; ++h) {
+    if (!a) {
+      a = 0;
+    }
+    if (r.server_of_honeypot[h] == r.server_of_honeypot[0] && !b_same) {
+      b_same = h;
+    }
+    if (r.server_of_honeypot[h] != r.server_of_honeypot[0] && !b_other) {
+      b_other = h;
+    }
+  }
+  ASSERT_TRUE(a && b_same && b_other);
+  const auto same_overlap = sets[*a].intersect_count(sets[*b_same]);
+  const auto cross_overlap = sets[*a].intersect_count(sets[*b_other]);
+  // Peers are homed on one server; only peer exchange leaks providers
+  // across groups, so same-server overlap must dominate.
+  EXPECT_GT(same_overlap, cross_overlap)
+      << "same-server honeypots should share far more peers";
+}
+
+TEST(MultiServer, MergedLogIsStage2AndOrdered) {
+  const auto& r = mini_run();
+  EXPECT_EQ(r.base.merged.header.peer_kind, logbook::PeerIdKind::stage2_index);
+  for (std::size_t i = 1; i < r.base.merged.records.size(); ++i) {
+    EXPECT_LE(r.base.merged.records[i - 1].timestamp,
+              r.base.merged.records[i].timestamp);
+  }
+}
+
+}  // namespace
+}  // namespace edhp::scenario

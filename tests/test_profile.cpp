@@ -1,0 +1,76 @@
+// Peer profile sampling: client mix, regions, reachability, bandwidth.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "peer/profile.hpp"
+
+namespace edhp::peer {
+namespace {
+
+TEST(Profile, SamplesSpanClientMix) {
+  Rng rng(1);
+  BehaviorParams params;
+  auto diurnal = sim::DiurnalProfile::european_2008();
+  std::set<std::string> names;
+  for (int i = 0; i < 2000; ++i) {
+    names.insert(sample_profile(rng, params, diurnal).client_name);
+  }
+  // All six 2008-era client kinds should appear.
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.contains("eMule 0.49b"));
+}
+
+TEST(Profile, HighIdFractionRespected) {
+  Rng rng(2);
+  BehaviorParams params;
+  params.high_id_fraction = 0.25;
+  auto diurnal = sim::DiurnalProfile::flat();
+  int reachable = 0;
+  constexpr int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_profile(rng, params, diurnal).reachable) ++reachable;
+  }
+  EXPECT_NEAR(reachable, n / 4.0, n * 0.02);
+}
+
+TEST(Profile, RegionsFollowMixtureWeights) {
+  Rng rng(3);
+  BehaviorParams params;
+  auto diurnal = sim::DiurnalProfile::european_2008();
+  std::map<double, int> region_counts;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++region_counts[sample_profile(rng, params, diurnal).tz_offset_hours];
+  }
+  ASSERT_EQ(region_counts.size(), diurnal.regions().size());
+  // The dominant region (CET, weight 0.58) should dominate the samples.
+  EXPECT_NEAR(region_counts[0.0], 0.58 * n, n * 0.02);
+}
+
+TEST(Profile, BandwidthPositiveWithFloor) {
+  Rng rng(4);
+  BehaviorParams params;
+  auto diurnal = sim::DiurnalProfile::flat();
+  for (int i = 0; i < 2000; ++i) {
+    const auto p = sample_profile(rng, params, diurnal);
+    EXPECT_GE(p.upload_bps, 16.0 * 1024);
+    EXPECT_LT(p.upload_bps, 10e6);
+  }
+}
+
+TEST(Profile, UserHashesDistinct) {
+  Rng rng(5);
+  BehaviorParams params;
+  auto diurnal = sim::DiurnalProfile::flat();
+  std::set<UserId> users;
+  for (int i = 0; i < 5000; ++i) {
+    users.insert(sample_profile(rng, params, diurnal).user);
+  }
+  EXPECT_EQ(users.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace edhp::peer

@@ -1,0 +1,237 @@
+// Integration tests: full measurement scenarios at miniature scale,
+// asserting the qualitative properties of every figure the paper reports.
+
+#include <gtest/gtest.h>
+
+#include "analysis/log_stats.hpp"
+#include "analysis/subsets.hpp"
+#include "scenario/scenario.hpp"
+
+namespace edhp::scenario {
+namespace {
+
+/// One shared miniature distributed run (scenarios are deterministic, so a
+/// single run serves every assertion).
+const ScenarioResult& mini_distributed() {
+  static const ScenarioResult result = [] {
+    DistributedConfig config;
+    config.scale = 0.02;
+    config.days = 8;
+    config.honeypots = 8;
+    return run_distributed(config);
+  }();
+  return result;
+}
+
+const ScenarioResult& mini_greedy() {
+  static const ScenarioResult result = [] {
+    GreedyConfig config;
+    config.scale = 0.05;
+    config.days = 5;
+    return run_greedy(config);
+  }();
+  return result;
+}
+
+TEST(DistributedScenario, ProducesAnonymisedMergedLog) {
+  const auto& r = mini_distributed();
+  EXPECT_EQ(r.merged.header.peer_kind, logbook::PeerIdKind::stage2_index);
+  EXPECT_GT(r.merged.records.size(), 1000u);
+  EXPECT_GT(r.distinct_peers, 100u);
+  // Stage-2 peers are dense integers.
+  for (const auto& rec : r.merged.records) {
+    EXPECT_LT(rec.peer, r.distinct_peers);
+  }
+}
+
+TEST(DistributedScenario, LogIsTimeOrdered) {
+  const auto& r = mini_distributed();
+  for (std::size_t i = 1; i < r.merged.records.size(); ++i) {
+    EXPECT_LE(r.merged.records[i - 1].timestamp, r.merged.records[i].timestamp);
+  }
+}
+
+TEST(DistributedScenario, AllThreeQueryTypesLogged) {
+  const auto& r = mini_distributed();
+  std::array<std::uint64_t, 3> counts{};
+  for (const auto& rec : r.merged.records) {
+    counts[static_cast<std::size_t>(rec.type)]++;
+  }
+  EXPECT_GT(counts[0], 0u);  // HELLO
+  EXPECT_GT(counts[1], 0u);  // START-UPLOAD
+  EXPECT_GT(counts[2], 0u);  // REQUEST-PART
+  // HELLO outnumbers START-UPLOAD; REQUEST-PART outnumbers both (paper).
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(DistributedScenario, EveryHoneypotObservesPeers) {
+  const auto& r = mini_distributed();
+  const auto sets = analysis::peer_sets_by_honeypot(r.merged, r.honeypots);
+  for (std::size_t h = 0; h < sets.size(); ++h) {
+    EXPECT_GT(sets[h].count(), 0u) << "honeypot " << h << " observed nothing";
+  }
+}
+
+TEST(DistributedScenario, Fig2GrowthContinuesThroughMeasurement) {
+  const auto& r = mini_distributed();
+  const auto series = analysis::distinct_peers_by_day(
+      r.merged, std::nullopt, static_cast<std::size_t>(r.days));
+  // New peers appear on every day, including the last.
+  for (std::size_t d = 0; d < series.fresh.size(); ++d) {
+    EXPECT_GT(series.fresh[d], 0u) << "day " << d;
+  }
+  EXPECT_EQ(series.total, r.distinct_peers);
+}
+
+TEST(DistributedScenario, Fig4DayNightOscillation) {
+  const auto& r = mini_distributed();
+  const auto hours_total = static_cast<std::size_t>(r.days * 24);
+  const auto hourly = analysis::messages_by_hour(
+      r.merged, logbook::QueryType::hello, hours_total);
+  double day = 0, night = 0;
+  std::size_t dn = 0, nn = 0;
+  for (std::size_t h = 24; h < hours_total; ++h) {
+    const double hod = hour_of_day(static_cast<double>(h) * kHour + 1800);
+    if (hod >= 12 && hod < 22) {
+      day += static_cast<double>(hourly[h]);
+      ++dn;
+    } else if (hod < 7) {
+      night += static_cast<double>(hourly[h]);
+      ++nn;
+    }
+  }
+  ASSERT_GT(dn, 0u);
+  ASSERT_GT(nn, 0u);
+  EXPECT_GT(day / static_cast<double>(dn), 1.3 * night / static_cast<double>(nn));
+}
+
+TEST(DistributedScenario, Fig5RandomContentObservesMorePeers) {
+  const auto& r = mini_distributed();
+  const auto days = static_cast<std::size_t>(r.days);
+  const auto rc = analysis::distinct_peers_by_day(
+      r.merged, logbook::QueryType::hello, days, strategy_filter(r, true));
+  const auto nc = analysis::distinct_peers_by_day(
+      r.merged, logbook::QueryType::hello, days, strategy_filter(r, false));
+  EXPECT_GT(rc.total, nc.total);
+}
+
+TEST(DistributedScenario, Fig7RandomContentReceivesMoreRequestParts) {
+  const auto& r = mini_distributed();
+  const auto days = static_cast<std::size_t>(r.days);
+  const auto rc = analysis::cumulative_messages_by_day(
+      r.merged, logbook::QueryType::request_part, days, strategy_filter(r, true));
+  const auto nc = analysis::cumulative_messages_by_day(
+      r.merged, logbook::QueryType::request_part, days, strategy_filter(r, false));
+  EXPECT_GT(rc.back(), nc.back());
+}
+
+TEST(DistributedScenario, Fig8TopPeerPrefersRandomContent) {
+  const auto& r = mini_distributed();
+  const auto top = analysis::most_active_peer(r.merged);
+  ASSERT_TRUE(top.has_value());
+  const auto days = static_cast<std::size_t>(r.days);
+  const auto rc = analysis::peer_messages_by_day(
+      r.merged, *top, logbook::QueryType::start_upload, days,
+      strategy_filter(r, true));
+  const auto nc = analysis::peer_messages_by_day(
+      r.merged, *top, logbook::QueryType::start_upload, days,
+      strategy_filter(r, false));
+  EXPECT_GT(rc.back(), nc.back());
+  EXPECT_GT(nc.back(), 0u);
+}
+
+TEST(DistributedScenario, Fig10CurveConcaveAndAnchored) {
+  const auto& r = mini_distributed();
+  const auto sets = analysis::peer_sets_by_honeypot(r.merged, r.honeypots);
+  const auto curve = analysis::subset_union_curve(sets, 50, Rng(1));
+  ASSERT_EQ(curve.size(), r.honeypots);
+  // Anchors: n = all honeypots equals the global distinct count.
+  EXPECT_EQ(curve.min.back(), r.distinct_peers);
+  EXPECT_EQ(curve.max.back(), r.distinct_peers);
+  // Diminishing returns: first honeypot adds more than the last.
+  const double first_gain = curve.avg[0];
+  const double last_gain = curve.avg[curve.size() - 1] - curve.avg[curve.size() - 2];
+  EXPECT_GT(first_gain, last_gain);
+  EXPECT_GT(last_gain, 0.0);
+}
+
+TEST(DistributedScenario, BlacklistReputationOrdering) {
+  const auto& r = mini_distributed();
+  EXPECT_GT(r.blacklist_reports, 0u);
+  EXPECT_LT(r.reputation_no_content, r.reputation_random_content);
+}
+
+TEST(DistributedScenario, ObservedFilesAggregated) {
+  const auto& r = mini_distributed();
+  EXPECT_GT(r.observed.distinct, 0u);
+  EXPECT_GT(r.observed.bytes, 0u);
+}
+
+TEST(GreedyScenario, HarvestGrowsAdvertisedList) {
+  const auto& r = mini_greedy();
+  EXPECT_GT(r.advertised_files, 50u);
+  EXPECT_EQ(r.advertised_ids.size(), r.advertised_files);
+  EXPECT_GT(r.distinct_peers, 500u);
+}
+
+TEST(GreedyScenario, Fig3InitialisationPhase) {
+  const auto& r = mini_greedy();
+  const auto series = analysis::distinct_peers_by_day(
+      r.merged, std::nullopt, static_cast<std::size_t>(r.days));
+  // Day 1 is the harvest phase: far fewer new peers than steady state.
+  ASSERT_GE(series.fresh.size(), 3u);
+  const double steady =
+      static_cast<double>(series.fresh[2] + series.fresh.back()) / 2.0;
+  EXPECT_LT(static_cast<double>(series.fresh[0]), steady);
+  EXPECT_GT(series.fresh[0], 0u);
+}
+
+TEST(GreedyScenario, Fig11PerFileCurveGrowsSteadily) {
+  const auto& r = mini_greedy();
+  const std::size_t n_files = std::min<std::size_t>(30, r.advertised_ids.size());
+  std::vector<FileId> chosen(r.advertised_ids.begin(),
+                             r.advertised_ids.begin() +
+                                 static_cast<std::ptrdiff_t>(n_files));
+  const auto sets = analysis::peer_sets_by_file(r.merged, chosen);
+  const auto curve = analysis::subset_union_curve(sets, 40, Rng(9));
+  // Adding files keeps adding peers (near-linear growth in the paper).
+  EXPECT_GT(curve.avg.back(), curve.avg[n_files / 2]);
+  EXPECT_GT(curve.avg[n_files / 2], curve.avg[0]);
+}
+
+TEST(GreedyScenario, Fig12PopularityIsSkewed) {
+  const auto& r = mini_greedy();
+  const auto pop = analysis::file_popularity(r.merged);
+  ASSERT_GT(pop.size(), 10u);
+  // Heavy-tailed per-file interest: the top file dwarfs the median.
+  EXPECT_GT(pop.front().peers, 4 * pop[pop.size() / 2].peers);
+}
+
+TEST(Scenarios, DeterministicForFixedSeed) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 2;
+  config.honeypots = 4;
+  config.with_top_peer = false;
+  const auto a = run_distributed(config);
+  const auto b = run_distributed(config);
+  EXPECT_EQ(a.merged.records.size(), b.merged.records.size());
+  EXPECT_EQ(a.distinct_peers, b.distinct_peers);
+  EXPECT_EQ(a.merged.records, b.merged.records);
+}
+
+TEST(Scenarios, SeedChangesOutcome) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 2;
+  config.honeypots = 4;
+  config.with_top_peer = false;
+  const auto a = run_distributed(config);
+  config.seed += 1;
+  const auto b = run_distributed(config);
+  EXPECT_NE(a.merged.records, b.merged.records);
+}
+
+}  // namespace
+}  // namespace edhp::scenario

@@ -1,0 +1,167 @@
+// Discrete-event kernel: ordering, cancellation, timers, clock semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace edhp::sim {
+namespace {
+
+TEST(Simulation, ExecutesInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, FifoTieBreakAtEqualTimes) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation s;
+  double seen = -1;
+  s.schedule_at(42.5, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(seen, 42.5);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation s;
+  int count = 0;
+  s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(2.0, [&] { ++count; });
+  s.schedule_at(2.0000001, [&] { ++count; });
+  const auto executed = s.run_until(2.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] {
+    s.schedule_in(1.0, [&] {
+      ++fired;
+      s.schedule_in(0.5, [&] { ++fired; });
+    });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 2.5);
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation s;
+  s.schedule_at(10.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation s;
+  int fired = 0;
+  auto h = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.cancel(h);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CancelAfterExecutionIsNoOp) {
+  Simulation s;
+  auto h = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_NO_THROW(s.cancel(h));
+  EXPECT_NO_THROW(s.cancel(EventHandle{}));
+}
+
+TEST(Simulation, StopInterruptsRun) {
+  Simulation s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulation s;
+  s.run_until(100.0);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Simulation s;
+  int ticks = 0;
+  PeriodicTimer t(s, 10.0, [&] { ++ticks; });
+  t.start();
+  s.run_until(35.0);
+  EXPECT_EQ(ticks, 3);  // at t = 10, 20, 30
+}
+
+TEST(PeriodicTimer, StopHaltsTicks) {
+  Simulation s;
+  int ticks = 0;
+  PeriodicTimer t(s, 1.0, [&] { ++ticks; });
+  t.start();
+  s.schedule_at(3.5, [&] { t.stop(); });
+  s.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, DestructorCancelsPending) {
+  Simulation s;
+  int ticks = 0;
+  {
+    PeriodicTimer t(s, 1.0, [&] { ++ticks; });
+    t.start();
+  }
+  s.run_until(5.0);
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(PeriodicTimer, RejectsNonPositivePeriod) {
+  Simulation s;
+  EXPECT_THROW(PeriodicTimer(s, 0.0, [] {}), std::invalid_argument);
+}
+
+TEST(PeriodicTimer, TimerCanStopItself) {
+  Simulation s;
+  int ticks = 0;
+  PeriodicTimer t(s, 1.0, [&] {
+    if (++ticks == 2) t.stop();
+  });
+  t.start();
+  s.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulation, ExecutedCountAccumulates) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+}  // namespace
+}  // namespace edhp::sim

@@ -1,0 +1,43 @@
+// Community source cache (peer exchange substrate).
+
+#include <gtest/gtest.h>
+
+#include "peer/source_cache.hpp"
+
+namespace edhp::peer {
+namespace {
+
+TEST(SourceCache, EmptyLookup) {
+  SourceCache cache;
+  EXPECT_TRUE(cache.lookup(FileId::from_words(1, 1)).empty());
+  EXPECT_EQ(cache.files_known(), 0u);
+}
+
+TEST(SourceCache, OfferAccumulatesDeduplicated) {
+  SourceCache cache;
+  const auto file = FileId::from_words(1, 1);
+  cache.offer(file, {{0x2000001, 4662}, {0x2000002, 4662}});
+  cache.offer(file, {{0x2000002, 4662}, {0x2000003, 4662}});
+  const auto& known = cache.lookup(file);
+  ASSERT_EQ(known.size(), 3u);
+  EXPECT_EQ(cache.files_known(), 1u);
+}
+
+TEST(SourceCache, FilesAreIndependent) {
+  SourceCache cache;
+  cache.offer(FileId::from_words(1, 1), {{10, 1}});
+  cache.offer(FileId::from_words(2, 2), {{20, 2}});
+  EXPECT_EQ(cache.lookup(FileId::from_words(1, 1)).size(), 1u);
+  EXPECT_EQ(cache.lookup(FileId::from_words(2, 2)).size(), 1u);
+  EXPECT_EQ(cache.lookup(FileId::from_words(1, 1))[0].client_id, 10u);
+  EXPECT_EQ(cache.files_known(), 2u);
+}
+
+TEST(SourceCache, OfferEmptyListIsHarmless) {
+  SourceCache cache;
+  cache.offer(FileId::from_words(1, 1), {});
+  EXPECT_TRUE(cache.lookup(FileId::from_words(1, 1)).empty());
+}
+
+}  // namespace
+}  // namespace edhp::peer

@@ -1,0 +1,157 @@
+// Bitsets, thread pool, and the subset-union estimators behind Figs 10-12.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "analysis/subsets.hpp"
+
+namespace edhp::analysis {
+namespace {
+
+TEST(DynBitset, SetTestCount) {
+  DynBitset b(200);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(199));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynBitset, MergeCountsOnlyNewBits) {
+  DynBitset a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(100);
+  b.set(101);
+  EXPECT_EQ(a.merge_count_new(b), 1u);  // only 101 is new
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.merge_count_new(b), 0u);  // idempotent
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(&pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, WorksInlineWithoutPool) {
+  int sum = 0;
+  parallel_for(nullptr, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+  parallel_for(nullptr, 0, [&](std::size_t) { FAIL(); });
+}
+
+std::vector<DynBitset> demo_sets() {
+  // 4 sets over a universe of 10 peers with known unions.
+  std::vector<DynBitset> sets(4, DynBitset(10));
+  for (std::size_t i : {0u, 1u, 2u}) sets[0].set(i);
+  for (std::size_t i : {2u, 3u}) sets[1].set(i);
+  for (std::size_t i : {4u, 5u, 6u, 7u}) sets[2].set(i);
+  for (std::size_t i : {0u, 9u}) sets[3].set(i);
+  return sets;
+}
+
+TEST(SubsetCurve, FullPrefixEqualsTotalUnion) {
+  const auto sets = demo_sets();
+  const auto curve = subset_union_curve(sets, 50, Rng(1));
+  ASSERT_EQ(curve.size(), 4u);
+  // n = 4 is always the complete union (9 distinct peers), in every sample.
+  EXPECT_DOUBLE_EQ(curve.avg[3], 9.0);
+  EXPECT_EQ(curve.min[3], 9u);
+  EXPECT_EQ(curve.max[3], 9u);
+}
+
+TEST(SubsetCurve, SingleEntryBoundsMatchSetSizes) {
+  const auto sets = demo_sets();
+  const auto curve = subset_union_curve(sets, 200, Rng(2));
+  // n = 1: min over samples should reach the smallest set (2), max the
+  // largest (4); the average lies between.
+  EXPECT_EQ(curve.min[0], 2u);
+  EXPECT_EQ(curve.max[0], 4u);
+  EXPECT_GT(curve.avg[0], 2.0);
+  EXPECT_LT(curve.avg[0], 4.0);
+}
+
+TEST(SubsetCurve, MonotoneInN) {
+  const auto sets = demo_sets();
+  const auto curve = subset_union_curve(sets, 30, Rng(3));
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve.avg[i], curve.avg[i - 1]);
+    EXPECT_GE(curve.min[i], curve.min[i - 1]);
+    EXPECT_GE(curve.max[i], curve.max[i - 1]);
+  }
+}
+
+TEST(SubsetCurve, DeterministicAcrossThreadCounts) {
+  const auto sets = demo_sets();
+  ThreadPool pool1(1), pool4(4);
+  const auto serial = subset_union_curve(sets, 64, Rng(7), nullptr);
+  const auto one = subset_union_curve(sets, 64, Rng(7), &pool1);
+  const auto four = subset_union_curve(sets, 64, Rng(7), &pool4);
+  EXPECT_EQ(serial.avg, one.avg);
+  EXPECT_EQ(serial.avg, four.avg);
+  EXPECT_EQ(serial.min, four.min);
+  EXPECT_EQ(serial.max, four.max);
+}
+
+TEST(SubsetCurve, EmptyInputsYieldEmptyCurves) {
+  const auto curve = subset_union_curve({}, 10, Rng(1));
+  EXPECT_EQ(curve.size(), 0u);
+}
+
+TEST(SubsetCurve, AgreesWithNaiveReferenceOnAverage) {
+  // Statistical agreement between the permutation-prefix estimator and the
+  // independent-subset reference implementation.
+  Rng data_rng(11);
+  constexpr std::size_t kSets = 6, kUniverse = 400;
+  std::vector<DynBitset> sets(kSets, DynBitset(kUniverse));
+  std::vector<std::vector<std::uint64_t>> lists(kSets);
+  for (std::size_t s = 0; s < kSets; ++s) {
+    const auto size = 20 + data_rng.below(60);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      const auto v = data_rng.below(kUniverse);
+      if (!sets[s].test(v)) {
+        sets[s].set(v);
+        lists[s].push_back(v);
+      }
+    }
+  }
+  const auto fast = subset_union_curve(sets, 400, Rng(5));
+  const auto naive = subset_union_curve_naive(lists, 400, Rng(6));
+  for (std::size_t n = 0; n < kSets; ++n) {
+    EXPECT_NEAR(fast.avg[n], naive.avg[n], naive.avg[n] * 0.05 + 1.0)
+        << "n=" << n + 1;
+  }
+  // Endpoints are exact in both.
+  EXPECT_DOUBLE_EQ(fast.avg[kSets - 1], naive.avg[kSets - 1]);
+}
+
+}  // namespace
+}  // namespace edhp::analysis

@@ -1,0 +1,133 @@
+// eDonkey tag system: round-trips, wire layout, malformed input.
+
+#include <gtest/gtest.h>
+
+#include "proto/opcodes.hpp"
+#include "proto/tags.hpp"
+
+namespace edhp::proto {
+namespace {
+
+TEST(Tags, StringTagRoundTrip) {
+  ByteWriter w;
+  encode_tag(w, Tag::string_tag(kTagName, "ubuntu-8.10.iso"));
+  ByteReader r(w.view());
+  const Tag t = decode_tag(r);
+  EXPECT_TRUE(t.is_string());
+  EXPECT_EQ(t.name, kTagName);
+  EXPECT_EQ(t.as_string(), "ubuntu-8.10.iso");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Tags, U32TagRoundTrip) {
+  ByteWriter w;
+  encode_tag(w, Tag::u32_tag(kTagFileSize, 734003200));
+  ByteReader r(w.view());
+  const Tag t = decode_tag(r);
+  EXPECT_FALSE(t.is_string());
+  EXPECT_EQ(t.as_u32(), 734003200u);
+}
+
+TEST(Tags, WireLayoutOfU32Tag) {
+  ByteWriter w;
+  encode_tag(w, Tag::u32_tag(0x0F, 4662));
+  const auto& b = w.view();
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], kTagTypeU32);
+  EXPECT_EQ(b[1], 1);  // name length lo
+  EXPECT_EQ(b[2], 0);  // name length hi
+  EXPECT_EQ(b[3], 0x0F);
+  EXPECT_EQ(b[4], 0x36);  // 4662 = 0x1236 little-endian
+  EXPECT_EQ(b[5], 0x12);
+}
+
+TEST(Tags, WrongAccessorThrows) {
+  const Tag s = Tag::string_tag(1, "x");
+  const Tag n = Tag::u32_tag(2, 7);
+  EXPECT_THROW((void)s.as_u32(), DecodeError);
+  EXPECT_THROW((void)n.as_string(), DecodeError);
+}
+
+TEST(Tags, TagListRoundTrip) {
+  std::vector<Tag> tags{
+      Tag::string_tag(kTagName, "honeypot"),
+      Tag::u32_tag(kTagVersion, 0x3C),
+      Tag::u32_tag(kTagPort, 4662),
+  };
+  ByteWriter w;
+  encode_tags(w, tags);
+  ByteReader r(w.view());
+  const auto decoded = decode_tags(r);
+  EXPECT_EQ(decoded, tags);
+}
+
+TEST(Tags, EmptyTagListRoundTrip) {
+  ByteWriter w;
+  encode_tags(w, {});
+  ByteReader r(w.view());
+  EXPECT_TRUE(decode_tags(r).empty());
+}
+
+TEST(Tags, FindTagReturnsFirstMatch) {
+  std::vector<Tag> tags{
+      Tag::u32_tag(5, 1),
+      Tag::u32_tag(7, 2),
+      Tag::u32_tag(5, 3),
+  };
+  const Tag* t = find_tag(tags, 5);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->as_u32(), 1u);
+  EXPECT_EQ(find_tag(tags, 9), nullptr);
+}
+
+TEST(Tags, CountLimitRejectsHostileInput) {
+  ByteWriter w;
+  w.u32(1000000);  // absurd tag count
+  ByteReader r(w.view());
+  EXPECT_THROW((void)decode_tags(r, 256), DecodeError);
+}
+
+TEST(Tags, UnknownTypeRejected) {
+  ByteWriter w;
+  w.u8(0x99);
+  w.u16(1);
+  w.u8(1);
+  ByteReader r(w.view());
+  EXPECT_THROW((void)decode_tag(r), DecodeError);
+}
+
+TEST(Tags, EmptyNameRejected) {
+  ByteWriter w;
+  w.u8(kTagTypeU32);
+  w.u16(0);
+  w.u32(1);
+  ByteReader r(w.view());
+  EXPECT_THROW((void)decode_tag(r), DecodeError);
+}
+
+TEST(Tags, LongNameToleratedFirstByteWins) {
+  ByteWriter w;
+  w.u8(kTagTypeU32);
+  w.u16(3);
+  w.u8(0x42);
+  w.u8(0x00);
+  w.u8(0x00);
+  w.u32(99);
+  ByteReader r(w.view());
+  const Tag t = decode_tag(r);
+  EXPECT_EQ(t.name, 0x42);
+  EXPECT_EQ(t.as_u32(), 99u);
+}
+
+TEST(Tags, TruncatedValueThrows) {
+  ByteWriter w;
+  w.u8(kTagTypeU32);
+  w.u16(1);
+  w.u8(1);
+  w.u16(7);  // only 2 of the 4 value bytes
+  ByteReader r(w.view());
+  EXPECT_THROW((void)decode_tag(r), DecodeError);
+}
+
+}  // namespace
+}  // namespace edhp::proto

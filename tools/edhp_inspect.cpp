@@ -1,0 +1,137 @@
+// edhp_inspect — operator CLI for honeypot log files.
+//
+// Subcommands:
+//   stats <log...>            per-file and combined summary statistics
+//   csv <log>                 dump a log as CSV to stdout
+//   merge <out> <log...>      merge per-honeypot logs (stage-1) into one file
+//   anonymize <in> <out>      apply stage-2 renumbering to a merged log
+//   clients <log>             client-software mix of a stage-2 log
+//
+// Logs are the binary format honeypots write (logbook::save/load). The
+// pipeline an operator runs after a campaign:
+//   edhp_inspect merge merged.edhplog hp-*.edhplog
+//   edhp_inspect anonymize merged.edhplog published.edhplog
+//   edhp_inspect stats published.edhplog
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/client_stats.hpp"
+#include "analysis/log_stats.hpp"
+#include "analysis/report.hpp"
+#include "anonymize/renumber.hpp"
+#include "logbook/log_io.hpp"
+#include "logbook/merge.hpp"
+
+using namespace edhp;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients> ...\n"
+               "  stats <log...>\n"
+               "  csv <log>\n"
+               "  merge <out> <log...>\n"
+               "  anonymize <in> <out>\n"
+               "  clients <log>\n";
+  return 2;
+}
+
+void print_stats(const std::string& path, const logbook::LogFile& log) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("honeypot", log.header.honeypot == 0xFFFF
+                                    ? "merged"
+                                    : std::to_string(log.header.honeypot));
+  rows.emplace_back("strategy", log.header.strategy.empty() ? "-"
+                                                            : log.header.strategy);
+  rows.emplace_back("server", log.header.server_name.empty()
+                                  ? "-"
+                                  : log.header.server_name);
+  rows.emplace_back("anonymisation",
+                    log.header.peer_kind == logbook::PeerIdKind::stage1_hash
+                        ? "stage-1 (salted hashes)"
+                        : "stage-2 (dense integers)");
+  rows.emplace_back("records", analysis::with_commas(log.records.size()));
+  std::array<std::uint64_t, 3> by_type{};
+  double first = -1, last = -1;
+  for (const auto& r : log.records) {
+    ++by_type[static_cast<std::size_t>(r.type)];
+    if (first < 0) first = r.timestamp;
+    last = r.timestamp;
+  }
+  rows.emplace_back("HELLO", analysis::with_commas(by_type[0]));
+  rows.emplace_back("START-UPLOAD", analysis::with_commas(by_type[1]));
+  rows.emplace_back("REQUEST-PART", analysis::with_commas(by_type[2]));
+  if (first >= 0) {
+    rows.emplace_back("span",
+                      std::to_string((last - first) / kDay) + " days");
+  }
+  if (log.header.peer_kind == logbook::PeerIdKind::stage2_index) {
+    rows.emplace_back("distinct peers",
+                      analysis::with_commas(analysis::distinct_peers(log)));
+    const auto ids = analysis::high_id_share(log);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100 * ids.fraction_high());
+    rows.emplace_back("HighID peers", buf);
+  }
+  analysis::print_kv(std::cout, path, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "stats") {
+      for (int i = 2; i < argc; ++i) {
+        print_stats(argv[i], logbook::load(argv[i]));
+      }
+      return 0;
+    }
+    if (cmd == "csv") {
+      logbook::write_csv(std::cout, logbook::load(argv[2]));
+      return 0;
+    }
+    if (cmd == "merge") {
+      if (argc < 4) return usage();
+      std::vector<logbook::LogFile> logs;
+      for (int i = 3; i < argc; ++i) {
+        logs.push_back(logbook::load(argv[i]));
+      }
+      const auto merged = logbook::merge_logs(logs);
+      logbook::save(argv[2], merged);
+      std::cout << "merged " << logs.size() << " logs ("
+                << analysis::with_commas(merged.records.size())
+                << " records) into " << argv[2] << "\n";
+      return 0;
+    }
+    if (cmd == "anonymize") {
+      if (argc < 4) return usage();
+      auto log = logbook::load(argv[2]);
+      const auto distinct = anonymize::renumber_peers(log);
+      logbook::save(argv[3], log);
+      std::cout << "stage-2 applied: " << analysis::with_commas(distinct)
+                << " distinct peers -> " << argv[3] << "\n";
+      return 0;
+    }
+    if (cmd == "clients") {
+      const auto log = logbook::load(argv[2]);
+      const auto mix = analysis::client_mix(log);
+      std::cout << "client software mix (" << mix.size() << " kinds):\n";
+      for (const auto& c : mix) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%5.1f%%", 100 * c.share);
+        std::cout << "  " << buf << "  "
+                  << (c.name.empty() ? "(no name tag)" : c.name) << "  ("
+                  << analysis::with_commas(c.peers) << " peers)\n";
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
