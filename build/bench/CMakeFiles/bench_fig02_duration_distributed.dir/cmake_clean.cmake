@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_duration_distributed.dir/bench_fig02_duration_distributed.cpp.o"
+  "CMakeFiles/bench_fig02_duration_distributed.dir/bench_fig02_duration_distributed.cpp.o.d"
+  "bench_fig02_duration_distributed"
+  "bench_fig02_duration_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_duration_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_hourly_hello.dir/bench_fig04_hourly_hello.cpp.o"
+  "CMakeFiles/bench_fig04_hourly_hello.dir/bench_fig04_hourly_hello.cpp.o.d"
+  "bench_fig04_hourly_hello"
+  "bench_fig04_hourly_hello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_hourly_hello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

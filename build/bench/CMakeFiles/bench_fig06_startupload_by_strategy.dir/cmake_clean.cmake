@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_startupload_by_strategy.dir/bench_fig06_startupload_by_strategy.cpp.o"
+  "CMakeFiles/bench_fig06_startupload_by_strategy.dir/bench_fig06_startupload_by_strategy.cpp.o.d"
+  "bench_fig06_startupload_by_strategy"
+  "bench_fig06_startupload_by_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_startupload_by_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

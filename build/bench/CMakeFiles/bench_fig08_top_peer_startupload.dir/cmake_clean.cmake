@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_top_peer_startupload.dir/bench_fig08_top_peer_startupload.cpp.o"
+  "CMakeFiles/bench_fig08_top_peer_startupload.dir/bench_fig08_top_peer_startupload.cpp.o.d"
+  "bench_fig08_top_peer_startupload"
+  "bench_fig08_top_peer_startupload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_top_peer_startupload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_top_peer_startupload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_top_peer_requestpart.dir/bench_fig09_top_peer_requestpart.cpp.o"
+  "CMakeFiles/bench_fig09_top_peer_requestpart.dir/bench_fig09_top_peer_requestpart.cpp.o.d"
+  "bench_fig09_top_peer_requestpart"
+  "bench_fig09_top_peer_requestpart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_top_peer_requestpart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_honeypot_subsets.dir/bench_fig10_honeypot_subsets.cpp.o"
+  "CMakeFiles/bench_fig10_honeypot_subsets.dir/bench_fig10_honeypot_subsets.cpp.o.d"
+  "bench_fig10_honeypot_subsets"
+  "bench_fig10_honeypot_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_honeypot_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_random_files.dir/bench_fig11_random_files.cpp.o"
+  "CMakeFiles/bench_fig11_random_files.dir/bench_fig11_random_files.cpp.o.d"
+  "bench_fig11_random_files"
+  "bench_fig11_random_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_random_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

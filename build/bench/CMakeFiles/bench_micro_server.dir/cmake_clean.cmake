@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_server.dir/bench_micro_server.cpp.o"
+  "CMakeFiles/bench_micro_server.dir/bench_micro_server.cpp.o.d"
+  "bench_micro_server"
+  "bench_micro_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

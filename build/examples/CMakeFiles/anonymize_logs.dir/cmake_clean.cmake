@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize_logs.dir/anonymize_logs.cpp.o"
+  "CMakeFiles/anonymize_logs.dir/anonymize_logs.cpp.o.d"
+  "anonymize_logs"
+  "anonymize_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_measurement.dir/distributed_measurement.cpp.o"
+  "CMakeFiles/distributed_measurement.dir/distributed_measurement.cpp.o.d"
+  "distributed_measurement"
+  "distributed_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_measurement.dir/greedy_measurement.cpp.o"
+  "CMakeFiles/greedy_measurement.dir/greedy_measurement.cpp.o.d"
+  "greedy_measurement"
+  "greedy_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_server_measurement.dir/multi_server_measurement.cpp.o"
+  "CMakeFiles/multi_server_measurement.dir/multi_server_measurement.cpp.o.d"
+  "multi_server_measurement"
+  "multi_server_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_server_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_focus.dir/topic_focus.cpp.o"
+  "CMakeFiles/topic_focus.dir/topic_focus.cpp.o.d"
+  "topic_focus"
+  "topic_focus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_focus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

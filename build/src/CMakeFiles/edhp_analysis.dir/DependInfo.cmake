@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/client_stats.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/client_stats.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/client_stats.cpp.o.d"
+  "/root/repo/src/analysis/co_interest.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/co_interest.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/co_interest.cpp.o.d"
+  "/root/repo/src/analysis/log_stats.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/log_stats.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/log_stats.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/subsets.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/subsets.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/subsets.cpp.o.d"
+  "/root/repo/src/analysis/thread_pool.cpp" "src/CMakeFiles/edhp_analysis.dir/analysis/thread_pool.cpp.o" "gcc" "src/CMakeFiles/edhp_analysis.dir/analysis/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_logbook.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_analysis.dir/analysis/client_stats.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/client_stats.cpp.o.d"
+  "CMakeFiles/edhp_analysis.dir/analysis/co_interest.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/co_interest.cpp.o.d"
+  "CMakeFiles/edhp_analysis.dir/analysis/log_stats.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/log_stats.cpp.o.d"
+  "CMakeFiles/edhp_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/edhp_analysis.dir/analysis/subsets.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/subsets.cpp.o.d"
+  "CMakeFiles/edhp_analysis.dir/analysis/thread_pool.cpp.o"
+  "CMakeFiles/edhp_analysis.dir/analysis/thread_pool.cpp.o.d"
+  "libedhp_analysis.a"
+  "libedhp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anonymize/ip_anonymizer.cpp" "src/CMakeFiles/edhp_anonymize.dir/anonymize/ip_anonymizer.cpp.o" "gcc" "src/CMakeFiles/edhp_anonymize.dir/anonymize/ip_anonymizer.cpp.o.d"
+  "/root/repo/src/anonymize/name_anonymizer.cpp" "src/CMakeFiles/edhp_anonymize.dir/anonymize/name_anonymizer.cpp.o" "gcc" "src/CMakeFiles/edhp_anonymize.dir/anonymize/name_anonymizer.cpp.o.d"
+  "/root/repo/src/anonymize/renumber.cpp" "src/CMakeFiles/edhp_anonymize.dir/anonymize/renumber.cpp.o" "gcc" "src/CMakeFiles/edhp_anonymize.dir/anonymize/renumber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_logbook.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_anonymize.dir/anonymize/ip_anonymizer.cpp.o"
+  "CMakeFiles/edhp_anonymize.dir/anonymize/ip_anonymizer.cpp.o.d"
+  "CMakeFiles/edhp_anonymize.dir/anonymize/name_anonymizer.cpp.o"
+  "CMakeFiles/edhp_anonymize.dir/anonymize/name_anonymizer.cpp.o.d"
+  "CMakeFiles/edhp_anonymize.dir/anonymize/renumber.cpp.o"
+  "CMakeFiles/edhp_anonymize.dir/anonymize/renumber.cpp.o.d"
+  "libedhp_anonymize.a"
+  "libedhp_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/edhp_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/ids.cpp" "src/CMakeFiles/edhp_common.dir/common/ids.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/ids.cpp.o.d"
+  "/root/repo/src/common/md4.cpp" "src/CMakeFiles/edhp_common.dir/common/md4.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/md4.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/edhp_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/sha1.cpp" "src/CMakeFiles/edhp_common.dir/common/sha1.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/sha1.cpp.o.d"
+  "/root/repo/src/common/text.cpp" "src/CMakeFiles/edhp_common.dir/common/text.cpp.o" "gcc" "src/CMakeFiles/edhp_common.dir/common/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

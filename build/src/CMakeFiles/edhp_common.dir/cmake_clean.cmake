@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/edhp_common.dir/common/ids.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/ids.cpp.o.d"
+  "CMakeFiles/edhp_common.dir/common/md4.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/md4.cpp.o.d"
+  "CMakeFiles/edhp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/edhp_common.dir/common/sha1.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/sha1.cpp.o.d"
+  "CMakeFiles/edhp_common.dir/common/text.cpp.o"
+  "CMakeFiles/edhp_common.dir/common/text.cpp.o.d"
+  "libedhp_common.a"
+  "libedhp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_honeypot.dir/honeypot/honeypot.cpp.o"
+  "CMakeFiles/edhp_honeypot.dir/honeypot/honeypot.cpp.o.d"
+  "CMakeFiles/edhp_honeypot.dir/honeypot/manager.cpp.o"
+  "CMakeFiles/edhp_honeypot.dir/honeypot/manager.cpp.o.d"
+  "libedhp_honeypot.a"
+  "libedhp_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

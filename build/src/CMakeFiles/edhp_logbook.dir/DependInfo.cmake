@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logbook/log_io.cpp" "src/CMakeFiles/edhp_logbook.dir/logbook/log_io.cpp.o" "gcc" "src/CMakeFiles/edhp_logbook.dir/logbook/log_io.cpp.o.d"
+  "/root/repo/src/logbook/merge.cpp" "src/CMakeFiles/edhp_logbook.dir/logbook/merge.cpp.o" "gcc" "src/CMakeFiles/edhp_logbook.dir/logbook/merge.cpp.o.d"
+  "/root/repo/src/logbook/record.cpp" "src/CMakeFiles/edhp_logbook.dir/logbook/record.cpp.o" "gcc" "src/CMakeFiles/edhp_logbook.dir/logbook/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_logbook.dir/logbook/log_io.cpp.o"
+  "CMakeFiles/edhp_logbook.dir/logbook/log_io.cpp.o.d"
+  "CMakeFiles/edhp_logbook.dir/logbook/merge.cpp.o"
+  "CMakeFiles/edhp_logbook.dir/logbook/merge.cpp.o.d"
+  "CMakeFiles/edhp_logbook.dir/logbook/record.cpp.o"
+  "CMakeFiles/edhp_logbook.dir/logbook/record.cpp.o.d"
+  "libedhp_logbook.a"
+  "libedhp_logbook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_logbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

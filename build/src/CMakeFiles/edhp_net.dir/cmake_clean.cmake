@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_net.dir/net/network.cpp.o"
+  "CMakeFiles/edhp_net.dir/net/network.cpp.o.d"
+  "libedhp_net.a"
+  "libedhp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/peer/catalog.cpp" "src/CMakeFiles/edhp_peer.dir/peer/catalog.cpp.o" "gcc" "src/CMakeFiles/edhp_peer.dir/peer/catalog.cpp.o.d"
+  "/root/repo/src/peer/downloader.cpp" "src/CMakeFiles/edhp_peer.dir/peer/downloader.cpp.o" "gcc" "src/CMakeFiles/edhp_peer.dir/peer/downloader.cpp.o.d"
+  "/root/repo/src/peer/population.cpp" "src/CMakeFiles/edhp_peer.dir/peer/population.cpp.o" "gcc" "src/CMakeFiles/edhp_peer.dir/peer/population.cpp.o.d"
+  "/root/repo/src/peer/profile.cpp" "src/CMakeFiles/edhp_peer.dir/peer/profile.cpp.o" "gcc" "src/CMakeFiles/edhp_peer.dir/peer/profile.cpp.o.d"
+  "/root/repo/src/peer/top_peer.cpp" "src/CMakeFiles/edhp_peer.dir/peer/top_peer.cpp.o" "gcc" "src/CMakeFiles/edhp_peer.dir/peer/top_peer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

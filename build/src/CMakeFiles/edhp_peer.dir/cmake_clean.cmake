@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_peer.dir/peer/catalog.cpp.o"
+  "CMakeFiles/edhp_peer.dir/peer/catalog.cpp.o.d"
+  "CMakeFiles/edhp_peer.dir/peer/downloader.cpp.o"
+  "CMakeFiles/edhp_peer.dir/peer/downloader.cpp.o.d"
+  "CMakeFiles/edhp_peer.dir/peer/population.cpp.o"
+  "CMakeFiles/edhp_peer.dir/peer/population.cpp.o.d"
+  "CMakeFiles/edhp_peer.dir/peer/profile.cpp.o"
+  "CMakeFiles/edhp_peer.dir/peer/profile.cpp.o.d"
+  "CMakeFiles/edhp_peer.dir/peer/top_peer.cpp.o"
+  "CMakeFiles/edhp_peer.dir/peer/top_peer.cpp.o.d"
+  "libedhp_peer.a"
+  "libedhp_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/filehash.cpp" "src/CMakeFiles/edhp_proto.dir/proto/filehash.cpp.o" "gcc" "src/CMakeFiles/edhp_proto.dir/proto/filehash.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/CMakeFiles/edhp_proto.dir/proto/messages.cpp.o" "gcc" "src/CMakeFiles/edhp_proto.dir/proto/messages.cpp.o.d"
+  "/root/repo/src/proto/tags.cpp" "src/CMakeFiles/edhp_proto.dir/proto/tags.cpp.o" "gcc" "src/CMakeFiles/edhp_proto.dir/proto/tags.cpp.o.d"
+  "/root/repo/src/proto/udp_messages.cpp" "src/CMakeFiles/edhp_proto.dir/proto/udp_messages.cpp.o" "gcc" "src/CMakeFiles/edhp_proto.dir/proto/udp_messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

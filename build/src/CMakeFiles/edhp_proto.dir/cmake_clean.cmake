@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_proto.dir/proto/filehash.cpp.o"
+  "CMakeFiles/edhp_proto.dir/proto/filehash.cpp.o.d"
+  "CMakeFiles/edhp_proto.dir/proto/messages.cpp.o"
+  "CMakeFiles/edhp_proto.dir/proto/messages.cpp.o.d"
+  "CMakeFiles/edhp_proto.dir/proto/tags.cpp.o"
+  "CMakeFiles/edhp_proto.dir/proto/tags.cpp.o.d"
+  "CMakeFiles/edhp_proto.dir/proto/udp_messages.cpp.o"
+  "CMakeFiles/edhp_proto.dir/proto/udp_messages.cpp.o.d"
+  "libedhp_proto.a"
+  "libedhp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

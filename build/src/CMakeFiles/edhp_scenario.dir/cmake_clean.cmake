@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_scenario.dir/scenario/multi_server.cpp.o"
+  "CMakeFiles/edhp_scenario.dir/scenario/multi_server.cpp.o.d"
+  "CMakeFiles/edhp_scenario.dir/scenario/scenario.cpp.o"
+  "CMakeFiles/edhp_scenario.dir/scenario/scenario.cpp.o.d"
+  "libedhp_scenario.a"
+  "libedhp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_server.dir/server/index.cpp.o"
+  "CMakeFiles/edhp_server.dir/server/index.cpp.o.d"
+  "CMakeFiles/edhp_server.dir/server/server.cpp.o"
+  "CMakeFiles/edhp_server.dir/server/server.cpp.o.d"
+  "libedhp_server.a"
+  "libedhp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

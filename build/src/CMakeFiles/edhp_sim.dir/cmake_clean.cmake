@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_sim.dir/sim/diurnal.cpp.o"
+  "CMakeFiles/edhp_sim.dir/sim/diurnal.cpp.o.d"
+  "CMakeFiles/edhp_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/edhp_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/edhp_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/edhp_sim.dir/sim/simulation.cpp.o.d"
+  "libedhp_sim.a"
+  "libedhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anonymize.dir/test_anonymize.cpp.o"
+  "CMakeFiles/test_anonymize.dir/test_anonymize.cpp.o.d"
+  "test_anonymize"
+  "test_anonymize.pdb"
+  "test_anonymize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_co_interest.cpp" "tests/CMakeFiles/test_co_interest.dir/test_co_interest.cpp.o" "gcc" "tests/CMakeFiles/test_co_interest.dir/test_co_interest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edhp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_anonymize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_logbook.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edhp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

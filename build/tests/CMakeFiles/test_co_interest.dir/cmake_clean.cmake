@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_co_interest.dir/test_co_interest.cpp.o"
+  "CMakeFiles/test_co_interest.dir/test_co_interest.cpp.o.d"
+  "test_co_interest"
+  "test_co_interest.pdb"
+  "test_co_interest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_co_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

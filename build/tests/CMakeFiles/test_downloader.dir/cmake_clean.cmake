@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_downloader.dir/test_downloader.cpp.o"
+  "CMakeFiles/test_downloader.dir/test_downloader.cpp.o.d"
+  "test_downloader"
+  "test_downloader.pdb"
+  "test_downloader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_downloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

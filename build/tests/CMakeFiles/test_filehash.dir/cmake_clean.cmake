@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filehash.dir/test_filehash.cpp.o"
+  "CMakeFiles/test_filehash.dir/test_filehash.cpp.o.d"
+  "test_filehash"
+  "test_filehash.pdb"
+  "test_filehash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filehash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_honeypot.dir/test_honeypot.cpp.o"
+  "CMakeFiles/test_honeypot.dir/test_honeypot.cpp.o.d"
+  "test_honeypot"
+  "test_honeypot.pdb"
+  "test_honeypot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logbook.dir/test_logbook.cpp.o"
+  "CMakeFiles/test_logbook.dir/test_logbook.cpp.o.d"
+  "test_logbook"
+  "test_logbook.pdb"
+  "test_logbook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

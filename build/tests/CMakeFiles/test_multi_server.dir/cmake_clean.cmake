@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_server.dir/test_multi_server.cpp.o"
+  "CMakeFiles/test_multi_server.dir/test_multi_server.cpp.o.d"
+  "test_multi_server"
+  "test_multi_server.pdb"
+  "test_multi_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_cache.dir/test_source_cache.cpp.o"
+  "CMakeFiles/test_source_cache.dir/test_source_cache.cpp.o.d"
+  "test_source_cache"
+  "test_source_cache.pdb"
+  "test_source_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

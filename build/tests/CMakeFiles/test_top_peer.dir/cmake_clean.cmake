@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_top_peer.dir/test_top_peer.cpp.o"
+  "CMakeFiles/test_top_peer.dir/test_top_peer.cpp.o.d"
+  "test_top_peer"
+  "test_top_peer.pdb"
+  "test_top_peer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_top_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

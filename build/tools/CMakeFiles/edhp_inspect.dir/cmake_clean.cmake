@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edhp_inspect.dir/edhp_inspect.cpp.o"
+  "CMakeFiles/edhp_inspect.dir/edhp_inspect.cpp.o.d"
+  "edhp_inspect"
+  "edhp_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edhp_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
