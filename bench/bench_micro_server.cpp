@@ -2,6 +2,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/rng.hpp"
 #include "server/index.hpp"
 
@@ -93,6 +96,36 @@ void BM_IndexSessionChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexSessionChurn);
 
+// Headline index throughput for the BENCH_*.json trajectory: published-file
+// offers indexed per second through typical 50-file list replacements.
+double measure_offers_per_sec() {
+  using clock = std::chrono::steady_clock;
+  Rng rng(1);
+  FileIndex index;
+  const auto list = make_list(rng, 50);
+  SessionKey session = 1;
+  std::uint64_t offers = 0;
+  const auto start = clock::now();
+  do {
+    for (int i = 0; i < 100; ++i) {
+      index.set_shared_list(session++ % 1000, 0x2000000, 4662, list);
+      offers += list.size();
+    }
+  } while (clock::now() - start < std::chrono::milliseconds(300));
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return static_cast<double>(offers) / elapsed;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // One machine-readable line for the perf trajectory (BENCH_*.json).
+  std::printf("{\"bench\":\"micro_server\",\"events_per_sec\":%.0f}\n",
+              measure_offers_per_sec());
+  return 0;
+}

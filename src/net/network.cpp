@@ -6,11 +6,26 @@
 namespace edhp::net {
 
 struct Endpoint::Shared {
+  /// One queued in-flight message.
+  struct Delivery {
+    double arrival = 0.0;       // absolute arrival time
+    std::size_t wire = 0;       // accounted wire footprint
+    Bytes payload;
+  };
+  /// One direction of the connection: a FIFO of in-flight messages drained
+  /// by at most one scheduled simulation event (the head-of-line arrival).
+  struct Direction {
+    std::deque<Delivery> queue;
+    bool armed = false;         // head-of-line event scheduled
+  };
+
   Network* net = nullptr;
   double latency = 0.0;  // one-way propagation delay, seconds
   bool open = true;
   std::weak_ptr<Endpoint> a;
   std::weak_ptr<Endpoint> b;
+  Direction to_a;
+  Direction to_b;
 };
 
 bool Endpoint::open() const noexcept { return shared_ && shared_->open; }
@@ -19,32 +34,35 @@ void Endpoint::send_sized(Bytes payload, std::size_t wire_size) {
   if (!open()) return;
   const std::size_t bytes_on_wire = std::max(wire_size, payload.size());
   Network& net = *shared_->net;
-  auto& simulation = net.sim_;
-  const double now = simulation.now();
+  const double now = net.sim_.now();
   const double serialization =
       upload_bps_ > 0 ? static_cast<double>(bytes_on_wire) / upload_bps_ : 0.0;
   const double start = std::max(now, next_free_tx_);
   next_free_tx_ = start + serialization;
   const double arrival = next_free_tx_ + shared_->latency;
 
-  std::weak_ptr<Endpoint> target = is_a_ ? shared_->b : shared_->a;
-  auto shared = shared_;
-  simulation.schedule_at(
-      arrival, [target = std::move(target), payload = std::move(payload),
-                bytes_on_wire, shared = std::move(shared)]() mutable {
-        if (!shared->open) return;
-        auto ep = target.lock();
-        if (!ep || !ep->on_message_) return;
-        shared->net->messages_delivered_ += 1;
-        shared->net->bytes_delivered_ += bytes_on_wire;
-        ep->on_message_(std::move(payload));
-      });
+  LinkCounters& tx = net.node_counters_[local_];
+  tx.messages_sent += 1;
+  tx.bytes_serialized += bytes_on_wire;
+  net.totals_.messages_sent += 1;
+  net.totals_.bytes_serialized += bytes_on_wire;
+
+  auto& direction = is_a_ ? shared_->to_b : shared_->to_a;
+  direction.queue.push_back(
+      Shared::Delivery{arrival, bytes_on_wire, std::move(payload)});
+  if (!direction.armed) {
+    net.arm_delivery(shared_, /*to_a=*/!is_a_);
+  }
 }
 
 void Endpoint::close() {
   if (!open()) return;
   auto shared = shared_;
   shared->open = false;
+  // In-flight data is dropped, like a RST; release payload memory now. Any
+  // armed head-of-line event sees open == false and does nothing.
+  shared->to_a.queue.clear();
+  shared->to_b.queue.clear();
   std::weak_ptr<Endpoint> target = is_a_ ? shared->b : shared->a;
   shared->net->sim_.schedule_in(shared->latency,
                                 [target = std::move(target)] {
@@ -56,6 +74,39 @@ void Endpoint::close() {
 Network::Network(sim::Simulation& simulation, LinkModel model)
     : sim_(simulation), model_(model), rng_(simulation.rng().split(0x4e455457ull)) {}
 
+void Network::arm_delivery(const std::shared_ptr<Endpoint::Shared>& shared,
+                           bool to_a) {
+  auto& direction = to_a ? shared->to_a : shared->to_b;
+  direction.armed = true;
+  sim_.schedule_at(direction.queue.front().arrival,
+                   [this, shared, to_a] { deliver_head(shared, to_a); });
+}
+
+void Network::deliver_head(const std::shared_ptr<Endpoint::Shared>& shared,
+                           bool to_a) {
+  auto& direction = to_a ? shared->to_a : shared->to_b;
+  direction.armed = false;
+  if (!shared->open) {
+    direction.queue.clear();
+    return;
+  }
+  Endpoint::Shared::Delivery delivery = std::move(direction.queue.front());
+  direction.queue.pop_front();
+  // Chain the next arrival before invoking the handler, so handler-side
+  // sends on the same connection append behind an already-armed head.
+  if (!direction.queue.empty()) {
+    arm_delivery(shared, to_a);
+  }
+  auto ep = (to_a ? shared->a : shared->b).lock();
+  if (!ep || !ep->on_message_) return;
+  LinkCounters& rx = node_counters_[ep->local_];
+  rx.messages_delivered += 1;
+  rx.bytes_delivered += delivery.wire;
+  totals_.messages_delivered += 1;
+  totals_.bytes_delivered += delivery.wire;
+  ep->on_message_(std::move(delivery.payload));
+}
+
 NodeId Network::add_node(bool reachable, double tz_offset_hours,
                          std::optional<double> upload_bps) {
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -65,6 +116,7 @@ NodeId Network::add_node(bool reachable, double tz_offset_hours,
   if (ip == 0) ip = 1;
   nodes_.push_back(NodeInfo{IpAddr(ip), 4662, reachable, tz_offset_hours});
   upload_bps_.push_back(upload_bps.value_or(model_.default_upload_bps));
+  node_counters_.emplace_back();
   by_ip_.emplace(ip, id);
   return id;
 }
@@ -80,6 +132,13 @@ const NodeInfo& Network::info(NodeId id) const {
     throw std::out_of_range("Network::info: unknown node");
   }
   return nodes_[id];
+}
+
+const LinkCounters& Network::counters(NodeId id) const {
+  if (id >= node_counters_.size()) {
+    throw std::out_of_range("Network::counters: unknown node");
+  }
+  return node_counters_[id];
 }
 
 void Network::listen(NodeId id, AcceptHandler handler) {
@@ -106,16 +165,27 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
   if (from >= nodes_.size() || to >= nodes_.size()) {
     throw std::out_of_range("Network::send_datagram: unknown node");
   }
+  node_counters_[from].datagrams_sent += 1;
+  totals_.datagrams_sent += 1;
   if (!nodes_[to].reachable || rng_.chance(model_.datagram_loss)) {
+    node_counters_[from].datagrams_dropped += 1;
+    totals_.datagrams_dropped += 1;
     return;  // silently lost, as UDP does
   }
   const double latency = std::max(
       model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
   sim_.schedule_in(latency, [this, from, to, payload = std::move(payload)]() mutable {
     auto it = datagram_listeners_.find(to);
-    if (it == datagram_listeners_.end() || !it->second) return;
-    messages_delivered_ += 1;
-    bytes_delivered_ += payload.size();
+    if (it == datagram_listeners_.end() || !it->second) {
+      node_counters_[from].datagrams_dropped += 1;
+      totals_.datagrams_dropped += 1;
+      return;
+    }
+    LinkCounters& rx = node_counters_[to];
+    rx.messages_delivered += 1;
+    rx.bytes_delivered += payload.size();
+    totals_.messages_delivered += 1;
+    totals_.bytes_delivered += payload.size();
     it->second(from, std::move(payload));
   });
 }
@@ -124,12 +194,16 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   if (from >= nodes_.size() || to >= nodes_.size()) {
     throw std::out_of_range("Network::connect: unknown node");
   }
+  node_counters_[from].connects_initiated += 1;
+  totals_.connects_initiated += 1;
   const double latency = std::max(
       model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
 
   auto listener = listeners_.find(to);
   const bool ok = nodes_[to].reachable && listener != listeners_.end();
   if (!ok) {
+    node_counters_[to].refusals += 1;
+    totals_.refusals += 1;
     // Failure is learned after a round trip (SYN, then RST / timeout).
     sim_.schedule_in(2 * latency, [done = std::move(done)] { done(nullptr); });
     return;
@@ -161,6 +235,8 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   sim_.schedule_in(latency, [this, to, side_b] {
     auto it = listeners_.find(to);
     if (it != listeners_.end() && it->second) {
+      node_counters_[to].connects_accepted += 1;
+      totals_.connects_accepted += 1;
       it->second(side_b);
     }
   });

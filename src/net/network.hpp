@@ -9,11 +9,18 @@
 // bandwidth, so large transfers (random-content part uploads) take realistic
 // time while handshakes are fast.
 //
+// Delivery uses per-connection queues: each direction of a connection keeps
+// a FIFO of in-flight messages and at most ONE scheduled simulation event
+// (the head-of-line arrival). Sending N messages therefore costs one heap
+// entry, not N, and no per-message shared_ptr-capturing closure is
+// allocated — the hot path of every campaign.
+//
 // Reachability models eDonkey's HighID/LowID distinction: a non-reachable
 // (firewalled) node can open outgoing connections but cannot accept incoming
 // ones.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -48,6 +55,19 @@ struct LinkModel {
   double datagram_loss = 0.02;   ///< UDP drop probability
 };
 
+/// Traffic counters, kept per node and aggregated network-wide.
+struct LinkCounters {
+  std::uint64_t connects_initiated = 0;  ///< connect() attempts from here
+  std::uint64_t connects_accepted = 0;   ///< connections accepted here
+  std::uint64_t refusals = 0;            ///< incoming attempts refused here
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_dropped = 0;   ///< lost, unreachable, or unheard
+  std::uint64_t messages_sent = 0;       ///< stream messages queued here
+  std::uint64_t messages_delivered = 0;  ///< stream messages received here
+  std::uint64_t bytes_serialized = 0;    ///< wire bytes pushed by this node
+  std::uint64_t bytes_delivered = 0;     ///< wire bytes received here
+};
+
 /// One side of an established connection. Handlers are invoked from the
 /// simulation loop; an Endpoint stays valid as long as someone holds the
 /// shared_ptr, but sends on a closed connection are silently dropped (as
@@ -68,6 +88,7 @@ class Endpoint {
   void send_sized(Bytes payload, std::size_t wire_size);
 
   /// Close both directions; the remote side learns after one latency.
+  /// Messages still in flight are dropped, like a RST.
   void close();
 
   void on_message(MessageHandler h) { on_message_ = std::move(h); }
@@ -116,7 +137,10 @@ class Network {
 
   /// Attempt to connect; `done` fires after the connection round-trip with
   /// the local endpoint, or with nullptr if the target is unreachable or not
-  /// listening.
+  /// listening. A target that stops listening between the SYN and the
+  /// accept never sees the connection, but the initiator still receives an
+  /// endpoint (the handshake completed at transport level); its messages go
+  /// unanswered, as against a crashed acceptor.
   void connect(NodeId from, NodeId to, ConnectHandler done);
 
   // --- Datagrams (UDP): unreliable, connectionless -------------------------
@@ -133,26 +157,37 @@ class Network {
   void send_datagram(NodeId from, NodeId to, Bytes payload);
 
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+
+  /// Aggregate counters over all nodes.
+  [[nodiscard]] const LinkCounters& totals() const noexcept { return totals_; }
+  /// Per-node counters.
+  [[nodiscard]] const LinkCounters& counters(NodeId id) const;
+
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
-    return messages_delivered_;
+    return totals_.messages_delivered;
   }
   [[nodiscard]] std::uint64_t bytes_delivered() const noexcept {
-    return bytes_delivered_;
+    return totals_.bytes_delivered;
   }
 
  private:
   friend class Endpoint;
+
+  /// Schedule (or chain) the head-of-line delivery event for one direction
+  /// of a connection.
+  void arm_delivery(const std::shared_ptr<Endpoint::Shared>& shared, bool to_a);
+  void deliver_head(const std::shared_ptr<Endpoint::Shared>& shared, bool to_a);
 
   sim::Simulation& sim_;
   LinkModel model_;
   Rng rng_;
   std::vector<NodeInfo> nodes_;
   std::vector<double> upload_bps_;
+  std::vector<LinkCounters> node_counters_;
   std::unordered_map<std::uint32_t, NodeId> by_ip_;
   std::unordered_map<NodeId, AcceptHandler> listeners_;
   std::unordered_map<NodeId, DatagramHandler> datagram_listeners_;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t bytes_delivered_ = 0;
+  LinkCounters totals_;
 };
 
 }  // namespace edhp::net

@@ -15,7 +15,7 @@ Population::Population(PeerContext ctx, Rng rng) : ctx_(ctx), rng_(rng) {
 Population::~Population() = default;
 
 void Population::add_demand(FileDemand demand) {
-  demands_.push_back(Demand{demand, ctx_.net->simulation().now(), 0});
+  demands_.push_back(Demand{demand, ctx_.net->simulation().now(), 0, {}});
   const double prev =
       demand_cumulative_.empty() ? 0.0 : demand_cumulative_.back();
   demand_cumulative_.push_back(prev +
@@ -62,7 +62,15 @@ void Population::start() {
   }
 }
 
-void Population::stop() { running_ = false; }
+void Population::stop() {
+  running_ = false;
+  // Drop the pending arrival candidates; cancel() is generation-checked, so
+  // handles to arrivals that already fired are harmless no-ops.
+  for (auto& d : demands_) {
+    ctx_.net->simulation().cancel(d.arrival);
+    d.arrival = sim::EventHandle{};
+  }
+}
 
 double Population::rate_at(const Demand& d, Time t) const {
   const double age = t - d.added_at;
@@ -82,7 +90,8 @@ void Population::schedule_arrival(std::size_t demand_index) {
   const double max_rate = (d.cfg.base_rate_per_day / kDay) * diurnal_max_;
   if (max_rate <= 0) return;
   const Duration dt = rng_.exponential(1.0 / max_rate);
-  ctx_.net->simulation().schedule_in(dt, [this, demand_index, max_rate] {
+  d.arrival = ctx_.net->simulation().schedule_in(dt, [this, demand_index,
+                                                      max_rate] {
     Demand& dd = demands_[demand_index];
     if (!running_ || dd.spawned >= dd.cfg.population) return;
     const Time now = ctx_.net->simulation().now();

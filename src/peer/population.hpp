@@ -46,7 +46,9 @@ class Population {
   /// Begin arrival processes (call after honeypots advertise, so that
   /// GET-SOURCES finds providers).
   void start();
-  /// Stop new arrivals (running peers finish naturally).
+  /// Stop new arrivals (running peers finish naturally). Pending arrival
+  /// events are cancelled in O(1), so a stopped Population leaves nothing
+  /// in the event queue.
   void stop();
 
   [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
@@ -61,6 +63,7 @@ class Population {
     FileDemand cfg;
     Time added_at = 0;  ///< when the demand was registered (ramp anchor)
     std::uint64_t spawned = 0;
+    sim::EventHandle arrival{};  ///< next pending arrival candidate
   };
 
   void schedule_arrival(std::size_t demand_index);

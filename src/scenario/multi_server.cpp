@@ -201,9 +201,11 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   result.base.merged = manager.merged_anonymized(&result.base.distinct_peers);
   result.base.observed = manager.observed_files();
   result.base.peer_totals = population.totals();
-  result.base.sim_events = simulation.executed();
-  result.base.wire_messages = network.messages_delivered();
-  result.base.wire_bytes = network.bytes_delivered();
+  result.base.engine = simulation.stats();
+  result.base.net_totals = network.totals();
+  result.base.sim_events = result.base.engine.events_executed;
+  result.base.wire_messages = result.base.net_totals.messages_delivered;
+  result.base.wire_bytes = result.base.net_totals.bytes_delivered;
 
   const auto sets =
       analysis::peer_sets_by_honeypot(result.base.merged, config.honeypots);

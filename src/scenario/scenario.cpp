@@ -56,9 +56,11 @@ void fill_result(ScenarioResult& result, World& world,
   result.observed = manager.observed_files();
   result.relaunches = manager.relaunches();
   result.peer_totals = population.totals();
-  result.sim_events = world.simulation.executed();
-  result.wire_messages = world.network.messages_delivered();
-  result.wire_bytes = world.network.bytes_delivered();
+  result.engine = world.simulation.stats();
+  result.net_totals = world.network.totals();
+  result.sim_events = result.engine.events_executed;
+  result.wire_messages = result.net_totals.messages_delivered;
+  result.wire_bytes = result.net_totals.bytes_delivered;
 }
 
 void report_progress(std::ostream* progress, World& world, double total_days) {

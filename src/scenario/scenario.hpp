@@ -22,9 +22,11 @@
 
 #include "honeypot/manager.hpp"
 #include "logbook/record.hpp"
+#include "net/network.hpp"
 #include "peer/behavior.hpp"
 #include "peer/downloader.hpp"
 #include "sim/diurnal.hpp"
+#include "sim/simulation.hpp"
 
 namespace edhp::scenario {
 
@@ -77,6 +79,10 @@ struct ScenarioResult {
   std::uint64_t sim_events = 0;
   std::uint64_t wire_messages = 0;
   std::uint64_t wire_bytes = 0;
+  /// Event-engine run statistics (slab recycling, cancellations, peak heap).
+  sim::EngineStats engine;
+  /// Aggregate traffic counters over every node in the run.
+  net::LinkCounters net_totals;
 };
 
 [[nodiscard]] ScenarioResult run_distributed(const DistributedConfig& config,

@@ -1,20 +1,51 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace edhp::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
+std::uint32_t Simulation::acquire_slot(Action action) {
+  ++slot_acquisitions_;
+  std::uint32_t index;
+  if (free_head_ != kNoFreeSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    ++slot_allocations_;
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.action = std::move(action);
+  slot.pending = true;
+  return index;
+}
+
+void Simulation::retire_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  slot.pending = false;
+  ++slot.generation;  // all outstanding handles to this slot go dead
+  slot.action = nullptr;
+}
+
+void Simulation::free_slot(std::uint32_t index) noexcept {
+  slots_[index].next_free = free_head_;
+  free_head_ = index;
+}
+
 EventHandle Simulation::schedule_at(Time t, Action action) {
   if (t < now_) {
     throw std::invalid_argument("Simulation::schedule_at: time in the past");
   }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{t, seq, std::move(action)});
+  const std::uint32_t slot = acquire_slot(std::move(action));
+  queue_.push(Entry{t, next_seq_++, slot});
+  peak_heap_ = std::max(peak_heap_, queue_.size());
   ++live_;
-  return EventHandle(seq);
+  return EventHandle(slot, slots_[slot].generation);
 }
 
 EventHandle Simulation::schedule_in(Duration delay, Action action) {
@@ -24,32 +55,55 @@ EventHandle Simulation::schedule_in(Duration delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
-void Simulation::cancel(EventHandle h) {
-  if (!h.valid()) return;
-  cancelled_.insert(h.id_);
+bool Simulation::cancel(EventHandle h) {
+  if (!h.valid() || h.slot_ >= slots_.size()) {
+    if (h.valid()) ++stale_cancels_;
+    return false;
+  }
+  Slot& slot = slots_[h.slot_];
+  if (slot.generation != h.generation_ || !slot.pending) {
+    ++stale_cancels_;
+    return false;
+  }
+  // The heap entry stays behind as a tombstone and returns the slot to the
+  // free list when popped; the closure is released right here.
+  retire_slot(h.slot_);
+  ++cancelled_;
+  --live_;
+  return true;
 }
 
-bool Simulation::is_cancelled(std::uint64_t seq) {
-  return cancelled_.erase(seq) > 0;
+bool Simulation::pop_next(Time end, Entry& out) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.t > end) return false;
+    const Entry e = top;
+    queue_.pop();
+    if (!slots_[e.slot].pending) {
+      free_slot(e.slot);  // tombstone of a cancelled event
+      continue;
+    }
+    out = e;
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t Simulation::run_until(Time end) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && !stopped_) {
-    const Entry& top = queue_.top();
-    if (top.t > end) break;
-    Entry e{top.t, top.seq, std::move(const_cast<Entry&>(top).action)};
-    queue_.pop();
+  Entry e;
+  while (!stopped_ && pop_next(end, e)) {
+    Action action = std::move(slots_[e.slot].action);
+    retire_slot(e.slot);
+    free_slot(e.slot);
     --live_;
-    if (is_cancelled(e.seq)) continue;
     now_ = e.t;
-    e.action();
+    action();
     ++n;
     ++executed_;
   }
-  if (queue_.empty()) {
-    cancelled_.clear();
+  if (!stopped_) {
     now_ = std::max(now_, end);
   }
   return n;
@@ -58,19 +112,32 @@ std::uint64_t Simulation::run_until(Time end) {
 std::uint64_t Simulation::run() {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!queue_.empty() && !stopped_) {
-    Entry e{queue_.top().t, queue_.top().seq,
-            std::move(const_cast<Entry&>(queue_.top()).action)};
-    queue_.pop();
+  Entry e;
+  while (!stopped_ &&
+         pop_next(std::numeric_limits<Time>::infinity(), e)) {
+    Action action = std::move(slots_[e.slot].action);
+    retire_slot(e.slot);
+    free_slot(e.slot);
     --live_;
-    if (is_cancelled(e.seq)) continue;
     now_ = e.t;
-    e.action();
+    action();
     ++n;
     ++executed_;
   }
-  if (queue_.empty()) cancelled_.clear();
   return n;
+}
+
+EngineStats Simulation::stats() const noexcept {
+  EngineStats s;
+  s.events_executed = executed_;
+  s.events_cancelled = cancelled_;
+  s.stale_cancels = stale_cancels_;
+  s.slot_acquisitions = slot_acquisitions_;
+  s.slot_allocations = slot_allocations_;
+  s.peak_heap = peak_heap_;
+  s.live_events = live_;
+  s.slab_capacity = slots_.size();
+  return s;
 }
 
 PeriodicTimer::PeriodicTimer(Simulation& simulation, Duration period,

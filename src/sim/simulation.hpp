@@ -3,13 +3,21 @@
 //
 // A Simulation owns a clock and an event queue. Events are closures
 // scheduled at absolute or relative times; ties are broken by scheduling
-// order (FIFO), which makes runs deterministic. Cancellation is lazy: a
-// cancelled event stays in the heap but is skipped when popped.
+// order (FIFO), which makes runs deterministic.
+//
+// Storage is a recycling slot arena ("slab"): every scheduled action lives
+// in a slot identified by {index, generation}. The binary heap itself holds
+// only {time, seq, slot} PODs, so sifting moves 24-byte entries instead of
+// std::function objects. An EventHandle is a {slot, generation} pair:
+// cancel() compares generations and retires the slot in O(1) — no auxiliary
+// cancellation set, and cancelling an already-executed (or already-
+// cancelled) handle is a constant-time no-op that retains nothing. Slots
+// are recycled through an intrusive free list once their heap entry pops,
+// so steady-state runs stop allocating entirely.
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -17,17 +25,44 @@
 
 namespace edhp::sim {
 
-/// Handle to a scheduled event, usable to cancel it.
+/// Handle to a scheduled event, usable to cancel it. Handles are
+/// generation-checked: a handle to an event that already ran (or was
+/// cancelled) is dead and cancelling it is a safe no-op, even after its
+/// slot has been recycled for a newer event.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] bool valid() const noexcept { return slot_ != kInvalidSlot; }
 
  private:
   friend class Simulation;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  static constexpr std::uint32_t kInvalidSlot = 0xFFFFFFFFu;
+  EventHandle(std::uint32_t slot, std::uint32_t generation)
+      : slot_(slot), generation_(generation) {}
+  std::uint32_t slot_ = kInvalidSlot;
+  std::uint32_t generation_ = 0;
+};
+
+/// Snapshot of the kernel's run-level statistics (see Simulation::stats()).
+struct EngineStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_cancelled = 0;  ///< cancels that killed a live event
+  std::uint64_t stale_cancels = 0;     ///< no-op cancels of dead handles
+  std::uint64_t slot_acquisitions = 0; ///< total events scheduled
+  std::uint64_t slot_allocations = 0;  ///< acquisitions that grew the slab
+  std::size_t peak_heap = 0;           ///< max simultaneous heap entries
+  std::size_t live_events = 0;         ///< currently pending (not cancelled)
+  std::size_t slab_capacity = 0;       ///< slots ever allocated
+
+  /// Fraction of schedules served from recycled slots; approaches 1 in
+  /// steady state, 0 when every event needed a fresh allocation.
+  [[nodiscard]] double recycle_rate() const noexcept {
+    return slot_acquisitions == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(slot_allocations) /
+                           static_cast<double>(slot_acquisitions);
+  }
 };
 
 /// Single-threaded discrete-event simulator.
@@ -48,11 +83,16 @@ class Simulation {
   /// Schedule `action` after `delay` seconds (>= 0).
   EventHandle schedule_in(Duration delay, Action action);
 
-  /// Cancel a pending event; no-op if it already ran or was cancelled.
-  void cancel(EventHandle h);
+  /// Cancel a pending event in O(1). Returns true when a live event was
+  /// cancelled; cancelling an executed/cancelled/default handle is a no-op
+  /// returning false.
+  bool cancel(EventHandle h);
 
   /// Run until the queue is empty or the clock passes `end`. Events exactly
-  /// at `end` are executed. Returns the number of events executed.
+  /// at `end` are executed. Unless stop() interrupts the run, the clock is
+  /// advanced to `end` even when later events remain pending, so subsequent
+  /// relative scheduling is anchored at the boundary. Returns the number of
+  /// events executed.
   std::uint64_t run_until(Time end);
 
   /// Run until the queue is empty.
@@ -61,14 +101,29 @@ class Simulation {
   /// Request that run()/run_until() return after the current event.
   void stop() noexcept { stopped_ = true; }
 
+  /// Number of live (scheduled, not cancelled, not executed) events.
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Run-level kernel statistics snapshot.
+  [[nodiscard]] EngineStats stats() const noexcept;
+
  private:
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  /// Arena slot: owns the action while the event is pending. `generation`
+  /// advances every time the slot is retired, invalidating old handles.
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoFreeSlot;
+    bool pending = false;
+  };
+  /// Heap entry: trivially copyable, the heap never touches actions.
   struct Entry {
     Time t;
-    std::uint64_t seq;  // FIFO tie-break and cancellation id
-    Action action;
+    std::uint64_t seq;   // FIFO tie-break
+    std::uint32_t slot;  // arena index
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -76,20 +131,32 @@ class Simulation {
     }
   };
 
+  [[nodiscard]] std::uint32_t acquire_slot(Action action);
+  void retire_slot(std::uint32_t index) noexcept;
+  void free_slot(std::uint32_t index) noexcept;
+  /// Pop the next live entry into `out`; false when queue is drained or the
+  /// next live event is after `end`.
+  bool pop_next(Time end, Entry& out);
+
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t stale_cancels_ = 0;
+  std::uint64_t slot_acquisitions_ = 0;
+  std::uint64_t slot_allocations_ = 0;
+  std::size_t peak_heap_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
   Rng rng_;
-
-  [[nodiscard]] bool is_cancelled(std::uint64_t seq);
 };
 
 /// Repeating timer built on Simulation: invokes `tick` every `period`
-/// seconds (optionally jittered) until stopped or its owner destroys it.
+/// seconds until stopped or its owner destroys it. start() after stop()
+/// re-arms from the current time.
 class PeriodicTimer {
  public:
   PeriodicTimer(Simulation& simulation, Duration period, Simulation::Action tick);

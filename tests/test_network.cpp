@@ -243,6 +243,71 @@ TEST_F(Fixture, SendSizedNeverShrinksBelowPayload) {
   EXPECT_EQ(net.bytes_delivered(), 100u);
 }
 
+TEST_F(Fixture, StopListeningBetweenSynAndAcceptDropsAccept) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  bool accepted = false;
+  EndpointPtr initiated;
+  net.listen(b, [&](EndpointPtr) { accepted = true; });
+  net.connect(a, b, [&](EndpointPtr ep) { initiated = std::move(ep); });
+  // The SYN is in flight (one latency away); the target goes away first.
+  net.stop_listening(b);
+  s.run();
+  EXPECT_FALSE(accepted);
+  // The initiator still gets an endpoint — the handshake completed at
+  // transport level — but nobody ever answers it.
+  ASSERT_TRUE(initiated);
+  EXPECT_TRUE(initiated->open());
+  EXPECT_EQ(net.counters(b).connects_accepted, 0u);
+  EXPECT_EQ(net.counters(a).connects_initiated, 1u);
+}
+
+TEST_F(Fixture, PerNodeCountersTrackTraffic) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  EndpointPtr keep_server, keep_client;
+  net.listen(b, [&](EndpointPtr ep) {
+    keep_server = ep;
+    keep_server->on_message([](Bytes) {});
+  });
+  net.connect(a, b, [&](EndpointPtr ep) {
+    keep_client = std::move(ep);
+    keep_client->send(Bytes(7, 0));
+    keep_client->send(Bytes(3, 0));
+  });
+  net.connect(a, a, [](EndpointPtr) {});  // refused: a is not listening
+  s.run();
+  EXPECT_EQ(net.counters(a).connects_initiated, 2u);
+  EXPECT_EQ(net.counters(a).refusals, 1u);
+  EXPECT_EQ(net.counters(a).messages_sent, 2u);
+  EXPECT_EQ(net.counters(a).bytes_serialized, 10u);
+  EXPECT_EQ(net.counters(b).connects_accepted, 1u);
+  EXPECT_EQ(net.counters(b).messages_delivered, 2u);
+  EXPECT_EQ(net.counters(b).bytes_delivered, 10u);
+  EXPECT_EQ(net.totals().messages_sent, 2u);
+  EXPECT_EQ(net.totals().messages_delivered, 2u);
+  EXPECT_THROW((void)net.counters(99), std::out_of_range);
+}
+
+TEST_F(Fixture, DatagramCountersTrackDrops) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  auto fw = net.add_node(false);  // unreachable: every datagram dropped
+  int heard = 0;
+  net.listen_datagram(b, [&](NodeId, Bytes) { ++heard; });
+  for (int i = 0; i < 20; ++i) {
+    net.send_datagram(a, b, Bytes{1});
+    net.send_datagram(a, fw, Bytes{2});
+  }
+  s.run();
+  const auto& c = net.counters(a);
+  EXPECT_EQ(c.datagrams_sent, 40u);
+  EXPECT_GE(c.datagrams_dropped, 20u);  // all 20 to the firewalled node
+  EXPECT_EQ(static_cast<std::uint64_t>(heard),
+            40u - c.datagrams_dropped);
+  EXPECT_EQ(net.totals().datagrams_sent, 40u);
+}
+
 TEST_F(Fixture, FindByIpResolvesNodes) {
   auto a = net.add_node(true);
   const auto ip = net.info(a).ip.value();

@@ -79,13 +79,15 @@ TEST_F(PopulationTest, FinitePoolSaturates) {
 
 TEST_F(PopulationTest, DecayReducesLaterArrivals) {
   Population pop(context(), Rng(4));
-  pop.add_demand(FileDemand{file, 400, /*decay=*/0.7, 100000});
+  pop.add_demand(FileDemand{file, 400, /*decay=*/1.5, 100000});
   pop.start();
   s.run_until(days(1));
   const auto day1 = pop.arrivals();
   s.run_until(days(4));
   const auto later = pop.arrivals() - day1;
-  // With decay 0.7/day, days 2-4 together produce fewer than day 1.
+  // With decay 1.5/day, day 1 expects ~207 arrivals and days 2-4 together
+  // ~59, a gap of many Poisson standard deviations; decay 0.7 put the two
+  // windows less than 2 sigma apart and flipped on minor clock shifts.
   EXPECT_LT(later, day1);
   EXPECT_GT(day1, 0u);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -110,6 +112,97 @@ TEST(Simulation, RunUntilAdvancesClockWhenQueueEmpty) {
   EXPECT_DOUBLE_EQ(s.now(), 100.0);
 }
 
+// Regression: run_until(end) used to leave the clock at the last executed
+// event when later events remained pending, so relative scheduling between
+// run_until calls anchored before the boundary.
+TEST(Simulation, RunUntilAdvancesClockWithLaterEventsPending) {
+  Simulation s;
+  s.schedule_at(10.0, [] {});
+  s.schedule_at(500.0, [] {});
+  s.run_until(100.0);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+  EXPECT_EQ(s.pending(), 1u);
+  auto h = s.schedule_in(50.0, [] {});  // anchored at the boundary
+  s.cancel(h);
+  s.run_until(100.0);  // no-op window must not move the clock backwards
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);
+}
+
+TEST(Simulation, StopSuppressesClockAdvanceToBoundary) {
+  Simulation s;
+  s.schedule_at(1.0, [&] { s.stop(); });
+  s.run_until(100.0);
+  EXPECT_DOUBLE_EQ(s.now(), 1.0);
+}
+
+TEST(Simulation, CancelReportsWhetherEventWasLive) {
+  Simulation s;
+  auto h = s.schedule_at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));  // second cancel: handle already dead
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+  auto ran = s.schedule_at(2.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(ran));
+}
+
+// Cancelling handles of already-executed events must not retain anything:
+// the old engine kept every such id in a cancellation set until the queue
+// drained past it, growing without bound in keep-alive churn.
+TEST(Simulation, MassStaleCancelsRetainNothing) {
+  Simulation s;
+  constexpr int kRounds = 10000;
+  std::vector<EventHandle> done;
+  done.reserve(kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    done.push_back(s.schedule_at(static_cast<Time>(i), [] {}));
+  }
+  s.run();
+  for (const auto& h : done) {
+    EXPECT_FALSE(s.cancel(h));
+  }
+  const auto st = s.stats();
+  EXPECT_EQ(st.events_executed, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(st.stale_cancels, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(st.events_cancelled, 0u);
+  EXPECT_EQ(st.live_events, 0u);
+  // The slab never grew beyond the peak number of simultaneously pending
+  // events, and stale cancels added no bookkeeping.
+  EXPECT_EQ(st.slab_capacity, st.peak_heap);
+  EXPECT_EQ(st.slab_capacity, static_cast<std::size_t>(kRounds));
+}
+
+TEST(Simulation, SlotsAreRecycledInSteadyState) {
+  Simulation s;
+  // A self-rescheduling chain: one live event at a time, many executions.
+  int remaining = 1000;
+  std::function<void()> hop = [&] {
+    if (--remaining > 0) s.schedule_in(1.0, hop);
+  };
+  s.schedule_in(1.0, hop);
+  s.run();
+  const auto st = s.stats();
+  EXPECT_EQ(st.events_executed, 1000u);
+  EXPECT_EQ(st.slot_acquisitions, 1000u);
+  EXPECT_LE(st.slot_allocations, 2u);  // slab stays a handful of slots
+  EXPECT_GT(st.recycle_rate(), 0.99);
+}
+
+TEST(Simulation, CancelledEventBookkeeping) {
+  Simulation s;
+  int fired = 0;
+  auto a = s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(2.0, [&] { ++fired; });
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);  // cancellation is visible before the run
+  s.run();
+  EXPECT_EQ(fired, 1);
+  const auto st = s.stats();
+  EXPECT_EQ(st.events_cancelled, 1u);
+  EXPECT_EQ(st.events_executed, 1u);
+  EXPECT_EQ(st.live_events, 0u);
+}
+
 TEST(PeriodicTimer, TicksAtPeriod) {
   Simulation s;
   int ticks = 0;
@@ -143,6 +236,34 @@ TEST(PeriodicTimer, DestructorCancelsPending) {
 TEST(PeriodicTimer, RejectsNonPositivePeriod) {
   Simulation s;
   EXPECT_THROW(PeriodicTimer(s, 0.0, [] {}), std::invalid_argument);
+}
+
+TEST(PeriodicTimer, RestartAfterStopReArmsFromCurrentTime) {
+  Simulation s;
+  std::vector<double> tick_times;
+  PeriodicTimer t(s, 10.0, [&] { tick_times.push_back(s.now()); });
+  t.start();
+  s.run_until(25.0);                   // ticks at 10, 20
+  t.stop();
+  s.run_until(100.0);                  // silent gap
+  t.start();                           // re-arms anchored at now() = 100
+  s.run_until(125.0);                  // ticks at 110, 120
+  EXPECT_EQ(tick_times,
+            (std::vector<double>{10.0, 20.0, 110.0, 120.0}));
+}
+
+TEST(PeriodicTimer, DestructionWhileArmedMidRunIsSafe) {
+  Simulation s;
+  int ticks = 0;
+  auto t = std::make_unique<PeriodicTimer>(s, 1.0, [&] { ++ticks; });
+  t->start();
+  // Destroy from inside the run, between two armed ticks; the pending
+  // event's slot may be recycled immediately after.
+  s.schedule_at(3.5, [&] { t.reset(); });
+  s.schedule_at(4.0, [&] { s.schedule_in(0.25, [] {}); });  // churn the slab
+  s.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(s.stats().live_events, 0u);
 }
 
 TEST(PeriodicTimer, TimerCanStopItself) {
