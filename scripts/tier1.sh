@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Tier-1 in one command: Release build + tests, then the ASan/UBSan preset.
+#
+#   scripts/tier1.sh            # both presets
+#   scripts/tier1.sh --release  # release only (fast inner loop)
+#   scripts/tier1.sh --asan     # sanitizer only
+#
+# Requires cmake >= 3.21 (presets v3). Run from anywhere; paths resolve
+# relative to the repo root.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root"
+
+want_release=1
+want_asan=1
+case "${1:-}" in
+  --release) want_asan=0 ;;
+  --asan) want_release=0 ;;
+  "") ;;
+  *) echo "usage: scripts/tier1.sh [--release|--asan]" >&2; exit 2 ;;
+esac
+
+if [ "$want_release" = 1 ]; then
+  echo "== tier1: release preset =="
+  cmake --preset default
+  cmake --build --preset default -j
+  ctest --preset default -j"$(nproc)"
+fi
+
+if [ "$want_asan" = 1 ]; then
+  echo "== tier1: asan preset =="
+  cmake --preset asan
+  cmake --build --preset asan -j
+  ctest --preset asan -j"$(nproc)"
+fi
+
+echo "== tier1: OK =="

@@ -1,0 +1,229 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace edhp::fault {
+namespace {
+
+/// Minimum width of any down window: a zero-length outage would make the
+/// down and up events tie and the observable effect depend on scheduling
+/// order instead of the plan.
+constexpr Duration kMinWindow = 1.0;
+
+/// Draw alternating fail/recover windows of one renewal process and append
+/// them to `out`. `down` and `up` may be any FaultKind pair.
+void renewal_windows(std::vector<FaultEvent>& out, Rng& rng, Duration mtbf,
+                     Duration down_mean, Duration horizon, FaultKind down,
+                     FaultKind up, std::uint32_t subject, double magnitude) {
+  if (mtbf <= 0) return;
+  Time t = 0;
+  while (true) {
+    t += rng.exponential(mtbf);
+    if (t >= horizon) return;
+    out.push_back({t, down, subject, magnitude});
+    const Duration window = std::max(kMinWindow, rng.exponential(down_mean));
+    if (t + window < horizon) {
+      out.push_back({t + window, up, subject, magnitude});
+    }
+    t += window;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::host_crash: return "host_crash";
+    case FaultKind::host_reboot: return "host_reboot";
+    case FaultKind::uplink_down: return "uplink_down";
+    case FaultKind::uplink_up: return "uplink_up";
+    case FaultKind::server_down: return "server_down";
+    case FaultKind::server_up: return "server_up";
+    case FaultKind::latency_spike_begin: return "latency_spike_begin";
+    case FaultKind::latency_spike_end: return "latency_spike_end";
+    case FaultKind::partition_begin: return "partition_begin";
+    case FaultKind::partition_heal: return "partition_heal";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
+                              std::size_t servers, Duration horizon, Rng rng) {
+  FaultPlan plan;
+  if (!config.enabled || horizon <= 0) return plan;
+  auto& out = plan.events_;
+
+  // Each (category, subject) pair draws from its own split stream, so e.g.
+  // adding uplink churn cannot shift the host-crash schedule.
+  const Rng host_rng = rng.split(1);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = host_rng.split(h);
+    renewal_windows(out, r, config.host_mtbf, config.host_reboot_mean, horizon,
+                    FaultKind::host_crash, FaultKind::host_reboot,
+                    static_cast<std::uint32_t>(h), 1.0);
+  }
+  const Rng uplink_rng = rng.split(2);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = uplink_rng.split(h);
+    renewal_windows(out, r, config.uplink_mtbf, config.uplink_outage_mean,
+                    horizon, FaultKind::uplink_down, FaultKind::uplink_up,
+                    static_cast<std::uint32_t>(h), 1.0);
+  }
+  const Rng server_rng = rng.split(3);
+  for (std::size_t s = 0; s < servers; ++s) {
+    Rng r = server_rng.split(s);
+    renewal_windows(out, r, config.server_mtbf, config.server_restart_mean,
+                    horizon, FaultKind::server_down, FaultKind::server_up,
+                    static_cast<std::uint32_t>(s), 1.0);
+  }
+  {
+    Rng r = rng.split(4);
+    renewal_windows(out, r, config.latency_spike_mtbf,
+                    config.latency_spike_mean, horizon,
+                    FaultKind::latency_spike_begin,
+                    FaultKind::latency_spike_end, 0,
+                    config.latency_spike_factor);
+  }
+  if (config.partition_mtbf > 0 && hosts > 0) {
+    // Partition episodes isolate a fresh random subset of hosts each time;
+    // begin/heal events are emitted per host so the Injector needs no
+    // episode memory.
+    Rng r = rng.split(5);
+    Time t = 0;
+    while (true) {
+      t += r.exponential(config.partition_mtbf);
+      if (t >= horizon) break;
+      const Duration window = std::max(kMinWindow, r.exponential(config.partition_mean));
+      const auto k = std::clamp<std::size_t>(
+          static_cast<std::size_t>(
+              std::llround(config.partition_fraction *
+                           static_cast<double>(hosts))),
+          1, hosts);
+      for (const auto h : r.sample_indices(hosts, k)) {
+        out.push_back({t, FaultKind::partition_begin,
+                       static_cast<std::uint32_t>(h), 1.0});
+        if (t + window < horizon) {
+          out.push_back({t + window, FaultKind::partition_heal,
+                         static_cast<std::uint32_t>(h), 1.0});
+        }
+      }
+      t += window;
+    }
+  }
+
+  // Stable: simultaneous events keep category order (hosts before uplinks
+  // before servers...), which the Injector preserves when scheduling.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+Injector::Injector(net::Network& network, FaultPlan plan, Bindings bindings)
+    : net_(network), plan_(std::move(plan)), bind_(std::move(bindings)) {
+  if (!plan_.empty() && !bind_.host_node) {
+    throw std::invalid_argument("fault::Injector: host_node binding required");
+  }
+}
+
+void Injector::arm() {
+  auto& simulation = net_.simulation();
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const Time at = std::max(plan_.events()[i].at, simulation.now());
+    simulation.schedule_at(at, [this, i] { apply(plan_.events()[i]); });
+  }
+}
+
+void Injector::apply(const FaultEvent& event) {
+  const auto subject = static_cast<std::size_t>(event.subject);
+  switch (event.kind) {
+    case FaultKind::host_crash: {
+      const auto node = bind_.host_node(subject);
+      net_.set_node_up(node, false);
+      stats_.connections_aborted += net_.abort_connections(node);
+      if (bind_.crash_host) bind_.crash_host(subject);
+      ++stats_.host_crashes;
+      break;
+    }
+    case FaultKind::host_reboot: {
+      net_.set_node_up(bind_.host_node(subject), true);
+      ++stats_.host_reboots;
+      break;
+    }
+    case FaultKind::uplink_down: {
+      const auto node = bind_.host_node(subject);
+      net_.set_node_up(node, false);
+      stats_.connections_aborted += net_.abort_connections(node);
+      ++stats_.uplink_outages;
+      break;
+    }
+    case FaultKind::uplink_up: {
+      net_.set_node_up(bind_.host_node(subject), true);
+      break;
+    }
+    case FaultKind::server_down: {
+      if (bind_.stop_server) bind_.stop_server(subject);
+      ++stats_.server_restarts;
+      break;
+    }
+    case FaultKind::server_up: {
+      if (bind_.start_server) bind_.start_server(subject);
+      break;
+    }
+    case FaultKind::latency_spike_begin: {
+      for (std::size_t h = 0; h < bind_.host_count; ++h) {
+        net_.set_latency_factor(bind_.host_node(h), event.magnitude);
+      }
+      ++stats_.latency_spikes;
+      break;
+    }
+    case FaultKind::latency_spike_end: {
+      for (std::size_t h = 0; h < bind_.host_count; ++h) {
+        net_.set_latency_factor(bind_.host_node(h), 1.0);
+      }
+      break;
+    }
+    case FaultKind::partition_begin: {
+      net_.set_partition(bind_.host_node(subject), 1);
+      stats_.connections_aborted += net_.abort_cross_partition();
+      ++stats_.partition_episodes;
+      break;
+    }
+    case FaultKind::partition_heal: {
+      net_.set_partition(bind_.host_node(subject), 0);
+      break;
+    }
+  }
+}
+
+std::unique_ptr<sim::PeriodicTimer> Injector::legacy_crash_grid(
+    sim::Simulation& simulation, Duration mtbf,
+    std::function<std::size_t()> fleet_size,
+    std::function<void(std::size_t)> crash, Rng rng) {
+  // Reproduces the historical inline loop draw-for-draw: one Bernoulli per
+  // fleet member per hour, in fleet order, from the caller's stream.
+  return std::make_unique<sim::PeriodicTimer>(
+      simulation, hours(1),
+      [mtbf, fleet_size = std::move(fleet_size), crash = std::move(crash),
+       rng]() mutable {
+        for (std::size_t h = 0; h < fleet_size(); ++h) {
+          if (rng.chance(hours(1) / mtbf)) {
+            crash(h);
+          }
+        }
+      });
+}
+
+}  // namespace edhp::fault

@@ -1,0 +1,180 @@
+#pragma once
+// Fault-injection subsystem.
+//
+// The paper's measurement platform survives PlanetLab churn: hosts die and
+// reboot, uplinks flap, directory servers restart, and the manager
+// "regularly checks the status of each honeypot" to "re-launch dead
+// honeypots or redirect them toward other servers" (Section III.A). This
+// module gives the reproduction a real fault model:
+//
+//   ChaosConfig  — knobs (MTBFs and outage durations per fault class);
+//   FaultPlan    — a pre-generated, seed-deterministic schedule of events
+//                  (pure data: the same config + rng always yields the same
+//                  plan, so chaos campaigns are reproducible bit-for-bit);
+//   Injector     — binds a plan to a live world: schedules every event on
+//                  the simulation engine and drives net::Network primitives
+//                  plus app-level hooks (honeypot crash, server restart).
+//
+// Fault classes and their observable semantics:
+//   host crash / reboot   node down + RST of every connection + the honeypot
+//                         process dies (unspooled log tail at risk);
+//   uplink outage         node down + RSTs, but the process survives and
+//                         retries with backoff once the link returns;
+//   server restart        the directory server drops all sessions, then
+//                         accepts logins again (honeypots must re-login and
+//                         re-advertise);
+//   latency spike         per-host latency multiplier for an episode;
+//   partition             a subset of hosts is split from the rest (connect
+//                         refusal both ways + RST of cross-group traffic).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace edhp::fault {
+
+enum class FaultKind : std::uint8_t {
+  host_crash,           ///< host + honeypot process die (subject = host)
+  host_reboot,          ///< host back up; manager relaunch can reach it
+  uplink_down,          ///< host NIC outage; process survives (subject = host)
+  uplink_up,
+  server_down,          ///< server restart begins (subject = server index)
+  server_up,            ///< server accepts logins again
+  latency_spike_begin,  ///< magnitude multiplies every host's latency
+  latency_spike_end,
+  partition_begin,      ///< host `subject` moves to partition group 1
+  partition_heal,       ///< host `subject` rejoins group 0
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k);
+
+/// One scheduled fault. `subject` indexes hosts or servers at scenario
+/// level (the Injector's bindings translate to net::NodeId).
+struct FaultEvent {
+  Time at = 0;
+  FaultKind kind = FaultKind::host_crash;
+  std::uint32_t subject = 0;
+  double magnitude = 1.0;  ///< latency multiplier for spike episodes
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Churn knobs. Every *_mtbf of 0 disables that fault class. The defaults
+/// model the paper's platform: PlanetLab hosts failing every ~16 days over a
+/// 32-day campaign, with everything else off until enabled.
+struct ChaosConfig {
+  bool enabled = false;
+  /// Mixed into the scenario seed so chaos draws are independent of the
+  /// behavioural streams.
+  std::uint64_t seed = 0xFA1757;
+
+  Duration host_mtbf = days(16);          ///< per-host crash rate
+  Duration host_reboot_mean = minutes(20);
+  Duration uplink_mtbf = 0;               ///< per-host link-outage rate
+  Duration uplink_outage_mean = minutes(10);
+  Duration server_mtbf = 0;               ///< per-server restart rate
+  Duration server_restart_mean = minutes(3);
+  Duration latency_spike_mtbf = 0;        ///< measurement-wide episodes
+  Duration latency_spike_mean = minutes(5);
+  double latency_spike_factor = 8.0;
+  Duration partition_mtbf = 0;            ///< measurement-wide episodes
+  Duration partition_mean = minutes(15);
+  double partition_fraction = 0.33;       ///< of hosts isolated per episode
+
+  // --- Recovery policy the scenarios apply alongside the plan ------------
+  Duration retry_base = 30.0;             ///< honeypot reconnect backoff base
+  Duration retry_cap = minutes(30);
+  std::size_t retry_max = 6;              ///< per outage episode
+  Duration spool_period = minutes(10);    ///< log-chunk gathering cadence
+  Duration heartbeat_timeout = hours(2);  ///< manager watchdog stall limit
+  std::size_t backup_servers = 1;         ///< standby servers for escalation
+};
+
+/// Counters of faults actually applied by an Injector.
+struct FaultStats {
+  std::uint64_t host_crashes = 0;
+  std::uint64_t host_reboots = 0;
+  std::uint64_t uplink_outages = 0;
+  std::uint64_t server_restarts = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t partition_episodes = 0;  ///< host-level isolation events
+  std::uint64_t connections_aborted = 0;
+};
+
+/// A pre-generated schedule of fault events, sorted by time (ties keep
+/// generation order). Pure data: generation never touches a simulation.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Hand-crafted plan (tests, replaying recorded schedules). Events are
+  /// stably sorted by time.
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Build a plan for `hosts` honeypot hosts and `servers` directory
+  /// servers over `horizon` seconds. Deterministic in (config, rng state).
+  /// Down windows are clamped to at least one second; a down window
+  /// reaching past the horizon simply never emits its recovery event.
+  [[nodiscard]] static FaultPlan generate(const ChaosConfig& config,
+                                          std::size_t hosts,
+                                          std::size_t servers,
+                                          Duration horizon, Rng rng);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Applies a FaultPlan to a live world.
+class Injector {
+ public:
+  /// Translation from plan subjects to the concrete world. `host_node` is
+  /// required; the rest may be empty (those events become no-ops at the app
+  /// level while the network-level effect still applies where possible).
+  struct Bindings {
+    std::size_t host_count = 0;
+    std::function<net::NodeId(std::size_t)> host_node;
+    std::function<void(std::size_t)> crash_host;  ///< app-level process death
+    std::function<void(std::size_t)> stop_server;
+    std::function<void(std::size_t)> start_server;
+  };
+
+  Injector(net::Network& network, FaultPlan plan, Bindings bindings);
+
+  /// Schedule the whole plan on the network's simulation. Events whose time
+  /// already passed fire at the current instant, preserving plan order.
+  void arm();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+
+  /// The pre-fault-subsystem `host_mtbf` model, preserved bit-for-bit: an
+  /// hourly Bernoulli grid over the fleet with immediate process crash and
+  /// no host-down window. The caller starts the returned timer; draws come
+  /// from `rng` in fleet order exactly as the historical inline loop did.
+  [[nodiscard]] static std::unique_ptr<sim::PeriodicTimer> legacy_crash_grid(
+      sim::Simulation& simulation, Duration mtbf,
+      std::function<std::size_t()> fleet_size,
+      std::function<void(std::size_t)> crash, Rng rng);
+
+ private:
+  void apply(const FaultEvent& event);
+
+  net::Network& net_;
+  FaultPlan plan_;
+  Bindings bind_;
+  FaultStats stats_;
+};
+
+}  // namespace edhp::fault

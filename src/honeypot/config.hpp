@@ -7,8 +7,23 @@
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"
+#include "logbook/spool.hpp"
 
 namespace edhp::honeypot {
+
+/// Server-reconnect policy a honeypot applies on its own, below the
+/// manager's slower relaunch loop: capped exponential backoff with
+/// deterministic jitter (derived from honeypot id + attempt, never from an
+/// RNG stream, so enabling retries cannot shift unrelated draws). After
+/// `max_retries` failed attempts in one outage episode the honeypot reports
+/// Status::dead and escalation moves to the manager's watchdog.
+struct RetryPolicy {
+  bool enabled = false;
+  Duration base = 30.0;         ///< first-retry delay
+  Duration cap = minutes(30);   ///< backoff ceiling
+  std::size_t max_retries = 6;  ///< per outage episode
+  double jitter = 0.1;          ///< +/- fraction applied deterministically
+};
 
 /// How a honeypot answers REQUEST-PART queries (Section IV.B of the paper).
 enum class ContentStrategy : std::uint8_t {
@@ -55,6 +70,14 @@ struct HoneypotConfig {
 
   /// Stage-1 anonymisation salt, shared measurement-wide by the manager.
   std::string salt = "edhp-measurement";
+
+  /// Self-reconnect policy (disabled by default: a connection loss reports
+  /// Status::dead immediately, the pre-fault-subsystem behaviour).
+  RetryPolicy retry;
+
+  /// Crash-safe log spooling (disabled by default: the whole in-memory log
+  /// survives a crash, the pre-fault-subsystem behaviour).
+  logbook::SpoolConfig spool;
 };
 
 }  // namespace edhp::honeypot

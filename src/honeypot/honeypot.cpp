@@ -1,5 +1,8 @@
 #include "honeypot/honeypot.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/md4.hpp"
 
 namespace edhp::honeypot {
@@ -64,17 +67,44 @@ Honeypot::~Honeypot() {
 
 void Honeypot::connect_to_server(const ServerRef& server) {
   server_ = server;
-  status_ = Status::connecting;
+  ++epoch_;
+  retries_episode_ = 0;
+  net_.simulation().cancel(retry_event_);
   log_.header.server_name = server.name;
   log_.header.server_ip = net_.info(server.node).ip.value();
   log_.header.server_port = server.port;
 
+  if (config_.spool.enabled) {
+    // Relaunch of the spooling pipeline: chunks in the local spool that were
+    // never acknowledged go out again with their original sequence numbers
+    // (the manager dedups), then the periodic cutter resumes.
+    for (const auto& chunk : pending_chunks_) {
+      counters_.add("chunks_resent");
+      if (spool_sink_) spool_sink_(chunk);
+    }
+    spool_timer_ = std::make_unique<sim::PeriodicTimer>(
+        net_.simulation(), config_.spool.period, [this] { spool_now(); });
+    spool_timer_->start();
+  }
+
+  attempt_connect();
+}
+
+void Honeypot::attempt_connect() {
+  if (!server_) return;
+  status_ = Status::connecting;
+  heartbeat_ = net_.simulation().now();
+
   net_.listen(self_, [this](net::EndpointPtr ep) { on_peer_accept(std::move(ep)); });
 
-  net_.connect(self_, server.node, [this](net::EndpointPtr ep) {
+  net_.connect(self_, server_->node, [this](net::EndpointPtr ep) {
     if (!ep) {
-      status_ = Status::dead;
       counters_.add("server_connect_failures");
+      if (config_.retry.enabled) {
+        schedule_retry();
+      } else {
+        status_ = Status::dead;
+      }
       return;
     }
     server_ep_ = std::move(ep);
@@ -119,6 +149,9 @@ void Honeypot::on_server_message(net::Bytes packet) {
     if (first_login && started_at_ == 0) {
       started_at_ = net_.simulation().now();
     }
+    retries_episode_ = 0;
+    heartbeat_ = net_.simulation().now();
+    begin_coverage();
     counters_.add("logins");
     send_offer();
     offer_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -130,9 +163,103 @@ void Honeypot::on_server_message(net::Bytes packet) {
 
 void Honeypot::on_server_closed() {
   counters_.add("server_connection_lost");
-  status_ = Status::dead;
   offer_timer_.reset();
   server_ep_.reset();
+  end_coverage();
+  if (config_.retry.enabled) {
+    // New outage episode: reconnect on our own before involving the
+    // manager, like a real client riding out a server restart.
+    retries_episode_ = 0;
+    schedule_retry();
+  } else {
+    status_ = Status::dead;
+  }
+}
+
+void Honeypot::schedule_retry() {
+  if (retries_episode_ >= config_.retry.max_retries) {
+    counters_.add("retry_budget_exhausted");
+    status_ = Status::dead;
+    return;
+  }
+  const Duration delay = retry_delay(retries_episode_);
+  ++retries_episode_;
+  ++retries_total_;
+  counters_.add("server_retries");
+  status_ = Status::connecting;
+  retry_event_ =
+      net_.simulation().schedule_in(delay, [this] { attempt_connect(); });
+}
+
+Duration Honeypot::retry_delay(std::size_t attempt) const {
+  const double raw =
+      config_.retry.base * std::pow(2.0, static_cast<double>(attempt));
+  const double capped = std::min(raw, config_.retry.cap);
+  // SplitMix64 of (id, attempt): stable jitter without touching any RNG
+  // stream, so retry timing is a pure function of identity and history.
+  std::uint64_t x = (static_cast<std::uint64_t>(config_.id) << 32) ^
+                    ((attempt + 1) * 0x9E3779B97F4A7C15ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return capped * (1.0 + config_.retry.jitter * (2.0 * unit - 1.0));
+}
+
+void Honeypot::begin_coverage() {
+  if (connected_since_ < 0) {
+    connected_since_ = net_.simulation().now();
+  }
+}
+
+void Honeypot::end_coverage() {
+  if (connected_since_ >= 0) {
+    coverage_.push_back({connected_since_, net_.simulation().now()});
+    connected_since_ = -1.0;
+  }
+}
+
+double Honeypot::connected_time() const {
+  double total = 0;
+  for (const auto& w : coverage_) {
+    total += w.end - w.begin;
+  }
+  if (connected_since_ >= 0) {
+    total += net_.simulation().now() - connected_since_;
+  }
+  return total;
+}
+
+void Honeypot::spool_now() {
+  if (!config_.spool.enabled) return;
+  if (log_.records.size() == spooled_mark_) return;
+  logbook::LogChunk chunk;
+  chunk.honeypot = config_.id;
+  chunk.epoch = epoch_;
+  chunk.seq = next_chunk_seq_++;
+  chunk.name_base = names_spooled_mark_;
+  chunk.names.assign(log_.names.begin() +
+                         static_cast<std::ptrdiff_t>(names_spooled_mark_),
+                     log_.names.end());
+  chunk.records.assign(
+      log_.records.begin() + static_cast<std::ptrdiff_t>(spooled_mark_),
+      log_.records.end());
+  spooled_mark_ = log_.records.size();
+  names_spooled_mark_ = log_.names.size();
+  counters_.add("chunks_spooled");
+  pending_chunks_.push_back(std::move(chunk));
+  if (spool_sink_) spool_sink_(pending_chunks_.back());
+}
+
+void Honeypot::ack_spooled(std::uint64_t seq) {
+  const auto before = pending_chunks_.size();
+  std::erase_if(pending_chunks_,
+                [seq](const logbook::LogChunk& c) { return c.seq == seq; });
+  if (pending_chunks_.size() != before) {
+    counters_.add("chunks_acked");
+  }
 }
 
 void Honeypot::send_offer() {
@@ -150,10 +277,17 @@ void Honeypot::send_offer() {
   }
   server_ep_->send(proto::encode(proto::AnyMessage{std::move(offer)}));
   offer_dirty_ = false;
+  heartbeat_ = net_.simulation().now();
   counters_.add("offers_sent");
 }
 
 void Honeypot::advertise(std::vector<AdvertisedFile> files) {
+  if (status_ == Status::dead) {
+    // The out-of-band order never reaches a dead host; the manager must
+    // re-issue it after relaunch (it checks ordered-vs-advertised in poll).
+    counters_.add("advertise_orders_lost");
+    return;
+  }
   advertised_ = std::move(files);
   advertised_ids_.clear();
   for (const auto& f : advertised_) {
@@ -186,6 +320,9 @@ void Honeypot::search_and_adopt(const std::string& query, std::size_t limit) {
 
 void Honeypot::disconnect() {
   offer_timer_.reset();
+  spool_timer_.reset();
+  net_.simulation().cancel(retry_event_);
+  end_coverage();
   if (server_ep_) {
     server_ep_->close();
     server_ep_.reset();
@@ -202,6 +339,21 @@ void Honeypot::disconnect() {
 void Honeypot::crash() {
   counters_.add("crashes");
   offer_timer_.reset();
+  spool_timer_.reset();
+  net_.simulation().cancel(retry_event_);
+  retries_episode_ = 0;
+  end_coverage();
+  if (config_.spool.enabled) {
+    // Records appended since the last spool cut lived only in process
+    // memory: they die with the process. Everything below the mark is in
+    // the local spool (pending_chunks_) or already with the manager.
+    const auto lost = log_.records.size() - spooled_mark_;
+    if (lost > 0) {
+      lost_tail_ += lost;
+      counters_.add("records_lost_tail", lost);
+      log_.records.resize(spooled_mark_);
+    }
+  }
   if (server_ep_) {
     server_ep_->close();
     server_ep_.reset();
@@ -221,6 +373,8 @@ logbook::LogFile Honeypot::take_log() {
   log_ = logbook::LogFile{};
   log_.header = out.header;
   name_cache_.clear();
+  spooled_mark_ = 0;
+  names_spooled_mark_ = 1;
   return out;
 }
 
@@ -442,6 +596,7 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
     r.flags |= logbook::kFlagHasFile;
   }
   log_.records.push_back(r);
+  heartbeat_ = net_.simulation().now();
   counters_.add(std::string(logbook::to_string(type)));
 }
 

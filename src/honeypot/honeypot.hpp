@@ -12,6 +12,16 @@
 // Every HELLO, START-UPLOAD and REQUEST-PART received is appended to the
 // query log together with the peer metadata the paper lists. IP addresses
 // pass through stage-1 anonymisation before entering the log.
+//
+// Failure handling (all off by default, enabled by the chaos campaigns):
+// with a RetryPolicy the honeypot reconnects to its server on its own with
+// capped exponential backoff before reporting Status::dead to the manager;
+// with a SpoolConfig it periodically cuts its log tail into sequence-
+// numbered chunks handed to the manager, so a crash destroys at most the
+// unspooled tail (accounted in counters()["records_lost_tail"]). Each
+// (re)launch increments an epoch; chunks spooled but unacknowledged at
+// crash time are re-sent on relaunch with their original sequence numbers
+// and deduplicated manager-side.
 
 #include <deque>
 #include <memory>
@@ -89,6 +99,52 @@ class Honeypot {
     return advertised_;
   }
 
+  // --- Recovery & durability ----------------------------------------------
+
+  /// Process incarnation: incremented by every connect_to_server (launch or
+  /// relaunch). Spool chunks are stamped with the epoch that first cut them.
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// Last instant this honeypot demonstrably made progress (connect
+  /// attempt, login, OFFER keep-alive, or logged query). The manager's
+  /// watchdog escalates on heartbeat age, which also catches a honeypot
+  /// wedged in `connecting` (its SYN raced a server restart).
+  [[nodiscard]] Time last_heartbeat() const noexcept { return heartbeat_; }
+
+  /// Total self-reconnect attempts across all outage episodes.
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_total_; }
+
+  /// Closed [login, connection-loss) intervals; the currently open interval
+  /// (if connected) is not included — see connected_time().
+  struct CoverageWindow {
+    Time begin = 0;
+    Time end = 0;
+  };
+  [[nodiscard]] const std::vector<CoverageWindow>& coverage() const noexcept {
+    return coverage_;
+  }
+  /// Total time spent logged in, including the currently open window.
+  [[nodiscard]] double connected_time() const;
+
+  /// Receives every spooled chunk (the manager's gathering channel).
+  void set_spool_sink(std::function<void(const logbook::LogChunk&)> sink) {
+    spool_sink_ = std::move(sink);
+  }
+  /// Cut the unspooled log tail into a chunk now (also runs periodically
+  /// while spooling is enabled). No-op when the tail is empty.
+  void spool_now();
+  /// The manager confirmed durable receipt of chunk `seq`; it leaves the
+  /// local spool and will not be re-sent on relaunch.
+  void ack_spooled(std::uint64_t seq);
+  /// Records destroyed by crashes before they were spooled.
+  [[nodiscard]] std::uint64_t records_lost_tail() const noexcept {
+    return lost_tail_;
+  }
+  /// Chunks spooled locally but not yet acknowledged.
+  [[nodiscard]] std::size_t pending_spool() const noexcept {
+    return pending_chunks_.size();
+  }
+
   // --- Collected data ------------------------------------------------------
 
   [[nodiscard]] const logbook::LogFile& log() const noexcept { return log_; }
@@ -131,6 +187,16 @@ class Honeypot {
 
   void on_server_message(net::Bytes packet);
   void on_server_closed();
+  /// The listen + connect + login attempt (no episode/epoch bookkeeping).
+  void attempt_connect();
+  /// Schedule the next backoff-ed reconnect, or go dead when the episode's
+  /// retry budget is spent.
+  void schedule_retry();
+  /// Backoff delay for the given 0-based attempt, with deterministic jitter
+  /// derived from (honeypot id, attempt) — no RNG stream involved.
+  [[nodiscard]] Duration retry_delay(std::size_t attempt) const;
+  void begin_coverage();
+  void end_coverage();
   void send_offer();
   void on_peer_accept(net::EndpointPtr ep);
   void on_peer_message(ConnKey key, net::Bytes packet);
@@ -176,6 +242,26 @@ class Honeypot {
   std::uint64_t observed_bytes_ = 0;
   std::vector<std::string> observed_names_;
   Time started_at_ = 0;
+
+  // Recovery state.
+  std::uint32_t epoch_ = 0;
+  Time heartbeat_ = 0;
+  sim::EventHandle retry_event_{};
+  std::size_t retries_episode_ = 0;
+  std::uint64_t retries_total_ = 0;
+  std::vector<CoverageWindow> coverage_;
+  Time connected_since_ = -1.0;  ///< < 0 when no window is open
+
+  // Spool state. Marks index into log_: records/names below the mark are
+  // already cut into chunks; `pending_chunks_` is the local on-disk spool
+  // (survives crash(); re-sent on relaunch until acked).
+  std::unique_ptr<sim::PeriodicTimer> spool_timer_;
+  std::function<void(const logbook::LogChunk&)> spool_sink_;
+  std::vector<logbook::LogChunk> pending_chunks_;
+  std::size_t spooled_mark_ = 0;
+  std::size_t names_spooled_mark_ = 1;  ///< log_.names[0] is always ""
+  std::uint64_t next_chunk_seq_ = 0;
+  std::uint64_t lost_tail_ = 0;
 
   sim::CounterSet counters_;
 };

@@ -1,8 +1,10 @@
 #include "honeypot/manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "anonymize/name_anonymizer.hpp"
 #include "anonymize/renumber.hpp"
@@ -19,15 +21,35 @@ Manager::~Manager() { stop(); }
 std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
                             const ServerRef& server) {
   config.salt = config_.salt;
+  config.retry = config_.retry;
+  config.spool = config_.spool;
   if (config.id == 0) {
     config.id = static_cast<std::uint16_t>(fleet_.size());
   }
   Slot slot;
   slot.honeypot = std::make_unique<Honeypot>(net_, host, std::move(config));
   slot.server = server;
+  if (config_.spool.enabled) {
+    // Gathering channel: ingest each chunk (deduping re-sends) and
+    // acknowledge after the transfer round-trip, so a crash inside the ack
+    // window exercises the at-least-once path.
+    Honeypot* hp = slot.honeypot.get();
+    hp->set_spool_sink([this, hp](const logbook::LogChunk& chunk) {
+      spool_store_.set_header(chunk.honeypot, hp->log().header);
+      spool_store_.accept(chunk);
+      const auto seq = chunk.seq;
+      net_.simulation().schedule_in(config_.spool.ack_delay,
+                                    [hp, seq] { hp->ack_spooled(seq); });
+    });
+  }
   slot.honeypot->connect_to_server(server);
   fleet_.push_back(std::move(slot));
   return fleet_.size() - 1;
+}
+
+void Manager::set_backup_servers(std::vector<ServerRef> backups) {
+  backups_ = std::move(backups);
+  next_backup_ = 0;
 }
 
 void Manager::survey_servers(std::vector<ServerRef> candidates,
@@ -118,24 +140,156 @@ void Manager::start() {
 void Manager::stop() {
   poll_timer_.reset();
   for (auto& slot : fleet_) {
+    if (config_.spool.enabled) {
+      // Final gathering: flush the unspooled tail so the store holds the
+      // complete log of every honeypot that survived to the end.
+      slot.honeypot->spool_now();
+    }
     slot.honeypot->disconnect();
   }
 }
 
-void Manager::poll() {
-  if (!config_.auto_relaunch) return;
-  for (auto& slot : fleet_) {
-    if (slot.honeypot->status() == Status::dead) {
-      ++relaunches_;
-      // Relaunch: reconnect to the assigned server and re-advertise the
-      // file list previously ordered (plus anything the honeypot grew
-      // itself in greedy mode, which it kept).
-      slot.honeypot->connect_to_server(slot.server);
-      if (slot.honeypot->advertised().empty() && !slot.files.empty()) {
-        slot.honeypot->advertise(slot.files);
-      }
+Duration Manager::relaunch_backoff(std::size_t failures) const {
+  if (config_.relaunch_backoff_base <= 0 || failures == 0) return 0;
+  const double raw = config_.relaunch_backoff_base *
+                     std::pow(2.0, static_cast<double>(failures - 1));
+  return std::min(raw, config_.relaunch_backoff_cap);
+}
+
+bool Manager::covers(const std::vector<AdvertisedFile>& advertised,
+                     const std::vector<AdvertisedFile>& ordered) {
+  std::unordered_set<FileId> have;
+  have.reserve(advertised.size());
+  for (const auto& f : advertised) {
+    have.insert(f.id);
+  }
+  return std::all_of(ordered.begin(), ordered.end(),
+                     [&have](const AdvertisedFile& f) {
+                       return have.contains(f.id);
+                     });
+}
+
+void Manager::repair_advertised(Slot& slot) {
+  // Ordered files first, then everything the honeypot grew on its own
+  // (greedy harvest) that the order does not already contain.
+  std::vector<AdvertisedFile> full = slot.files;
+  std::unordered_set<FileId> ordered_ids;
+  ordered_ids.reserve(full.size());
+  for (const auto& f : full) {
+    ordered_ids.insert(f.id);
+  }
+  for (const auto& f : slot.honeypot->advertised()) {
+    if (!ordered_ids.contains(f.id)) {
+      full.push_back(f);
     }
   }
+  ++recovery_.re_advertise_repairs;
+  slot.honeypot->advertise(std::move(full));
+}
+
+void Manager::escalate(std::size_t index) {
+  auto& slot = fleet_.at(index);
+  slot.consecutive_failures = 0;
+  slot.next_attempt_at = 0;
+  if (backups_.empty()) {
+    reassign(index, slot.server);  // reconnect in place
+    return;
+  }
+  ++recovery_.escalations;
+  reassign(index, backups_[next_backup_++ % backups_.size()]);
+}
+
+void Manager::poll() {
+  if (!config_.auto_relaunch) return;
+  const Time now = net_.simulation().now();
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    auto& slot = fleet_[i];
+    auto& hp = *slot.honeypot;
+    const Status status = hp.status();
+
+    if (status == Status::connected) {
+      if (slot.down_since >= 0) {
+        recovery_.total_downtime += now - slot.down_since;
+        slot.down_since = -1.0;
+        slot.consecutive_failures = 0;
+        slot.next_attempt_at = 0;
+      }
+      if (config_.heartbeat_timeout > 0 &&
+          now - hp.last_heartbeat() > config_.heartbeat_timeout) {
+        // Zombie session: status says connected but nothing has happened
+        // for longer than any keep-alive period allows.
+        ++recovery_.heartbeat_escalations;
+        escalate(i);
+        continue;
+      }
+      // A honeypot that died mid-OFFER (or whose advertise order was lost
+      // while it was dead) is missing part of its ordered list: repair it.
+      if (!slot.files.empty() && !covers(hp.advertised(), slot.files)) {
+        repair_advertised(slot);
+      }
+      continue;
+    }
+
+    if (status != Status::dead) {
+      // connecting/idle: the honeypot is handling itself (login in flight
+      // or self-retrying); only interfere when its heartbeat went stale.
+      if (config_.heartbeat_timeout > 0 && status == Status::connecting &&
+          now - hp.last_heartbeat() > config_.heartbeat_timeout) {
+        ++recovery_.heartbeat_escalations;
+        escalate(i);
+      }
+      continue;
+    }
+
+    // Dead. Gate relaunch attempts behind the backoff so a honeypot whose
+    // server is down does not get reconnected (and recounted) every tick.
+    if (slot.down_since < 0) {
+      slot.down_since = now;
+    }
+    if (now < slot.next_attempt_at) {
+      ++recovery_.deferred;
+      continue;
+    }
+    if (config_.escalate_after > 0 && !backups_.empty() &&
+        slot.consecutive_failures >= config_.escalate_after) {
+      escalate(i);
+      continue;
+    }
+    ++relaunches_;
+    ++slot.consecutive_failures;
+    slot.next_attempt_at = now + relaunch_backoff(slot.consecutive_failures);
+    // Relaunch: reconnect to the assigned server and re-advertise the file
+    // list previously ordered (plus anything the honeypot grew itself in
+    // greedy mode, which it kept).
+    hp.connect_to_server(slot.server);
+    if (!slot.files.empty() && !covers(hp.advertised(), slot.files)) {
+      repair_advertised(slot);
+    }
+  }
+}
+
+RecoveryStats Manager::recovery_stats() const {
+  RecoveryStats out = recovery_;
+  out.relaunches = relaunches_;
+  out.chunks_accepted = spool_store_.chunks_accepted();
+  out.chunks_duplicate = spool_store_.chunks_duplicate();
+  out.records_spooled = spool_store_.records_stored();
+  const Time now = net_.simulation().now();
+  std::uint64_t kept = 0;
+  for (const auto& slot : fleet_) {
+    out.honeypot_retries += slot.honeypot->retries();
+    out.records_lost_tail += slot.honeypot->records_lost_tail();
+    kept += slot.honeypot->log().records.size();
+    if (slot.down_since >= 0) {
+      out.total_downtime += now - slot.down_since;
+    }
+  }
+  const std::uint64_t generated = kept + out.records_lost_tail;
+  if (generated > 0) {
+    out.retained_fraction =
+        static_cast<double>(kept) / static_cast<double>(generated);
+  }
+  return out;
 }
 
 Honeypot& Manager::honeypot(std::size_t index) {

@@ -14,6 +14,7 @@
 
 #include "honeypot/honeypot.hpp"
 #include "logbook/merge.hpp"
+#include "logbook/spool.hpp"
 
 namespace edhp::honeypot {
 
@@ -25,6 +26,46 @@ struct ManagerConfig {
   bool auto_relaunch = true;
   /// Measurement-wide stage-1 anonymisation salt pushed to every honeypot.
   std::string salt = "edhp-measurement-salt";
+
+  // --- Watchdog policy. The defaults reproduce the pre-fault-subsystem
+  // --- manager exactly: relaunch on every poll, never escalate.
+
+  /// Backoff between relaunch attempts of the same honeypot while they keep
+  /// failing (doubling per consecutive failure, capped). 0 = attempt on
+  /// every poll tick — the historical hot-spinning behaviour.
+  Duration relaunch_backoff_base = 0;
+  Duration relaunch_backoff_cap = hours(4);
+  /// After this many consecutive failed relaunches, reassign the honeypot
+  /// to a backup server (round-robin over set_backup_servers). 0 = never.
+  std::size_t escalate_after = 0;
+  /// Escalate a honeypot whose heartbeat is older than this even when its
+  /// status looks alive (catches wedged logins and zombie sessions).
+  /// 0 = disabled.
+  Duration heartbeat_timeout = 0;
+
+  /// Self-reconnect policy injected into every launched honeypot.
+  RetryPolicy retry;
+  /// Log-spooling policy injected into every launched honeypot; when
+  /// enabled the manager wires itself as the chunk sink and acknowledges
+  /// chunks after spool.ack_delay.
+  logbook::SpoolConfig spool;
+};
+
+/// Aggregated fault-recovery accounting (see Manager::recovery_stats()).
+struct RecoveryStats {
+  std::uint64_t relaunches = 0;        ///< relaunch attempts issued
+  std::uint64_t deferred = 0;          ///< polls skipped by relaunch backoff
+  std::uint64_t escalations = 0;       ///< reassignments to a backup server
+  std::uint64_t heartbeat_escalations = 0;  ///< stale-heartbeat escalations
+  std::uint64_t re_advertise_repairs = 0;   ///< ordered-list re-offers
+  std::uint64_t honeypot_retries = 0;  ///< fleet self-reconnect attempts
+  std::uint64_t chunks_accepted = 0;
+  std::uint64_t chunks_duplicate = 0;  ///< deduped at-least-once re-sends
+  std::uint64_t records_spooled = 0;
+  std::uint64_t records_lost_tail = 0; ///< destroyed before spooling
+  double total_downtime = 0;           ///< observed dead time, fleet sum (s)
+  /// records kept / records generated (1.0 when nothing was ever lost).
+  double retained_fraction = 1.0;
 };
 
 /// Owns and coordinates a fleet of honeypots.
@@ -62,6 +103,10 @@ class Manager {
   /// to the new server.
   void reassign(std::size_t index, const ServerRef& server);
 
+  /// Standby servers for watchdog escalation, used round-robin when a
+  /// honeypot exhausts `escalate_after` consecutive relaunch failures.
+  void set_backup_servers(std::vector<ServerRef> backups);
+
   /// Order honeypot `index` to advertise `files`.
   void advertise(std::size_t index, std::vector<AdvertisedFile> files);
   /// Order every honeypot to advertise the same list (the paper's
@@ -77,6 +122,16 @@ class Manager {
   [[nodiscard]] Honeypot& honeypot(std::size_t index);
   [[nodiscard]] const Honeypot& honeypot(std::size_t index) const;
   [[nodiscard]] std::uint64_t relaunches() const noexcept { return relaunches_; }
+
+  /// Snapshot of fault-recovery accounting across the fleet, including
+  /// still-open downtime windows at call time.
+  [[nodiscard]] RecoveryStats recovery_stats() const;
+
+  /// The chunk store backing crash-safe spooling (empty unless
+  /// ManagerConfig::spool.enabled).
+  [[nodiscard]] const logbook::SpoolStore& spool_store() const noexcept {
+    return spool_store_;
+  }
 
   /// Snapshot every honeypot's current log (without draining).
   [[nodiscard]] std::vector<logbook::LogFile> collect_logs() const;
@@ -111,15 +166,33 @@ class Manager {
     std::unique_ptr<Honeypot> honeypot;
     ServerRef server;
     std::vector<AdvertisedFile> files;
+    // Watchdog state.
+    std::size_t consecutive_failures = 0;  ///< failed relaunches in a row
+    Time next_attempt_at = 0;              ///< relaunch backoff gate
+    Time down_since = -1.0;                ///< first poll that saw it dead
   };
 
   void poll();
+  /// Relaunch backoff for the given consecutive-failure count (1-based).
+  [[nodiscard]] Duration relaunch_backoff(std::size_t failures) const;
+  /// Whether every ordered file is present in the advertised list.
+  [[nodiscard]] static bool covers(const std::vector<AdvertisedFile>& advertised,
+                                   const std::vector<AdvertisedFile>& ordered);
+  /// Re-offer the ordered list plus any extras the honeypot grew itself.
+  void repair_advertised(Slot& slot);
+  /// Move the slot to the next backup server (or reconnect in place when
+  /// no backups are configured).
+  void escalate(std::size_t index);
 
   net::Network& net_;
   ManagerConfig config_;
   std::vector<Slot> fleet_;
+  std::vector<ServerRef> backups_;
+  std::size_t next_backup_ = 0;
   std::unique_ptr<sim::PeriodicTimer> poll_timer_;
   std::uint64_t relaunches_ = 0;
+  logbook::SpoolStore spool_store_;
+  RecoveryStats recovery_;  ///< counters accumulated by the watchdog
 };
 
 }  // namespace edhp::honeypot

@@ -1,0 +1,60 @@
+#include "logbook/spool.hpp"
+
+namespace edhp::logbook {
+
+void SpoolStore::set_header(std::uint16_t honeypot, const LogHeader& header) {
+  auto& hp = honeypots_[honeypot];
+  hp.header = header;
+  hp.header_set = true;
+}
+
+bool SpoolStore::accept(const LogChunk& chunk) {
+  auto& hp = honeypots_[chunk.honeypot];
+  if (hp.chunks.contains(chunk.seq)) {
+    ++chunks_duplicate_;
+    return false;
+  }
+  // Splice the name-table tail at its declared base. Re-sent chunks carry
+  // the same (base, names) slice, and chunks are cut in order, so the table
+  // grows append-only; an out-of-order arrival just pre-extends it.
+  if (chunk.name_base + chunk.names.size() > hp.names.size()) {
+    hp.names.resize(chunk.name_base + chunk.names.size());
+  }
+  for (std::size_t i = 0; i < chunk.names.size(); ++i) {
+    hp.names[chunk.name_base + i] = chunk.names[i];
+  }
+  records_stored_ += chunk.records.size();
+  hp.chunks.emplace(chunk.seq, chunk.records);
+  ++chunks_accepted_;
+  return true;
+}
+
+LogFile SpoolStore::reassemble(std::uint16_t honeypot) const {
+  LogFile out;
+  const auto it = honeypots_.find(honeypot);
+  if (it == honeypots_.end()) return out;
+  const auto& hp = it->second;
+  if (hp.header_set) out.header = hp.header;
+  out.names = hp.names;
+  if (out.names.empty()) out.names.push_back("");
+  std::size_t total = 0;
+  for (const auto& [seq, records] : hp.chunks) {
+    total += records.size();
+  }
+  out.records.reserve(total);
+  for (const auto& [seq, records] : hp.chunks) {
+    out.records.insert(out.records.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+std::vector<LogFile> SpoolStore::reassemble_all() const {
+  std::vector<LogFile> out;
+  out.reserve(honeypots_.size());
+  for (const auto& [id, hp] : honeypots_) {
+    out.push_back(reassemble(id));
+  }
+  return out;
+}
+
+}  // namespace edhp::logbook

@@ -1,0 +1,96 @@
+#pragma once
+// Crash-safe log spooling.
+//
+// The paper's manager "gathers the logs" of its honeypots during the
+// measurement, not only at the end — a PlanetLab host that dies loses at
+// most the records produced since the last gathering. This module models
+// that pipeline:
+//
+//   - a honeypot periodically cuts the records appended since the last cut
+//     into a LogChunk, stamped with its relaunch epoch and a monotone
+//     sequence number, and hands it to the manager (see
+//     Honeypot::set_spool_sink);
+//   - the chunk stays in the honeypot's local spool (its on-disk journal)
+//     until the manager acknowledges it, so a crash between send and ack
+//     re-sends the chunk on relaunch with its ORIGINAL (epoch, seq);
+//   - the manager's SpoolStore accepts chunks at-least-once and dedups by
+//     sequence number, so the reassembled per-honeypot log equals the
+//     honeypot's own log regardless of crashes, minus only the records a
+//     crash destroyed before they were ever spooled (the accounted tail).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "logbook/record.hpp"
+
+namespace edhp::logbook {
+
+/// Spooling knobs, injected into each honeypot by the manager.
+struct SpoolConfig {
+  bool enabled = false;
+  /// Chunk-cutting cadence (the paper's periodic log gathering).
+  Duration period = minutes(10);
+  /// Delay between the manager receiving a chunk and the honeypot learning
+  /// it is safe to drop it (models the out-of-band transfer round-trip); a
+  /// crash inside this window causes a duplicate re-send on relaunch.
+  Duration ack_delay = 30.0;
+};
+
+/// One sequence-numbered batch of log records. `names` carries the tail of
+/// the honeypot's interned-name table added since the previous chunk, so
+/// the store can rebuild the full table; `name_base` is its start index.
+struct LogChunk {
+  std::uint16_t honeypot = 0;
+  std::uint32_t epoch = 0;  ///< process incarnation that FIRST sent it
+  std::uint64_t seq = 0;    ///< monotone per honeypot, across epochs
+  std::size_t name_base = 0;
+  std::vector<std::string> names;
+  std::vector<LogRecord> records;
+};
+
+/// Manager-side chunk store: accepts chunks at-least-once, dedups by
+/// (honeypot, seq), and reassembles per-honeypot logs in sequence order.
+class SpoolStore {
+ public:
+  /// Record the header to attach to reassembled logs (first write wins for
+  /// name/strategy; server fields refresh on reassignment).
+  void set_header(std::uint16_t honeypot, const LogHeader& header);
+
+  /// Ingest one chunk. Returns true when the chunk was new, false for a
+  /// duplicate (already-accepted sequence number).
+  bool accept(const LogChunk& chunk);
+
+  /// Rebuild one honeypot's log from its accepted chunks, in sequence
+  /// order. Unknown honeypots yield an empty log.
+  [[nodiscard]] LogFile reassemble(std::uint16_t honeypot) const;
+  /// Rebuild every known honeypot's log, ordered by honeypot id.
+  [[nodiscard]] std::vector<LogFile> reassemble_all() const;
+
+  [[nodiscard]] std::uint64_t chunks_accepted() const noexcept {
+    return chunks_accepted_;
+  }
+  [[nodiscard]] std::uint64_t chunks_duplicate() const noexcept {
+    return chunks_duplicate_;
+  }
+  [[nodiscard]] std::uint64_t records_stored() const noexcept {
+    return records_stored_;
+  }
+
+ private:
+  struct PerHoneypot {
+    LogHeader header;
+    bool header_set = false;
+    std::vector<std::string> names{""};  ///< rebuilt intern table
+    std::map<std::uint64_t, std::vector<LogRecord>> chunks;  ///< by seq
+  };
+
+  std::map<std::uint16_t, PerHoneypot> honeypots_;
+  std::uint64_t chunks_accepted_ = 0;
+  std::uint64_t chunks_duplicate_ = 0;
+  std::uint64_t records_stored_ = 0;
+};
+
+}  // namespace edhp::logbook

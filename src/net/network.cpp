@@ -22,6 +22,8 @@ struct Endpoint::Shared {
   Network* net = nullptr;
   double latency = 0.0;  // one-way propagation delay, seconds
   bool open = true;
+  NodeId node_a = 0;     // initiator (for fault-layer RST matching)
+  NodeId node_b = 0;     // acceptor
   std::weak_ptr<Endpoint> a;
   std::weak_ptr<Endpoint> b;
   Direction to_a;
@@ -117,8 +119,125 @@ NodeId Network::add_node(bool reachable, double tz_offset_hours,
   nodes_.push_back(NodeInfo{IpAddr(ip), 4662, reachable, tz_offset_hours});
   upload_bps_.push_back(upload_bps.value_or(model_.default_upload_bps));
   node_counters_.emplace_back();
+  node_up_.push_back(1);
+  partition_.push_back(0);
+  latency_factor_.push_back(1.0);
   by_ip_.emplace(ip, id);
   return id;
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::set_node_up: unknown node");
+  }
+  node_up_[id] = up ? 1 : 0;
+}
+
+bool Network::node_up(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::node_up: unknown node");
+  }
+  return node_up_[id] != 0;
+}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+  const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+  return (hi << 32) | lo;
+}
+
+void Network::block_link(NodeId a, NodeId b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("Network::block_link: unknown node");
+  }
+  blocked_links_.insert(link_key(a, b));
+}
+
+void Network::unblock_link(NodeId a, NodeId b) {
+  blocked_links_.erase(link_key(a, b));
+}
+
+void Network::set_partition(NodeId id, std::uint32_t group) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::set_partition: unknown node");
+  }
+  partition_[id] = group;
+}
+
+std::uint32_t Network::partition_of(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::partition_of: unknown node");
+  }
+  return partition_[id];
+}
+
+void Network::set_latency_factor(NodeId id, double factor) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::set_latency_factor: unknown node");
+  }
+  latency_factor_[id] = factor > 0 ? factor : 1.0;
+}
+
+bool Network::link_usable(NodeId from, NodeId to) const {
+  if (node_up_[from] == 0 || node_up_[to] == 0) return false;
+  if (partition_[from] != partition_[to]) return false;
+  return blocked_links_.empty() || !blocked_links_.contains(link_key(from, to));
+}
+
+double Network::latency_factor(NodeId from, NodeId to) const {
+  return std::max(latency_factor_[from], latency_factor_[to]);
+}
+
+std::size_t Network::abort_matching(
+    const std::function<bool(NodeId, NodeId)>& pred) {
+  std::size_t aborted = 0;
+  for (auto& weak : live_conns_) {
+    auto shared = weak.lock();
+    if (!shared || !shared->open) continue;
+    if (!pred(shared->node_a, shared->node_b)) continue;
+    shared->open = false;
+    shared->to_a.queue.clear();
+    shared->to_b.queue.clear();
+    // Both sides observe the RST after one propagation delay.
+    for (auto target : {shared->a, shared->b}) {
+      sim_.schedule_in(shared->latency, [target = std::move(target)] {
+        auto ep = target.lock();
+        if (ep && ep->on_close_) ep->on_close_();
+      });
+    }
+    node_counters_[shared->node_a].connections_aborted += 1;
+    node_counters_[shared->node_b].connections_aborted += 1;
+    totals_.connections_aborted += 1;
+    ++aborted;
+  }
+  // Compact once most entries are dead so long campaigns stay O(live).
+  if (live_conns_.size() > 64) {
+    std::size_t alive = 0;
+    for (const auto& weak : live_conns_) {
+      if (!weak.expired()) ++alive;
+    }
+    if (alive < live_conns_.size() / 2) {
+      std::erase_if(live_conns_, [](const auto& w) { return w.expired(); });
+    }
+  }
+  return aborted;
+}
+
+std::size_t Network::abort_connections(NodeId id) {
+  return abort_matching(
+      [id](NodeId a, NodeId b) { return a == id || b == id; });
+}
+
+std::size_t Network::abort_link(NodeId a, NodeId b) {
+  return abort_matching([a, b](NodeId x, NodeId y) {
+    return (x == a && y == b) || (x == b && y == a);
+  });
+}
+
+std::size_t Network::abort_cross_partition() {
+  return abort_matching([this](NodeId a, NodeId b) {
+    return partition_[a] != partition_[b];
+  });
 }
 
 std::optional<NodeId> Network::find_by_ip(std::uint32_t ip) const {
@@ -167,13 +286,15 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
   }
   node_counters_[from].datagrams_sent += 1;
   totals_.datagrams_sent += 1;
-  if (!nodes_[to].reachable || rng_.chance(model_.datagram_loss)) {
+  if (!link_usable(from, to) || !nodes_[to].reachable ||
+      rng_.chance(model_.datagram_loss)) {
     node_counters_[from].datagrams_dropped += 1;
     totals_.datagrams_dropped += 1;
     return;  // silently lost, as UDP does
   }
   const double latency = std::max(
-      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
+      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma) *
+                              latency_factor(from, to));
   sim_.schedule_in(latency, [this, from, to, payload = std::move(payload)]() mutable {
     auto it = datagram_listeners_.find(to);
     if (it == datagram_listeners_.end() || !it->second) {
@@ -197,10 +318,12 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   node_counters_[from].connects_initiated += 1;
   totals_.connects_initiated += 1;
   const double latency = std::max(
-      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma));
+      model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma) *
+                              latency_factor(from, to));
 
   auto listener = listeners_.find(to);
-  const bool ok = nodes_[to].reachable && listener != listeners_.end();
+  const bool ok = link_usable(from, to) && nodes_[to].reachable &&
+                  listener != listeners_.end();
   if (!ok) {
     node_counters_[to].refusals += 1;
     totals_.refusals += 1;
@@ -212,6 +335,13 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   auto shared = std::make_shared<Endpoint::Shared>();
   shared->net = this;
   shared->latency = latency;
+  shared->node_a = from;
+  shared->node_b = to;
+  if (live_conns_.size() >= conns_purge_at_) {
+    std::erase_if(live_conns_, [](const auto& w) { return w.expired(); });
+    conns_purge_at_ = std::max<std::size_t>(128, 2 * live_conns_.size());
+  }
+  live_conns_.push_back(shared);
 
   auto side_a = std::make_shared<Endpoint>();
   side_a->local_ = from;

@@ -18,6 +18,15 @@
 // Reachability models eDonkey's HighID/LowID distinction: a non-reachable
 // (firewalled) node can open outgoing connections but cannot accept incoming
 // ones.
+//
+// Fault injection (driven by fault::Injector) is layered on top without
+// perturbing the fault-free path: a node can be marked down (connect refusal
+// in both directions, datagram blackhole), a specific link can be blocked,
+// nodes can be split into partition groups, per-node latency factors model
+// congestion episodes, and established connections can be severed with RST
+// semantics. None of these knobs consume the network's RNG stream unless a
+// fault is actually active, so a run with no faults is bit-identical to one
+// on a build without the fault layer.
 
 #include <cstdint>
 #include <deque>
@@ -25,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -66,6 +76,7 @@ struct LinkCounters {
   std::uint64_t messages_delivered = 0;  ///< stream messages received here
   std::uint64_t bytes_serialized = 0;    ///< wire bytes pushed by this node
   std::uint64_t bytes_delivered = 0;     ///< wire bytes received here
+  std::uint64_t connections_aborted = 0; ///< established conns RST by faults
 };
 
 /// One side of an established connection. Handlers are invoked from the
@@ -156,6 +167,41 @@ class Network {
   /// unreachable. The sender learns nothing either way.
   void send_datagram(NodeId from, NodeId to, Bytes payload);
 
+  // --- Fault-injection primitives (see fault::Injector) --------------------
+
+  /// Mark a node down or up. A down node refuses incoming connection
+  /// attempts, cannot initiate new ones, and neither sends nor receives
+  /// datagrams. Established connections are untouched; pair with
+  /// abort_connections() for crash semantics.
+  void set_node_up(NodeId id, bool up);
+  [[nodiscard]] bool node_up(NodeId id) const;
+
+  /// Block / unblock the (unordered) link between two nodes: connects refuse
+  /// and datagrams vanish, in both directions.
+  void block_link(NodeId a, NodeId b);
+  void unblock_link(NodeId a, NodeId b);
+
+  /// Assign a node to a partition group (default 0). Nodes in different
+  /// groups cannot connect or exchange datagrams; existing cross-group
+  /// connections survive until aborted (see abort_cross_partition()).
+  void set_partition(NodeId id, std::uint32_t group);
+  [[nodiscard]] std::uint32_t partition_of(NodeId id) const;
+
+  /// Multiplier applied to latency samples of new connections and datagrams
+  /// involving this node (the larger factor of the two ends wins). 1.0
+  /// restores the base model; factors never consume extra RNG draws.
+  void set_latency_factor(NodeId id, double factor);
+
+  /// Sever every established connection touching `id`: both sides observe a
+  /// RST (on_close) after one propagation latency, in-flight data is lost.
+  /// Returns the number of connections aborted.
+  std::size_t abort_connections(NodeId id);
+  /// Sever established connections between `a` and `b` specifically.
+  std::size_t abort_link(NodeId a, NodeId b);
+  /// Sever every established connection whose ends sit in different
+  /// partition groups.
+  std::size_t abort_cross_partition();
+
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
 
   /// Aggregate counters over all nodes.
@@ -178,12 +224,30 @@ class Network {
   void arm_delivery(const std::shared_ptr<Endpoint::Shared>& shared, bool to_a);
   void deliver_head(const std::shared_ptr<Endpoint::Shared>& shared, bool to_a);
 
+  /// Whether traffic may flow between two nodes (both up, link not blocked,
+  /// same partition group). Never consumes RNG.
+  [[nodiscard]] bool link_usable(NodeId from, NodeId to) const;
+  /// Effective latency factor of a path (max of the two ends).
+  [[nodiscard]] double latency_factor(NodeId from, NodeId to) const;
+  static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
+  /// RST every live registered connection matching `pred`; returns count.
+  std::size_t abort_matching(
+      const std::function<bool(NodeId, NodeId)>& pred);
+
   sim::Simulation& sim_;
   LinkModel model_;
   Rng rng_;
   std::vector<NodeInfo> nodes_;
   std::vector<double> upload_bps_;
   std::vector<LinkCounters> node_counters_;
+  std::vector<std::uint8_t> node_up_;
+  std::vector<std::uint32_t> partition_;
+  std::vector<double> latency_factor_;
+  std::unordered_set<std::uint64_t> blocked_links_;
+  /// Weak registry of established connections for fault RSTs; compacted
+  /// opportunistically when mostly expired.
+  std::vector<std::weak_ptr<Endpoint::Shared>> live_conns_;
+  std::size_t conns_purge_at_ = 128;
   std::unordered_map<std::uint32_t, NodeId> by_ip_;
   std::unordered_map<NodeId, AcceptHandler> listeners_;
   std::unordered_map<NodeId, DatagramHandler> datagram_listeners_;

@@ -84,7 +84,10 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   simulation.run_until(30.0);
 
   // --- Manager surveys and assigns -------------------------------------------
-  honeypot::Manager manager(network, {});
+  honeypot::Manager manager(network, chaos_manager_config(config.chaos));
+  if (config.chaos.enabled) {
+    manager.set_backup_servers(refs);  // sibling servers double as backups
+  }
   MultiServerResult result;
   result.base.honeypots = config.honeypots;
   result.base.days = config.days;
@@ -144,6 +147,29 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   result.server_of_honeypot = assignment;
   manager.start();
 
+  // Fault injection over honeypot hosts and every directory server.
+  std::unique_ptr<fault::Injector> injector;
+  if (config.chaos.enabled) {
+    auto plan = fault::FaultPlan::generate(config.chaos, config.honeypots,
+                                           n_servers, config.days * kDay,
+                                           rng.split(config.chaos.seed));
+    fault::Injector::Bindings bind;
+    bind.host_count = config.honeypots;
+    bind.host_node = [&manager](std::size_t h) {
+      return manager.honeypot(h).node();
+    };
+    bind.crash_host = [&manager](std::size_t h) { manager.honeypot(h).crash(); };
+    bind.stop_server = [&servers](std::size_t s) {
+      if (s < servers.size()) servers[s]->stop();
+    };
+    bind.start_server = [&servers](std::size_t s) {
+      if (s < servers.size()) servers[s]->start();
+    };
+    injector = std::make_unique<fault::Injector>(network, std::move(plan),
+                                                 std::move(bind));
+    injector->arm();
+  }
+
   // --- Advertised files + demand ----------------------------------------------
   std::vector<honeypot::AdvertisedFile> files;
   Rng id_rng = rng.split(0xF11E);
@@ -201,6 +227,10 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   result.base.merged = manager.merged_anonymized(&result.base.distinct_peers);
   result.base.observed = manager.observed_files();
   result.base.peer_totals = population.totals();
+  result.base.recovery = manager.recovery_stats();
+  if (injector) {
+    result.base.faults = injector->stats();
+  }
   result.base.engine = simulation.stats();
   result.base.net_totals = network.totals();
   result.base.sim_events = result.base.engine.events_executed;

@@ -24,6 +24,11 @@ struct MultiServerConfig {
   /// Resident (idle, logged-in) clients representing each server's standing
   /// population, at scale 1.
   std::size_t residents_at_scale_1 = 2000;
+  /// Full fault model (disabled by default). In the chaos variant the other
+  /// directory servers double as escalation backups, so a honeypot whose
+  /// server keeps refusing it is redirected — the paper's "redirect them
+  /// toward other servers".
+  fault::ChaosConfig chaos;
   peer::BehaviorParams behavior;
 
   MultiServerConfig();

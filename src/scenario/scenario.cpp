@@ -56,6 +56,7 @@ void fill_result(ScenarioResult& result, World& world,
   result.observed = manager.observed_files();
   result.relaunches = manager.relaunches();
   result.peer_totals = population.totals();
+  result.recovery = manager.recovery_stats();
   result.engine = world.simulation.stats();
   result.net_totals = world.network.totals();
   result.sim_events = result.engine.events_executed;
@@ -71,6 +72,22 @@ void report_progress(std::ostream* progress, World& world, double total_days) {
 }
 
 }  // namespace
+
+honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
+  honeypot::ManagerConfig mc;
+  if (!chaos.enabled) return mc;
+  mc.relaunch_backoff_base = minutes(10);
+  mc.relaunch_backoff_cap = hours(2);
+  mc.escalate_after = 3;
+  mc.heartbeat_timeout = chaos.heartbeat_timeout;
+  mc.retry.enabled = true;
+  mc.retry.base = chaos.retry_base;
+  mc.retry.cap = chaos.retry_cap;
+  mc.retry.max_retries = chaos.retry_max;
+  mc.spool.enabled = true;
+  mc.spool.period = chaos.spool_period;
+  return mc;
+}
 
 DistributedConfig::DistributedConfig() : behavior(behavior_2008()) {}
 
@@ -94,9 +111,27 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   server.start();
   honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
 
+  // Standby servers for watchdog escalation (chaos runs only: adding nodes
+  // would shift every later IP assignment otherwise).
+  std::vector<std::unique_ptr<server::Server>> standby;
+  std::vector<honeypot::ServerRef> standby_refs;
+  if (config.chaos.enabled) {
+    for (std::size_t s = 0; s < config.chaos.backup_servers; ++s) {
+      const auto node = world.network.add_node(true);
+      server::ServerConfig sc;
+      sc.name = "standby-" + std::to_string(s);
+      standby.push_back(std::make_unique<server::Server>(world.network, node, sc));
+      standby.back()->start();
+      standby_refs.push_back(honeypot::ServerRef{node, sc.name, 4661});
+    }
+  }
+
   // Fleet: PlanetLab-like hosts; first half no-content, second half
   // random-content (the paper's 12/12 split).
-  honeypot::Manager manager(world.network, {});
+  honeypot::Manager manager(world.network, chaos_manager_config(config.chaos));
+  if (!standby_refs.empty()) {
+    manager.set_backup_servers(standby_refs);
+  }
   ScenarioResult result;
   result.honeypots = config.honeypots;
   result.days = config.days;
@@ -163,19 +198,38 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   world.simulation.schedule_at(minutes(8),
                                [&population] { population.start(); });
 
-  // Host crash injection: dead honeypots are respawned by the manager's
-  // status poll, exactly the paper's relaunch mechanism.
+  // Fault injection. The chaos path schedules a full seeded FaultPlan
+  // (host crash/reboot windows, uplink outages, server restarts, latency
+  // spikes, partitions); dead honeypots are respawned by the manager's
+  // status poll, exactly the paper's relaunch mechanism. Without chaos the
+  // historical hourly crash grid runs, bit-for-bit.
   std::unique_ptr<sim::PeriodicTimer> crash_timer;
-  if (config.host_mtbf > 0) {
-    Rng crash_rng = rng.split(0xDEAD);
-    crash_timer = std::make_unique<sim::PeriodicTimer>(
-        world.simulation, hours(1), [&manager, &config, crash_rng]() mutable {
-          for (std::size_t h = 0; h < manager.fleet_size(); ++h) {
-            if (crash_rng.chance(hours(1) / config.host_mtbf)) {
-              manager.honeypot(h).crash();
-            }
-          }
-        });
+  std::unique_ptr<fault::Injector> injector;
+  if (config.chaos.enabled) {
+    auto plan = fault::FaultPlan::generate(
+        config.chaos, config.honeypots, 1, config.days * kDay,
+        rng.split(config.chaos.seed));
+    fault::Injector::Bindings bind;
+    bind.host_count = config.honeypots;
+    bind.host_node = [&manager](std::size_t h) {
+      return manager.honeypot(h).node();
+    };
+    bind.crash_host = [&manager](std::size_t h) { manager.honeypot(h).crash(); };
+    bind.stop_server = [&server](std::size_t s) {
+      if (s == 0) server.stop();
+    };
+    bind.start_server = [&server](std::size_t s) {
+      if (s == 0) server.start();
+    };
+    injector = std::make_unique<fault::Injector>(world.network, std::move(plan),
+                                                 std::move(bind));
+    injector->arm();
+  } else if (config.host_mtbf > 0) {
+    crash_timer = fault::Injector::legacy_crash_grid(
+        world.simulation, config.host_mtbf,
+        [&manager] { return manager.fleet_size(); },
+        [&manager](std::size_t h) { manager.honeypot(h).crash(); },
+        rng.split(0xDEAD));
     crash_timer->start();
   }
 
@@ -221,6 +275,9 @@ ScenarioResult run_distributed(const DistributedConfig& config,
 
   manager.stop();
   fill_result(result, world, manager, population);
+  if (injector) {
+    result.faults = injector->stats();
+  }
   return result;
 }
 
@@ -233,7 +290,7 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   server.start();
   honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
 
-  honeypot::Manager manager(world.network, {});
+  honeypot::Manager manager(world.network, chaos_manager_config(config.chaos));
   honeypot::HoneypotConfig hp;
   hp.id = 0;
   hp.name = "hp-greedy";
@@ -262,6 +319,25 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   }
   world.simulation.run_until(30.0);
   manager.advertise(0, seeds);
+
+  // Fault injection for the chaos variant (single host, single server).
+  std::unique_ptr<fault::Injector> injector;
+  if (config.chaos.enabled) {
+    auto plan = fault::FaultPlan::generate(config.chaos, 1, 1,
+                                           config.days * kDay,
+                                           rng.split(config.chaos.seed));
+    fault::Injector::Bindings bind;
+    bind.host_count = 1;
+    bind.host_node = [&manager](std::size_t) {
+      return manager.honeypot(0).node();
+    };
+    bind.crash_host = [&manager](std::size_t) { manager.honeypot(0).crash(); };
+    bind.stop_server = [&server](std::size_t) { server.stop(); };
+    bind.start_server = [&server](std::size_t) { server.start(); };
+    injector = std::make_unique<fault::Injector>(world.network, std::move(plan),
+                                                 std::move(bind));
+    injector->arm();
+  }
 
   // Demands follow the advertised list as it grows: a watcher adds a demand
   // for every newly advertised file. Per-file demand is a property of the
@@ -309,6 +385,9 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
     result.advertised_ids.push_back(f.id);
   }
   fill_result(result, world, manager, population);
+  if (injector) {
+    result.faults = injector->stats();
+  }
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "honeypot/manager.hpp"
 #include "logbook/record.hpp"
 #include "net/network.hpp"
@@ -37,7 +38,13 @@ struct DistributedConfig {
   double days = 32;
   bool with_top_peer = true;
   /// Mean time between honeypot host failures (0 disables crash injection).
+  /// This is the historical hourly-Bernoulli crash grid, kept bit-for-bit;
+  /// ignored when `chaos.enabled` (the FaultPlan then owns all churn).
   Duration host_mtbf = days_(16);
+  /// Full fault model: when enabled, a seeded FaultPlan drives host, link,
+  /// server, latency and partition churn, and the manager runs with retry
+  /// backoff, watchdog escalation and crash-safe log spooling.
+  fault::ChaosConfig chaos;
   peer::BehaviorParams behavior;  ///< defaults to behavior_2008()
   /// Override of the regional activity mixture (default: european_2008).
   std::optional<sim::DiurnalProfile> diurnal;
@@ -53,6 +60,8 @@ struct GreedyConfig {
   std::uint64_t seed = 20081101;
   double days = 15;
   Duration harvest_window = kDay;
+  /// Full fault model (disabled by default; see DistributedConfig::chaos).
+  fault::ChaosConfig chaos;
   peer::BehaviorParams behavior;
 
   GreedyConfig();
@@ -83,7 +92,19 @@ struct ScenarioResult {
   sim::EngineStats engine;
   /// Aggregate traffic counters over every node in the run.
   net::LinkCounters net_totals;
+  /// Watchdog/retry/spooling accounting (all-zero when chaos is disabled
+  /// and nothing ever died).
+  honeypot::RecoveryStats recovery;
+  /// Faults actually injected (all-zero unless chaos was enabled).
+  fault::FaultStats faults;
 };
+
+/// Manager policy used by the chaos variants of the campaigns: relaunch
+/// backoff, escalation after repeated failures, heartbeat watchdog, and the
+/// retry/spool knobs copied from the chaos config. Returns the plain
+/// default (legacy) ManagerConfig when `chaos.enabled` is false.
+[[nodiscard]] honeypot::ManagerConfig chaos_manager_config(
+    const fault::ChaosConfig& chaos);
 
 [[nodiscard]] ScenarioResult run_distributed(const DistributedConfig& config,
                                              std::ostream* progress = nullptr);

@@ -213,6 +213,143 @@ TEST_F(ManagerTest, ExportObservedNamesAnonymises) {
 namespace edhp::honeypot {
 namespace {
 
+// Regression (hot-spin): with a backoff configured, a honeypot whose server
+// stays down is NOT reconnected on every poll tick — attempts are gated and
+// the skipped polls are accounted as deferred.
+TEST_F(ManagerTest, RelaunchBackoffBoundsAttemptsWhileServerDown) {
+  ManagerConfig mc;
+  mc.relaunch_backoff_base = minutes(20);
+  mc.relaunch_backoff_cap = hours(2);
+  Manager wd{net, mc};
+  HoneypotConfig c;
+  c.name = "hp-backoff";
+  wd.launch(std::move(c), net.add_node(true), ref);
+  settle();
+  ASSERT_EQ(wd.honeypot(0).status(), Status::connected);
+  wd.start();
+
+  server.stop();  // the server is gone for four hours
+  s.run_until(s.now() + hours(4));
+  const auto rec = wd.recovery_stats();
+  // 24 polls happened; backoff doubling (20, 40, 80, 120 min) limits the
+  // actual reconnect attempts to a handful, the rest are deferred.
+  EXPECT_GE(rec.relaunches, 2u);
+  EXPECT_LE(rec.relaunches, 8u);
+  EXPECT_GE(rec.deferred, 10u);
+  EXPECT_EQ(wd.honeypot(0).status(), Status::dead);
+  EXPECT_GT(rec.total_downtime, hours(3));
+
+  server.start();
+  s.run_until(s.now() + hours(3));  // next gated attempt reconnects
+  EXPECT_EQ(wd.honeypot(0).status(), Status::connected);
+}
+
+// Regression (lost advertise order): an advertise issued while the honeypot
+// is dead is dropped by the honeypot; the watchdog notices the ordered list
+// is not covered after relaunch and re-offers it.
+TEST_F(ManagerTest, RepairsAdvertiseOrderLostWhileDead) {
+  launch_one();
+  settle();
+  manager.start();
+  manager.honeypot(0).crash();
+  AdvertisedFile f{FileId::from_words(21, 22), "late.avi", 7};
+  manager.advertise(0, {f});  // order arrives while dead: honeypot drops it
+  EXPECT_EQ(manager.honeypot(0).counters().get("advertise_orders_lost"), 1u);
+  EXPECT_TRUE(manager.honeypot(0).advertised().empty());
+
+  s.run_until(s.now() + minutes(30));
+  EXPECT_EQ(manager.honeypot(0).status(), Status::connected);
+  EXPECT_TRUE(server.index().has_file(f.id));
+  EXPECT_GE(manager.recovery_stats().re_advertise_repairs, 1u);
+}
+
+TEST_F(ManagerTest, EscalatesToBackupAfterConsecutiveFailures) {
+  const auto backup_node = net.add_node(true);
+  server::Server backup{net, backup_node, {}};
+  backup.start();
+  const ServerRef backup_ref{backup_node, "backup", 4661};
+
+  ManagerConfig mc;
+  mc.escalate_after = 2;
+  Manager wd{net, mc};
+  wd.set_backup_servers({backup_ref});
+  HoneypotConfig c;
+  c.name = "hp-escalate";
+  wd.launch(std::move(c), net.add_node(true), ref);
+  settle();
+  ASSERT_EQ(wd.honeypot(0).status(), Status::connected);
+  wd.start();
+
+  server.stop();  // the primary never comes back
+  s.run_until(s.now() + hours(2));
+  EXPECT_EQ(wd.honeypot(0).status(), Status::connected);
+  EXPECT_EQ(wd.honeypot(0).log().header.server_name, "backup");
+  EXPECT_GE(wd.recovery_stats().escalations, 1u);
+  EXPECT_GT(wd.recovery_stats().total_downtime, 0.0);
+}
+
+// A honeypot whose SYN raced a server shutdown is wedged in `connecting`
+// forever (the transport handshake completed, nobody answers the login).
+// Status alone never reports it; the heartbeat watchdog does.
+TEST_F(ManagerTest, HeartbeatWatchdogUnwedgesStalledLogin) {
+  const auto backup_node = net.add_node(true);
+  server::Server backup{net, backup_node, {}};
+  backup.start();
+  const ServerRef backup_ref{backup_node, "backup", 4661};
+
+  ManagerConfig mc;
+  mc.heartbeat_timeout = minutes(30);
+  Manager wd{net, mc};
+  wd.set_backup_servers({backup_ref});
+  HoneypotConfig c;
+  c.name = "hp-wedged";
+  wd.launch(std::move(c), net.add_node(true), ref);
+  server.stop();  // SYN in flight: accept never happens, login unanswered
+  wd.start();
+  s.run_until(s.now() + minutes(5));
+  ASSERT_EQ(wd.honeypot(0).status(), Status::connecting) << "not wedged";
+
+  s.run_until(s.now() + hours(2));
+  EXPECT_GE(wd.recovery_stats().heartbeat_escalations, 1u);
+  EXPECT_EQ(wd.honeypot(0).status(), Status::connected);
+  EXPECT_EQ(wd.honeypot(0).log().header.server_name, "backup");
+}
+
+TEST(ManagerSurvey, CrashedCandidateTimesOutOnlyRespondersDelivered) {
+  sim::Simulation s{17};
+  net::LinkModel model;
+  model.datagram_loss = 0.0;  // isolate the crash from random UDP loss
+  net::Network net{s, model};
+
+  std::vector<std::unique_ptr<server::Server>> servers;
+  std::vector<ServerRef> refs;
+  for (int i = 0; i < 3; ++i) {
+    const auto node = net.add_node(true);
+    servers.push_back(std::make_unique<server::Server>(net, node, server::ServerConfig{}));
+    servers.back()->start();
+    refs.push_back(ServerRef{node, "srv-" + std::to_string(i), 4661});
+  }
+
+  Manager manager{net, {}};
+  const auto probe = net.add_node(true);
+  bool done = false;
+  std::vector<Manager::ServerSurveyEntry> got;
+  manager.survey_servers(refs, probe, 5.0, [&](auto entries) {
+    done = true;
+    got = std::move(entries);
+  });
+  // The third candidate's host dies while the probe is in flight: its
+  // answer is lost, the timeout fires, the responders are delivered.
+  net.set_node_up(refs[2].node, false);
+
+  s.run_until(30.0);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& e : got) {
+    EXPECT_NE(e.server.name, "srv-2");
+  }
+}
+
 TEST_F(ManagerTest, PersistLogsWritesLoadableFiles) {
   launch_one();
   launch_one(ContentStrategy::random_content);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "analysis/log_stats.hpp"
 #include "scenario/multi_server.hpp"
 
@@ -86,6 +88,31 @@ TEST(MultiServer, HoneypotsOnDifferentServersSeeDifferentPeers) {
   // across groups, so same-server overlap must dominate.
   EXPECT_GT(same_overlap, cross_overlap)
       << "same-server honeypots should share far more peers";
+}
+
+// Golden baseline: with the fault model disabled (default), the campaign
+// must stay bit-identical run over run and across refactors. A change here
+// means a dormant code path consumed an RNG draw or reordered events.
+TEST(MultiServer, GoldenUnchangedWithFaultsDisabled) {
+  const auto& r = mini_run();
+  EXPECT_EQ(r.base.merged.records.size(), 12778u);
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& rec : r.base.merged.records) {
+    std::uint64_t t_bits = 0;
+    std::memcpy(&t_bits, &rec.timestamp, 8);
+    mix(t_bits);
+    mix(rec.peer);
+    mix(rec.user);
+    mix(static_cast<std::uint64_t>(rec.honeypot));
+    mix(static_cast<std::uint64_t>(rec.type));
+  }
+  EXPECT_EQ(h, 0x4187cf786e73a860ull);
+  EXPECT_EQ(r.base.faults.host_crashes, 0u);
+  EXPECT_EQ(r.base.recovery.records_lost_tail, 0u);
 }
 
 TEST(MultiServer, MergedLogIsStage2AndOrdered) {

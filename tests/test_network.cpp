@@ -308,6 +308,159 @@ TEST_F(Fixture, DatagramCountersTrackDrops) {
   EXPECT_EQ(net.totals().datagrams_sent, 40u);
 }
 
+TEST_F(Fixture, DownNodeRefusesConnectsBothWays) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  net.listen(a, [](EndpointPtr) {});
+  net.listen(b, [](EndpointPtr) {});
+  net.set_node_up(b, false);
+  EXPECT_FALSE(net.node_up(b));
+  bool ab_failed = false, ba_failed = false;
+  net.connect(a, b, [&](EndpointPtr ep) { ab_failed = (ep == nullptr); });
+  net.connect(b, a, [&](EndpointPtr ep) { ba_failed = (ep == nullptr); });
+  s.run();
+  EXPECT_TRUE(ab_failed);
+  EXPECT_TRUE(ba_failed);
+
+  net.set_node_up(b, true);
+  EndpointPtr up;
+  net.connect(a, b, [&](EndpointPtr ep) { up = std::move(ep); });
+  s.run();
+  EXPECT_TRUE(up);
+}
+
+TEST_F(Fixture, DownNodeBlackholesDatagrams) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  int heard = 0;
+  net.listen_datagram(b, [&](NodeId, Bytes) { ++heard; });
+  net.set_node_up(b, false);
+  for (int i = 0; i < 10; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(net.counters(a).datagrams_dropped, 10u);
+}
+
+TEST_F(Fixture, AbortConnectionsRstsBothSides) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  EndpointPtr keep_server, keep_client;
+  int closes = 0;
+  net.listen(b, [&](EndpointPtr ep) {
+    keep_server = std::move(ep);
+    keep_server->on_close([&] { ++closes; });
+  });
+  net.connect(a, b, [&](EndpointPtr ep) {
+    keep_client = std::move(ep);
+    keep_client->on_close([&] { ++closes; });
+  });
+  s.run();
+  ASSERT_TRUE(keep_client);
+  EXPECT_EQ(net.abort_connections(b), 1u);
+  s.run();
+  EXPECT_EQ(closes, 2);
+  EXPECT_FALSE(keep_client->open());
+  EXPECT_EQ(net.totals().connections_aborted, 1u);
+  EXPECT_EQ(net.counters(a).connections_aborted, 1u);
+  EXPECT_EQ(net.counters(b).connections_aborted, 1u);
+  // Idempotent: the connection is already gone.
+  EXPECT_EQ(net.abort_connections(b), 0u);
+}
+
+TEST_F(Fixture, BlockedLinkRefusesConnectsAndDropsDatagrams) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  auto c = net.add_node(true);
+  net.listen(b, [](EndpointPtr) {});
+  net.listen_datagram(b, [](NodeId, Bytes) {});
+  net.block_link(a, b);
+  bool failed = false;
+  net.connect(a, b, [&](EndpointPtr ep) { failed = (ep == nullptr); });
+  net.send_datagram(a, b, Bytes{1});
+  // Other links are untouched.
+  EndpointPtr other;
+  net.connect(c, b, [&](EndpointPtr ep) { other = std::move(ep); });
+  s.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(net.counters(a).datagrams_dropped, 1u);
+  EXPECT_TRUE(other);
+
+  net.unblock_link(a, b);
+  EndpointPtr restored;
+  net.connect(a, b, [&](EndpointPtr ep) { restored = std::move(ep); });
+  s.run();
+  EXPECT_TRUE(restored);
+}
+
+TEST_F(Fixture, PartitionSplitsAndHeals) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  net.listen(b, [](EndpointPtr) {});
+  net.set_partition(b, 1);
+  EXPECT_EQ(net.partition_of(b), 1u);
+  bool failed = false;
+  net.connect(a, b, [&](EndpointPtr ep) { failed = (ep == nullptr); });
+  s.run();
+  EXPECT_TRUE(failed);
+
+  net.set_partition(b, 0);
+  EndpointPtr healed;
+  net.connect(a, b, [&](EndpointPtr ep) { healed = std::move(ep); });
+  s.run();
+  EXPECT_TRUE(healed);
+}
+
+TEST_F(Fixture, AbortCrossPartitionSeversOnlyCrossGroupConns) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  auto c = net.add_node(true);
+  EndpointPtr to_b, to_c, keep1, keep2;
+  net.listen(b, [&](EndpointPtr ep) { keep1 = std::move(ep); });
+  net.listen(c, [&](EndpointPtr ep) { keep2 = std::move(ep); });
+  net.connect(a, b, [&](EndpointPtr ep) { to_b = std::move(ep); });
+  net.connect(a, c, [&](EndpointPtr ep) { to_c = std::move(ep); });
+  s.run();
+  ASSERT_TRUE(to_b);
+  ASSERT_TRUE(to_c);
+  net.set_partition(b, 1);  // existing a–b connection is now cross-group
+  EXPECT_EQ(net.abort_cross_partition(), 1u);
+  s.run();
+  EXPECT_FALSE(to_b->open());
+  EXPECT_TRUE(to_c->open());
+}
+
+TEST_F(Fixture, LatencyFactorSlowsDelivery) {
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  EndpointPtr keep_server, keep_client;
+  double first = -1, second = -1;
+  net.listen(b, [&](EndpointPtr ep) {
+    keep_server = std::move(ep);
+    keep_server->on_message([&](Bytes) {
+      (first < 0 ? first : second) = s.now();
+    });
+  });
+  net.connect(a, b, [&](EndpointPtr ep) {
+    keep_client = std::move(ep);
+    keep_client->send(Bytes{1});
+  });
+  s.run();
+  ASSERT_GT(first, 0);
+  // A congestion episode: subsequent connections are far slower.
+  net.set_latency_factor(a, 1000.0);
+  const auto t0 = s.now();
+  EndpointPtr keep_slow;
+  net.connect(a, b, [&](EndpointPtr ep) {
+    keep_slow = std::move(ep);
+    keep_slow->send(Bytes{2});
+  });
+  s.run();
+  ASSERT_GT(second, 0);
+  EXPECT_GT(second - t0, 50.0 * first);
+  // Factor 1.0 restores the base model.
+  net.set_latency_factor(a, 1.0);
+}
+
 TEST_F(Fixture, FindByIpResolvesNodes) {
   auto a = net.add_node(true);
   const auto ip = net.info(a).ip.value();

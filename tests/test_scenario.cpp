@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "analysis/log_stats.hpp"
 #include "analysis/subsets.hpp"
 #include "scenario/scenario.hpp"
@@ -206,6 +208,49 @@ TEST(GreedyScenario, Fig12PopularityIsSkewed) {
   ASSERT_GT(pop.size(), 10u);
   // Heavy-tailed per-file interest: the top file dwarfs the median.
   EXPECT_GT(pop.front().peers, 4 * pop[pop.size() / 2].peers);
+}
+
+/// FNV-1a (64-bit words) over every merged record field that matters for
+/// bit-identity.
+std::uint64_t fingerprint(const logbook::LogFile& log) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& rec : log.records) {
+    std::uint64_t t_bits = 0;
+    static_assert(sizeof(rec.timestamp) == 8);
+    std::memcpy(&t_bits, &rec.timestamp, 8);
+    mix(t_bits);
+    mix(rec.peer);
+    mix(rec.user);
+    mix(static_cast<std::uint64_t>(rec.honeypot));
+    mix(static_cast<std::uint64_t>(rec.type));
+  }
+  return h;
+}
+
+// Golden baselines: with the fault model disabled (the default), the merged
+// logs must stay bit-identical to the pre-fault-subsystem seed. A change
+// here means some dormant code path consumed an RNG draw or reordered
+// events — treat it as a regression, not a baseline refresh.
+TEST(Scenarios, GoldenDistributedUnchangedWithFaultsDisabled) {
+  const auto& r = mini_distributed();
+  EXPECT_EQ(r.merged.records.size(), 28945u);
+  EXPECT_EQ(fingerprint(r.merged), 0xad6b1b6fa123723aull);
+  // Dormant fault machinery left no trace.
+  EXPECT_EQ(r.faults.host_crashes + r.faults.uplink_outages +
+                r.faults.server_restarts,
+            0u);
+  EXPECT_EQ(r.recovery.records_lost_tail, 0u);
+  EXPECT_EQ(r.recovery.retained_fraction, 1.0);
+}
+
+TEST(Scenarios, GoldenGreedyUnchangedWithFaultsDisabled) {
+  const auto& r = mini_greedy();
+  EXPECT_EQ(r.merged.records.size(), 479288u);
+  EXPECT_EQ(fingerprint(r.merged), 0x7fe276d7b5708429ull);
 }
 
 TEST(Scenarios, DeterministicForFixedSeed) {
