@@ -1,0 +1,37 @@
+// libFuzzer entry point for the wire codecs.
+//
+// The first input byte selects the decoder (client-server TCP, client-client
+// TCP, or server UDP); the rest is the packet. The contract under fuzzing is
+// the same one tests/test_fuzz_codec.cpp pins deterministically: every input
+// either parses or throws DecodeError — any other escape (crash, sanitizer
+// report, foreign exception) is a finding. Reproduce findings by adding the
+// input bytes as a tests/fuzz_corpus/*.hex file.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "proto/messages.hpp"
+#include "proto/udp_messages.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::span<const std::uint8_t> packet(data + 1, size - 1);
+  try {
+    switch (data[0] % 3) {
+      case 0:
+        (void)edhp::proto::decode(edhp::proto::Channel::client_server, packet);
+        break;
+      case 1:
+        (void)edhp::proto::decode(edhp::proto::Channel::client_client, packet);
+        break;
+      default:
+        (void)edhp::proto::decode_udp(packet);
+        break;
+    }
+  } catch (const edhp::DecodeError&) {
+    // Rejected input: the expected outcome for malformed bytes.
+  }
+  return 0;
+}

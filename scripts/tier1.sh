@@ -4,6 +4,11 @@
 #   scripts/tier1.sh            # both presets
 #   scripts/tier1.sh --release  # release only (fast inner loop)
 #   scripts/tier1.sh --asan     # sanitizer only
+#   scripts/tier1.sh --fuzz     # asan preset, codec-hardening tests only
+#
+# The deterministic codec fuzzer and the abuse/admission tests are ordinary
+# ctest entries, so both presets always run them; under the asan preset they
+# double as memory-safety proofs. --fuzz is the focused loop for codec work.
 #
 # Requires cmake >= 3.21 (presets v3). Run from anywhere; paths resolve
 # relative to the repo root.
@@ -14,11 +19,13 @@ cd "$root"
 
 want_release=1
 want_asan=1
+fuzz_only=0
 case "${1:-}" in
   --release) want_asan=0 ;;
   --asan) want_release=0 ;;
+  --fuzz) want_release=0; fuzz_only=1 ;;
   "") ;;
-  *) echo "usage: scripts/tier1.sh [--release|--asan]" >&2; exit 2 ;;
+  *) echo "usage: scripts/tier1.sh [--release|--asan|--fuzz]" >&2; exit 2 ;;
 esac
 
 if [ "$want_release" = 1 ]; then
@@ -32,7 +39,11 @@ if [ "$want_asan" = 1 ]; then
   echo "== tier1: asan preset =="
   cmake --preset asan
   cmake --build --preset asan -j
-  ctest --preset asan -j"$(nproc)"
+  if [ "$fuzz_only" = 1 ]; then
+    ctest --preset asan -j"$(nproc)" -R 'CodecFuzz|Abuse|Defense|Corruption|TokenBucket'
+  else
+    ctest --preset asan -j"$(nproc)"
+  fi
 fi
 
 echo "== tier1: OK =="

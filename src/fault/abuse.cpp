@@ -1,0 +1,352 @@
+#include "fault/abuse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "proto/messages.hpp"
+#include "proto/opcodes.hpp"
+
+namespace edhp::fault {
+namespace {
+
+/// Append one (class, target) exponential arrival process to `out`.
+void arrivals(std::vector<AbuseEvent>& out, Rng& rng, Duration mtba,
+              double intensity, Duration horizon, AbuseKind kind,
+              std::uint32_t target) {
+  if (mtba <= 0 || intensity <= 0) return;
+  const Duration mean = mtba / intensity;
+  Time t = 0;
+  while (true) {
+    t += rng.exponential(mean);
+    if (t >= horizon) return;
+    out.push_back({t, kind, target});
+  }
+}
+
+/// A plausible 2008 client name for a hostile peer.
+std::string attacker_name(std::uint32_t target) {
+  return "lphant-" + std::to_string(target);
+}
+
+}  // namespace
+
+std::string_view to_string(AbuseKind k) {
+  switch (k) {
+    case AbuseKind::corrupt_episode: return "corrupt_episode";
+    case AbuseKind::connection_flood: return "connection_flood";
+    case AbuseKind::slowloris: return "slowloris";
+    case AbuseKind::oversize_messages: return "oversize_messages";
+  }
+  return "unknown";
+}
+
+AbusePlan::AbusePlan(std::vector<AbuseEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const AbuseEvent& a, const AbuseEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+AbusePlan AbusePlan::generate(const AbuseConfig& config, std::size_t honeypots,
+                              std::size_t servers, Duration horizon, Rng rng) {
+  AbusePlan plan;
+  if (!config.enabled || horizon <= 0) return plan;
+  auto& out = plan.events_;
+  const std::size_t targets = honeypots + servers;
+
+  // Mirror FaultPlan::generate: each (class, target) pair owns a split
+  // stream, so tuning one class (or adding a target) never reshuffles the
+  // arrival times of another.
+  struct Class {
+    AbuseKind kind;
+    Duration mtba;
+  };
+  const Class classes[] = {
+      {AbuseKind::corrupt_episode, config.corrupt_mtba},
+      {AbuseKind::connection_flood, config.flood_mtba},
+      {AbuseKind::slowloris, config.slowloris_mtba},
+      {AbuseKind::oversize_messages, config.oversize_mtba},
+  };
+  for (std::size_t c = 0; c < std::size(classes); ++c) {
+    const Rng class_rng = rng.split(c + 1);
+    for (std::size_t t = 0; t < targets; ++t) {
+      Rng r = class_rng.split(t);
+      arrivals(out, r, classes[c].mtba, config.intensity, horizon,
+               classes[c].kind, static_cast<std::uint32_t>(t));
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AbuseEvent& a, const AbuseEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+AbuseInjector::AbuseInjector(net::Network& network, AbusePlan plan,
+                             AbuseConfig config, Bindings bindings, Rng rng)
+    : net_(network),
+      plan_(std::move(plan)),
+      config_(config),
+      bind_(std::move(bindings)),
+      rng_(rng) {
+  if (!plan_.empty()) {
+    if (bind_.honeypot_count > 0 && !bind_.honeypot_node) {
+      throw std::invalid_argument(
+          "fault::AbuseInjector: honeypot_node binding required");
+    }
+    if (bind_.server_count > 0 && !bind_.server_node) {
+      throw std::invalid_argument(
+          "fault::AbuseInjector: server_node binding required");
+    }
+  }
+}
+
+void AbuseInjector::arm() {
+  if (plan_.empty()) return;
+  // Hostile nodes are firewalled (LowID): they dial out but never accept.
+  // Created in fixed class order so the IP layout is a pure function of the
+  // legit topology plus attackers_per_class.
+  const std::size_t per_class = std::max<std::size_t>(1, config_.attackers_per_class);
+  for (auto& pool : pools_) {
+    pool.reserve(per_class);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      pool.push_back(net_.add_node(false));
+    }
+  }
+  auto& simulation = net_.simulation();
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const Time at = std::max(plan_.events()[i].at, simulation.now());
+    simulation.schedule_at(at, [this, i] { run_episode(i); });
+  }
+}
+
+net::NodeId AbuseInjector::target_node(std::uint32_t target) const {
+  const auto t = static_cast<std::size_t>(target);
+  if (t < bind_.honeypot_count) return bind_.honeypot_node(t);
+  return bind_.server_node(t - bind_.honeypot_count);
+}
+
+net::NodeId AbuseInjector::attacker_for(AbuseKind kind,
+                                        std::uint32_t target) const {
+  const auto& pool = pools_[static_cast<std::size_t>(kind)];
+  return pool[target % pool.size()];
+}
+
+UserId AbuseInjector::abuse_user(AbuseKind kind, std::uint32_t target) {
+  // Low word == kAbuseUserWord for every attacker: honeypot logs keep the
+  // low word, so one equality test isolates hostile records. The high word
+  // keeps identities distinct per (class, target).
+  return UserId::from_words(
+      kAbuseUserWord,
+      (static_cast<std::uint64_t>(kind) << 32) | target);
+}
+
+net::Bytes AbuseInjector::handshake_packet(AbuseKind kind,
+                                           std::uint32_t target) const {
+  const UserId user = abuse_user(kind, target);
+  if (target_is_server(target)) {
+    proto::LoginRequest login;
+    login.user = user;
+    login.port = 4662;
+    login.tags.push_back(proto::Tag::string_tag(proto::kTagName,
+                                                attacker_name(target)));
+    login.tags.push_back(proto::Tag::u32_tag(proto::kTagVersion, 0x3C));
+    return proto::encode(login);
+  }
+  proto::Hello hello;
+  hello.user = user;
+  hello.port = 4662;
+  hello.tags.push_back(proto::Tag::string_tag(proto::kTagName,
+                                              attacker_name(target)));
+  hello.tags.push_back(proto::Tag::u32_tag(proto::kTagVersion, 0x3C));
+  return proto::encode(hello);
+}
+
+void AbuseInjector::run_episode(std::size_t index) {
+  const AbuseEvent& event = plan_.events()[index];
+  const net::NodeId attacker = attacker_for(event.kind, event.target);
+  const net::NodeId victim = target_node(event.target);
+  switch (event.kind) {
+    case AbuseKind::corrupt_episode: {
+      ++stats_.corrupt_episodes;
+      // Per-episode mutation stream derived from the injector's content rng
+      // by event index: re-ordering other classes cannot change it.
+      net::Network::CorruptionSpec spec;
+      spec.flip = config_.corrupt_flip;
+      spec.truncate = config_.corrupt_truncate;
+      spec.extend = config_.corrupt_extend;
+      Rng seed_rng = rng_.split(index).split(0);
+      spec.seed = seed_rng();
+      net_.set_corruption(attacker, spec);
+      const std::uint32_t target = event.target;
+      net_.connect(attacker, victim,
+                   [this, attacker, target](net::EndpointPtr ep) {
+                     if (!ep) {
+                       ++stats_.connects_refused;
+                       net_.clear_corruption(attacker);
+                       return;
+                     }
+                     ++stats_.connections_opened;
+                     corrupt_burst(std::move(ep), attacker, target,
+                                   config_.corrupt_messages);
+                   });
+      break;
+    }
+    case AbuseKind::connection_flood: {
+      ++stats_.flood_episodes;
+      // All connections from ONE node, so a per-remote-node admission
+      // bucket has something to key on — exactly the defense under test.
+      flood_step(attacker, victim, config_.flood_connections);
+      break;
+    }
+    case AbuseKind::slowloris: {
+      ++stats_.slowloris_episodes;
+      const std::uint32_t target = event.target;
+      net_.connect(attacker, victim, [this, target](net::EndpointPtr ep) {
+        if (!ep) {
+          ++stats_.connects_refused;
+          return;
+        }
+        ++stats_.connections_opened;
+        // Complete the handshake like an honest client, then hold the
+        // session silently: without idle reaping this pins a slot for
+        // slowloris_hold.
+        ep->send(handshake_packet(AbuseKind::slowloris, target));
+        ++stats_.messages_sent;
+        net_.simulation().schedule_in(config_.slowloris_hold,
+                                      [ep] { ep->close(); });
+      });
+      break;
+    }
+    case AbuseKind::oversize_messages: {
+      ++stats_.oversize_episodes;
+      const std::uint32_t target = event.target;
+      Rng content = rng_.split(index).split(1);
+      net_.connect(attacker, victim,
+                   [this, target, content](net::EndpointPtr ep) {
+                     if (!ep) {
+                       ++stats_.connects_refused;
+                       return;
+                     }
+                     ++stats_.connections_opened;
+                     oversize_burst(std::move(ep), target,
+                                    config_.oversize_messages, content);
+                   });
+      break;
+    }
+  }
+}
+
+void AbuseInjector::corrupt_burst(net::EndpointPtr ep, net::NodeId attacker,
+                                  std::uint32_t target, std::size_t remaining) {
+  // The victim usually hangs up on the first garbled packet; once the
+  // endpoint is closed (or the burst is spent) the corruptor retires.
+  if (remaining == 0 || !ep->open()) {
+    net_.clear_corruption(attacker);
+    ep->close();
+    return;
+  }
+  ep->send(handshake_packet(AbuseKind::corrupt_episode, target));
+  ++stats_.messages_sent;
+  net_.simulation().schedule_in(
+      config_.corrupt_spacing,
+      [this, ep = std::move(ep), attacker, target, remaining]() mutable {
+        corrupt_burst(std::move(ep), attacker, target, remaining - 1);
+      });
+}
+
+void AbuseInjector::flood_step(net::NodeId attacker, net::NodeId victim,
+                               std::size_t remaining) {
+  if (remaining == 0) return;
+  net_.connect(attacker, victim, [this](net::EndpointPtr ep) {
+    if (!ep) {
+      ++stats_.connects_refused;
+      return;
+    }
+    ++stats_.connections_opened;
+    // Hold the connection open doing nothing; the captured shared_ptr keeps
+    // it alive until the attacker hangs up (a handshake-timeout defense
+    // reaps it much earlier).
+    net_.simulation().schedule_in(config_.flood_hold, [ep] { ep->close(); });
+  });
+  net_.simulation().schedule_in(config_.flood_spacing,
+                                [this, attacker, victim, remaining] {
+                                  flood_step(attacker, victim, remaining - 1);
+                                });
+}
+
+void AbuseInjector::oversize_burst(net::EndpointPtr ep, std::uint32_t target,
+                                   std::size_t remaining, Rng rng) {
+  if (remaining == 0 || !ep->open()) {
+    ep->close();
+    return;
+  }
+  const bool to_server = target_is_server(target);
+  const UserId user = abuse_user(AbuseKind::oversize_messages, target);
+  proto::AnyMessage msg;
+  if (remaining == config_.oversize_messages) {
+    // Open with a handshake bloated to the tag-count ceiling.
+    if (to_server) {
+      proto::LoginRequest login;
+      login.user = user;
+      login.port = 4662;
+      for (std::size_t i = 0; i < config_.oversize_tags; ++i) {
+        login.tags.push_back(proto::Tag::u32_tag(
+            static_cast<std::uint8_t>(rng.below(256)),
+            static_cast<std::uint32_t>(rng.below(1u << 31))));
+      }
+      msg = std::move(login);
+    } else {
+      proto::Hello hello;
+      hello.user = user;
+      hello.port = 4662;
+      for (std::size_t i = 0; i < config_.oversize_tags; ++i) {
+        hello.tags.push_back(proto::Tag::u32_tag(
+            static_cast<std::uint8_t>(rng.below(256)),
+            static_cast<std::uint32_t>(rng.below(1u << 31))));
+      }
+      msg = std::move(hello);
+    }
+  } else if (rng.chance(0.3)) {
+    // Long keyword query (server) / shared-list probe amplification
+    // (honeypot answers with its full advertised list).
+    if (to_server) {
+      proto::SearchRequest search;
+      search.query.assign(200, 'a' + static_cast<char>(rng.below(26)));
+      msg = std::move(search);
+    } else {
+      msg = proto::AskSharedFiles{};
+    }
+  } else {
+    // A maximal file list: every entry a fresh fake hash and name.
+    std::vector<proto::PublishedFile> files;
+    files.reserve(config_.oversize_entries);
+    for (std::size_t i = 0; i < config_.oversize_entries; ++i) {
+      proto::PublishedFile f;
+      const std::uint64_t lo = rng();
+      f.file = FileId::from_words(lo, rng());
+      f.port = 4662;
+      f.name = "spam-" + std::to_string(rng.below(1u << 20)) + ".avi";
+      f.size = static_cast<std::uint32_t>(rng.below(700u << 20));
+      files.push_back(std::move(f));
+    }
+    if (to_server) {
+      msg = proto::OfferFiles{std::move(files)};
+    } else {
+      msg = proto::AskSharedFilesAnswer{std::move(files)};
+    }
+  }
+  ep->send(proto::encode(msg));
+  ++stats_.messages_sent;
+  net_.simulation().schedule_in(
+      config_.oversize_spacing,
+      [this, ep = std::move(ep), target, remaining, rng]() mutable {
+        oversize_burst(std::move(ep), target, remaining - 1, rng);
+      });
+}
+
+}  // namespace edhp::fault

@@ -1,0 +1,200 @@
+#pragma once
+// Adversarial-traffic subsystem.
+//
+// The paper's honeypots sat on the open 2008 eDonkey network, where any
+// peer could send garbage bytes, flood connections, or hold sessions open
+// — and the platform had to keep logging through it. This module is the
+// traffic-level sibling of the fault subsystem (fault.hpp): where
+// FaultPlan breaks the *infrastructure*, AbusePlan breaks the *protocol
+// conversation*, spawning hostile peers against the honeypots and the
+// directory servers:
+//
+//   byte corruptor      opens a connection and speaks valid eDonkey whose
+//                       wire bytes are flipped/truncated/extended in flight
+//                       (net::Network corruption hook) — exercises every
+//                       DecodeError path under fire;
+//   connection flooder  bursts many connections from one node and holds
+//                       them open doing nothing — exhausts session slots;
+//   slowloris           completes the HELLO (or LOGIN) handshake, then goes
+//                       silent holding the session for hours;
+//   oversize abuser     sends protocol-valid but maximal messages: huge tag
+//                       lists, 255-entry offer/shared-list floods, long
+//                       search queries — burns parse and index work.
+//
+// Same determinism contract as the fault layer: AbusePlan::generate is a
+// pure function of (config, rng) on split() sub-streams — adding one abuse
+// class never shifts another's schedule — and with `enabled == false` no
+// attacker node is ever created and no RNG draw is consumed, so the
+// campaigns stay bit-identical to an abuse-free build.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace edhp::fault {
+
+/// Low 64-bit word of every hostile peer's user hash. Log records store the
+/// low word (see honeypot truncate_user), so attacker-generated records are
+/// exactly those with `record.user == kAbuseUserWord` — the retention tests
+/// and the ablation bench filter on it.
+inline constexpr std::uint64_t kAbuseUserWord = 0x0AB05EBADC0FFEEull;
+
+enum class AbuseKind : std::uint8_t {
+  corrupt_episode,    ///< garbled-wire burst against one target
+  connection_flood,   ///< connect burst held open from one node
+  slowloris,          ///< handshake then silence
+  oversize_messages,  ///< protocol-valid maximal messages
+};
+
+[[nodiscard]] std::string_view to_string(AbuseKind k);
+
+/// One scheduled attack episode. `target` indexes honeypots first, then
+/// servers: target < honeypot_count is honeypot `target`, otherwise server
+/// `target - honeypot_count`.
+struct AbuseEvent {
+  Time at = 0;
+  AbuseKind kind = AbuseKind::corrupt_episode;
+  std::uint32_t target = 0;
+
+  bool operator==(const AbuseEvent&) const = default;
+};
+
+/// Attack-mix knobs. Every *_mtba of 0 disables that class; `intensity`
+/// divides every mean inter-arrival time, so one knob scales the whole mix.
+struct AbuseConfig {
+  bool enabled = false;
+  /// Mixed into the scenario seed so abuse draws are independent of both
+  /// the behavioural streams and the chaos streams.
+  std::uint64_t seed = 0xAB05E;
+  double intensity = 1.0;
+
+  /// Per-target mean time between episodes, per class.
+  Duration corrupt_mtba = hours(6);
+  Duration flood_mtba = hours(8);
+  Duration slowloris_mtba = hours(4);
+  Duration oversize_mtba = hours(6);
+
+  // --- Episode shapes ------------------------------------------------------
+  std::size_t corrupt_messages = 16;  ///< garbled packets per episode
+  double corrupt_flip = 0.9;          ///< per-message mutation probabilities
+  double corrupt_truncate = 0.3;
+  double corrupt_extend = 0.3;
+  Duration corrupt_spacing = 0.25;
+
+  std::size_t flood_connections = 96;  ///< connects per flood episode
+  Duration flood_spacing = 0.05;
+  Duration flood_hold = minutes(10);   ///< idle hold before the attacker hangs up
+
+  Duration slowloris_hold = hours(6);  ///< post-handshake silence
+
+  std::size_t oversize_messages = 8;   ///< maximal messages per episode
+  std::size_t oversize_entries = 255;  ///< list entries per abusive message
+  std::size_t oversize_tags = 120;     ///< tags per abusive HELLO
+  Duration oversize_spacing = 0.5;
+
+  /// Hostile node pool per class (episodes round-robin over it).
+  std::size_t attackers_per_class = 4;
+};
+
+/// Counters of attack work actually performed by an AbuseInjector.
+struct AbuseStats {
+  std::uint64_t corrupt_episodes = 0;
+  std::uint64_t flood_episodes = 0;
+  std::uint64_t slowloris_episodes = 0;
+  std::uint64_t oversize_episodes = 0;
+  std::uint64_t connections_opened = 0;  ///< attacker connects that completed
+  std::uint64_t connects_refused = 0;    ///< refused at transport level
+  std::uint64_t messages_sent = 0;       ///< hostile packets put on the wire
+};
+
+/// A pre-generated, seed-deterministic schedule of attack episodes, sorted
+/// by time (ties keep generation order). Pure data, like FaultPlan.
+class AbusePlan {
+ public:
+  AbusePlan() = default;
+
+  /// Hand-crafted plan (tests). Events are stably sorted by time.
+  explicit AbusePlan(std::vector<AbuseEvent> events);
+
+  /// Build a plan against `honeypots` honeypots and `servers` servers over
+  /// `horizon` seconds. Each (class, target) pair draws its arrival process
+  /// from its own split stream.
+  [[nodiscard]] static AbusePlan generate(const AbuseConfig& config,
+                                          std::size_t honeypots,
+                                          std::size_t servers,
+                                          Duration horizon, Rng rng);
+
+  [[nodiscard]] const std::vector<AbuseEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  std::vector<AbuseEvent> events_;
+};
+
+/// Binds an AbusePlan to a live world: creates the hostile node pools and
+/// runs every episode on the simulation engine.
+class AbuseInjector {
+ public:
+  /// Translation from plan targets to the concrete world.
+  struct Bindings {
+    std::size_t honeypot_count = 0;
+    std::function<net::NodeId(std::size_t)> honeypot_node;
+    std::size_t server_count = 0;
+    std::function<net::NodeId(std::size_t)> server_node;
+  };
+
+  /// `rng` seeds per-episode content draws (message payloads, corruption
+  /// streams); it is independent of the plan's arrival draws.
+  AbuseInjector(net::Network& network, AbusePlan plan, AbuseConfig config,
+                Bindings bindings, Rng rng);
+
+  /// Create the attacker node pools and schedule the whole plan. Must be
+  /// called only when the campaign actually wants abuse: node creation
+  /// shifts every later IP assignment (see Network::add_node).
+  void arm();
+
+  [[nodiscard]] const AbuseStats& stats() const noexcept { return stats_; }
+
+ private:
+  void run_episode(std::size_t index);
+  [[nodiscard]] net::NodeId target_node(std::uint32_t target) const;
+  [[nodiscard]] bool target_is_server(std::uint32_t target) const noexcept {
+    return target >= bind_.honeypot_count;
+  }
+  [[nodiscard]] net::NodeId attacker_for(AbuseKind kind,
+                                         std::uint32_t target) const;
+  /// The hostile identity used for a (kind, target) pair; its low word is
+  /// kAbuseUserWord so attacker log records are filterable.
+  [[nodiscard]] static UserId abuse_user(AbuseKind kind, std::uint32_t target);
+
+  void corrupt_burst(net::EndpointPtr ep, net::NodeId attacker,
+                     std::uint32_t target, std::size_t remaining);
+  void flood_step(net::NodeId attacker, net::NodeId victim,
+                  std::size_t remaining);
+  /// A valid handshake packet for the target's channel.
+  [[nodiscard]] net::Bytes handshake_packet(AbuseKind kind,
+                                            std::uint32_t target) const;
+  void oversize_burst(net::EndpointPtr ep, std::uint32_t target,
+                      std::size_t remaining, Rng rng);
+
+  net::Network& net_;
+  AbusePlan plan_;
+  AbuseConfig config_;
+  Bindings bind_;
+  Rng rng_;
+  AbuseStats stats_;
+  /// One hostile node pool per AbuseKind, filled at arm().
+  std::array<std::vector<net::NodeId>, 4> pools_;
+};
+
+}  // namespace edhp::fault

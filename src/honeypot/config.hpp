@@ -8,6 +8,7 @@
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "logbook/spool.hpp"
+#include "net/admission.hpp"
 
 namespace edhp::honeypot {
 
@@ -78,6 +79,14 @@ struct HoneypotConfig {
   /// Crash-safe log spooling (disabled by default: the whole in-memory log
   /// survives a crash, the pre-fault-subsystem behaviour).
   logbook::SpoolConfig spool;
+
+  /// Admission control against hostile peers (disabled by default; the
+  /// manager copies its own defense config here at launch, like the salt).
+  net::DefenseConfig defense;
+
+  /// Hard fd-limit analog on concurrent peer connections, enforced even
+  /// with the defense layer disabled; far above benign concurrency.
+  std::size_t hard_peer_cap = 2048;
 };
 
 }  // namespace edhp::honeypot

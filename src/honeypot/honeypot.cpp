@@ -128,6 +128,8 @@ void Honeypot::on_server_message(net::Bytes packet) {
     msg = proto::decode(proto::Channel::client_server, packet);
   } catch (const DecodeError&) {
     counters_.add("server_decode_errors");
+    defense_.malformed += 1;
+    net_.note_malformed(self_);
     return;
   }
   if (const auto* results = std::get_if<proto::SearchResult>(&msg)) {
@@ -328,11 +330,15 @@ void Honeypot::disconnect() {
     server_ep_.reset();
   }
   for (auto& [key, conn] : peers_) {
+    net_.simulation().cancel(conn.reap);
     if (conn.endpoint) conn.endpoint->close();
   }
   peers_.clear();
   slots_used_ = 0;
   upload_queue_.clear();
+  inbox_.clear();
+  inbox_armed_ = false;
+  connect_buckets_.clear();
   status_ = Status::idle;
 }
 
@@ -359,11 +365,15 @@ void Honeypot::crash() {
     server_ep_.reset();
   }
   for (auto& [key, conn] : peers_) {
+    net_.simulation().cancel(conn.reap);
     if (conn.endpoint) conn.endpoint->close();
   }
   peers_.clear();
   slots_used_ = 0;
   upload_queue_.clear();
+  inbox_.clear();
+  inbox_armed_ = false;
+  connect_buckets_.clear();
   net_.stop_listening(self_);
   status_ = Status::dead;
 }
@@ -379,6 +389,35 @@ logbook::LogFile Honeypot::take_log() {
 }
 
 void Honeypot::on_peer_accept(net::EndpointPtr ep) {
+  if (peers_.size() >= config_.hard_peer_cap) {
+    // The fd-limit analog: even an undefended honeypot cannot hold
+    // unbounded peer connections.
+    counters_.add("hard_cap_refused");
+    ep->close();
+    return;
+  }
+  const auto& defense = config_.defense;
+  if (defense.enabled) {
+    const Time now = net_.simulation().now();
+    // LIFO shedding: at the cap the NEWEST arrival is shed; peers already
+    // talking to us keep producing log records.
+    if (peers_.size() >= defense.max_sessions) {
+      counters_.add("peers_shed");
+      defense_.shed += 1;
+      ep->close();
+      return;
+    }
+    auto bucket = connect_buckets_
+                      .try_emplace(ep->remote_node(), defense.connect_rate,
+                                   defense.connect_burst, now)
+                      .first;
+    if (!bucket->second.try_take(now)) {
+      counters_.add("peer_connect_rate_limited");
+      defense_.rate_limited += 1;
+      ep->close();
+      return;
+    }
+  }
   const ConnKey key = next_conn_++;
   PeerConn conn;
   conn.endpoint = std::move(ep);
@@ -388,14 +427,87 @@ void Honeypot::on_peer_accept(net::EndpointPtr ep) {
   endpoint.on_close([this, key] {
     auto conn_it = peers_.find(key);
     if (conn_it != peers_.end()) {
+      net_.simulation().cancel(conn_it->second.reap);
       release_slot(key, conn_it->second);
       peers_.erase(conn_it);
     }
   });
+  if (defense.enabled) {
+    defense_.accepted += 1;
+    it->second.bucket = net::TokenBucket(defense.message_rate,
+                                         defense.message_burst,
+                                         net_.simulation().now());
+    arm_reap(it->second, key, defense.handshake_timeout);
+  }
   counters_.add("peer_connections");
 }
 
+void Honeypot::arm_reap(PeerConn& conn, ConnKey key, Duration timeout) {
+  auto& sim = net_.simulation();
+  sim.cancel(conn.reap);  // O(1); harmless on an invalid/spent handle
+  if (timeout <= 0) return;
+  conn.reap = sim.schedule_in(timeout, [this, key] { reap_peer(key); });
+}
+
+void Honeypot::reap_peer(ConnKey key) {
+  auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  counters_.add("peers_reaped");
+  defense_.reaped += 1;
+  drop_peer(key);
+}
+
+void Honeypot::drop_peer(ConnKey key) {
+  auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  net_.simulation().cancel(it->second.reap);
+  if (it->second.endpoint) it->second.endpoint->close();
+  release_slot(key, it->second);
+  peers_.erase(it);
+}
+
 void Honeypot::on_peer_message(ConnKey key, net::Bytes packet) {
+  const auto& defense = config_.defense;
+  if (!defense.enabled) {
+    process_peer(key, std::move(packet));
+    return;
+  }
+  auto it = peers_.find(key);
+  if (it == peers_.end()) return;
+  if (!it->second.bucket.try_take(net_.simulation().now())) {
+    counters_.add("peer_rate_limited");
+    defense_.rate_limited += 1;
+    return;  // dropped, not fatal
+  }
+  inbox_.emplace_back(key, std::move(packet));
+  if (inbox_.size() > defense.max_queue) {
+    inbox_.pop_front();  // overload: shed oldest-first
+    counters_.add("peer_queue_dropped");
+    defense_.queue_dropped += 1;
+  }
+  if (!inbox_armed_) {
+    inbox_armed_ = true;
+    net_.simulation().schedule_in(defense.queue_service,
+                                  [this] { service_inbox(); });
+  }
+}
+
+void Honeypot::service_inbox() {
+  inbox_armed_ = false;
+  std::size_t budget = std::max<std::size_t>(1, config_.defense.queue_batch);
+  while (budget-- > 0 && !inbox_.empty()) {
+    auto [key, packet] = std::move(inbox_.front());
+    inbox_.pop_front();
+    process_peer(key, std::move(packet));
+  }
+  if (!inbox_.empty()) {
+    inbox_armed_ = true;
+    net_.simulation().schedule_in(config_.defense.queue_service,
+                                  [this] { service_inbox(); });
+  }
+}
+
+void Honeypot::process_peer(ConnKey key, net::Bytes packet) {
   auto it = peers_.find(key);
   if (it == peers_.end()) return;
   PeerConn& conn = it->second;
@@ -405,10 +517,16 @@ void Honeypot::on_peer_message(ConnKey key, net::Bytes packet) {
     msg = proto::decode(proto::Channel::client_client, packet);
   } catch (const DecodeError&) {
     counters_.add("peer_decode_errors");
-    conn.endpoint->close();
-    release_slot(key, conn);
-    peers_.erase(key);
+    defense_.malformed += 1;
+    net_.note_malformed(self_);
+    drop_peer(key);
     return;
+  }
+
+  if (config_.defense.enabled) {
+    // A valid message is the peer's handshake/keep-alive: push the reap
+    // horizon out to the idle timeout.
+    arm_reap(conn, key, config_.defense.idle_timeout);
   }
 
   std::visit(
@@ -452,11 +570,11 @@ void Honeypot::handle_hello(PeerConn& conn, const proto::Hello& msg) {
   conn.user = truncate_user(msg.user);
   conn.client_id = msg.client_id;
   conn.port = msg.port;
-  if (const auto* t = proto::find_tag(msg.tags, proto::kTagName)) {
-    conn.name_ref = intern_name(t->as_string());
+  if (const auto* name = proto::find_string_tag(msg.tags, proto::kTagName)) {
+    conn.name_ref = intern_name(*name);
   }
-  if (const auto* t = proto::find_tag(msg.tags, proto::kTagVersion)) {
-    conn.version = t->as_u32();
+  if (const auto* version = proto::find_u32_tag(msg.tags, proto::kTagVersion)) {
+    conn.version = *version;
   }
   conn.hello_seen = true;
 

@@ -169,6 +169,9 @@ class Honeypot {
   [[nodiscard]] const sim::CounterSet& counters() const noexcept {
     return counters_;
   }
+  [[nodiscard]] const net::DefenseStats& defense_stats() const noexcept {
+    return defense_;
+  }
 
  private:
   struct PeerConn {
@@ -182,6 +185,8 @@ class Honeypot {
     bool hello_seen = false;
     bool uploading = false;  ///< holds an upload slot
     bool queued = false;     ///< waiting for a slot
+    net::TokenBucket bucket;  ///< per-peer message budget (defense)
+    sim::EventHandle reap;    ///< pending handshake/idle timeout
   };
   using ConnKey = std::uint64_t;
 
@@ -200,6 +205,15 @@ class Honeypot {
   void send_offer();
   void on_peer_accept(net::EndpointPtr ep);
   void on_peer_message(ConnKey key, net::Bytes packet);
+  /// Decode and dispatch one peer packet (post-admission).
+  void process_peer(ConnKey key, net::Bytes packet);
+  /// (Re)schedule the peer's reap timer; O(1) cancel of the old one.
+  void arm_reap(PeerConn& conn, ConnKey key, Duration timeout);
+  void reap_peer(ConnKey key);
+  /// Drain up to queue_batch packets from the bounded inbound queue.
+  void service_inbox();
+  /// Close + forget one peer connection, cancelling its reap timer.
+  void drop_peer(ConnKey key);
 
   void handle_hello(PeerConn& conn, const proto::Hello& msg);
   void handle_start_upload(ConnKey key, PeerConn& conn,
@@ -235,6 +249,12 @@ class Honeypot {
   ConnKey next_conn_ = 1;
   std::size_t slots_used_ = 0;
   std::deque<ConnKey> upload_queue_;
+
+  // Defense state (all dormant unless config_.defense.enabled).
+  net::DefenseStats defense_;
+  std::unordered_map<net::NodeId, net::TokenBucket> connect_buckets_;
+  std::deque<std::pair<ConnKey, net::Bytes>> inbox_;
+  bool inbox_armed_ = false;
 
   logbook::LogFile log_;
   std::unordered_map<std::string, std::uint16_t> name_cache_;

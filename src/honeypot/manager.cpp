@@ -23,6 +23,7 @@ std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
   config.salt = config_.salt;
   config.retry = config_.retry;
   config.spool = config_.spool;
+  config.defense = config_.defense;
   if (config.id == 0) {
     config.id = static_cast<std::uint16_t>(fleet_.size());
   }
@@ -63,11 +64,13 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
   survey->candidates = std::move(candidates);
   survey->answers.resize(survey->candidates.size());
 
-  net_.listen_datagram(probe_node, [survey](net::NodeId, net::Bytes datagram) {
+  net_.listen_datagram(probe_node, [this, survey, probe_node](net::NodeId,
+                                                              net::Bytes datagram) {
     proto::AnyUdpMessage msg;
     try {
       msg = proto::decode_udp(datagram);
     } catch (const DecodeError&) {
+      net_.note_malformed(probe_node);
       return;
     }
     if (const auto* res = std::get_if<proto::ServStatResponse>(&msg)) {
@@ -288,6 +291,14 @@ RecoveryStats Manager::recovery_stats() const {
   if (generated > 0) {
     out.retained_fraction =
         static_cast<double>(kept) / static_cast<double>(generated);
+  }
+  return out;
+}
+
+net::DefenseStats Manager::defense_stats() const {
+  net::DefenseStats out;
+  for (const auto& slot : fleet_) {
+    out += slot.honeypot->defense_stats();
   }
   return out;
 }

@@ -49,6 +49,8 @@ struct ManagerConfig {
   /// enabled the manager wires itself as the chunk sink and acknowledges
   /// chunks after spool.ack_delay.
   logbook::SpoolConfig spool;
+  /// Admission-control policy injected into every launched honeypot.
+  net::DefenseConfig defense;
 };
 
 /// Aggregated fault-recovery accounting (see Manager::recovery_stats()).
@@ -126,6 +128,9 @@ class Manager {
   /// Snapshot of fault-recovery accounting across the fleet, including
   /// still-open downtime windows at call time.
   [[nodiscard]] RecoveryStats recovery_stats() const;
+
+  /// Fleet-sum of every honeypot's admission-control decision counters.
+  [[nodiscard]] net::DefenseStats defense_stats() const;
 
   /// The chunk store backing crash-safe spooling (empty unless
   /// ManagerConfig::spool.enabled).

@@ -1,0 +1,32 @@
+#include "net/admission.hpp"
+
+#include <algorithm>
+
+namespace edhp::net {
+
+DefenseStats& DefenseStats::operator+=(const DefenseStats& other) noexcept {
+  accepted += other.accepted;
+  shed += other.shed;
+  rate_limited += other.rate_limited;
+  reaped += other.reaped;
+  malformed += other.malformed;
+  queue_dropped += other.queue_dropped;
+  return *this;
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst, Time now)
+    : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_),
+      last_(now) {}
+
+bool TokenBucket::try_take(Time now, double cost) {
+  if (rate_ <= 0.0) return true;
+  if (now > last_) {
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
+  }
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+}  // namespace edhp::net

@@ -1,0 +1,91 @@
+#pragma once
+// Admission control against adversarial traffic, shared by the server and
+// the honeypots.
+//
+// The 2008 open eDonkey network delivered not only benign queries but also
+// floods, half-open sessions and garbage bytes; a measurement platform has
+// to keep logging through all of it. This header holds the pieces both
+// defenders use: a lazily-refilled token bucket, the knob set
+// (DefenseConfig) and the decision counters (DefenseStats).
+//
+// Determinism contract: none of these defenses consume an RNG stream, and
+// with `enabled == false` the owning node schedules no extra events and
+// takes no extra branches that alter traffic — a defense-off run stays
+// bit-identical to a build without this layer.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace edhp::net {
+
+/// Defense knobs for one listening node. Defaults are tuned so that benign
+/// campaign traffic never trips them (sessions stay far below the cap,
+/// legit peers send well under the bucket rate) while the abuse classes in
+/// fault::AbuseConfig all do.
+struct DefenseConfig {
+  bool enabled = false;
+
+  /// Session cap with LIFO shedding: once this many sessions are live, the
+  /// newest arrival is shed — established (older) sessions, which carry the
+  /// measurement, are never sacrificed to a flood.
+  std::size_t max_sessions = 256;
+
+  /// Per-remote-node connect token bucket (refill per second / burst).
+  /// A rate <= 0 disables the bucket.
+  double connect_rate = 0.5;
+  double connect_burst = 12.0;
+
+  /// Per-session message token bucket; messages beyond it are dropped
+  /// (counted, not fatal — a later in-budget message still works).
+  double message_rate = 8.0;
+  double message_burst = 80.0;
+
+  /// A session that has not produced one valid message within this window
+  /// is reaped (kills flood holds and pre-HELLO slowloris).
+  Duration handshake_timeout = 30.0;
+  /// A session idle this long after its last valid message is reaped. Must
+  /// exceed every benign quiet period (the honeypot's 30-minute OFFER
+  /// keep-alive on its server link being the longest).
+  Duration idle_timeout = hours(2);
+
+  /// Bounded inbound work queue: packets beyond this are shed oldest-first,
+  /// and at most `queue_batch` packets are decoded per service slice.
+  std::size_t max_queue = 512;
+  std::size_t queue_batch = 64;
+  Duration queue_service = 0.05;
+};
+
+/// One counter per defense decision, aggregated per defender and summed
+/// fleet-wide into scenario::ScenarioResult.
+struct DefenseStats {
+  std::uint64_t accepted = 0;      ///< connections admitted past all gates
+  std::uint64_t shed = 0;          ///< LIFO-shed at the session cap
+  std::uint64_t rate_limited = 0;  ///< bucket rejections (connects + messages)
+  std::uint64_t reaped = 0;        ///< handshake / idle timeouts fired
+  std::uint64_t malformed = 0;     ///< packets the decoder rejected
+  std::uint64_t queue_dropped = 0; ///< inbound packets shed oldest-first
+
+  DefenseStats& operator+=(const DefenseStats& other) noexcept;
+};
+
+/// Classic token bucket with lazy refill: no timer, no RNG; refilled from
+/// the elapsed simulation time on each take attempt. A rate <= 0 means
+/// "unlimited" (try_take always succeeds).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst, Time now);
+
+  /// Take `cost` tokens if available at time `now`.
+  [[nodiscard]] bool try_take(Time now, double cost = 1.0);
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  Time last_ = 0.0;
+};
+
+}  // namespace edhp::net

@@ -34,8 +34,11 @@ bool Endpoint::open() const noexcept { return shared_ && shared_->open; }
 
 void Endpoint::send_sized(Bytes payload, std::size_t wire_size) {
   if (!open()) return;
-  const std::size_t bytes_on_wire = std::max(wire_size, payload.size());
   Network& net = *shared_->net;
+  if (!net.corruptors_.empty()) {
+    net.maybe_corrupt(local_, payload);
+  }
+  const std::size_t bytes_on_wire = std::max(wire_size, payload.size());
   const double now = net.sim_.now();
   const double serialization =
       upload_bps_ > 0 ? static_cast<double>(bytes_on_wire) / upload_bps_ : 0.0;
@@ -238,6 +241,50 @@ std::size_t Network::abort_cross_partition() {
   return abort_matching([this](NodeId a, NodeId b) {
     return partition_[a] != partition_[b];
   });
+}
+
+void Network::set_corruption(NodeId id, const CorruptionSpec& spec) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::set_corruption: unknown node");
+  }
+  corruptors_[id] = CorruptionState{spec, Rng(spec.seed)};
+}
+
+void Network::clear_corruption(NodeId id) { corruptors_.erase(id); }
+
+void Network::maybe_corrupt(NodeId sender, Bytes& payload) {
+  auto it = corruptors_.find(sender);
+  if (it == corruptors_.end()) return;
+  auto& state = it->second;
+  bool touched = false;
+  if (!payload.empty() && state.rng.chance(state.spec.flip)) {
+    const std::size_t at = state.rng.below(payload.size());
+    payload[at] ^= static_cast<std::uint8_t>(1u << state.rng.below(8));
+    touched = true;
+  }
+  if (!payload.empty() && state.rng.chance(state.spec.truncate)) {
+    payload.resize(state.rng.below(payload.size()));  // keep a random prefix
+    touched = true;
+  }
+  if (state.rng.chance(state.spec.extend)) {
+    const std::size_t extra = 1 + state.rng.below(16);
+    for (std::size_t i = 0; i < extra; ++i) {
+      payload.push_back(static_cast<std::uint8_t>(state.rng.below(256)));
+    }
+    touched = true;
+  }
+  if (touched) {
+    node_counters_[sender].messages_corrupted += 1;
+    totals_.messages_corrupted += 1;
+  }
+}
+
+void Network::note_malformed(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("Network::note_malformed: unknown node");
+  }
+  node_counters_[id].malformed_packets += 1;
+  totals_.malformed_packets += 1;
 }
 
 std::optional<NodeId> Network::find_by_ip(std::uint32_t ip) const {

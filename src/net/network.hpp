@@ -77,6 +77,8 @@ struct LinkCounters {
   std::uint64_t bytes_serialized = 0;    ///< wire bytes pushed by this node
   std::uint64_t bytes_delivered = 0;     ///< wire bytes received here
   std::uint64_t connections_aborted = 0; ///< established conns RST by faults
+  std::uint64_t messages_corrupted = 0;  ///< payloads mangled on send here
+  std::uint64_t malformed_packets = 0;   ///< received packets the decoder rejected
 };
 
 /// One side of an established connection. Handlers are invoked from the
@@ -202,6 +204,29 @@ class Network {
   /// partition groups.
   std::size_t abort_cross_partition();
 
+  // --- Adversarial-traffic primitives (see fault::AbuseInjector) -----------
+
+  /// Wire-corruption profile for a hostile sender. Each probability is
+  /// evaluated independently per stream message, drawing from a per-node RNG
+  /// seeded at set_corruption() time — never from the network's own stream,
+  /// so registering and clearing corruptors cannot shift benign traffic.
+  struct CorruptionSpec {
+    double flip = 0.0;      ///< flip one random bit of the payload
+    double truncate = 0.0;  ///< drop a random-length tail
+    double extend = 0.0;    ///< append 1..16 random bytes
+    std::uint64_t seed = 1; ///< seeds the per-node mutation stream
+  };
+
+  /// While active on `id`, every stream payload it sends may be mutated in
+  /// flight (counted in LinkCounters::messages_corrupted on the sender).
+  void set_corruption(NodeId id, const CorruptionSpec& spec);
+  void clear_corruption(NodeId id);
+
+  /// Record that `id` received a packet its decoder rejected. Pure counter:
+  /// every DecodeError catch site reports here so malformed traffic is
+  /// visible per node instead of being swallowed silently.
+  void note_malformed(NodeId id);
+
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
 
   /// Aggregate counters over all nodes.
@@ -227,6 +252,9 @@ class Network {
   /// Whether traffic may flow between two nodes (both up, link not blocked,
   /// same partition group). Never consumes RNG.
   [[nodiscard]] bool link_usable(NodeId from, NodeId to) const;
+  /// Apply a registered corruption profile to an outgoing payload. No-op
+  /// (and no RNG draw) unless `sender` has an active CorruptionSpec.
+  void maybe_corrupt(NodeId sender, Bytes& payload);
   /// Effective latency factor of a path (max of the two ends).
   [[nodiscard]] double latency_factor(NodeId from, NodeId to) const;
   static std::uint64_t link_key(NodeId a, NodeId b) noexcept;
@@ -244,6 +272,13 @@ class Network {
   std::vector<std::uint32_t> partition_;
   std::vector<double> latency_factor_;
   std::unordered_set<std::uint64_t> blocked_links_;
+  /// Active wire-corruptors, keyed by sender; each carries its own RNG so
+  /// mutation draws never touch rng_ (see maybe_corrupt()).
+  struct CorruptionState {
+    CorruptionSpec spec;
+    Rng rng;
+  };
+  std::unordered_map<NodeId, CorruptionState> corruptors_;
   /// Weak registry of established connections for fault RSTs; compacted
   /// opportunistically when mostly expired.
   std::vector<std::weak_ptr<Endpoint::Shared>> live_conns_;

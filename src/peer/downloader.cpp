@@ -120,6 +120,7 @@ void Peer::on_server_message(net::Bytes packet) {
   try {
     msg = proto::decode(proto::Channel::client_server, packet);
   } catch (const DecodeError&) {
+    ctx_.net->note_malformed(node_);
     return;
   }
   if (const auto* id = std::get_if<proto::IdChange>(&msg)) {
@@ -281,6 +282,7 @@ void Peer::on_source_message(std::size_t index, net::Bytes packet) {
   try {
     msg = proto::decode(proto::Channel::client_client, packet);
   } catch (const DecodeError&) {
+    ctx_.net->note_malformed(node_);
     conclude(index);
     return;
   }

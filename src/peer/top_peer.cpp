@@ -70,6 +70,7 @@ void TopPeer::on_server_message(net::Bytes packet) {
   try {
     msg = proto::decode(proto::Channel::client_server, packet);
   } catch (const DecodeError&) {
+    net_.note_malformed(node_);
     return;
   }
   if (const auto* id = std::get_if<proto::IdChange>(&msg)) {
@@ -156,6 +157,7 @@ void TopPeer::on_message(std::size_t index, net::Bytes packet) {
   try {
     msg = proto::decode(proto::Channel::client_client, packet);
   } catch (const DecodeError&) {
+    net_.note_malformed(node_);
     finish_encounter(index);
     return;
   }

@@ -6,6 +6,9 @@ namespace edhp::proto {
 namespace {
 
 constexpr std::size_t kMaxListedFiles = 1 << 20;  // hostile-input bound
+/// Smallest possible wire footprint of one PublishedFile entry: 16-byte
+/// hash + u32 clientID + u16 port + u32 tag count (with zero tags).
+constexpr std::size_t kPublishedFileMinBytes = 16 + 4 + 2 + 4;
 
 void put_hash(ByteWriter& w, std::span<const std::uint8_t> bytes16) {
   w.bytes(bytes16);
@@ -55,6 +58,12 @@ std::vector<PublishedFile> decode_file_list(ByteReader& r) {
   const std::uint32_t n = r.u32();
   if (n > kMaxListedFiles) {
     throw DecodeError("file list: absurd count " + std::to_string(n));
+  }
+  // Cross-check the count against the bytes actually present before
+  // reserve(): a 4-byte lie must not size a huge allocation.
+  if (static_cast<std::size_t>(n) * kPublishedFileMinBytes > r.remaining()) {
+    throw DecodeError("file list: count " + std::to_string(n) +
+                      " exceeds payload");
   }
   std::vector<PublishedFile> files;
   files.reserve(n);

@@ -84,4 +84,16 @@ const Tag* find_tag(const std::vector<Tag>& tags, std::uint8_t name) {
   return nullptr;
 }
 
+const std::string* find_string_tag(const std::vector<Tag>& tags,
+                                   std::uint8_t name) {
+  const Tag* t = find_tag(tags, name);
+  return t ? std::get_if<std::string>(&t->value) : nullptr;
+}
+
+const std::uint32_t* find_u32_tag(const std::vector<Tag>& tags,
+                                  std::uint8_t name) {
+  const Tag* t = find_tag(tags, name);
+  return t ? std::get_if<std::uint32_t>(&t->value) : nullptr;
+}
+
 }  // namespace edhp::proto

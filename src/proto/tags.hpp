@@ -43,4 +43,12 @@ void encode_tags(ByteWriter& w, const std::vector<Tag>& tags);
 /// First tag with the given name, or nullptr.
 [[nodiscard]] const Tag* find_tag(const std::vector<Tag>& tags, std::uint8_t name);
 
+/// Typed lookups for interpreting tags after decode. A tag whose value type
+/// does not match counts as absent: hostile peers can put a u32 where a name
+/// string belongs, and that must not throw past the decode guard.
+[[nodiscard]] const std::string* find_string_tag(const std::vector<Tag>& tags,
+                                                 std::uint8_t name);
+[[nodiscard]] const std::uint32_t* find_u32_tag(const std::vector<Tag>& tags,
+                                                std::uint8_t name);
+
 }  // namespace edhp::proto

@@ -34,6 +34,11 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   peer::SourceCache source_cache;
   auto& rng = simulation.rng();
 
+  net::DefenseConfig defense = config.defense;
+  if (!defense.enabled && config.abuse.enabled && config.auto_defense) {
+    defense = abuse_defense_config();
+  }
+
   // --- Servers of different sizes -------------------------------------------
   const std::size_t n_servers = config.server_sizes.size();
   std::vector<std::unique_ptr<server::Server>> servers;
@@ -42,6 +47,7 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     const auto node = network.add_node(true);
     server::ServerConfig sc;
     sc.name = "server-" + std::to_string(i);
+    sc.defense = defense;
     servers.push_back(std::make_unique<server::Server>(network, node, sc));
     servers.back()->start();
     refs.push_back(honeypot::ServerRef{node, sc.name, 4661});
@@ -84,7 +90,9 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   simulation.run_until(30.0);
 
   // --- Manager surveys and assigns -------------------------------------------
-  honeypot::Manager manager(network, chaos_manager_config(config.chaos));
+  honeypot::ManagerConfig manager_cfg = chaos_manager_config(config.chaos);
+  manager_cfg.defense = defense;
+  honeypot::Manager manager(network, manager_cfg);
   if (config.chaos.enabled) {
     manager.set_backup_servers(refs);  // sibling servers double as backups
   }
@@ -170,6 +178,27 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     injector->arm();
   }
 
+  // Adversarial traffic (see run_distributed): every honeypot and every
+  // directory server is a target.
+  std::unique_ptr<fault::AbuseInjector> abuse;
+  if (config.abuse.enabled) {
+    const Rng abuse_rng = rng.split(config.abuse.seed);
+    auto plan = fault::AbusePlan::generate(config.abuse, config.honeypots,
+                                           n_servers, config.days * kDay,
+                                           abuse_rng);
+    fault::AbuseInjector::Bindings bind;
+    bind.honeypot_count = config.honeypots;
+    bind.honeypot_node = [&manager](std::size_t h) {
+      return manager.honeypot(h).node();
+    };
+    bind.server_count = n_servers;
+    bind.server_node = [&refs](std::size_t s) { return refs[s].node; };
+    abuse = std::make_unique<fault::AbuseInjector>(
+        network, std::move(plan), config.abuse, std::move(bind),
+        abuse_rng.split(0xEE));
+    abuse->arm();
+  }
+
   // --- Advertised files + demand ----------------------------------------------
   std::vector<honeypot::AdvertisedFile> files;
   Rng id_rng = rng.split(0xF11E);
@@ -230,6 +259,13 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   result.base.recovery = manager.recovery_stats();
   if (injector) {
     result.base.faults = injector->stats();
+  }
+  result.base.defense = manager.defense_stats();
+  for (const auto& s : servers) {
+    result.base.defense += s->defense_stats();
+  }
+  if (abuse) {
+    result.base.abuse = abuse->stats();
   }
   result.base.engine = simulation.stats();
   result.base.net_totals = network.totals();

@@ -29,6 +29,10 @@ struct MultiServerConfig {
   /// server keeps refusing it is redirected — the paper's "redirect them
   /// toward other servers".
   fault::ChaosConfig chaos;
+  /// Adversarial traffic + admission control (see DistributedConfig).
+  fault::AbuseConfig abuse;
+  net::DefenseConfig defense;
+  bool auto_defense = true;
   peer::BehaviorParams behavior;
 
   MultiServerConfig();

@@ -64,6 +64,17 @@ void fill_result(ScenarioResult& result, World& world,
   result.wire_bytes = result.net_totals.bytes_delivered;
 }
 
+/// The defense policy a run actually applies: an explicit request wins;
+/// otherwise abuse campaigns get the tuned policy unless the ablation
+/// baseline (`auto_defense == false`) asked to fight bare-handed.
+net::DefenseConfig effective_defense(const net::DefenseConfig& requested,
+                                     const fault::AbuseConfig& abuse,
+                                     bool auto_defense) {
+  if (requested.enabled) return requested;
+  if (abuse.enabled && auto_defense) return abuse_defense_config();
+  return requested;
+}
+
 void report_progress(std::ostream* progress, World& world, double total_days) {
   if (progress == nullptr) return;
   *progress << "  day " << day_index(world.simulation.now()) << "/"
@@ -89,6 +100,15 @@ honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
   return mc;
 }
 
+net::DefenseConfig abuse_defense_config() {
+  // The DefenseConfig defaults ARE the tuned policy (they are calibrated
+  // against the default abuse mix in test_abuse.cpp); this helper only
+  // switches them on.
+  net::DefenseConfig d;
+  d.enabled = true;
+  return d;
+}
+
 DistributedConfig::DistributedConfig() : behavior(behavior_2008()) {}
 
 GreedyConfig::GreedyConfig() : behavior(behavior_2008()) {
@@ -105,9 +125,14 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   }
   auto& rng = world.simulation.rng();
 
+  const net::DefenseConfig defense =
+      effective_defense(config.defense, config.abuse, config.auto_defense);
+
   // The large server all honeypots connect to.
   const auto server_node = world.network.add_node(true);
-  server::Server server(world.network, server_node, {});
+  server::ServerConfig server_cfg;
+  server_cfg.defense = defense;
+  server::Server server(world.network, server_node, server_cfg);
   server.start();
   honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
 
@@ -120,6 +145,7 @@ ScenarioResult run_distributed(const DistributedConfig& config,
       const auto node = world.network.add_node(true);
       server::ServerConfig sc;
       sc.name = "standby-" + std::to_string(s);
+      sc.defense = defense;
       standby.push_back(std::make_unique<server::Server>(world.network, node, sc));
       standby.back()->start();
       standby_refs.push_back(honeypot::ServerRef{node, sc.name, 4661});
@@ -128,7 +154,9 @@ ScenarioResult run_distributed(const DistributedConfig& config,
 
   // Fleet: PlanetLab-like hosts; first half no-content, second half
   // random-content (the paper's 12/12 split).
-  honeypot::Manager manager(world.network, chaos_manager_config(config.chaos));
+  honeypot::ManagerConfig manager_cfg = chaos_manager_config(config.chaos);
+  manager_cfg.defense = defense;
+  honeypot::Manager manager(world.network, manager_cfg);
   if (!standby_refs.empty()) {
     manager.set_backup_servers(standby_refs);
   }
@@ -233,6 +261,27 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     crash_timer->start();
   }
 
+  // Adversarial traffic. The injector (and its hostile nodes) exists only
+  // when abuse is enabled, so an abuse-free run allocates no extra nodes,
+  // consumes no extra RNG draws, and stays bit-identical.
+  std::unique_ptr<fault::AbuseInjector> abuse;
+  if (config.abuse.enabled) {
+    const Rng abuse_rng = rng.split(config.abuse.seed);
+    auto plan = fault::AbusePlan::generate(config.abuse, config.honeypots, 1,
+                                           config.days * kDay, abuse_rng);
+    fault::AbuseInjector::Bindings bind;
+    bind.honeypot_count = config.honeypots;
+    bind.honeypot_node = [&manager](std::size_t h) {
+      return manager.honeypot(h).node();
+    };
+    bind.server_count = 1;
+    bind.server_node = [server_node](std::size_t) { return server_node; };
+    abuse = std::make_unique<fault::AbuseInjector>(
+        world.network, std::move(plan), config.abuse, std::move(bind),
+        abuse_rng.split(0xEE));
+    abuse->arm();
+  }
+
   // The single hyperactive peer of Figs 8/9.
   std::unique_ptr<peer::TopPeer> top;
   if (config.with_top_peer) {
@@ -278,6 +327,14 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   if (injector) {
     result.faults = injector->stats();
   }
+  result.defense = manager.defense_stats();
+  result.defense += server.defense_stats();
+  for (const auto& s : standby) {
+    result.defense += s->defense_stats();
+  }
+  if (abuse) {
+    result.abuse = abuse->stats();
+  }
   return result;
 }
 
@@ -285,12 +342,19 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   World world(config.seed, config.behavior, config.scale);
   auto& rng = world.simulation.rng();
 
+  const net::DefenseConfig defense =
+      effective_defense(config.defense, config.abuse, config.auto_defense);
+
   const auto server_node = world.network.add_node(true);
-  server::Server server(world.network, server_node, {});
+  server::ServerConfig server_cfg;
+  server_cfg.defense = defense;
+  server::Server server(world.network, server_node, server_cfg);
   server.start();
   honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
 
-  honeypot::Manager manager(world.network, chaos_manager_config(config.chaos));
+  honeypot::ManagerConfig manager_cfg = chaos_manager_config(config.chaos);
+  manager_cfg.defense = defense;
+  honeypot::Manager manager(world.network, manager_cfg);
   honeypot::HoneypotConfig hp;
   hp.id = 0;
   hp.name = "hp-greedy";
@@ -337,6 +401,25 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
     injector = std::make_unique<fault::Injector>(world.network, std::move(plan),
                                                  std::move(bind));
     injector->arm();
+  }
+
+  // Adversarial traffic (see run_distributed).
+  std::unique_ptr<fault::AbuseInjector> abuse;
+  if (config.abuse.enabled) {
+    const Rng abuse_rng = rng.split(config.abuse.seed);
+    auto plan = fault::AbusePlan::generate(config.abuse, 1, 1,
+                                           config.days * kDay, abuse_rng);
+    fault::AbuseInjector::Bindings bind;
+    bind.honeypot_count = 1;
+    bind.honeypot_node = [&manager](std::size_t) {
+      return manager.honeypot(0).node();
+    };
+    bind.server_count = 1;
+    bind.server_node = [server_node](std::size_t) { return server_node; };
+    abuse = std::make_unique<fault::AbuseInjector>(
+        world.network, std::move(plan), config.abuse, std::move(bind),
+        abuse_rng.split(0xEE));
+    abuse->arm();
   }
 
   // Demands follow the advertised list as it grows: a watcher adds a demand
@@ -387,6 +470,11 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   fill_result(result, world, manager, population);
   if (injector) {
     result.faults = injector->stats();
+  }
+  result.defense = manager.defense_stats();
+  result.defense += server.defense_stats();
+  if (abuse) {
+    result.abuse = abuse->stats();
   }
   return result;
 }

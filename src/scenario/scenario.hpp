@@ -20,8 +20,10 @@
 
 #include <optional>
 
+#include "fault/abuse.hpp"
 #include "fault/fault.hpp"
 #include "honeypot/manager.hpp"
+#include "net/admission.hpp"
 #include "logbook/record.hpp"
 #include "net/network.hpp"
 #include "peer/behavior.hpp"
@@ -45,6 +47,17 @@ struct DistributedConfig {
   /// server, latency and partition churn, and the manager runs with retry
   /// backoff, watchdog escalation and crash-safe log spooling.
   fault::ChaosConfig chaos;
+  /// Adversarial traffic: when enabled, a seeded AbusePlan spawns hostile
+  /// peers (byte corruptors, connection flooders, slowloris sessions,
+  /// oversize-message abusers) against every honeypot and the server.
+  fault::AbuseConfig abuse;
+  /// Admission-control policy for the server and every honeypot. Disabled
+  /// by default; when `abuse.enabled` and this is left disabled, the tuned
+  /// abuse_defense_config() policy is applied automatically.
+  net::DefenseConfig defense;
+  /// Set false to run an abuse campaign with no admission control at all
+  /// (the ablation baseline); ignored unless `abuse.enabled`.
+  bool auto_defense = true;
   peer::BehaviorParams behavior;  ///< defaults to behavior_2008()
   /// Override of the regional activity mixture (default: european_2008).
   std::optional<sim::DiurnalProfile> diurnal;
@@ -62,6 +75,10 @@ struct GreedyConfig {
   Duration harvest_window = kDay;
   /// Full fault model (disabled by default; see DistributedConfig::chaos).
   fault::ChaosConfig chaos;
+  /// Adversarial traffic + admission control (see DistributedConfig).
+  fault::AbuseConfig abuse;
+  net::DefenseConfig defense;
+  bool auto_defense = true;
   peer::BehaviorParams behavior;
 
   GreedyConfig();
@@ -97,6 +114,12 @@ struct ScenarioResult {
   honeypot::RecoveryStats recovery;
   /// Faults actually injected (all-zero unless chaos was enabled).
   fault::FaultStats faults;
+  /// Admission-control decisions, summed over the server and the fleet
+  /// (all-zero unless the defense policy was enabled; `malformed` counts
+  /// even without it).
+  net::DefenseStats defense;
+  /// Hostile traffic actually generated (all-zero unless abuse was enabled).
+  fault::AbuseStats abuse;
 };
 
 /// Manager policy used by the chaos variants of the campaigns: relaunch
@@ -105,6 +128,12 @@ struct ScenarioResult {
 /// default (legacy) ManagerConfig when `chaos.enabled` is false.
 [[nodiscard]] honeypot::ManagerConfig chaos_manager_config(
     const fault::ChaosConfig& chaos);
+
+/// Admission-control policy tuned for the default abuse mix: session caps
+/// sized to the fleet, per-remote connect budgets that starve flooders but
+/// never an honest client, and handshake/idle reaping on the slab engine's
+/// O(1)-cancel timers.
+[[nodiscard]] net::DefenseConfig abuse_defense_config();
 
 [[nodiscard]] ScenarioResult run_distributed(const DistributedConfig& config,
                                              std::ostream* progress = nullptr);

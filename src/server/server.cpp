@@ -1,5 +1,7 @@
 #include "server/server.hpp"
 
+#include <algorithm>
+
 #include "proto/udp_messages.hpp"
 
 namespace edhp::server {
@@ -29,12 +31,45 @@ void Server::stop() {
   net_.stop_listening_datagram(self_);
   for (auto& [key, session] : sessions_) {
     index_.drop_session(key);
+    net_.simulation().cancel(session.reap);
     if (session.endpoint) session.endpoint->close();
   }
   sessions_.clear();
+  inbox_.clear();
+  inbox_armed_ = false;
+  connect_buckets_.clear();
 }
 
 void Server::on_accept(net::EndpointPtr endpoint) {
+  if (sessions_.size() >= config_.hard_session_cap) {
+    // The fd-limit analog: even an undefended server cannot hold unbounded
+    // sessions, it just sheds indiscriminately once the kernel says no.
+    counters_.add("hard_cap_refused");
+    endpoint->close();
+    return;
+  }
+  const auto& defense = config_.defense;
+  if (defense.enabled) {
+    const Time now = net_.simulation().now();
+    // LIFO shedding: at the cap the NEWEST arrival — this one — is shed;
+    // established sessions carry the measurement and are never sacrificed.
+    if (sessions_.size() >= defense.max_sessions) {
+      counters_.add("shed");
+      defense_.shed += 1;
+      endpoint->close();
+      return;
+    }
+    auto bucket = connect_buckets_
+                      .try_emplace(endpoint->remote_node(), defense.connect_rate,
+                                   defense.connect_burst, now)
+                      .first;
+    if (!bucket->second.try_take(now)) {
+      counters_.add("connect_rate_limited");
+      defense_.rate_limited += 1;
+      endpoint->close();
+      return;
+    }
+  }
   const SessionKey key = next_key_++;
   Session session;
   session.endpoint = std::move(endpoint);
@@ -43,7 +78,31 @@ void Server::on_accept(net::EndpointPtr endpoint) {
   net::Endpoint& ep = *it->second.endpoint;
   ep.on_message([this, key](net::Bytes packet) { on_message(key, std::move(packet)); });
   ep.on_close([this, key] { on_close(key); });
+  if (defense.enabled) {
+    defense_.accepted += 1;
+    it->second.bucket = net::TokenBucket(defense.message_rate,
+                                         defense.message_burst,
+                                         net_.simulation().now());
+    arm_reap(it->second, defense.handshake_timeout);
+  }
   counters_.add("accepted");
+}
+
+void Server::arm_reap(Session& session, Duration timeout) {
+  auto& sim = net_.simulation();
+  sim.cancel(session.reap);  // O(1); harmless on an invalid/spent handle
+  if (timeout <= 0) return;
+  const SessionKey key = session.key;
+  session.reap = sim.schedule_in(timeout, [this, key] { reap(key); });
+}
+
+void Server::reap(SessionKey key) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  counters_.add("reaped");
+  defense_.reaped += 1;
+  it->second.endpoint->close();
+  drop(key);
 }
 
 void Server::on_datagram(net::NodeId from, net::Bytes datagram) {
@@ -52,6 +111,8 @@ void Server::on_datagram(net::NodeId from, net::Bytes datagram) {
     msg = proto::decode_udp(datagram);
   } catch (const DecodeError&) {
     counters_.add("udp_decode_errors");
+    defense_.malformed += 1;
+    net_.note_malformed(self_);
     return;
   }
   if (const auto* req = std::get_if<proto::ServStatRequest>(&msg)) {
@@ -80,11 +141,58 @@ void Server::on_close(SessionKey key) {
 }
 
 void Server::drop(SessionKey key) {
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    net_.simulation().cancel(it->second.reap);
+  }
   index_.drop_session(key);
   sessions_.erase(key);
 }
 
 void Server::on_message(SessionKey key, net::Bytes packet) {
+  const auto& defense = config_.defense;
+  if (!defense.enabled) {
+    process(key, std::move(packet));
+    return;
+  }
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return;
+  if (!it->second.bucket.try_take(net_.simulation().now())) {
+    counters_.add("rate_limited");
+    defense_.rate_limited += 1;
+    return;  // dropped, not fatal: a later in-budget message still works
+  }
+  inbox_.emplace_back(key, std::move(packet));
+  if (inbox_.size() > defense.max_queue) {
+    // Overload: shed oldest-first so the queue stays bounded and fresh
+    // traffic (which the sender will retry least) survives.
+    inbox_.pop_front();
+    counters_.add("queue_dropped");
+    defense_.queue_dropped += 1;
+  }
+  if (!inbox_armed_) {
+    inbox_armed_ = true;
+    net_.simulation().schedule_in(defense.queue_service,
+                                  [this] { service_inbox(); });
+  }
+}
+
+void Server::service_inbox() {
+  inbox_armed_ = false;
+  std::size_t budget = std::max<std::size_t>(1, config_.defense.queue_batch);
+  while (budget-- > 0 && !inbox_.empty()) {
+    auto [key, packet] = std::move(inbox_.front());
+    inbox_.pop_front();
+    process(key, std::move(packet));
+  }
+  if (!inbox_.empty()) {
+    inbox_armed_ = true;
+    net_.simulation().schedule_in(config_.defense.queue_service,
+                                  [this] { service_inbox(); });
+  }
+}
+
+void Server::process(SessionKey key, net::Bytes packet) {
   auto it = sessions_.find(key);
   if (it == sessions_.end()) return;
   Session& session = it->second;
@@ -93,11 +201,18 @@ void Server::on_message(SessionKey key, net::Bytes packet) {
   try {
     msg = proto::decode(proto::Channel::client_server, packet);
   } catch (const DecodeError&) {
-    // Malformed traffic: close the connection, as lugdunum servers do.
+    // Malformed traffic: count it, then close the connection, as lugdunum
+    // servers do.
     counters_.add("decode_errors");
+    defense_.malformed += 1;
+    net_.note_malformed(self_);
     session.endpoint->close();
     drop(key);
     return;
+  }
+
+  if (config_.defense.enabled) {
+    arm_reap(session, config_.defense.idle_timeout);
   }
 
   std::visit(

@@ -7,10 +7,13 @@
 // search. All traffic is real eDonkey wire bytes over the simulated
 // transport.
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "net/admission.hpp"
 #include "net/network.hpp"
 #include "proto/messages.hpp"
 #include "server/index.hpp"
@@ -27,6 +30,12 @@ struct ServerConfig {
   std::size_t max_search_results = 200;
   /// Answer UDP status pings (used by the manager's server selection).
   bool answer_udp_status = true;
+  /// Admission-control knobs (off by default; see net/admission.hpp).
+  net::DefenseConfig defense;
+  /// Hard fd-limit analog, enforced even with the defense layer disabled.
+  /// Far above anything benign traffic reaches, so an undefended server is
+  /// still genuinely harmed by a flood (sessions pile up to here).
+  std::size_t hard_session_cap = 4096;
 };
 
 /// A directory server attached to one network node.
@@ -54,6 +63,9 @@ class Server {
   [[nodiscard]] const sim::CounterSet& counters() const noexcept {
     return counters_;
   }
+  [[nodiscard]] const net::DefenseStats& defense_stats() const noexcept {
+    return defense_;
+  }
 
  private:
   struct Session {
@@ -63,6 +75,8 @@ class Server {
     UserId user{};
     std::uint16_t port = 0;
     bool logged_in = false;
+    net::TokenBucket bucket;   ///< per-session message budget (defense)
+    sim::EventHandle reap;     ///< pending handshake/idle timeout
   };
 
   void on_accept(net::EndpointPtr endpoint);
@@ -70,6 +84,13 @@ class Server {
   void on_datagram(net::NodeId from, net::Bytes datagram);
   void on_close(SessionKey key);
   void drop(SessionKey key);
+  /// Decode and dispatch one inbound packet (post-admission).
+  void process(SessionKey key, net::Bytes packet);
+  /// (Re)schedule the session's reap timer; O(1) cancel of the old one.
+  void arm_reap(Session& session, Duration timeout);
+  void reap(SessionKey key);
+  /// Drain up to queue_batch packets from the bounded inbound queue.
+  void service_inbox();
 
   void handle(Session& session, const proto::LoginRequest& msg);
   void handle(Session& session, const proto::OfferFiles& msg);
@@ -84,6 +105,12 @@ class Server {
   SessionKey next_key_ = 1;
   std::uint32_t next_low_id_ = 1;
   sim::CounterSet counters_;
+  net::DefenseStats defense_;
+  /// Per-remote-node connect buckets (created lazily; defense only).
+  std::unordered_map<net::NodeId, net::TokenBucket> connect_buckets_;
+  /// Bounded inbound work queue (defense only; sheds oldest-first).
+  std::deque<std::pair<SessionKey, net::Bytes>> inbox_;
+  bool inbox_armed_ = false;
   bool running_ = false;
 };
 

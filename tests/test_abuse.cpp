@@ -1,0 +1,434 @@
+// Adversarial-traffic subsystem: abuse plan generation, the wire-corruption
+// hook, token-bucket admission control on the server, and the scenario-level
+// guarantee that a defended fleet keeps logging through a standing attack.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fault/abuse.hpp"
+#include "net/admission.hpp"
+#include "proto/messages.hpp"
+#include "scenario/scenario.hpp"
+#include "server/server.hpp"
+
+namespace edhp {
+namespace {
+
+using fault::AbuseConfig;
+using fault::AbuseEvent;
+using fault::AbuseKind;
+using fault::AbusePlan;
+using scenario::DistributedConfig;
+using scenario::run_distributed;
+
+// --- AbusePlan --------------------------------------------------------------
+
+TEST(AbusePlan, DeterministicInConfigAndSeed) {
+  AbuseConfig config;
+  config.enabled = true;
+  const auto a = AbusePlan::generate(config, 8, 1, days(8), Rng(7));
+  const auto b = AbusePlan::generate(config, 8, 1, days(8), Rng(7));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.events(), b.events());
+
+  const auto c = AbusePlan::generate(config, 8, 1, days(8), Rng(8));
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(AbusePlan, DisabledConfigYieldsEmptyPlan) {
+  AbuseConfig config;  // enabled = false
+  EXPECT_TRUE(AbusePlan::generate(config, 24, 1, days(32), Rng(1)).empty());
+}
+
+TEST(AbusePlan, EventsSortedByTimeWithinHorizon) {
+  AbuseConfig config;
+  config.enabled = true;
+  const auto plan = AbusePlan::generate(config, 6, 2, days(16), Rng(5));
+  ASSERT_GT(plan.size(), 20u);
+  for (std::size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_LE(plan.events()[i - 1].at, plan.events()[i].at);
+  }
+  for (const auto& e : plan.events()) {
+    EXPECT_GE(e.at, 0.0);
+    EXPECT_LT(e.at, days(16));
+    EXPECT_LT(e.target, 8u);
+  }
+}
+
+TEST(AbusePlan, AddingOneClassDoesNotShiftAnother) {
+  AbuseConfig config;
+  config.enabled = true;
+  config.flood_mtba = 0;  // corrupt / slowloris / oversize only
+  const auto base = AbusePlan::generate(config, 6, 1, days(16), Rng(11));
+  config.flood_mtba = hours(8);
+  const auto more = AbusePlan::generate(config, 6, 1, days(16), Rng(11));
+
+  auto corrupt_of = [](const AbusePlan& p) {
+    std::vector<AbuseEvent> out;
+    for (const auto& e : p.events()) {
+      if (e.kind == AbuseKind::corrupt_episode) out.push_back(e);
+    }
+    return out;
+  };
+  ASSERT_FALSE(corrupt_of(base).empty());
+  EXPECT_EQ(corrupt_of(base), corrupt_of(more));
+  EXPECT_GT(more.size(), base.size());
+}
+
+TEST(AbusePlan, IntensityScalesArrivalCount) {
+  AbuseConfig config;
+  config.enabled = true;
+  const auto calm = AbusePlan::generate(config, 8, 1, days(16), Rng(3));
+  config.intensity = 4.0;
+  const auto storm = AbusePlan::generate(config, 8, 1, days(16), Rng(3));
+  EXPECT_GT(storm.size(), 2 * calm.size());
+}
+
+// --- TokenBucket ------------------------------------------------------------
+
+TEST(TokenBucket, UnlimitedWhenRateNonPositive) {
+  net::TokenBucket bucket(0.0, 5.0, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.try_take(0.0));
+  }
+}
+
+TEST(TokenBucket, BurstDepletesThenLazyRefill) {
+  net::TokenBucket bucket(1.0, 2.0, 0.0);  // 1 token/s, burst 2
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_FALSE(bucket.try_take(0.0));
+  EXPECT_FALSE(bucket.try_take(0.5));  // only half a token back
+  EXPECT_TRUE(bucket.try_take(1.6));
+  EXPECT_FALSE(bucket.try_take(1.6));
+}
+
+TEST(TokenBucket, RefillNeverExceedsBurst) {
+  net::TokenBucket bucket(10.0, 3.0, 0.0);
+  EXPECT_TRUE(bucket.try_take(100.0));  // long idle: capped at burst
+  EXPECT_TRUE(bucket.try_take(100.0));
+  EXPECT_TRUE(bucket.try_take(100.0));
+  EXPECT_FALSE(bucket.try_take(100.0));
+}
+
+TEST(DefenseStats, AccumulateSumsEveryField) {
+  net::DefenseStats a;
+  a.accepted = 1;
+  a.shed = 2;
+  a.rate_limited = 3;
+  a.reaped = 4;
+  a.malformed = 5;
+  a.queue_dropped = 6;
+  net::DefenseStats b = a;
+  b += a;
+  EXPECT_EQ(b.accepted, 2u);
+  EXPECT_EQ(b.shed, 4u);
+  EXPECT_EQ(b.rate_limited, 6u);
+  EXPECT_EQ(b.reaped, 8u);
+  EXPECT_EQ(b.malformed, 10u);
+  EXPECT_EQ(b.queue_dropped, 12u);
+}
+
+// --- Network corruption hook ------------------------------------------------
+
+TEST(Corruption, FlipMutatesPayloadAndCounts) {
+  sim::Simulation simulation(1);
+  net::Network network(simulation);
+  const auto a = network.add_node(true);
+  const auto b = network.add_node(true);
+
+  std::vector<net::Bytes> received;
+  net::EndpointPtr receiver;
+  network.listen(b, [&](net::EndpointPtr ep) {
+    receiver = std::move(ep);
+    receiver->on_message(
+        [&](net::Bytes bytes) { received.push_back(std::move(bytes)); });
+  });
+
+  net::Network::CorruptionSpec spec;
+  spec.flip = 1.0;
+  spec.seed = 42;
+  network.set_corruption(a, spec);
+
+  const net::Bytes original{1, 2, 3, 4, 5, 6, 7, 8};
+  net::EndpointPtr sender;
+  network.connect(a, b, [&sender, &original](net::EndpointPtr ep) {
+    ASSERT_TRUE(ep);
+    sender = std::move(ep);
+    sender->send(original);
+  });
+  simulation.run_until(10.0);
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_NE(received[0], original);  // exactly one bit differs
+  EXPECT_EQ(received[0].size(), original.size());
+  EXPECT_EQ(network.counters(a).messages_corrupted, 1u);
+  EXPECT_EQ(network.totals().messages_corrupted, 1u);
+
+  // After clearing, payloads pass through untouched.
+  network.clear_corruption(a);
+  sender->send(original);
+  simulation.run_until(20.0);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[1], original);
+  EXPECT_EQ(network.totals().messages_corrupted, 1u);
+}
+
+TEST(Corruption, NoteMalformedCountsPerNodeAndTotal) {
+  sim::Simulation simulation(1);
+  net::Network network(simulation);
+  const auto n = network.add_node(true);
+  network.note_malformed(n);
+  network.note_malformed(n);
+  EXPECT_EQ(network.counters(n).malformed_packets, 2u);
+  EXPECT_EQ(network.totals().malformed_packets, 2u);
+}
+
+// --- Server admission control ----------------------------------------------
+
+struct ServerRig {
+  sim::Simulation simulation{1};
+  net::Network network{simulation};
+  net::NodeId server_node;
+  std::unique_ptr<server::Server> server;
+
+  explicit ServerRig(const net::DefenseConfig& defense) {
+    server_node = network.add_node(true);
+    server::ServerConfig sc;
+    sc.defense = defense;
+    server = std::make_unique<server::Server>(network, server_node, sc);
+    server->start();
+  }
+};
+
+TEST(ServerDefense, SessionCapShedsNewestConnections) {
+  net::DefenseConfig defense;
+  defense.enabled = true;
+  defense.max_sessions = 4;
+  defense.connect_rate = 0;  // isolate the cap from the rate limiter
+  defense.handshake_timeout = 0;
+  ServerRig rig(defense);
+
+  const auto attacker = rig.network.add_node(false);
+  std::vector<net::EndpointPtr> conns;
+  for (int i = 0; i < 10; ++i) {
+    rig.network.connect(attacker, rig.server_node,
+                        [&conns](net::EndpointPtr ep) {
+                          if (ep) conns.push_back(std::move(ep));
+                        });
+  }
+  rig.simulation.run_until(10.0);
+
+  EXPECT_EQ(rig.server->defense_stats().accepted, 4u);
+  EXPECT_EQ(rig.server->defense_stats().shed, 6u);
+  EXPECT_EQ(rig.server->session_count(), 4u);
+}
+
+TEST(ServerDefense, ConnectRateLimiterBitesOneHotSource) {
+  net::DefenseConfig defense;
+  defense.enabled = true;
+  defense.max_sessions = 1000;
+  defense.connect_rate = 0.01;
+  defense.connect_burst = 2.0;
+  defense.handshake_timeout = 0;
+  ServerRig rig(defense);
+
+  const auto flooder = rig.network.add_node(false);
+  const auto honest = rig.network.add_node(false);
+  for (int i = 0; i < 10; ++i) {
+    rig.network.connect(flooder, rig.server_node, [](net::EndpointPtr) {});
+  }
+  // A different source has its own bucket and sails through.
+  rig.network.connect(honest, rig.server_node, [](net::EndpointPtr) {});
+  rig.simulation.run_until(10.0);
+
+  EXPECT_EQ(rig.server->defense_stats().accepted, 3u);  // 2 flood + 1 honest
+  EXPECT_EQ(rig.server->defense_stats().rate_limited, 8u);
+  EXPECT_EQ(rig.server->session_count(), 3u);
+}
+
+TEST(ServerDefense, HandshakeTimeoutReapsSilentSessions) {
+  net::DefenseConfig defense;
+  defense.enabled = true;
+  defense.handshake_timeout = 30.0;
+  ServerRig rig(defense);
+
+  const auto attacker = rig.network.add_node(false);
+  for (int i = 0; i < 3; ++i) {
+    rig.network.connect(attacker, rig.server_node, [](net::EndpointPtr) {});
+  }
+  rig.simulation.run_until(5.0);
+  EXPECT_EQ(rig.server->session_count(), 3u);
+
+  rig.simulation.run_until(100.0);
+  EXPECT_EQ(rig.server->defense_stats().reaped, 3u);
+  EXPECT_EQ(rig.server->session_count(), 0u);
+}
+
+TEST(ServerDefense, IdleTimeoutReapsAfterLogin) {
+  net::DefenseConfig defense;
+  defense.enabled = true;
+  defense.handshake_timeout = 30.0;
+  defense.idle_timeout = 600.0;
+  ServerRig rig(defense);
+
+  const auto client = rig.network.add_node(true);
+  net::EndpointPtr ep;
+  rig.network.connect(client, rig.server_node, [&ep](net::EndpointPtr e) {
+    ASSERT_TRUE(e);
+    ep = std::move(e);
+    proto::LoginRequest login;
+    login.user = UserId::from_words(1, 2);
+    login.port = 4662;
+    ep->send(proto::encode(proto::AnyMessage{login}));
+  });
+  rig.simulation.run_until(5.0);
+  EXPECT_EQ(rig.server->session_count(), 1u);
+
+  // The login re-armed the reap to the idle timeout; it outlives the
+  // handshake deadline but not ten minutes of silence.
+  rig.simulation.run_until(100.0);
+  EXPECT_EQ(rig.server->session_count(), 1u);
+  rig.simulation.run_until(1000.0);
+  EXPECT_EQ(rig.server->defense_stats().reaped, 1u);
+  EXPECT_EQ(rig.server->session_count(), 0u);
+}
+
+TEST(ServerDefense, MalformedPacketsCountedEvenWithoutDefense) {
+  ServerRig rig(net::DefenseConfig{});  // defense disabled
+  const auto client = rig.network.add_node(true);
+  net::EndpointPtr ep;
+  rig.network.connect(client, rig.server_node, [&ep](net::EndpointPtr e) {
+    ASSERT_TRUE(e);
+    ep = std::move(e);
+    ep->send(net::Bytes{0xFF, 0x00, 0x01});  // bad protocol marker
+  });
+  rig.simulation.run_until(10.0);
+
+  EXPECT_EQ(rig.server->defense_stats().malformed, 1u);
+  EXPECT_EQ(rig.network.counters(rig.server_node).malformed_packets, 1u);
+  EXPECT_EQ(rig.server->defense_stats().accepted, 0u);  // dormant otherwise
+}
+
+// --- Scenario integration ---------------------------------------------------
+
+DistributedConfig mini_config() {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 2;
+  config.honeypots = 4;
+  config.with_top_peer = false;
+  config.host_mtbf = 0;
+  return config;
+}
+
+TEST(AbuseScenario, MiniRunExercisesEveryAttackClassAndDefense) {
+  DistributedConfig config = mini_config();
+  config.abuse.enabled = true;
+  config.abuse.intensity = 2.0;
+  const auto r = run_distributed(config);
+
+  EXPECT_GT(r.abuse.corrupt_episodes, 0u);
+  EXPECT_GT(r.abuse.flood_episodes, 0u);
+  EXPECT_GT(r.abuse.slowloris_episodes, 0u);
+  EXPECT_GT(r.abuse.oversize_episodes, 0u);
+  EXPECT_GT(r.abuse.messages_sent, 0u);
+  EXPECT_GT(r.abuse.connections_opened, 0u);
+
+  // The auto-applied defense made decisions on both sides.
+  EXPECT_GT(r.defense.accepted, 0u);
+  EXPECT_GT(r.defense.reaped, 0u);  // slowloris + flood holds cut short
+  EXPECT_GT(r.defense.shed + r.defense.rate_limited, 0u);
+  // Corrupted packets reached decoders and were rejected, visibly.
+  EXPECT_GT(r.defense.malformed, 0u);
+  EXPECT_GT(r.net_totals.messages_corrupted, 0u);
+  EXPECT_GT(r.net_totals.malformed_packets, 0u);
+
+  // Hostile handshakes are logged under the filterable abuse identity.
+  std::uint64_t hostile = 0;
+  for (const auto& rec : r.merged.records) {
+    if (rec.user == fault::kAbuseUserWord) ++hostile;
+  }
+  EXPECT_GT(hostile, 0u);
+}
+
+TEST(AbuseScenario, DisabledAbuseLeavesNoTrace) {
+  const auto r = run_distributed(mini_config());
+  EXPECT_EQ(r.abuse.corrupt_episodes + r.abuse.flood_episodes +
+                r.abuse.slowloris_episodes + r.abuse.oversize_episodes,
+            0u);
+  EXPECT_EQ(r.abuse.messages_sent, 0u);
+  EXPECT_EQ(r.defense.accepted + r.defense.shed + r.defense.rate_limited +
+                r.defense.reaped + r.defense.queue_dropped,
+            0u);
+  EXPECT_EQ(r.net_totals.messages_corrupted, 0u);
+  // Benign traffic never trips a decoder.
+  EXPECT_EQ(r.net_totals.malformed_packets, 0u);
+  EXPECT_EQ(r.defense.malformed, 0u);
+  for (const auto& rec : r.merged.records) {
+    ASSERT_NE(rec.user, fault::kAbuseUserWord);
+  }
+}
+
+TEST(AbuseScenario, UndefendedBaselineFightsBareHanded) {
+  DistributedConfig config = mini_config();
+  config.abuse.enabled = true;
+  config.auto_defense = false;  // the ablation baseline
+  const auto r = run_distributed(config);
+  EXPECT_GT(r.abuse.messages_sent, 0u);
+  // No admission-control decisions were made...
+  EXPECT_EQ(r.defense.accepted + r.defense.shed + r.defense.rate_limited +
+                r.defense.reaped + r.defense.queue_dropped,
+            0u);
+  // ...but malformed traffic is still visible (counted unconditionally).
+  EXPECT_GT(r.defense.malformed, 0u);
+}
+
+TEST(AbuseScenario, DeterministicForFixedSeed) {
+  DistributedConfig config = mini_config();
+  config.abuse.enabled = true;
+  const auto a = run_distributed(config);
+  const auto b = run_distributed(config);
+  EXPECT_EQ(a.merged.records.size(), b.merged.records.size());
+  EXPECT_EQ(a.abuse.messages_sent, b.abuse.messages_sent);
+  EXPECT_EQ(a.defense.reaped, b.defense.reaped);
+  EXPECT_EQ(a.net_totals.malformed_packets, b.net_totals.malformed_packets);
+}
+
+// The PR's acceptance bar: a defended fleet under the full standing attack
+// mix still collects >= 99% of the records an attack-free measurement
+// would, after filtering the attackers' own log entries out.
+TEST(AbuseScenario, RetainsAtLeast99PercentUnderStandingAttack) {
+  DistributedConfig attacked;
+  attacked.scale = 0.02;
+  attacked.days = 32;
+  attacked.honeypots = 24;
+  attacked.with_top_peer = false;
+  attacked.host_mtbf = 0;
+  attacked.abuse.enabled = true;
+
+  DistributedConfig clean = attacked;
+  clean.abuse.enabled = false;
+
+  const auto under_attack = run_distributed(attacked);
+  const auto baseline = run_distributed(clean);
+  ASSERT_GT(baseline.merged.records.size(), 1000u);
+  EXPECT_GT(under_attack.abuse.messages_sent, 0u);
+  EXPECT_GT(under_attack.defense.shed + under_attack.defense.rate_limited,
+            0u);
+
+  std::uint64_t benign = 0;
+  for (const auto& rec : under_attack.merged.records) {
+    if (rec.user != fault::kAbuseUserWord) ++benign;
+  }
+  const double ratio = static_cast<double>(benign) /
+                       static_cast<double>(baseline.merged.records.size());
+  EXPECT_GE(ratio, 0.99) << benign << " benign of "
+                         << baseline.merged.records.size()
+                         << " attack-free records";
+}
+
+}  // namespace
+}  // namespace edhp

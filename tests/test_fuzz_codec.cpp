@@ -1,0 +1,328 @@
+// Deterministic structure-aware fuzzer for the wire codecs.
+//
+// The decoder's contract under hostile bytes is binary: every input either
+// parses or throws DecodeError — never crashes, never throws anything else,
+// never allocates absurdly. Three layers enforce it:
+//   1. a truncation sweep over every strict prefix of every golden packet;
+//   2. a committed regression corpus (tests/fuzz_corpus/*.hex) of packets
+//      that once mattered — crafted lying-length, absurd-count and
+//      bad-marker cases stay covered forever;
+//   3. a seeded mutation loop over the golden corpus (bit flips, byte sets,
+//      truncation, extension, length-field splicing, region duplication).
+// Run under the asan preset (ASan+UBSan) these become memory-safety proofs,
+// which is how scripts/tier1.sh invokes them.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "proto/messages.hpp"
+#include "proto/opcodes.hpp"
+#include "proto/udp_messages.hpp"
+
+namespace edhp::proto {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- Golden corpus: one valid encoding of every message type ---------------
+
+std::vector<Tag> sample_tags() {
+  return {Tag::string_tag(kTagName, "client name"),
+          Tag::u32_tag(kTagVersion, 0x3C)};
+}
+
+PublishedFile sample_file(std::uint64_t salt) {
+  PublishedFile f;
+  f.file = FileId::from_words(salt, ~salt);
+  f.client_id = 0x0A0B0C0D;
+  f.port = 4662;
+  f.name = "file-" + std::to_string(salt) + ".avi";
+  f.size = 700u << 20;
+  return f;
+}
+
+std::vector<Bytes> tcp_corpus() {
+  const UserId user = UserId::from_words(0x1111, 0x2222);
+  const FileId file = FileId::from_words(0x3333, 0x4444);
+  std::vector<AnyMessage> messages;
+  messages.push_back(LoginRequest{user, 0, 4662, sample_tags()});
+  messages.push_back(IdChange{0x01020304, 0});
+  messages.push_back(OfferFiles{{sample_file(1), sample_file(2)}});
+  messages.push_back(GetSources{file});
+  messages.push_back(FoundSources{file, {{0x05060708, 4662}, {42, 4711}}});
+  messages.push_back(SearchRequest{"blade runner"});
+  messages.push_back(SearchResult{{sample_file(3)}});
+  messages.push_back(ServerMessage{"server of the day"});
+  messages.push_back(Hello{user, 0x0A0B0C0D, 4662, sample_tags(), 0x7F000001,
+                           4661});
+  messages.push_back(HelloAnswer{user, 0x0A0B0C0D, 4662, sample_tags(),
+                                 0x7F000001, 4661});
+  messages.push_back(StartUpload{file});
+  messages.push_back(AcceptUpload{});
+  messages.push_back(QueueRank{17});
+  RequestParts parts;
+  parts.file = file;
+  parts.begin = {0, 184320, 368640};
+  parts.end = {184320, 368640, 552960};
+  messages.push_back(parts);
+  messages.push_back(SendingPart{file, 0, 4, {1, 2, 3, 4}});
+  messages.push_back(CancelTransfer{});
+  messages.push_back(AskSharedFiles{});
+  messages.push_back(AskSharedFilesAnswer{{sample_file(4), sample_file(5)}});
+
+  std::vector<Bytes> corpus;
+  corpus.reserve(messages.size());
+  for (const auto& m : messages) {
+    corpus.push_back(encode(m));
+  }
+  return corpus;
+}
+
+std::vector<Bytes> udp_corpus() {
+  std::vector<AnyUdpMessage> messages;
+  messages.push_back(ServStatRequest{0xCAFE});
+  messages.push_back(ServStatResponse{0xCAFE, 123456, 7890123});
+  messages.push_back(ServDescRequest{});
+  messages.push_back(ServDescResponse{"lugdunum", "a 2008 directory server"});
+  std::vector<Bytes> corpus;
+  for (const auto& m : messages) {
+    corpus.push_back(encode_udp(m));
+  }
+  return corpus;
+}
+
+/// The fuzz oracle: parse or DecodeError. Anything else propagates out and
+/// fails the test (and trips ASan/UBSan first if memory went wrong).
+void expect_parses_or_rejects(const Bytes& packet) {
+  for (const auto channel : {Channel::client_server, Channel::client_client}) {
+    try {
+      (void)decode(channel, packet);
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+void expect_udp_parses_or_rejects(const Bytes& datagram) {
+  try {
+    (void)decode_udp(datagram);
+  } catch (const DecodeError&) {
+  }
+}
+
+// --- 1. Truncation sweep ----------------------------------------------------
+
+TEST(CodecFuzz, EveryStrictTcpPrefixIsRejected) {
+  for (const auto& packet : tcp_corpus()) {
+    ASSERT_GE(packet.size(), 6u);
+    for (std::size_t len = 0; len < packet.size(); ++len) {
+      const Bytes prefix(packet.begin(),
+                         packet.begin() + static_cast<std::ptrdiff_t>(len));
+      for (const auto channel :
+           {Channel::client_server, Channel::client_client}) {
+        // The header length cross-check makes every strict prefix
+        // detectable, so rejection (not just non-crashing) is the contract.
+        EXPECT_THROW((void)decode(channel, prefix), DecodeError)
+            << "prefix " << len << " of " << packet.size();
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, EveryStrictUdpPrefixParsesOrRejects) {
+  for (const auto& datagram : udp_corpus()) {
+    for (std::size_t len = 0; len < datagram.size(); ++len) {
+      const Bytes prefix(datagram.begin(),
+                         datagram.begin() + static_cast<std::ptrdiff_t>(len));
+      expect_udp_parses_or_rejects(prefix);
+    }
+  }
+}
+
+// --- 2. Committed regression corpus ----------------------------------------
+
+/// Parse a .hex corpus file: whitespace-separated hex byte pairs, '#' to
+/// end of line is a comment.
+Bytes load_hex(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  Bytes out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string token;
+    for (const char c : line) {
+      if (std::isxdigit(static_cast<unsigned char>(c))) {
+        token.push_back(c);
+        if (token.size() == 2) {
+          out.push_back(static_cast<std::uint8_t>(
+              std::stoul(token, nullptr, 16)));
+          token.clear();
+        }
+      } else {
+        EXPECT_TRUE(token.empty()) << "odd hex digit in " << path;
+      }
+    }
+    EXPECT_TRUE(token.empty()) << "odd hex digit in " << path;
+  }
+  return out;
+}
+
+TEST(CodecFuzz, RegressionCorpusParsesOrRejects) {
+  const std::filesystem::path dir = EDHP_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".hex") continue;
+    ++seen;
+    const Bytes packet = load_hex(entry.path());
+    if (entry.path().filename().string().starts_with("udp_")) {
+      expect_udp_parses_or_rejects(packet);
+    } else {
+      expect_parses_or_rejects(packet);
+    }
+  }
+  EXPECT_GE(seen, 10u) << "regression corpus went missing from " << dir;
+}
+
+TEST(CodecFuzz, LyingLengthFieldsAreRejected) {
+  for (const auto& packet : tcp_corpus()) {
+    // The u32 at offset 1 must equal opcode + payload size; any other value
+    // is a framing lie and must be rejected on both channels.
+    for (const std::uint32_t lie :
+         {0u, 1u, static_cast<std::uint32_t>(packet.size()),
+          static_cast<std::uint32_t>(packet.size() - 5) + 1, 0x7FFFFFFFu,
+          0xFFFFFFFFu}) {
+      Bytes lying = packet;
+      lying[1] = static_cast<std::uint8_t>(lie);
+      lying[2] = static_cast<std::uint8_t>(lie >> 8);
+      lying[3] = static_cast<std::uint8_t>(lie >> 16);
+      lying[4] = static_cast<std::uint8_t>(lie >> 24);
+      if (lie == packet.size() - 5) continue;  // that one is the truth
+      for (const auto channel :
+           {Channel::client_server, Channel::client_client}) {
+        EXPECT_THROW((void)decode(channel, lying), DecodeError) << lie;
+      }
+    }
+  }
+}
+
+TEST(CodecFuzz, FileListCountCrossCheckedAgainstPayload) {
+  // OFFER-FILES claiming 1000 entries with zero bytes of entries: the count
+  // guard must reject it before reserving anything.
+  ByteWriter w(16);
+  w.u8(kProtoEDonkey);
+  w.u32(1 + 4);  // opcode + count
+  w.u8(kOpOfferFiles);
+  w.u32(1000);
+  const Bytes packet = std::move(w).take();
+  EXPECT_THROW((void)decode(Channel::client_server, packet), DecodeError);
+}
+
+// --- 3. Seeded mutation loop -----------------------------------------------
+
+void mutate(Bytes& packet, Rng& rng) {
+  switch (rng.below(7)) {
+    case 0:  // flip one bit
+      if (!packet.empty()) {
+        packet[rng.below(packet.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!packet.empty()) {
+        packet[rng.below(packet.size())] =
+            static_cast<std::uint8_t>(rng.below(256));
+      }
+      break;
+    case 2:  // truncate the tail
+      if (!packet.empty()) {
+        packet.resize(rng.below(packet.size()));
+      }
+      break;
+    case 3:  // extend with junk
+      for (std::uint64_t i = 0, n = 1 + rng.below(16); i < n; ++i) {
+        packet.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+      break;
+    case 4:  // splice a random length field
+      if (packet.size() >= 5) {
+        const auto lie = static_cast<std::uint32_t>(rng.below(1ull << 32));
+        packet[1] = static_cast<std::uint8_t>(lie);
+        packet[2] = static_cast<std::uint8_t>(lie >> 8);
+        packet[3] = static_cast<std::uint8_t>(lie >> 16);
+        packet[4] = static_cast<std::uint8_t>(lie >> 24);
+      }
+      break;
+    case 5:  // zero a region
+      if (!packet.empty()) {
+        const std::size_t at = rng.below(packet.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.below(8), packet.size() - at);
+        std::fill_n(packet.begin() + static_cast<std::ptrdiff_t>(at), len, 0);
+      }
+      break;
+    case 6:  // duplicate a region onto the tail
+      if (!packet.empty()) {
+        const std::size_t at = rng.below(packet.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.below(8), packet.size() - at);
+        packet.insert(packet.end(),
+                      packet.begin() + static_cast<std::ptrdiff_t>(at),
+                      packet.begin() + static_cast<std::ptrdiff_t>(at + len));
+      }
+      break;
+  }
+}
+
+TEST(CodecFuzz, SeededTcpMutationsNeverEscapeTheOracle) {
+  const auto corpus = tcp_corpus();
+  Rng rng(0xF0220001);
+  for (int iter = 0; iter < 40000; ++iter) {
+    Bytes packet = corpus[rng.below(corpus.size())];
+    for (std::uint64_t m = 0, n = 1 + rng.below(4); m < n; ++m) {
+      mutate(packet, rng);
+    }
+    expect_parses_or_rejects(packet);
+  }
+}
+
+TEST(CodecFuzz, SeededUdpMutationsNeverEscapeTheOracle) {
+  const auto corpus = udp_corpus();
+  Rng rng(0xF0220002);
+  for (int iter = 0; iter < 20000; ++iter) {
+    Bytes datagram = corpus[rng.below(corpus.size())];
+    for (std::uint64_t m = 0, n = 1 + rng.below(4); m < n; ++m) {
+      mutate(datagram, rng);
+    }
+    expect_udp_parses_or_rejects(datagram);
+  }
+}
+
+TEST(CodecFuzz, MutationLoopIsDeterministic) {
+  // Same seed, same corpus, same mutations: the fuzzer is a regression test,
+  // not a dice roll. Record the first few mutated packets of two runs.
+  auto first_packets = [] {
+    const auto corpus = tcp_corpus();
+    Rng rng(0xF0220003);
+    std::vector<Bytes> out;
+    for (int iter = 0; iter < 64; ++iter) {
+      Bytes packet = corpus[rng.below(corpus.size())];
+      mutate(packet, rng);
+      out.push_back(std::move(packet));
+    }
+    return out;
+  };
+  EXPECT_EQ(first_packets(), first_packets());
+}
+
+}  // namespace
+}  // namespace edhp::proto

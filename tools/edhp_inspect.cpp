@@ -6,12 +6,14 @@
 //   merge <out> <log...>      merge per-honeypot logs (stage-1) into one file
 //   anonymize <in> <out>      apply stage-2 renumbering to a merged log
 //   clients <log>             client-software mix of a stage-2 log
+//   defense <log...>          triage hostile-marked traffic in campaign logs
 //
 // Logs are the binary format honeypots write (logbook::save/load). The
 // pipeline an operator runs after a campaign:
 //   edhp_inspect merge merged.edhplog hp-*.edhplog
 //   edhp_inspect anonymize merged.edhplog published.edhplog
 //   edhp_inspect stats published.edhplog
+//   edhp_inspect defense published.edhplog
 
 #include <iostream>
 #include <string>
@@ -21,6 +23,7 @@
 #include "analysis/log_stats.hpp"
 #include "analysis/report.hpp"
 #include "anonymize/renumber.hpp"
+#include "fault/abuse.hpp"
 #include "logbook/log_io.hpp"
 #include "logbook/merge.hpp"
 
@@ -29,13 +32,53 @@ using namespace edhp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients> ...\n"
+  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
                "  anonymize <in> <out>\n"
-               "  clients <log>\n";
+               "  clients <log>\n"
+               "  defense <log...>\n";
   return 2;
+}
+
+/// Hostile-traffic triage: attackers in the abuse model carry a fixed
+/// truncated user hash (fault::kAbuseUserWord), so their records can be
+/// separated from the measurement after the fact. Reports, per log, how much
+/// of the record stream the defenses let through from hostile sessions and
+/// what the benign measurement actually kept.
+void print_defense(const std::string& path, const logbook::LogFile& log) {
+  std::uint64_t hostile = 0;
+  std::array<std::uint64_t, 3> hostile_by_type{};
+  double first_hostile = -1, last_hostile = -1;
+  for (const auto& r : log.records) {
+    if (r.user != fault::kAbuseUserWord) continue;
+    ++hostile;
+    ++hostile_by_type[static_cast<std::size_t>(r.type)];
+    if (first_hostile < 0) first_hostile = r.timestamp;
+    last_hostile = r.timestamp;
+  }
+  const std::uint64_t benign = log.records.size() - hostile;
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("records", analysis::with_commas(log.records.size()));
+  rows.emplace_back("benign", analysis::with_commas(benign));
+  rows.emplace_back("hostile-marked", analysis::with_commas(hostile));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f%%",
+                log.records.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(hostile) /
+                          static_cast<double>(log.records.size()));
+  rows.emplace_back("hostile share", buf);
+  rows.emplace_back("hostile HELLO", analysis::with_commas(hostile_by_type[0]));
+  rows.emplace_back("hostile START-UPLOAD",
+                    analysis::with_commas(hostile_by_type[1]));
+  rows.emplace_back("hostile REQUEST-PART",
+                    analysis::with_commas(hostile_by_type[2]));
+  if (first_hostile >= 0) {
+    rows.emplace_back("hostile span", std::to_string((last_hostile - first_hostile) / kDay) + " days");
+  }
+  analysis::print_kv(std::cout, path, rows);
 }
 
 void print_stats(const std::string& path, const logbook::LogFile& log) {
@@ -114,6 +157,12 @@ int main(int argc, char** argv) {
       logbook::save(argv[3], log);
       std::cout << "stage-2 applied: " << analysis::with_commas(distinct)
                 << " distinct peers -> " << argv[3] << "\n";
+      return 0;
+    }
+    if (cmd == "defense" || cmd == "--defense") {
+      for (int i = 2; i < argc; ++i) {
+        print_defense(argv[i], logbook::load(argv[i]));
+      }
       return 0;
     }
     if (cmd == "clients") {
