@@ -46,6 +46,8 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::latency_spike_end: return "latency_spike_end";
     case FaultKind::partition_begin: return "partition_begin";
     case FaultKind::partition_heal: return "partition_heal";
+    case FaultKind::manager_crash: return "manager_crash";
+    case FaultKind::manager_recover: return "manager_recover";
   }
   return "unknown";
 }
@@ -120,6 +122,17 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
       }
       t += window;
     }
+  }
+
+  {
+    // The control plane is a single subject. Recover events are generated
+    // even when recovery is disabled at scenario level (the binding is
+    // simply left unset), so toggling `manager_recovery` cannot perturb
+    // this — or, via stream splitting, any other — fault schedule.
+    Rng r = rng.split(6);
+    renewal_windows(out, r, config.manager_mtbf, config.manager_outage_mean,
+                    horizon, FaultKind::manager_crash,
+                    FaultKind::manager_recover, 0, 1.0);
   }
 
   // Stable: simultaneous events keep category order (hosts before uplinks
@@ -203,6 +216,18 @@ void Injector::apply(const FaultEvent& event) {
     }
     case FaultKind::partition_heal: {
       net_.set_partition(bind_.host_node(subject), 0);
+      break;
+    }
+    case FaultKind::manager_crash: {
+      if (bind_.crash_manager) bind_.crash_manager();
+      ++stats_.manager_crashes;
+      break;
+    }
+    case FaultKind::manager_recover: {
+      if (bind_.recover_manager) {
+        bind_.recover_manager();
+        ++stats_.manager_recoveries;
+      }
       break;
     }
   }

@@ -25,7 +25,10 @@
 //                         re-advertise);
 //   latency spike         per-host latency multiplier for an episode;
 //   partition             a subset of hosts is split from the rest (connect
-//                         refusal both ways + RST of cross-group traffic).
+//                         refusal both ways + RST of cross-group traffic);
+//   manager crash         the control plane dies (fleet table, watchdog and
+//                         ack state lost); honeypots keep running and keep
+//                         spooling locally until a recovery re-adopts them.
 
 #include <cstdint>
 #include <functional>
@@ -51,6 +54,8 @@ enum class FaultKind : std::uint8_t {
   latency_spike_end,
   partition_begin,      ///< host `subject` moves to partition group 1
   partition_heal,       ///< host `subject` rejoins group 0
+  manager_crash,        ///< control-plane process dies (subject unused)
+  manager_recover,      ///< replacement manager replays the journal
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k);
@@ -87,6 +92,13 @@ struct ChaosConfig {
   Duration partition_mtbf = 0;            ///< measurement-wide episodes
   Duration partition_mean = minutes(15);
   double partition_fraction = 0.33;       ///< of hosts isolated per episode
+  Duration manager_mtbf = 0;              ///< control-plane crash rate
+  Duration manager_outage_mean = hours(1);
+  /// Replay the journal when the outage ends. Disabling this models the
+  /// pre-journal manager (the crash still fires; the recover event becomes
+  /// a no-op), so the plan — and therefore every other fault stream — stays
+  /// bit-identical across the ablation.
+  bool manager_recovery = true;
 
   // --- Recovery policy the scenarios apply alongside the plan ------------
   Duration retry_base = 30.0;             ///< honeypot reconnect backoff base
@@ -105,6 +117,8 @@ struct FaultStats {
   std::uint64_t server_restarts = 0;
   std::uint64_t latency_spikes = 0;
   std::uint64_t partition_episodes = 0;  ///< host-level isolation events
+  std::uint64_t manager_crashes = 0;     ///< control-plane crashes
+  std::uint64_t manager_recoveries = 0;  ///< recover events delivered
   std::uint64_t connections_aborted = 0;
 };
 
@@ -149,6 +163,8 @@ class Injector {
     std::function<void(std::size_t)> crash_host;  ///< app-level process death
     std::function<void(std::size_t)> stop_server;
     std::function<void(std::size_t)> start_server;
+    std::function<void()> crash_manager;    ///< control-plane process death
+    std::function<void()> recover_manager;  ///< journal replay + re-adoption
   };
 
   Injector(net::Network& network, FaultPlan plan, Bindings bindings);

@@ -78,10 +78,7 @@ void Honeypot::connect_to_server(const ServerRef& server) {
     // Relaunch of the spooling pipeline: chunks in the local spool that were
     // never acknowledged go out again with their original sequence numbers
     // (the manager dedups), then the periodic cutter resumes.
-    for (const auto& chunk : pending_chunks_) {
-      counters_.add("chunks_resent");
-      if (spool_sink_) spool_sink_(chunk);
-    }
+    resend_spool();
     spool_timer_ = std::make_unique<sim::PeriodicTimer>(
         net_.simulation(), config_.spool.period, [this] { spool_now(); });
     spool_timer_->start();
@@ -250,9 +247,17 @@ void Honeypot::spool_now() {
       log_.records.end());
   spooled_mark_ = log_.records.size();
   names_spooled_mark_ = log_.names.size();
+  chunk.checksum = logbook::chunk_checksum(chunk);
   counters_.add("chunks_spooled");
   pending_chunks_.push_back(std::move(chunk));
   if (spool_sink_) spool_sink_(pending_chunks_.back());
+}
+
+void Honeypot::resend_spool() {
+  for (const auto& chunk : pending_chunks_) {
+    counters_.add("chunks_resent");
+    if (spool_sink_) spool_sink_(chunk);
+  }
 }
 
 void Honeypot::ack_spooled(std::uint64_t seq) {

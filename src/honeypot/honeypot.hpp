@@ -144,6 +144,16 @@ class Honeypot {
   [[nodiscard]] std::size_t pending_spool() const noexcept {
     return pending_chunks_.size();
   }
+  /// The local on-disk spool itself (unacknowledged chunks, oldest first) —
+  /// what an operator salvages from a host when the manager never returns.
+  [[nodiscard]] const std::vector<logbook::LogChunk>& pending_chunks()
+      const noexcept {
+    return pending_chunks_;
+  }
+  /// Re-send every spooled-but-unacked chunk through the current sink (the
+  /// manager calls this when it re-adopts an orphan after recovery; also
+  /// runs on every relaunch). The store dedups by (honeypot, seq).
+  void resend_spool();
 
   // --- Collected data ------------------------------------------------------
 

@@ -1,22 +1,109 @@
 #include "honeypot/manager.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "anonymize/name_anonymizer.hpp"
 #include "anonymize/renumber.hpp"
+#include "common/bytes.hpp"
 #include "logbook/log_io.hpp"
 #include "proto/udp_messages.hpp"
 
 namespace edhp::honeypot {
+namespace {
+
+using logbook::JournalEntryType;
+
+// --- Journal payload codecs ------------------------------------------------
+// Little-endian, built on the same bounds-checked ByteWriter/ByteReader as
+// the wire codecs. Payloads are versionless: the frame type IS the schema
+// version (new layouts get new types).
+
+void put_server(ByteWriter& w, const ServerRef& s) {
+  w.u64(s.node);
+  w.str16(s.name);
+  w.u16(s.port);
+}
+
+ServerRef get_server(ByteReader& r) {
+  ServerRef s;
+  s.node = static_cast<net::NodeId>(r.u64());
+  s.name = r.str16();
+  s.port = r.u16();
+  return s;
+}
+
+void put_files(ByteWriter& w, const std::vector<AdvertisedFile>& files) {
+  w.u32(static_cast<std::uint32_t>(files.size()));
+  for (const auto& f : files) {
+    w.bytes(f.id.bytes());
+    w.str16(f.name);
+    w.u32(f.size);
+  }
+}
+
+std::vector<AdvertisedFile> get_files(ByteReader& r) {
+  std::vector<AdvertisedFile> files(r.u32());
+  for (auto& f : files) {
+    FileId::Bytes id{};
+    const auto raw = r.bytes(id.size());
+    std::copy(raw.begin(), raw.end(), id.begin());
+    f.id = FileId(id);
+    f.name = r.str16();
+    f.size = r.u32();
+  }
+  return files;
+}
+
+}  // namespace
 
 Manager::Manager(net::Network& network, ManagerConfig config)
-    : net_(network), config_(std::move(config)) {}
+    : net_(network),
+      config_(std::move(config)),
+      spool_store_(config_.spool_store ? config_.spool_store
+                                       : std::make_shared<logbook::SpoolStore>()) {}
 
 Manager::~Manager() { stop(); }
+
+void Manager::journal_append(JournalEntryType type,
+                             std::span<const std::uint8_t> payload) {
+  if (config_.journal) {
+    config_.journal->append(type, payload);
+  }
+}
+
+void Manager::wire_spool_sink(Slot& slot) {
+  if (!config_.spool.enabled) return;
+  // Gathering channel: verify + ingest each chunk (deduping re-sends and
+  // quarantining corrupted payloads) and acknowledge after the transfer
+  // round-trip, so a crash inside the ack window exercises the
+  // at-least-once path. Quarantined chunks are never acknowledged: the
+  // honeypot keeps them spooled for a later re-send.
+  Honeypot* hp = slot.honeypot.get();
+  hp->set_spool_sink([this, hp](const logbook::LogChunk& chunk) {
+    spool_store_->set_header(chunk.honeypot, hp->log().header);
+    const auto outcome = spool_store_->ingest(chunk);
+    if (outcome == logbook::SpoolStore::Ingest::quarantined) return;
+    if (outcome == logbook::SpoolStore::Ingest::stored) {
+      ByteWriter w;
+      w.u16(chunk.honeypot);
+      w.u32(chunk.epoch);
+      w.u64(chunk.seq);
+      w.u32(static_cast<std::uint32_t>(chunk.records.size()));
+      journal_append(JournalEntryType::chunk_stored, w.view());
+      auto& frontier = ack_frontier_[chunk.honeypot];
+      frontier = std::max(frontier, chunk.seq + 1);
+    }
+    const auto seq = chunk.seq;
+    net_.simulation().schedule_in(config_.spool.ack_delay,
+                                  [hp, seq] { hp->ack_spooled(seq); });
+  });
+}
 
 std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
                             const ServerRef& server) {
@@ -28,20 +115,17 @@ std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
     config.id = static_cast<std::uint16_t>(fleet_.size());
   }
   Slot slot;
+  slot.id = config.id;
+  slot.host = host;
   slot.honeypot = std::make_unique<Honeypot>(net_, host, std::move(config));
   slot.server = server;
-  if (config_.spool.enabled) {
-    // Gathering channel: ingest each chunk (deduping re-sends) and
-    // acknowledge after the transfer round-trip, so a crash inside the ack
-    // window exercises the at-least-once path.
-    Honeypot* hp = slot.honeypot.get();
-    hp->set_spool_sink([this, hp](const logbook::LogChunk& chunk) {
-      spool_store_.set_header(chunk.honeypot, hp->log().header);
-      spool_store_.accept(chunk);
-      const auto seq = chunk.seq;
-      net_.simulation().schedule_in(config_.spool.ack_delay,
-                                    [hp, seq] { hp->ack_spooled(seq); });
-    });
+  wire_spool_sink(slot);
+  {
+    ByteWriter w;
+    w.u16(slot.id);
+    w.u64(host);
+    put_server(w, server);
+    journal_append(JournalEntryType::launch, w.view());
   }
   slot.honeypot->connect_to_server(server);
   fleet_.push_back(std::move(slot));
@@ -51,6 +135,12 @@ std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
 void Manager::set_backup_servers(std::vector<ServerRef> backups) {
   backups_ = std::move(backups);
   next_backup_ = 0;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(backups_.size()));
+  for (const auto& b : backups_) {
+    put_server(w, b);
+  }
+  journal_append(JournalEntryType::backups, w.view());
 }
 
 void Manager::survey_servers(std::vector<ServerRef> candidates,
@@ -64,13 +154,16 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
   survey->candidates = std::move(candidates);
   survey->answers.resize(survey->candidates.size());
 
-  net_.listen_datagram(probe_node, [this, survey, probe_node](net::NodeId,
-                                                              net::Bytes datagram) {
+  // The probe callbacks deliberately capture the network, never `this`: a
+  // survey outstanding while the manager crashes (and possibly a new
+  // incarnation replaces it) must still time out and deliver cleanly.
+  net_.listen_datagram(probe_node, [&net = net_, survey, probe_node](
+                                       net::NodeId, net::Bytes datagram) {
     proto::AnyUdpMessage msg;
     try {
       msg = proto::decode_udp(datagram);
     } catch (const DecodeError&) {
-      net_.note_malformed(probe_node);
+      net.note_malformed(probe_node);
       return;
     }
     if (const auto* res = std::get_if<proto::ServStatResponse>(&msg)) {
@@ -89,8 +182,8 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
   }
 
   net_.simulation().schedule_in(
-      timeout, [this, survey, probe_node, done = std::move(done)] {
-        net_.stop_listening_datagram(probe_node);
+      timeout, [&net = net_, survey, probe_node, done = std::move(done)] {
+        net.stop_listening_datagram(probe_node);
         std::vector<ServerSurveyEntry> out;
         for (std::size_t i = 0; i < survey->candidates.size(); ++i) {
           if (!survey->answers[i]) continue;
@@ -108,6 +201,12 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
 void Manager::reassign(std::size_t index, const ServerRef& server) {
   auto& slot = fleet_.at(index);
   slot.server = server;
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(index));
+    put_server(w, server);
+    journal_append(JournalEntryType::reassign, w.view());
+  }
   slot.honeypot->disconnect();
   slot.honeypot->connect_to_server(server);
   if (!slot.honeypot->advertised().empty()) {
@@ -124,6 +223,12 @@ void Manager::reassign(std::size_t index, const ServerRef& server) {
 void Manager::advertise(std::size_t index, std::vector<AdvertisedFile> files) {
   auto& slot = fleet_.at(index);
   slot.files = files;
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(index));
+    put_files(w, files);
+    journal_append(JournalEntryType::advertise, w.view());
+  }
   slot.honeypot->advertise(std::move(files));
 }
 
@@ -135,6 +240,10 @@ void Manager::advertise_all(std::vector<AdvertisedFile> files) {
 
 void Manager::start() {
   if (poll_timer_) return;
+  if (!started_) {
+    started_ = true;
+    journal_append(JournalEntryType::start, {});
+  }
   poll_timer_ = std::make_unique<sim::PeriodicTimer>(
       net_.simulation(), config_.status_poll, [this] { poll(); });
   poll_timer_->start();
@@ -142,6 +251,10 @@ void Manager::start() {
 
 void Manager::stop() {
   poll_timer_.reset();
+  if (started_) {
+    started_ = false;
+    journal_append(JournalEntryType::stop, {});
+  }
   for (auto& slot : fleet_) {
     if (config_.spool.enabled) {
       // Final gathering: flush the unspooled tail so the store holds the
@@ -151,6 +264,274 @@ void Manager::stop() {
     slot.honeypot->disconnect();
   }
 }
+
+// --- Crash / recovery ------------------------------------------------------
+
+std::size_t Manager::crash() {
+  // Process death: everything in manager memory is gone. The honeypots are
+  // remote processes — they keep running, their spool timers keep cutting
+  // chunks into their local on-disk spools, but the sink to the dead
+  // manager is severed (deliveries and acks stop until re-adoption).
+  poll_timer_.reset();
+  for (auto& slot : fleet_) {
+    slot.honeypot->set_spool_sink(nullptr);
+    orphans_.push_back(std::move(slot.honeypot));
+  }
+  fleet_.clear();
+  backups_.clear();
+  next_backup_ = 0;
+  relaunches_ = 0;
+  started_ = false;
+  ack_frontier_.clear();
+  recovery_ = RecoveryStats{};
+  return orphans_.size();
+}
+
+void Manager::replay_journal() {
+  const auto scan = config_.journal->scan();
+  recovery_.journal_tail_lost = scan.torn_bytes;
+
+  // Replay starts at the last checkpoint (a full snapshot); everything
+  // before it is compacted history.
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < scan.entries.size(); ++i) {
+    if (scan.entries[i].type ==
+        static_cast<std::uint8_t>(JournalEntryType::checkpoint)) {
+      begin = i;
+    }
+  }
+
+  std::uint64_t applied = 0;
+  for (std::size_t i = begin; i < scan.entries.size(); ++i) {
+    const auto& entry = scan.entries[i];
+    ByteReader r(entry.payload);
+    try {
+      switch (static_cast<JournalEntryType>(entry.type)) {
+        case JournalEntryType::checkpoint: {
+          relaunches_ = r.u64();
+          next_backup_ = r.u64();
+          recovery_.escalations = r.u64();
+          recovery_.heartbeat_escalations = r.u64();
+          recovery_.re_advertise_repairs = r.u64();
+          recovery_.manager_recoveries = r.u64();
+          recovery_.manager_downtime = std::bit_cast<double>(r.u64());
+          recovery_.orphans_readopted = r.u64();
+          started_ = r.u8() != 0;
+          backups_.clear();
+          for (std::uint32_t n = r.u32(); n > 0; --n) {
+            backups_.push_back(get_server(r));
+          }
+          fleet_.clear();
+          for (std::uint32_t n = r.u32(); n > 0; --n) {
+            Slot slot;
+            slot.id = r.u16();
+            slot.host = static_cast<net::NodeId>(r.u64());
+            slot.server = get_server(r);
+            slot.consecutive_failures = r.u32();
+            slot.files = get_files(r);
+            fleet_.push_back(std::move(slot));
+          }
+          ack_frontier_.clear();
+          for (std::uint32_t n = r.u32(); n > 0; --n) {
+            const auto hp = r.u16();
+            ack_frontier_[hp] = r.u64();
+          }
+          break;
+        }
+        case JournalEntryType::launch: {
+          Slot slot;
+          slot.id = r.u16();
+          slot.host = static_cast<net::NodeId>(r.u64());
+          slot.server = get_server(r);
+          fleet_.push_back(std::move(slot));
+          break;
+        }
+        case JournalEntryType::reassign: {
+          const auto index = r.u32();
+          const auto server = get_server(r);
+          if (index < fleet_.size()) fleet_[index].server = server;
+          break;
+        }
+        case JournalEntryType::advertise: {
+          const auto index = r.u32();
+          auto files = get_files(r);
+          if (index < fleet_.size()) fleet_[index].files = std::move(files);
+          break;
+        }
+        case JournalEntryType::backups: {
+          backups_.clear();
+          for (std::uint32_t n = r.u32(); n > 0; --n) {
+            backups_.push_back(get_server(r));
+          }
+          next_backup_ = 0;
+          break;
+        }
+        case JournalEntryType::start:
+          started_ = true;
+          break;
+        case JournalEntryType::stop:
+          started_ = false;
+          break;
+        case JournalEntryType::relaunch: {
+          const auto index = r.u32();
+          ++relaunches_;
+          if (index < fleet_.size()) ++fleet_[index].consecutive_failures;
+          break;
+        }
+        case JournalEntryType::escalate: {
+          const auto index = r.u32();
+          const auto reason = static_cast<EscalateReason>(r.u8());
+          const bool used_backup = r.u8() != 0;
+          if (index < fleet_.size()) fleet_[index].consecutive_failures = 0;
+          if (reason == EscalateReason::heartbeat) {
+            ++recovery_.heartbeat_escalations;
+          }
+          if (used_backup) {
+            if (reason == EscalateReason::failures) ++recovery_.escalations;
+            ++next_backup_;
+          }
+          break;
+        }
+        case JournalEntryType::repair:
+          ++recovery_.re_advertise_repairs;
+          break;
+        case JournalEntryType::chunk_stored: {
+          const auto hp = r.u16();
+          [[maybe_unused]] const auto epoch = r.u32();  // audit only
+          const auto seq = r.u64();
+          auto& frontier = ack_frontier_[hp];
+          frontier = std::max(frontier, seq + 1);
+          break;
+        }
+        case JournalEntryType::recovered: {
+          recovery_.manager_downtime += std::bit_cast<double>(r.u64());
+          recovery_.orphans_readopted += r.u32();
+          ++recovery_.manager_recoveries;
+          break;
+        }
+      }
+      ++applied;
+    } catch (const DecodeError&) {
+      // A frame that passed its checksum but fails to decode is a schema
+      // bug, not data corruption; skip it rather than abandon recovery.
+    }
+  }
+  recovery_.journal_replayed = applied;
+}
+
+std::size_t Manager::adopt_orphans() {
+  std::unordered_map<std::uint16_t, std::unique_ptr<Honeypot>> by_id;
+  for (auto& hp : orphans_) {
+    by_id[hp->config().id] = std::move(hp);
+  }
+  orphans_.clear();
+
+  std::vector<Slot> adopted;
+  adopted.reserve(fleet_.size());
+  std::size_t count = 0;
+  for (auto& slot : fleet_) {
+    const auto it = by_id.find(slot.id);
+    if (it == by_id.end()) {
+      // The journal knows this honeypot but its process did not survive the
+      // outage (host wiped, never relaunched): strike it from the fleet.
+      // Its spooled records stay in the durable store.
+      continue;
+    }
+    slot.honeypot = std::move(it->second);
+    by_id.erase(it);
+    wire_spool_sink(slot);
+    // Chunks the journal proves durable are acknowledged on the spot (no
+    // round-trip needed: the recovery read its own store); the rest of the
+    // local spool is re-sent and deduped by (honeypot, seq).
+    const auto frontier_it = ack_frontier_.find(slot.id);
+    if (frontier_it != ack_frontier_.end()) {
+      std::vector<std::uint64_t> proven;
+      for (const auto& chunk : slot.honeypot->pending_chunks()) {
+        if (chunk.seq < frontier_it->second) proven.push_back(chunk.seq);
+      }
+      for (const auto seq : proven) {
+        slot.honeypot->ack_spooled(seq);
+      }
+    }
+    slot.honeypot->resend_spool();
+    adopted.push_back(std::move(slot));
+    ++count;
+  }
+  // Orphans the journal never heard of (its tail was torn before their
+  // launch entry survived) cannot be reattached to a slot: they are
+  // retired; their spooled chunks are already in the store.
+  fleet_ = std::move(adopted);
+  return count;
+}
+
+void Manager::recover(Time crashed_at) {
+  if (!config_.journal) {
+    throw std::logic_error("Manager::recover requires ManagerConfig::journal");
+  }
+  replay_journal();
+  const auto adopted = adopt_orphans();
+  recovery_.orphans_readopted += adopted;
+  ++recovery_.manager_recoveries;
+  const Time now = net_.simulation().now();
+  const double downtime = crashed_at >= 0 ? now - crashed_at : 0.0;
+  recovery_.manager_downtime += downtime;
+  {
+    ByteWriter w;
+    w.u64(std::bit_cast<std::uint64_t>(downtime));
+    w.u32(static_cast<std::uint32_t>(adopted));
+    journal_append(JournalEntryType::recovered, w.view());
+  }
+  // Compact: the next replay starts from the state we just rebuilt.
+  checkpoint();
+  if (started_) {
+    poll_timer_ = std::make_unique<sim::PeriodicTimer>(
+        net_.simulation(), config_.status_poll, [this] { poll(); });
+    poll_timer_->start();
+  }
+}
+
+std::unique_ptr<Manager> Manager::recover(
+    net::Network& network, ManagerConfig config,
+    std::vector<std::unique_ptr<Honeypot>> orphans, Time crashed_at) {
+  auto manager = std::make_unique<Manager>(network, std::move(config));
+  manager->orphans_ = std::move(orphans);
+  manager->recover(crashed_at);
+  return manager;
+}
+
+void Manager::checkpoint() {
+  if (!config_.journal) return;
+  ByteWriter w;
+  w.u64(relaunches_);
+  w.u64(next_backup_);
+  w.u64(recovery_.escalations);
+  w.u64(recovery_.heartbeat_escalations);
+  w.u64(recovery_.re_advertise_repairs);
+  w.u64(recovery_.manager_recoveries);
+  w.u64(std::bit_cast<std::uint64_t>(recovery_.manager_downtime));
+  w.u64(recovery_.orphans_readopted);
+  w.u8(started_ ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(backups_.size()));
+  for (const auto& b : backups_) {
+    put_server(w, b);
+  }
+  w.u32(static_cast<std::uint32_t>(fleet_.size()));
+  for (const auto& slot : fleet_) {
+    w.u16(slot.id);
+    w.u64(slot.host);
+    put_server(w, slot.server);
+    w.u32(static_cast<std::uint32_t>(slot.consecutive_failures));
+    put_files(w, slot.files);
+  }
+  w.u32(static_cast<std::uint32_t>(ack_frontier_.size()));
+  for (const auto& [hp, next] : ack_frontier_) {
+    w.u16(hp);
+    w.u64(next);
+  }
+  config_.journal->append(JournalEntryType::checkpoint, w.view());
+}
+
+// --- Watchdog --------------------------------------------------------------
 
 Duration Manager::relaunch_backoff(std::size_t failures) const {
   if (config_.relaunch_backoff_base <= 0 || failures == 0) return 0;
@@ -172,9 +553,10 @@ bool Manager::covers(const std::vector<AdvertisedFile>& advertised,
                      });
 }
 
-void Manager::repair_advertised(Slot& slot) {
+void Manager::repair_advertised(std::size_t index) {
   // Ordered files first, then everything the honeypot grew on its own
   // (greedy harvest) that the order does not already contain.
+  auto& slot = fleet_.at(index);
   std::vector<AdvertisedFile> full = slot.files;
   std::unordered_set<FileId> ordered_ids;
   ordered_ids.reserve(full.size());
@@ -187,18 +569,36 @@ void Manager::repair_advertised(Slot& slot) {
     }
   }
   ++recovery_.re_advertise_repairs;
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(index));
+    journal_append(JournalEntryType::repair, w.view());
+  }
   slot.honeypot->advertise(std::move(full));
 }
 
-void Manager::escalate(std::size_t index) {
+void Manager::escalate(std::size_t index, EscalateReason reason) {
   auto& slot = fleet_.at(index);
   slot.consecutive_failures = 0;
   slot.next_attempt_at = 0;
-  if (backups_.empty()) {
+  const bool used_backup = !backups_.empty();
+  if (reason == EscalateReason::heartbeat) {
+    ++recovery_.heartbeat_escalations;
+  }
+  if (used_backup && reason == EscalateReason::failures) {
+    ++recovery_.escalations;
+  }
+  {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(index));
+    w.u8(static_cast<std::uint8_t>(reason));
+    w.u8(used_backup ? 1 : 0);
+    journal_append(JournalEntryType::escalate, w.view());
+  }
+  if (!used_backup) {
     reassign(index, slot.server);  // reconnect in place
     return;
   }
-  ++recovery_.escalations;
   reassign(index, backups_[next_backup_++ % backups_.size()]);
 }
 
@@ -221,14 +621,13 @@ void Manager::poll() {
           now - hp.last_heartbeat() > config_.heartbeat_timeout) {
         // Zombie session: status says connected but nothing has happened
         // for longer than any keep-alive period allows.
-        ++recovery_.heartbeat_escalations;
-        escalate(i);
+        escalate(i, EscalateReason::heartbeat);
         continue;
       }
       // A honeypot that died mid-OFFER (or whose advertise order was lost
       // while it was dead) is missing part of its ordered list: repair it.
       if (!slot.files.empty() && !covers(hp.advertised(), slot.files)) {
-        repair_advertised(slot);
+        repair_advertised(i);
       }
       continue;
     }
@@ -238,8 +637,7 @@ void Manager::poll() {
       // or self-retrying); only interfere when its heartbeat went stale.
       if (config_.heartbeat_timeout > 0 && status == Status::connecting &&
           now - hp.last_heartbeat() > config_.heartbeat_timeout) {
-        ++recovery_.heartbeat_escalations;
-        escalate(i);
+        escalate(i, EscalateReason::heartbeat);
       }
       continue;
     }
@@ -255,18 +653,23 @@ void Manager::poll() {
     }
     if (config_.escalate_after > 0 && !backups_.empty() &&
         slot.consecutive_failures >= config_.escalate_after) {
-      escalate(i);
+      escalate(i, EscalateReason::failures);
       continue;
     }
     ++relaunches_;
     ++slot.consecutive_failures;
     slot.next_attempt_at = now + relaunch_backoff(slot.consecutive_failures);
+    {
+      ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(i));
+      journal_append(JournalEntryType::relaunch, w.view());
+    }
     // Relaunch: reconnect to the assigned server and re-advertise the file
     // list previously ordered (plus anything the honeypot grew itself in
     // greedy mode, which it kept).
     hp.connect_to_server(slot.server);
     if (!slot.files.empty() && !covers(hp.advertised(), slot.files)) {
-      repair_advertised(slot);
+      repair_advertised(i);
     }
   }
 }
@@ -274,18 +677,31 @@ void Manager::poll() {
 RecoveryStats Manager::recovery_stats() const {
   RecoveryStats out = recovery_;
   out.relaunches = relaunches_;
-  out.chunks_accepted = spool_store_.chunks_accepted();
-  out.chunks_duplicate = spool_store_.chunks_duplicate();
-  out.records_spooled = spool_store_.records_stored();
+  out.chunks_accepted = spool_store_->chunks_accepted();
+  out.chunks_duplicate = spool_store_->chunks_duplicate();
+  out.chunks_quarantined = spool_store_->chunks_quarantined();
+  out.records_spooled = spool_store_->records_stored();
+  if (config_.journal) {
+    out.journal_entries = config_.journal->entries_appended();
+    out.journal_bytes = config_.journal->size_bytes();
+  }
   const Time now = net_.simulation().now();
   std::uint64_t kept = 0;
+  const auto tally = [&](const Honeypot& hp) {
+    out.honeypot_retries += hp.retries();
+    out.records_lost_tail += hp.records_lost_tail();
+    kept += hp.log().records.size();
+  };
   for (const auto& slot : fleet_) {
-    out.honeypot_retries += slot.honeypot->retries();
-    out.records_lost_tail += slot.honeypot->records_lost_tail();
-    kept += slot.honeypot->log().records.size();
+    tally(*slot.honeypot);
     if (slot.down_since >= 0) {
       out.total_downtime += now - slot.down_since;
     }
+  }
+  // Orphans (manager down) still generate and lose records; the experiment
+  // ledger counts them even though the dead control plane cannot.
+  for (const auto& hp : orphans_) {
+    tally(*hp);
   }
   const std::uint64_t generated = kept + out.records_lost_tail;
   if (generated > 0) {
@@ -299,6 +715,9 @@ net::DefenseStats Manager::defense_stats() const {
   net::DefenseStats out;
   for (const auto& slot : fleet_) {
     out += slot.honeypot->defense_stats();
+  }
+  for (const auto& hp : orphans_) {
+    out += hp->defense_stats();
   }
   return out;
 }
@@ -334,6 +753,33 @@ std::vector<std::string> Manager::persist_logs(const std::string& directory) con
 
 logbook::LogFile Manager::merged_anonymized(std::uint64_t* distinct_peers_out) const {
   auto logs = collect_logs();
+  auto merged = logbook::merge_logs(logs);
+  const auto distinct = anonymize::renumber_peers(merged);
+  if (distinct_peers_out != nullptr) {
+    *distinct_peers_out = distinct;
+  }
+  return merged;
+}
+
+logbook::LogFile Manager::merged_anonymized_durable(
+    std::uint64_t* distinct_peers_out) const {
+  // Salvage pass: the durable store, plus every honeypot's local on-disk
+  // spool (chunks cut but never delivered while the manager was down, or
+  // delivered but unacked). Ingestion dedups, so overlap is harmless.
+  logbook::SpoolStore salvage = *spool_store_;
+  const auto salvage_from = [&salvage](const Honeypot& hp) {
+    for (const auto& chunk : hp.pending_chunks()) {
+      salvage.set_header(chunk.honeypot, hp.log().header);
+      salvage.ingest(chunk);
+    }
+  };
+  for (const auto& slot : fleet_) {
+    salvage_from(*slot.honeypot);
+  }
+  for (const auto& hp : orphans_) {
+    salvage_from(*hp);
+  }
+  const auto logs = salvage.reassemble_all();
   auto merged = logbook::merge_logs(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {

@@ -8,11 +8,13 @@
 // PlanetLab hosts); here it is direct method calls on the honeypot objects,
 // which preserves the observable eDonkey-side behaviour exactly.
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "honeypot/honeypot.hpp"
+#include "logbook/journal.hpp"
 #include "logbook/merge.hpp"
 #include "logbook/spool.hpp"
 
@@ -51,6 +53,20 @@ struct ManagerConfig {
   logbook::SpoolConfig spool;
   /// Admission-control policy injected into every launched honeypot.
   net::DefenseConfig defense;
+
+  // --- Control-plane durability. Both null by default: the historical
+  // --- purely-in-memory manager, byte-identical behaviour.
+
+  /// Write-ahead journal. When set, every control-plane state transition
+  /// (launch, reassign, advertise, backups, watchdog actions, chunk acks)
+  /// is appended before it takes effect, and crash()/recover() become
+  /// available. Shared between manager incarnations: it models the fsync'd
+  /// journal file that outlives the process.
+  std::shared_ptr<logbook::Journal> journal;
+  /// Durable chunk store shared between incarnations. When null (and
+  /// spooling is enabled) the manager creates a private one, which still
+  /// survives in-place crash()/recover() but not object destruction.
+  std::shared_ptr<logbook::SpoolStore> spool_store;
 };
 
 /// Aggregated fault-recovery accounting (see Manager::recovery_stats()).
@@ -68,6 +84,17 @@ struct RecoveryStats {
   double total_downtime = 0;           ///< observed dead time, fleet sum (s)
   /// records kept / records generated (1.0 when nothing was ever lost).
   double retained_fraction = 1.0;
+
+  // --- Control-plane durability (all zero without a journal/chaos).
+  std::uint64_t chunks_quarantined = 0; ///< checksum-failed chunks set aside
+  std::uint64_t manager_crashes = 0;    ///< control-plane crashes injected
+  std::uint64_t manager_recoveries = 0; ///< journal replays completed
+  double manager_downtime = 0;          ///< control-plane dead time (s)
+  std::uint64_t orphans_readopted = 0;  ///< honeypots re-adopted by recovery
+  std::uint64_t journal_entries = 0;    ///< entries appended to the WAL
+  std::uint64_t journal_bytes = 0;      ///< WAL size
+  std::uint64_t journal_replayed = 0;   ///< entries applied by the last replay
+  std::uint64_t journal_tail_lost = 0;  ///< torn-tail bytes at the last replay
 };
 
 /// Owns and coordinates a fleet of honeypots.
@@ -120,9 +147,53 @@ class Manager {
   /// Stop polling and disconnect every honeypot.
   void stop();
 
+  // --- Crash tolerance (requires ManagerConfig::journal) ------------------
+
+  /// Simulate a control-plane crash: the poll loop, fleet table, backup
+  /// list, ack frontier and every counter die with process memory. The
+  /// honeypot processes are remote and keep running (and spooling locally,
+  /// since their sink to the dead manager is severed); they are parked as
+  /// orphans until a recover() re-adopts them. The journal and the durable
+  /// chunk store survive by construction. Returns the orphan count.
+  std::size_t crash();
+
+  /// Restart after crash(): replay the journal (from the last checkpoint)
+  /// to rebuild the fleet table, watchdog/escalation counters and spool-ack
+  /// frontier, then re-adopt the orphaned honeypots — chunks the journal
+  /// proves durable are acknowledged immediately, the rest re-sent and
+  /// deduped. Polling resumes if it was running at crash time.
+  /// `crashed_at` (simulation time) feeds downtime accounting; pass a
+  /// negative value when unknown. Throws std::logic_error without a journal.
+  void recover(Time crashed_at = -1.0);
+
+  /// Cold-start recovery: a brand-new manager process, configured with the
+  /// dead one's journal + durable store, adopting its orphans.
+  [[nodiscard]] static std::unique_ptr<Manager> recover(
+      net::Network& network, ManagerConfig config,
+      std::vector<std::unique_ptr<Honeypot>> orphans, Time crashed_at = -1.0);
+
+  /// Surrender the orphaned fleet (for cold-start recovery by another
+  /// manager object). Only meaningful after crash().
+  [[nodiscard]] std::vector<std::unique_ptr<Honeypot>> take_orphans() {
+    return std::move(orphans_);
+  }
+
+  /// Append a full-state snapshot to the journal so the next replay starts
+  /// here instead of at the beginning (recover() checkpoints automatically).
+  void checkpoint();
+
   [[nodiscard]] std::size_t fleet_size() const noexcept { return fleet_.size(); }
   [[nodiscard]] Honeypot& honeypot(std::size_t index);
   [[nodiscard]] const Honeypot& honeypot(std::size_t index) const;
+  /// Current server assignment / ordered file list of a slot (restored by
+  /// recovery; exposed for operators and tests).
+  [[nodiscard]] const ServerRef& server_of(std::size_t index) const {
+    return fleet_.at(index).server;
+  }
+  [[nodiscard]] const std::vector<AdvertisedFile>& ordered_files(
+      std::size_t index) const {
+    return fleet_.at(index).files;
+  }
   [[nodiscard]] std::uint64_t relaunches() const noexcept { return relaunches_; }
 
   /// Snapshot of fault-recovery accounting across the fleet, including
@@ -135,7 +206,7 @@ class Manager {
   /// The chunk store backing crash-safe spooling (empty unless
   /// ManagerConfig::spool.enabled).
   [[nodiscard]] const logbook::SpoolStore& spool_store() const noexcept {
-    return spool_store_;
+    return *spool_store_;
   }
 
   /// Snapshot every honeypot's current log (without draining).
@@ -150,6 +221,14 @@ class Manager {
   /// Returns the merged log; `distinct_peers_out` (optional) receives the
   /// number of distinct peers assigned by renumbering.
   [[nodiscard]] logbook::LogFile merged_anonymized(
+      std::uint64_t* distinct_peers_out = nullptr) const;
+
+  /// The dataset recoverable from durable state alone: the chunk store plus
+  /// every honeypot's local on-disk spool (fleet and orphans alike), merged
+  /// and stage-2 anonymised. This is what an operator publishes after a
+  /// control-plane crash — it misses only in-memory tails never cut into a
+  /// chunk, so the loss is bounded by the spool period per honeypot.
+  [[nodiscard]] logbook::LogFile merged_anonymized_durable(
       std::uint64_t* distinct_peers_out = nullptr) const;
 
   /// Union of observed (harvested) files across the fleet with their total
@@ -169,6 +248,8 @@ class Manager {
  private:
   struct Slot {
     std::unique_ptr<Honeypot> honeypot;
+    std::uint16_t id = 0;       ///< honeypot id (journal identity)
+    net::NodeId host = 0;       ///< host node (journal/audit record)
     ServerRef server;
     std::vector<AdvertisedFile> files;
     // Watchdog state.
@@ -177,6 +258,9 @@ class Manager {
     Time down_since = -1.0;                ///< first poll that saw it dead
   };
 
+  /// Why the watchdog escalated (journaled for exact counter replay).
+  enum class EscalateReason : std::uint8_t { failures = 0, heartbeat = 1 };
+
   void poll();
   /// Relaunch backoff for the given consecutive-failure count (1-based).
   [[nodiscard]] Duration relaunch_backoff(std::size_t failures) const;
@@ -184,10 +268,21 @@ class Manager {
   [[nodiscard]] static bool covers(const std::vector<AdvertisedFile>& advertised,
                                    const std::vector<AdvertisedFile>& ordered);
   /// Re-offer the ordered list plus any extras the honeypot grew itself.
-  void repair_advertised(Slot& slot);
+  void repair_advertised(std::size_t index);
   /// Move the slot to the next backup server (or reconnect in place when
   /// no backups are configured).
-  void escalate(std::size_t index);
+  void escalate(std::size_t index, EscalateReason reason);
+  /// Install the spool-chunk sink (ingest + journal + delayed ack) on the
+  /// slot's honeypot.
+  void wire_spool_sink(Slot& slot);
+  /// Append one framed entry to the journal (no-op without one).
+  void journal_append(logbook::JournalEntryType type,
+                      std::span<const std::uint8_t> payload);
+  /// Rebuild fleet/backups/counters/frontier from the journal.
+  void replay_journal();
+  /// Match orphans to replayed slots by honeypot id, rewire their sinks,
+  /// ack journal-proven chunks and re-send the rest. Returns adopted count.
+  std::size_t adopt_orphans();
 
   net::Network& net_;
   ManagerConfig config_;
@@ -195,8 +290,14 @@ class Manager {
   std::vector<ServerRef> backups_;
   std::size_t next_backup_ = 0;
   std::unique_ptr<sim::PeriodicTimer> poll_timer_;
+  bool started_ = false;  ///< polling requested (journaled; survives replay)
   std::uint64_t relaunches_ = 0;
-  logbook::SpoolStore spool_store_;
+  std::shared_ptr<logbook::SpoolStore> spool_store_;  ///< durable chunk store
+  /// Per-honeypot next-unstored sequence number, proven by journaled
+  /// chunk_stored entries; recovery acks below it without a re-send.
+  std::map<std::uint16_t, std::uint64_t> ack_frontier_;
+  /// Honeypots surviving a control-plane crash, awaiting re-adoption.
+  std::vector<std::unique_ptr<Honeypot>> orphans_;
   RecoveryStats recovery_;  ///< counters accumulated by the watchdog
 };
 

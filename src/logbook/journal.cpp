@@ -1,0 +1,135 @@
+#include "logbook/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace edhp::logbook {
+namespace {
+
+constexpr std::size_t kFrameHeader = 1 + 4 + 8;  // type + length + checksum
+constexpr char kMagic[8] = {'E', 'D', 'H', 'P', 'J', 'R', 'N', '1'};
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string_view to_string(JournalEntryType t) {
+  switch (t) {
+    case JournalEntryType::checkpoint: return "checkpoint";
+    case JournalEntryType::launch: return "launch";
+    case JournalEntryType::reassign: return "reassign";
+    case JournalEntryType::advertise: return "advertise";
+    case JournalEntryType::backups: return "backups";
+    case JournalEntryType::start: return "start";
+    case JournalEntryType::stop: return "stop";
+    case JournalEntryType::relaunch: return "relaunch";
+    case JournalEntryType::escalate: return "escalate";
+    case JournalEntryType::repair: return "repair";
+    case JournalEntryType::chunk_stored: return "chunk_stored";
+    case JournalEntryType::recovered: return "recovered";
+  }
+  return "unknown";
+}
+
+JournalScan scan_journal(std::span<const std::uint8_t> bytes) {
+  JournalScan out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < kFrameHeader) {
+      out.torn_tail = true;
+      out.torn_bytes = remaining;
+      return out;
+    }
+    ByteReader header(bytes.subspan(pos, kFrameHeader));
+    const std::uint8_t type = header.u8();
+    const std::uint32_t length = header.u32();
+    const std::uint64_t checksum = header.u64();
+    if (remaining - kFrameHeader < length) {
+      // The length prefix promises more payload than the stream holds: the
+      // writer died mid-append. Clean tail loss.
+      out.torn_tail = true;
+      out.torn_bytes = remaining;
+      return out;
+    }
+    const auto payload = bytes.subspan(pos + kFrameHeader, length);
+    JournalEntry entry;
+    entry.type = type;
+    entry.payload.assign(payload.begin(), payload.end());
+    entry.offset = pos;
+    if (fnv1a(payload) != checksum) {
+      out.quarantined.push_back(std::move(entry));
+    } else {
+      out.entries.push_back(std::move(entry));
+    }
+    pos += kFrameHeader + length;
+  }
+  return out;
+}
+
+void Journal::append(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  ByteWriter frame(kFrameHeader + payload.size());
+  frame.u8(type);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u64(fnv1a(payload));
+  frame.bytes(payload);
+  const auto& encoded = frame.view();
+  bytes_.insert(bytes_.end(), encoded.begin(), encoded.end());
+  ++entries_appended_;
+}
+
+void Journal::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("journal save: cannot open " + path);
+  }
+  bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+  if (ok && !bytes_.empty()) {
+    ok = std::fwrite(bytes_.data(), 1, bytes_.size(), f) == bytes_.size();
+  }
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    throw std::runtime_error("journal save: short write to " + path);
+  }
+}
+
+Journal Journal::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("journal load: cannot open " + path);
+  }
+  std::vector<std::uint8_t> data;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  if (data.size() < sizeof(kMagic) ||
+      !std::equal(kMagic, kMagic + sizeof(kMagic), data.begin())) {
+    throw std::runtime_error("journal load: bad magic in " + path);
+  }
+  data.erase(data.begin(),
+             data.begin() + static_cast<std::ptrdiff_t>(sizeof(kMagic)));
+  return from_bytes(std::move(data));
+}
+
+Journal Journal::from_bytes(std::vector<std::uint8_t> bytes) {
+  Journal j;
+  j.bytes_ = std::move(bytes);
+  const auto scan = scan_journal(j.bytes_);
+  j.entries_appended_ = scan.entries.size() + scan.quarantined.size();
+  return j;
+}
+
+}  // namespace edhp::logbook

@@ -1,6 +1,35 @@
 #include "logbook/spool.hpp"
 
+#include <bit>
+
+#include "common/bytes.hpp"
+#include "logbook/journal.hpp"
+
 namespace edhp::logbook {
+
+std::uint64_t chunk_checksum(const LogChunk& chunk) {
+  ByteWriter w(64 + chunk.records.size() * 56);
+  w.u16(chunk.honeypot);
+  w.u32(chunk.epoch);
+  w.u64(chunk.seq);
+  w.u64(chunk.name_base);
+  for (const auto& name : chunk.names) {
+    w.str16(name);
+  }
+  for (const auto& r : chunk.records) {
+    w.u64(std::bit_cast<std::uint64_t>(r.timestamp));
+    w.u64(r.peer);
+    w.u64(r.user);
+    w.bytes(r.file.bytes());
+    w.u32(r.client_version);
+    w.u16(r.honeypot);
+    w.u16(r.peer_port);
+    w.u16(r.name_ref);
+    w.u8(static_cast<std::uint8_t>(r.type));
+    w.u8(r.flags);
+  }
+  return fnv1a(w.view());
+}
 
 void SpoolStore::set_header(std::uint16_t honeypot, const LogHeader& header) {
   auto& hp = honeypots_[honeypot];
@@ -8,11 +37,19 @@ void SpoolStore::set_header(std::uint16_t honeypot, const LogHeader& header) {
   hp.header_set = true;
 }
 
-bool SpoolStore::accept(const LogChunk& chunk) {
+SpoolStore::Ingest SpoolStore::ingest(const LogChunk& chunk) {
+  if (chunk.checksum != 0 && chunk_checksum(chunk) != chunk.checksum) {
+    // The payload does not match what the honeypot stamped: a corrupted
+    // transfer. Never merged, never acked — the sender keeps it spooled
+    // and a later re-send (or the operator) resolves it.
+    ++chunks_quarantined_;
+    quarantine_.push_back({chunk.honeypot, chunk.seq});
+    return Ingest::quarantined;
+  }
   auto& hp = honeypots_[chunk.honeypot];
   if (hp.chunks.contains(chunk.seq)) {
     ++chunks_duplicate_;
-    return false;
+    return Ingest::duplicate;
   }
   // Splice the name-table tail at its declared base. Re-sent chunks carry
   // the same (base, names) slice, and chunks are cut in order, so the table
@@ -26,7 +63,13 @@ bool SpoolStore::accept(const LogChunk& chunk) {
   records_stored_ += chunk.records.size();
   hp.chunks.emplace(chunk.seq, chunk.records);
   ++chunks_accepted_;
-  return true;
+  return Ingest::stored;
+}
+
+std::uint64_t SpoolStore::next_seq(std::uint16_t honeypot) const {
+  const auto it = honeypots_.find(honeypot);
+  if (it == honeypots_.end() || it->second.chunks.empty()) return 0;
+  return it->second.chunks.rbegin()->first + 1;
 }
 
 LogFile SpoolStore::reassemble(std::uint16_t honeypot) const {

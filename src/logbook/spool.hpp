@@ -49,7 +49,16 @@ struct LogChunk {
   std::size_t name_base = 0;
   std::vector<std::string> names;
   std::vector<LogRecord> records;
+  /// FNV-1a over the payload (see chunk_checksum), stamped by the honeypot
+  /// when it cuts the chunk. 0 = unchecksummed (legacy producers); the
+  /// store then skips verification.
+  std::uint64_t checksum = 0;
 };
+
+/// Payload checksum of a chunk: FNV-1a over identity, every record field
+/// and the name-table slice. Field-by-field (not struct bytes), so padding
+/// never leaks into the value.
+[[nodiscard]] std::uint64_t chunk_checksum(const LogChunk& chunk);
 
 /// Manager-side chunk store: accepts chunks at-least-once, dedups by
 /// (honeypot, seq), and reassembles per-honeypot logs in sequence order.
@@ -59,9 +68,24 @@ class SpoolStore {
   /// name/strategy; server fields refresh on reassignment).
   void set_header(std::uint16_t honeypot, const LogHeader& header);
 
+  /// Outcome of one chunk ingestion.
+  enum class Ingest : std::uint8_t {
+    stored,       ///< new sequence number, payload verified, now durable
+    duplicate,    ///< already-accepted sequence number (at-least-once)
+    quarantined,  ///< checksum mismatch; chunk set aside, NOT merged
+  };
+
+  /// Ingest one chunk: verify its checksum (when stamped), dedup by
+  /// (honeypot, seq). Quarantined chunks are counted and listed but never
+  /// enter a reassembled log — a corrupted transfer must be re-sent, so the
+  /// caller should not acknowledge it.
+  Ingest ingest(const LogChunk& chunk);
+
   /// Ingest one chunk. Returns true when the chunk was new, false for a
-  /// duplicate (already-accepted sequence number).
-  bool accept(const LogChunk& chunk);
+  /// duplicate (already-accepted sequence number) or a quarantined one.
+  bool accept(const LogChunk& chunk) {
+    return ingest(chunk) == Ingest::stored;
+  }
 
   /// Rebuild one honeypot's log from its accepted chunks, in sequence
   /// order. Unknown honeypots yield an empty log.
@@ -78,6 +102,21 @@ class SpoolStore {
   [[nodiscard]] std::uint64_t records_stored() const noexcept {
     return records_stored_;
   }
+  [[nodiscard]] std::uint64_t chunks_quarantined() const noexcept {
+    return chunks_quarantined_;
+  }
+  /// (honeypot, seq) of every quarantined chunk, in arrival order — the
+  /// operator's triage list.
+  struct QuarantineRef {
+    std::uint16_t honeypot = 0;
+    std::uint64_t seq = 0;
+  };
+  [[nodiscard]] const std::vector<QuarantineRef>& quarantine() const noexcept {
+    return quarantine_;
+  }
+  /// Highest stored sequence number + 1 for a honeypot (0 when none): the
+  /// ack frontier a recovering manager re-acknowledges from.
+  [[nodiscard]] std::uint64_t next_seq(std::uint16_t honeypot) const;
 
  private:
   struct PerHoneypot {
@@ -91,6 +130,8 @@ class SpoolStore {
   std::uint64_t chunks_accepted_ = 0;
   std::uint64_t chunks_duplicate_ = 0;
   std::uint64_t records_stored_ = 0;
+  std::uint64_t chunks_quarantined_ = 0;
+  std::vector<QuarantineRef> quarantine_;
 };
 
 }  // namespace edhp::logbook

@@ -145,34 +145,54 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     }
   }
 
+  // Stable host handles: valid across control-plane crashes, when the
+  // manager's fleet table is empty (see run_distributed).
+  std::vector<honeypot::Honeypot*> hosts;
+  hosts.reserve(config.honeypots);
   for (std::size_t h = 0; h < config.honeypots; ++h) {
     honeypot::HoneypotConfig hp;
     hp.id = static_cast<std::uint16_t>(h);
     hp.name = "mhp-" + std::to_string(h);
     hp.strategy = honeypot::ContentStrategy::random_content;
-    manager.launch(std::move(hp), network.add_node(true), refs[assignment[h]]);
+    const auto index =
+        manager.launch(std::move(hp), network.add_node(true), refs[assignment[h]]);
+    hosts.push_back(&manager.honeypot(index));
   }
   result.server_of_honeypot = assignment;
   manager.start();
 
-  // Fault injection over honeypot hosts and every directory server.
+  // Fault injection over honeypot hosts, every directory server, and the
+  // control plane itself.
   std::unique_ptr<fault::Injector> injector;
+  struct {
+    Time down_at = -1.0;
+    std::uint64_t crashes = 0;
+  } outage;
   if (config.chaos.enabled) {
     auto plan = fault::FaultPlan::generate(config.chaos, config.honeypots,
                                            n_servers, config.days * kDay,
                                            rng.split(config.chaos.seed));
     fault::Injector::Bindings bind;
     bind.host_count = config.honeypots;
-    bind.host_node = [&manager](std::size_t h) {
-      return manager.honeypot(h).node();
-    };
-    bind.crash_host = [&manager](std::size_t h) { manager.honeypot(h).crash(); };
+    bind.host_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
+    bind.crash_host = [&hosts](std::size_t h) { hosts[h]->crash(); };
     bind.stop_server = [&servers](std::size_t s) {
       if (s < servers.size()) servers[s]->stop();
     };
     bind.start_server = [&servers](std::size_t s) {
       if (s < servers.size()) servers[s]->start();
     };
+    bind.crash_manager = [&manager, &simulation, &outage] {
+      outage.down_at = simulation.now();
+      ++outage.crashes;
+      manager.crash();
+    };
+    if (config.chaos.manager_recovery) {
+      bind.recover_manager = [&manager, &outage] {
+        manager.recover(outage.down_at);
+        outage.down_at = -1.0;
+      };
+    }
     injector = std::make_unique<fault::Injector>(network, std::move(plan),
                                                  std::move(bind));
     injector->arm();
@@ -188,9 +208,7 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
                                            abuse_rng);
     fault::AbuseInjector::Bindings bind;
     bind.honeypot_count = config.honeypots;
-    bind.honeypot_node = [&manager](std::size_t h) {
-      return manager.honeypot(h).node();
-    };
+    bind.honeypot_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
     bind.server_count = n_servers;
     bind.server_node = [&refs](std::size_t s) { return refs[s].node; };
     abuse = std::make_unique<fault::AbuseInjector>(
@@ -248,17 +266,28 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     }
   }
   population.stop();
+  if (outage.down_at >= 0 && config.chaos.manager_recovery) {
+    manager.recover(outage.down_at);
+    outage.down_at = -1.0;
+  }
   manager.stop();
   for (auto& r : residents) {
     if (r.endpoint) r.endpoint->close();
   }
 
-  result.base.merged = manager.merged_anonymized(&result.base.distinct_peers);
+  result.base.merged =
+      outage.crashes > 0
+          ? manager.merged_anonymized_durable(&result.base.distinct_peers)
+          : manager.merged_anonymized(&result.base.distinct_peers);
   result.base.observed = manager.observed_files();
   result.base.peer_totals = population.totals();
   result.base.recovery = manager.recovery_stats();
   if (injector) {
     result.base.faults = injector->stats();
+    result.base.recovery.manager_crashes = result.base.faults.manager_crashes;
+  }
+  if (outage.down_at >= 0) {
+    result.base.recovery.manager_downtime += simulation.now() - outage.down_at;
   }
   result.base.defense = manager.defense_stats();
   for (const auto& s : servers) {

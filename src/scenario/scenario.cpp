@@ -49,10 +49,23 @@ struct World {
   }
 };
 
+/// Tracks the control-plane outage window a fault plan opens via the
+/// crash_manager binding, so teardown can recover (or account the loss).
+struct ManagerOutage {
+  Time down_at = -1.0;        ///< sim time of the open crash, -1 when up
+  std::uint64_t crashes = 0;  ///< manager crashes delivered by the plan
+};
+
 void fill_result(ScenarioResult& result, World& world,
                  const honeypot::Manager& manager,
-                 const peer::Population& population) {
-  result.merged = manager.merged_anonymized(&result.distinct_peers);
+                 const peer::Population& population,
+                 bool durable_merge = false) {
+  // After any control-plane crash the published dataset is what the durable
+  // pipeline (journal-acked chunk store + salvaged local spools) yields —
+  // the run's headline claim is that it matches the live merge bit-for-bit.
+  result.merged = durable_merge
+                      ? manager.merged_anonymized_durable(&result.distinct_peers)
+                      : manager.merged_anonymized(&result.distinct_peers);
   result.observed = manager.observed_files();
   result.relaunches = manager.relaunches();
   result.peer_totals = population.totals();
@@ -97,6 +110,12 @@ honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
   mc.retry.max_retries = chaos.retry_max;
   mc.spool.enabled = true;
   mc.spool.period = chaos.spool_period;
+  // Control-plane durability: the write-ahead journal and the chunk store
+  // live outside the Manager object, modelling the fsync'd files that
+  // survive a control-plane crash. Appending to the journal consumes no
+  // RNG draws and schedules no events, so chaos schedules are unchanged.
+  mc.journal = std::make_shared<logbook::Journal>();
+  mc.spool_store = std::make_shared<logbook::SpoolStore>();
   return mc;
 }
 
@@ -174,6 +193,11 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   for (auto& w : pair_weights) {
     w = weight_rng.lognormal(0.0, config.behavior.source_weight_sigma);
   }
+  // Stable host handles for fault bindings and end-of-run sweeps: honeypot
+  // objects outlive manager crashes (they are parked as orphans), so these
+  // pointers stay valid even while the manager's fleet table is down.
+  std::vector<honeypot::Honeypot*> hosts;
+  hosts.reserve(config.honeypots);
   for (std::size_t h = 0; h < config.honeypots; ++h) {
     const bool random_content = h >= config.honeypots / 2;
     result.random_content[h] = random_content;
@@ -184,7 +208,8 @@ ScenarioResult run_distributed(const DistributedConfig& config,
                                  : honeypot::ContentStrategy::no_content;
     hp.harvest_shared_lists = true;
     const auto host = world.network.add_node(true);
-    manager.launch(std::move(hp), host, server_ref);
+    const auto index = manager.launch(std::move(hp), host, server_ref);
+    hosts.push_back(&manager.honeypot(index));
     // Per-honeypot visibility weight (uptime, bandwidth, position in
     // provider lists): drives the Fig 10 min/max spread.
     world.source_weights[world.network.info(host).ip.value()] =
@@ -233,22 +258,34 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   // historical hourly crash grid runs, bit-for-bit.
   std::unique_ptr<sim::PeriodicTimer> crash_timer;
   std::unique_ptr<fault::Injector> injector;
+  ManagerOutage outage;
   if (config.chaos.enabled) {
     auto plan = fault::FaultPlan::generate(
         config.chaos, config.honeypots, 1, config.days * kDay,
         rng.split(config.chaos.seed));
     fault::Injector::Bindings bind;
     bind.host_count = config.honeypots;
-    bind.host_node = [&manager](std::size_t h) {
-      return manager.honeypot(h).node();
-    };
-    bind.crash_host = [&manager](std::size_t h) { manager.honeypot(h).crash(); };
+    // Host bindings go through the stable pointers, not the manager's fleet
+    // table: a host can crash or reboot while the control plane is down.
+    bind.host_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
+    bind.crash_host = [&hosts](std::size_t h) { hosts[h]->crash(); };
     bind.stop_server = [&server](std::size_t s) {
       if (s == 0) server.stop();
     };
     bind.start_server = [&server](std::size_t s) {
       if (s == 0) server.start();
     };
+    bind.crash_manager = [&manager, &world, &outage] {
+      outage.down_at = world.simulation.now();
+      ++outage.crashes;
+      manager.crash();
+    };
+    if (config.chaos.manager_recovery) {
+      bind.recover_manager = [&manager, &outage] {
+        manager.recover(outage.down_at);
+        outage.down_at = -1.0;
+      };
+    }
     injector = std::make_unique<fault::Injector>(world.network, std::move(plan),
                                                  std::move(bind));
     injector->arm();
@@ -271,9 +308,7 @@ ScenarioResult run_distributed(const DistributedConfig& config,
                                            config.days * kDay, abuse_rng);
     fault::AbuseInjector::Bindings bind;
     bind.honeypot_count = config.honeypots;
-    bind.honeypot_node = [&manager](std::size_t h) {
-      return manager.honeypot(h).node();
-    };
+    bind.honeypot_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
     bind.server_count = 1;
     bind.server_node = [server_node](std::size_t) { return server_node; };
     abuse = std::make_unique<fault::AbuseInjector>(
@@ -308,8 +343,8 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   result.blacklist_reports = world.blacklist.reports();
   double rep_nc = 0, rep_rc = 0;
   std::size_t n_nc = 0, n_rc = 0;
-  for (std::size_t h = 0; h < manager.fleet_size(); ++h) {
-    const auto ip = world.network.info(manager.honeypot(h).node()).ip.value();
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    const auto ip = world.network.info(hosts[h]->node()).ip.value();
     const double rep = world.blacklist.reputation(ip);
     if (result.random_content[h]) {
       rep_rc += rep;
@@ -322,10 +357,24 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   if (n_nc > 0) result.reputation_no_content = rep_nc / static_cast<double>(n_nc);
   if (n_rc > 0) result.reputation_random_content = rep_rc / static_cast<double>(n_rc);
 
+  // A crash window can reach past the horizon (its recover event is never
+  // emitted). With recovery on, the restarted process replays the journal
+  // now so the final gathering flushes every honeypot; with recovery off
+  // the control plane stays dead and the run publishes what the durable
+  // state alone can salvage.
+  if (outage.down_at >= 0 && config.chaos.manager_recovery) {
+    manager.recover(outage.down_at);
+    outage.down_at = -1.0;
+  }
   manager.stop();
-  fill_result(result, world, manager, population);
+  fill_result(result, world, manager, population, outage.crashes > 0);
   if (injector) {
     result.faults = injector->stats();
+    result.recovery.manager_crashes = result.faults.manager_crashes;
+  }
+  if (outage.down_at >= 0) {
+    result.recovery.manager_downtime +=
+        world.simulation.now() - outage.down_at;
   }
   result.defense = manager.defense_stats();
   result.defense += server.defense_stats();
@@ -368,6 +417,8 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
           std::llround(static_cast<double>(kGreedyAdvertisedFiles) * config.scale)));
   const auto host = world.network.add_node(true);
   manager.launch(std::move(hp), host, server_ref);
+  // Stable handle: survives manager crashes (see run_distributed).
+  honeypot::Honeypot* hp0 = &manager.honeypot(0);
   manager.start();
 
   ScenarioResult result;
@@ -386,18 +437,28 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
 
   // Fault injection for the chaos variant (single host, single server).
   std::unique_ptr<fault::Injector> injector;
+  ManagerOutage outage;
   if (config.chaos.enabled) {
     auto plan = fault::FaultPlan::generate(config.chaos, 1, 1,
                                            config.days * kDay,
                                            rng.split(config.chaos.seed));
     fault::Injector::Bindings bind;
     bind.host_count = 1;
-    bind.host_node = [&manager](std::size_t) {
-      return manager.honeypot(0).node();
-    };
-    bind.crash_host = [&manager](std::size_t) { manager.honeypot(0).crash(); };
+    bind.host_node = [hp0](std::size_t) { return hp0->node(); };
+    bind.crash_host = [hp0](std::size_t) { hp0->crash(); };
     bind.stop_server = [&server](std::size_t) { server.stop(); };
     bind.start_server = [&server](std::size_t) { server.start(); };
+    bind.crash_manager = [&manager, &world, &outage] {
+      outage.down_at = world.simulation.now();
+      ++outage.crashes;
+      manager.crash();
+    };
+    if (config.chaos.manager_recovery) {
+      bind.recover_manager = [&manager, &outage] {
+        manager.recover(outage.down_at);
+        outage.down_at = -1.0;
+      };
+    }
     injector = std::make_unique<fault::Injector>(world.network, std::move(plan),
                                                  std::move(bind));
     injector->arm();
@@ -411,9 +472,7 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
                                            config.days * kDay, abuse_rng);
     fault::AbuseInjector::Bindings bind;
     bind.honeypot_count = 1;
-    bind.honeypot_node = [&manager](std::size_t) {
-      return manager.honeypot(0).node();
-    };
+    bind.honeypot_node = [hp0](std::size_t) { return hp0->node(); };
     bind.server_count = 1;
     bind.server_node = [server_node](std::size_t) { return server_node; };
     abuse = std::make_unique<fault::AbuseInjector>(
@@ -430,7 +489,9 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   Rng demand_rng = rng.split(0xDE3A);
   std::size_t demanded = 0;
   auto sync_demands = [&] {
-    const auto& advertised = manager.honeypot(0).advertised();
+    // Through the stable handle: the watcher keeps firing during a
+    // control-plane outage, when the manager's fleet table is empty.
+    const auto& advertised = hp0->advertised();
     while (demanded < advertised.size()) {
       const auto& file = advertised[demanded];
       ++demanded;
@@ -461,15 +522,24 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
 
   demand_watcher.stop();
   population.stop();
+  if (outage.down_at >= 0 && config.chaos.manager_recovery) {
+    manager.recover(outage.down_at);
+    outage.down_at = -1.0;
+  }
   manager.stop();
 
-  result.advertised_files = manager.honeypot(0).advertised().size();
-  for (const auto& f : manager.honeypot(0).advertised()) {
+  result.advertised_files = hp0->advertised().size();
+  for (const auto& f : hp0->advertised()) {
     result.advertised_ids.push_back(f.id);
   }
-  fill_result(result, world, manager, population);
+  fill_result(result, world, manager, population, outage.crashes > 0);
   if (injector) {
     result.faults = injector->stats();
+    result.recovery.manager_crashes = result.faults.manager_crashes;
+  }
+  if (outage.down_at >= 0) {
+    result.recovery.manager_downtime +=
+        world.simulation.now() - outage.down_at;
   }
   result.defense = manager.defense_stats();
   result.defense += server.defense_stats();

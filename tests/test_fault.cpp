@@ -84,6 +84,36 @@ TEST(FaultPlan, AddingOneClassDoesNotShiftAnother) {
   EXPECT_GT(more.size(), base.size());
 }
 
+// The manager fault class rides its own RNG split: enabling it must not
+// shift any other schedule, and the recovery toggle must not change the plan
+// at all (disabling recovery only leaves the binding unset).
+TEST(FaultPlan, ManagerClassDoesNotShiftOtherSchedules) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.uplink_mtbf = days(4);
+  config.server_mtbf = days(8);
+  const auto base = FaultPlan::generate(config, 6, 1, days(32), Rng(11));
+  config.manager_mtbf = days(8);
+  const auto more = FaultPlan::generate(config, 6, 1, days(32), Rng(11));
+
+  auto without_manager = [](const FaultPlan& p) {
+    std::vector<FaultEvent> out;
+    for (const auto& e : p.events()) {
+      if (e.kind != FaultKind::manager_crash &&
+          e.kind != FaultKind::manager_recover) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(without_manager(more), base.events());
+  EXPECT_GT(more.size(), base.size());
+
+  config.manager_recovery = false;
+  const auto no_recovery = FaultPlan::generate(config, 6, 1, days(32), Rng(11));
+  EXPECT_EQ(no_recovery.events(), more.events());
+}
+
 TEST(FaultPlan, HandCraftedPlanIsSorted) {
   FaultPlan plan(std::vector<FaultEvent>{
       {50.0, FaultKind::host_reboot, 0, 1.0},
@@ -463,6 +493,64 @@ TEST(ChaosScenario, RetainsAtLeast99PercentAtPaperMtbf) {
                          << baseline.merged.records.size() << " records";
   EXPECT_GE(faulty.recovery.retained_fraction, 0.99);
   EXPECT_LE(faulty.recovery.retained_fraction, 1.0);
+}
+
+// Acceptance headline: control-plane crashes with recovery enabled cost
+// nothing — at the paper's scale the merged anonymised log is bit-identical
+// to the same world run without manager faults.
+TEST(ChaosScenario, ManagerCrashRecoveryIsLossless) {
+  DistributedConfig crashy;
+  crashy.scale = 0.02;
+  crashy.days = 32;
+  crashy.honeypots = 24;
+  crashy.with_top_peer = false;
+  crashy.chaos.enabled = true;
+  crashy.chaos.host_mtbf = 0;  // isolate the manager fault class
+  crashy.chaos.manager_mtbf = days(8);
+
+  DistributedConfig clean = crashy;
+  clean.chaos.manager_mtbf = 0;
+
+  const auto faulty = run_distributed(crashy);
+  const auto baseline = run_distributed(clean);
+  ASSERT_GT(faulty.faults.manager_crashes, 0u);
+  EXPECT_EQ(faulty.recovery.manager_crashes, faulty.faults.manager_crashes);
+  EXPECT_GT(faulty.recovery.manager_recoveries, 0u);
+  EXPECT_GT(faulty.recovery.manager_downtime, 0.0);
+  EXPECT_GT(faulty.recovery.journal_replayed, 0u);
+  ASSERT_GT(baseline.merged.records.size(), 1000u);
+  EXPECT_EQ(faulty.merged.records, baseline.merged.records);
+  EXPECT_EQ(faulty.merged.names, baseline.merged.names);
+}
+
+// With recovery disabled the fleet is orphaned at the first crash, yet the
+// durable merge (spool store + salvaged local spools) still retains at least
+// 99% of the baseline: only per-honeypot tails newer than the last spool cut
+// can be lost.
+TEST(ChaosScenario, DisabledRecoveryLosesOnlyBoundedTails) {
+  DistributedConfig config;
+  config.scale = 0.02;
+  config.days = 32;
+  config.honeypots = 24;
+  config.with_top_peer = false;
+  config.chaos.enabled = true;
+  config.chaos.host_mtbf = 0;
+  config.chaos.manager_mtbf = days(8);
+  config.chaos.manager_recovery = false;
+
+  DistributedConfig clean = config;
+  clean.chaos.manager_mtbf = 0;
+
+  const auto faulty = run_distributed(config);
+  const auto baseline = run_distributed(clean);
+  ASSERT_GT(faulty.faults.manager_crashes, 0u);
+  EXPECT_EQ(faulty.recovery.manager_recoveries, 0u);
+  ASSERT_GT(baseline.merged.records.size(), 1000u);
+  const double ratio = static_cast<double>(faulty.merged.records.size()) /
+                       static_cast<double>(baseline.merged.records.size());
+  EXPECT_GE(ratio, 0.99) << faulty.merged.records.size() << " of "
+                         << baseline.merged.records.size() << " records";
+  EXPECT_LE(ratio, 1.0);
 }
 
 TEST(ChaosScenario, GreedyChaosVariantRuns) {

@@ -1,0 +1,175 @@
+// Smoke tests for the edhp_inspect operator CLI: every mode exercised end to
+// end against freshly written fixture files, asserting exit codes and the
+// key lines of output. The binary path comes from the build system via
+// EDHP_INSPECT_BIN (same pattern as the fuzz corpus dir).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/abuse.hpp"
+#include "logbook/journal.hpp"
+#include "logbook/log_io.hpp"
+
+namespace edhp {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Run the inspect binary with `args`, capturing stdout+stderr.
+RunResult run_inspect(const std::string& args) {
+  const auto out_path =
+      (std::filesystem::temp_directory_path() / "edhp_inspect_out.txt")
+          .string();
+  const std::string cmd = std::string(EDHP_INSPECT_BIN) + " " + args + " > " +
+                          out_path + " 2>&1";
+  const int raw = std::system(cmd.c_str());
+  RunResult r;
+#ifdef WEXITSTATUS
+  r.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+  r.exit_code = raw;
+#endif
+  std::ifstream f(out_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  r.output = ss.str();
+  std::remove(out_path.c_str());
+  return r;
+}
+
+class InspectCliTest : public ::testing::Test {
+ protected:
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "edhp_inspect_fixtures";
+
+  std::string log_path, journal_path;
+
+  void SetUp() override {
+    std::filesystem::create_directories(dir);
+    log_path = (dir / "campaign.edhplog").string();
+    journal_path = (dir / "manager.edhpjrn").string();
+
+    // A small stage-1 log: two benign records and one hostile-marked one.
+    logbook::LogFile log;
+    log.header.honeypot = 7;
+    log.header.strategy = "no-content";
+    log.header.server_name = "srv";
+    log.names = {"", "bait.avi"};
+    for (int i = 0; i < 2; ++i) {
+      logbook::LogRecord r;
+      r.timestamp = 100.0 + i;
+      r.peer = 1000 + static_cast<std::uint64_t>(i);
+      r.user = 42;
+      r.honeypot = 7;
+      r.name_ref = 1;
+      log.records.push_back(r);
+    }
+    logbook::LogRecord hostile;
+    hostile.timestamp = 200.0;
+    hostile.peer = 3000;
+    hostile.user = fault::kAbuseUserWord;
+    hostile.honeypot = 7;
+    log.records.push_back(hostile);
+    logbook::save(log_path, log);
+
+    // A journal with a few typed entries.
+    logbook::Journal journal;
+    const std::vector<std::uint8_t> payload{1, 2, 3};
+    journal.append(logbook::JournalEntryType::launch, payload);
+    journal.append(logbook::JournalEntryType::advertise, payload);
+    journal.append(logbook::JournalEntryType::checkpoint, payload);
+    journal.append(logbook::JournalEntryType::chunk_stored, payload);
+    journal.save(journal_path);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir); }
+};
+
+TEST_F(InspectCliTest, NoArgumentsPrintsUsage) {
+  const auto r = run_inspect("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  EXPECT_NE(r.output.find("journal"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, StatsMode) {
+  const auto r = run_inspect("stats " + log_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("records"), std::string::npos);
+  EXPECT_NE(r.output.find("3"), std::string::npos);
+  EXPECT_NE(r.output.find("stage-1"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, DefenseMode) {
+  const auto r = run_inspect("defense " + log_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("hostile-marked"), std::string::npos);
+  EXPECT_NE(r.output.find("benign"), std::string::npos);
+  // 1 of 3 records is hostile.
+  EXPECT_NE(r.output.find("33.333%"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, JournalMode) {
+  const auto r = run_inspect("journal " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("entries"), std::string::npos);
+  EXPECT_NE(r.output.find("launch"), std::string::npos);
+  EXPECT_NE(r.output.find("checkpoint"), std::string::npos);
+  EXPECT_NE(r.output.find("chunk_stored"), std::string::npos);
+  EXPECT_NE(r.output.find("torn tail"), std::string::npos);
+  EXPECT_NE(r.output.find("none"), std::string::npos);
+  EXPECT_NE(r.output.find("quarantined"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, JournalModeReportsTornTail) {
+  // Truncate the journal file mid-frame: the audit reports clean tail loss
+  // and still exits 0 (damage is the report, not an error).
+  std::filesystem::resize_file(journal_path,
+                               std::filesystem::file_size(journal_path) - 2);
+  const auto r = run_inspect("journal " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("clean tail loss"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, JournalModeRejectsBadMagic) {
+  const auto bad = (dir / "not_a_journal.edhpjrn").string();
+  {
+    std::ofstream f(bad, std::ios::binary);
+    f << "this is not a journal file";
+  }
+  const auto r = run_inspect("journal " + bad);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, MergeAndAnonymizePipeline) {
+  const auto merged = (dir / "merged.edhplog").string();
+  const auto published = (dir / "published.edhplog").string();
+  auto r = run_inspect("merge " + merged + " " + log_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("merged 1 logs"), std::string::npos);
+  r = run_inspect("anonymize " + merged + " " + published);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("stage-2 applied"), std::string::npos);
+  r = run_inspect("stats " + published);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("stage-2"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, MissingFileFailsCleanly) {
+  const auto r = run_inspect("stats " + (dir / "nope.edhplog").string());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edhp

@@ -7,6 +7,7 @@
 //   anonymize <in> <out>      apply stage-2 renumbering to a merged log
 //   clients <log>             client-software mix of a stage-2 log
 //   defense <log...>          triage hostile-marked traffic in campaign logs
+//   journal <journal...>      audit a manager write-ahead journal
 //
 // Logs are the binary format honeypots write (logbook::save/load). The
 // pipeline an operator runs after a campaign:
@@ -16,6 +17,7 @@
 //   edhp_inspect defense published.edhplog
 
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "analysis/report.hpp"
 #include "anonymize/renumber.hpp"
 #include "fault/abuse.hpp"
+#include "logbook/journal.hpp"
 #include "logbook/log_io.hpp"
 #include "logbook/merge.hpp"
 
@@ -32,14 +35,58 @@ using namespace edhp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense> ...\n"
+  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense|journal> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
                "  anonymize <in> <out>\n"
                "  clients <log>\n"
-               "  defense <log...>\n";
+               "  defense <log...>\n"
+               "  journal <journal...>\n";
   return 2;
+}
+
+/// Manager write-ahead-journal audit: frame counts per entry type, the
+/// checkpoint the next recovery would replay from, and integrity findings
+/// (quarantined frames, torn tail). Never throws on damage — damage is the
+/// report.
+void print_journal(const std::string& path, const logbook::Journal& journal) {
+  const auto scan = journal.scan();
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("bytes", analysis::with_commas(journal.size_bytes()));
+  rows.emplace_back("entries", analysis::with_commas(scan.entries.size()));
+  std::map<std::uint8_t, std::uint64_t> by_type;
+  std::size_t last_checkpoint = scan.entries.size();
+  for (std::size_t i = 0; i < scan.entries.size(); ++i) {
+    ++by_type[scan.entries[i].type];
+    if (scan.entries[i].type ==
+        static_cast<std::uint8_t>(logbook::JournalEntryType::checkpoint)) {
+      last_checkpoint = i;
+    }
+  }
+  for (const auto& [type, count] : by_type) {
+    rows.emplace_back(
+        std::string("  ") +
+            std::string(logbook::to_string(
+                static_cast<logbook::JournalEntryType>(type))),
+        analysis::with_commas(count));
+  }
+  rows.emplace_back("replay window",
+                    last_checkpoint < scan.entries.size()
+                        ? analysis::with_commas(scan.entries.size() -
+                                                last_checkpoint) +
+                              " entries from last checkpoint"
+                        : "full journal (no checkpoint)");
+  rows.emplace_back("quarantined", analysis::with_commas(scan.quarantined.size()));
+  for (const auto& bad : scan.quarantined) {
+    rows.emplace_back("  bad checksum at offset",
+                      analysis::with_commas(bad.offset));
+  }
+  rows.emplace_back("torn tail", scan.torn_tail
+                                     ? analysis::with_commas(scan.torn_bytes) +
+                                           " bytes (clean tail loss)"
+                                     : std::string("none"));
+  analysis::print_kv(std::cout, path, rows);
 }
 
 /// Hostile-traffic triage: attackers in the abuse model carry a fixed
@@ -162,6 +209,12 @@ int main(int argc, char** argv) {
     if (cmd == "defense" || cmd == "--defense") {
       for (int i = 2; i < argc; ++i) {
         print_defense(argv[i], logbook::load(argv[i]));
+      }
+      return 0;
+    }
+    if (cmd == "journal") {
+      for (int i = 2; i < argc; ++i) {
+        print_journal(argv[i], logbook::Journal::load(argv[i]));
       }
       return 0;
     }
