@@ -1,0 +1,148 @@
+// Ablation: what the overload/degradation layer costs when idle, and what
+// it buys when the spool quota actually bites.
+//
+// Two measurements:
+//   1. chaos-off engine kernel throughput — the same 1024-chain
+//      self-rescheduling measurement as bench_micro_sim's headline JSON
+//      line, re-run with the budget-aware data plane linked in. Budgets off
+//      must be free: CI fails the build if this drops more than 10% below
+//      the recorded micro_sim baseline.
+//   2. spool-quota ablation at campaign scale (manager crashes + hostile
+//      traffic in the mix): unlimited quota reports the peak spool
+//      footprint, then the same world re-runs at 1/2 and 1/4 of that peak.
+//
+// Expected: evidence retention stays at 100% at every quota (the degrade
+// layer sheds only abuse-marked records, and declares every one); shed and
+// compaction counts grow as the quota shrinks.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "fault/abuse.hpp"
+#include "scenario/scenario.hpp"
+
+using namespace edhp;
+
+namespace {
+
+/// Identical to bench_micro_sim's headline kernel: 1024 concurrent
+/// self-rescheduling timer chains, each hop one heap pop + slab recycle +
+/// schedule at realistic queue depth.
+double measure_events_per_sec() {
+  using clock = std::chrono::steady_clock;
+  sim::Simulation s;
+  for (int i = 0; i < 1024; ++i) {
+    const double period = 1.0 + static_cast<double>(i % 97);
+    auto hop = std::make_shared<std::function<void()>>();
+    *hop = [&s, hop, period] { s.schedule_in(period, *hop); };
+    s.schedule_in(period, *hop);
+  }
+  const auto start = clock::now();
+  do {
+    s.run_until(s.now() + 1000.0);
+  } while (clock::now() - start < std::chrono::milliseconds(300));
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return static_cast<double>(s.executed()) / elapsed;
+}
+
+std::uint64_t benign_count(const logbook::LogFile& log) {
+  std::uint64_t hostile = 0;
+  for (const auto& r : log.records) {
+    if (r.user == fault::kAbuseUserWord) ++hostile;
+  }
+  return log.records.size() - hostile;
+}
+
+scenario::DistributedConfig campaign() {
+  scenario::DistributedConfig config;
+  config.scale = 0.02;
+  config.days = 16;
+  config.honeypots = 12;
+  config.with_top_peer = false;
+  config.chaos.enabled = true;
+  config.chaos.host_mtbf = 0;
+  config.chaos.manager_mtbf = days(4);
+  config.abuse.enabled = true;
+  return config;
+}
+
+struct QuotaOutcome {
+  const char* label;
+  std::uint64_t quota;
+  std::uint64_t records;
+  std::uint64_t benign;
+  std::uint64_t shed;
+  std::uint64_t compaction_runs;
+  std::uint64_t peak;
+};
+
+QuotaOutcome run_at_quota(const char* label, std::uint64_t quota) {
+  auto config = campaign();
+  config.chaos.disk_quota_bytes = quota;
+  config.chaos.resend_credit = 4;
+  const auto r = scenario::run_distributed(config);
+  return QuotaOutcome{label,
+                      quota,
+                      r.merged.records.size(),
+                      benign_count(r.merged),
+                      r.degrade.records_shed,
+                      r.degrade.compaction_runs,
+                      r.degrade.spool_peak_bytes};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::parse_options(argc, argv);  // accept the standard flags
+  std::cout << "ablation: overload layer idle cost + spool quota sweep\n\n";
+
+  const double events_per_sec = measure_events_per_sec();
+  std::cout << "  chaos-off engine kernel: "
+            << static_cast<std::uint64_t>(events_per_sec) << " events/s\n\n";
+
+  const auto unlimited = scenario::run_distributed(campaign());
+  const std::uint64_t peak = unlimited.degrade.spool_peak_bytes;
+  const std::uint64_t benign_full = benign_count(unlimited.merged);
+  std::cout << "  unlimited quota: " << unlimited.merged.records.size()
+            << " records (" << benign_full << " benign), peak spool " << peak
+            << " bytes\n";
+
+  const QuotaOutcome half = run_at_quota("1/2 peak", peak / 2);
+  const QuotaOutcome quarter = run_at_quota("1/4 peak", peak / 4);
+  for (const auto& o : {half, quarter}) {
+    const double retained =
+        benign_full > 0
+            ? static_cast<double>(o.benign) / static_cast<double>(benign_full)
+            : 1.0;
+    std::cout << "  quota " << o.label << " (" << o.quota << " B): " << o.records
+              << " records, benign retained " << retained * 100.0
+              << "%, shed " << o.shed << ", compaction runs "
+              << o.compaction_runs << ", peak " << o.peak << " B\n";
+  }
+
+  std::cout << "\nexpected: benign retention 100% at every quota; shed and "
+               "compaction grow as the quota shrinks; the kernel number "
+               "matches bench_micro_sim's baseline (budgets off are free)\n";
+  const double half_retained =
+      benign_full > 0
+          ? static_cast<double>(half.benign) / static_cast<double>(benign_full)
+          : 1.0;
+  const double quarter_retained =
+      benign_full > 0 ? static_cast<double>(quarter.benign) /
+                            static_cast<double>(benign_full)
+                      : 1.0;
+  std::printf(
+      "{\"bench\":\"overload\",\"events_per_sec\":%.0f,"
+      "\"spool_peak_bytes\":%llu,\"half_quota_shed\":%llu,"
+      "\"half_quota_benign_retained\":%.4f,\"quarter_quota_shed\":%llu,"
+      "\"quarter_quota_benign_retained\":%.4f,\"half_quota_compactions\":%llu}\n",
+      events_per_sec, static_cast<unsigned long long>(peak),
+      static_cast<unsigned long long>(half.shed), half_retained,
+      static_cast<unsigned long long>(quarter.shed), quarter_retained,
+      static_cast<unsigned long long>(half.compaction_runs));
+  return 0;
+}

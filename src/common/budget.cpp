@@ -1,0 +1,54 @@
+#include "common/budget.hpp"
+
+#include <algorithm>
+
+namespace edhp::budget {
+
+std::string_view to_string(DegradePolicy p) {
+  switch (p) {
+    case DegradePolicy::off: return "off";
+    case DegradePolicy::priority_shed: return "priority_shed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ResourceFault f) {
+  switch (f) {
+    case ResourceFault::disk_full: return "disk_full";
+    case ResourceFault::disk_slow: return "disk_slow";
+    case ResourceFault::mem_pressure: return "mem_pressure";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DegradeReason r) {
+  switch (r) {
+    case DegradeReason::none: return "none";
+    case DegradeReason::fault_disk_full: return "fault_disk_full";
+    case DegradeReason::fault_disk_slow: return "fault_disk_slow";
+    case DegradeReason::fault_mem_pressure: return "fault_mem_pressure";
+    case DegradeReason::disk_quota: return "disk_quota";
+    case DegradeReason::mem_budget: return "mem_budget";
+  }
+  return "unknown";
+}
+
+DegradeStats& DegradeStats::operator+=(const DegradeStats& other) noexcept {
+  degrade_enters += other.degrade_enters;
+  degrade_exits += other.degrade_exits;
+  records_shed += other.records_shed;
+  compaction_runs += other.compaction_runs;
+  chunks_compacted += other.chunks_compacted;
+  compaction_bytes_reclaimed += other.compaction_bytes_reclaimed;
+  backpressure_cuts += other.backpressure_cuts;
+  spool_cuts_deferred += other.spool_cuts_deferred;
+  sessions_refused += other.sessions_refused;
+  resends_paced += other.resends_paced;
+  quota_overruns += other.quota_overruns;
+  // A fleet sum keeps the worst single component's peak: the quota is
+  // per-honeypot, so the max is what sizing decisions need.
+  spool_peak_bytes = std::max(spool_peak_bytes, other.spool_peak_bytes);
+  return *this;
+}
+
+}  // namespace edhp::budget

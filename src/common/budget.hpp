@@ -1,0 +1,153 @@
+#pragma once
+// Resource budgets and graceful-degradation accounting.
+//
+// The paper's platform runs on shared PlanetLab hosts: disk fills up under
+// the spool, memory is rationed, and file descriptors are capped — yet the
+// honeypots must keep logging HELLO/START-UPLOAD/REQUEST-PART evidence
+// through all of it. This module holds the budget model shared by the data
+// plane:
+//
+//   BudgetConfig  — per-component resource ceilings (byte-accounted spool
+//                   quota, bounded unspooled record buffer, fd-style session
+//                   ceiling) plus the degradation policy;
+//   ByteBudget    — a byte accountant with quota/used/peak tracking;
+//   DegradeStats  — counters of every declared degradation decision (shed,
+//                   compaction, backpressure, pacing), summed fleet-wide
+//                   into scenario::ScenarioResult.
+//
+// Degradation contract: when a budget trips, components shed by RECORD
+// PRIORITY — evidence records (anything a benign peer produced) are never
+// dropped; only low-priority traffic (abuse-marked records, re-offer
+// chatter) is shed, and every shed record is counted. Zero silent loss:
+// `records_shed` fully accounts the gap between a budget-limited run and
+// the uninterrupted one.
+//
+// This header sits at the bottom of the link graph (edhp_common): it must
+// not depend on logbook/net/fault types, so priority is expressed as a
+// plain user-hash word (BudgetConfig::shed_user_word) the scenario wires to
+// the abuse marker.
+
+#include <cstdint>
+#include <string_view>
+
+namespace edhp::budget {
+
+/// What a component does when a resource budget trips.
+enum class DegradePolicy : std::uint8_t {
+  off = 0,            ///< budgets are ignored (accounting only)
+  priority_shed = 1,  ///< declared degraded mode: shed low-priority records,
+                      ///< compact spool chunks, emit backpressure
+};
+
+[[nodiscard]] std::string_view to_string(DegradePolicy p);
+
+/// Resource-exhaustion fault classes (subjects are honeypot hosts).
+enum class ResourceFault : std::uint8_t {
+  disk_full = 0,     ///< spool quota shrinks (or freezes) for an episode
+  disk_slow = 1,     ///< spool cuts are throttled for an episode
+  mem_pressure = 2,  ///< record buffer shrinks + session ceiling applies
+};
+
+[[nodiscard]] std::string_view to_string(ResourceFault f);
+
+/// Why a component declared degraded mode (journaled with the transition).
+/// Numeric values are part of the journal payload format: append only.
+enum class DegradeReason : std::uint8_t {
+  none = 0,
+  fault_disk_full = 1,    ///< injected disk_full episode began
+  fault_disk_slow = 2,    ///< injected disk_slow episode began
+  fault_mem_pressure = 3, ///< injected mem_pressure episode began
+  disk_quota = 4,         ///< organic: resident spool bytes over quota
+  mem_budget = 5,         ///< organic: unspooled record tail over budget
+};
+
+[[nodiscard]] std::string_view to_string(DegradeReason r);
+
+/// Per-component resource ceilings. Every 0 means "unlimited" — the
+/// defaults reproduce the pre-budget data plane bit-for-bit.
+struct BudgetConfig {
+  /// Resident (spooled-but-unacknowledged) chunk bytes a honeypot may hold
+  /// before the spool writer degrades into compaction + shedding. Soft for
+  /// evidence records: they are kept even over quota (and the overrun is
+  /// counted), because losing them silently would defeat the measurement.
+  std::uint64_t disk_quota_bytes = 0;
+  /// Unspooled log-tail records held in memory before backpressure forces
+  /// an early chunk cut (or sheds a low-priority record at the source).
+  std::uint64_t mem_budget_records = 0;
+  /// Concurrent peer sessions accepted while a mem_pressure episode is
+  /// active (the fd-limit analog under overload). 0 freezes the ceiling at
+  /// the session count observed when the episode begins.
+  std::uint32_t session_ceiling = 0;
+  /// Records whose user hash equals this word are low priority and shed
+  /// first (the scenario wires the abuse marker here). 0 = nothing is ever
+  /// shed; budgets then only compact and backpressure.
+  std::uint64_t shed_user_word = 0;
+  DegradePolicy policy = DegradePolicy::priority_shed;
+
+  /// True when any ceiling is set (degradation can trip organically).
+  [[nodiscard]] bool any() const noexcept {
+    return disk_quota_bytes != 0 || mem_budget_records != 0 ||
+           session_ceiling != 0;
+  }
+};
+
+/// Counters of every declared degradation decision. All zero when budgets
+/// never trip and no resource fault fires.
+struct DegradeStats {
+  std::uint64_t degrade_enters = 0;   ///< degraded-mode transitions (in)
+  std::uint64_t degrade_exits = 0;    ///< degraded-mode transitions (out)
+  std::uint64_t records_shed = 0;     ///< low-priority records dropped, declared
+  std::uint64_t compaction_runs = 0;  ///< spool compaction passes
+  std::uint64_t chunks_compacted = 0; ///< chunks coalesced by compaction
+  std::uint64_t compaction_bytes_reclaimed = 0;
+  std::uint64_t backpressure_cuts = 0;   ///< early chunk cuts forced by the
+                                         ///< record-buffer budget
+  std::uint64_t spool_cuts_deferred = 0; ///< periodic cuts throttled by disk_slow
+  std::uint64_t sessions_refused = 0;    ///< accepts refused at the ceiling
+  std::uint64_t resends_paced = 0;       ///< chunk resends deferred by the
+                                         ///< manager's credit window
+  std::uint64_t quota_overruns = 0;      ///< evidence kept over quota (soft)
+  std::uint64_t spool_peak_bytes = 0;    ///< max resident spool bytes seen
+
+  DegradeStats& operator+=(const DegradeStats& other) noexcept;
+};
+
+/// Byte accountant for one quota'd resource. Quota 0 = unlimited; usage is
+/// still tracked (and the peak recorded) so an episode can freeze it.
+class ByteBudget {
+ public:
+  ByteBudget() = default;
+  explicit ByteBudget(std::uint64_t quota) : quota_(quota) {}
+
+  void set_quota(std::uint64_t quota) noexcept { quota_ = quota; }
+  [[nodiscard]] std::uint64_t quota() const noexcept { return quota_; }
+  [[nodiscard]] bool unlimited() const noexcept { return quota_ == 0; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::uint64_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    if (unlimited() || used_ >= quota_) return unlimited() ? ~0ull : 0;
+    return quota_ - used_;
+  }
+  [[nodiscard]] bool over() const noexcept {
+    return !unlimited() && used_ > quota_;
+  }
+  [[nodiscard]] bool would_exceed(std::uint64_t extra) const noexcept {
+    return !unlimited() && used_ + extra > quota_;
+  }
+
+  void charge(std::uint64_t bytes) noexcept {
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+  /// Saturating: releasing more than is charged clamps to zero.
+  void release(std::uint64_t bytes) noexcept {
+    used_ = bytes >= used_ ? 0 : used_ - bytes;
+  }
+
+ private:
+  std::uint64_t quota_ = 0;
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace edhp::budget

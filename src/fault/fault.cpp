@@ -48,6 +48,12 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::partition_heal: return "partition_heal";
     case FaultKind::manager_crash: return "manager_crash";
     case FaultKind::manager_recover: return "manager_recover";
+    case FaultKind::disk_full_begin: return "disk_full_begin";
+    case FaultKind::disk_full_end: return "disk_full_end";
+    case FaultKind::disk_slow_begin: return "disk_slow_begin";
+    case FaultKind::disk_slow_end: return "disk_slow_end";
+    case FaultKind::mem_pressure_begin: return "mem_pressure_begin";
+    case FaultKind::mem_pressure_end: return "mem_pressure_end";
   }
   return "unknown";
 }
@@ -133,6 +139,33 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
     renewal_windows(out, r, config.manager_mtbf, config.manager_outage_mean,
                     horizon, FaultKind::manager_crash,
                     FaultKind::manager_recover, 0, 1.0);
+  }
+
+  // Resource-exhaustion classes on fresh splits (7/8/9): enabling any of
+  // them leaves every schedule above bit-identical.
+  const Rng disk_full_rng = rng.split(7);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = disk_full_rng.split(h);
+    renewal_windows(out, r, config.disk_full_mtbf, config.disk_full_mean,
+                    horizon, FaultKind::disk_full_begin,
+                    FaultKind::disk_full_end, static_cast<std::uint32_t>(h),
+                    config.disk_full_fraction);
+  }
+  const Rng disk_slow_rng = rng.split(8);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = disk_slow_rng.split(h);
+    renewal_windows(out, r, config.disk_slow_mtbf, config.disk_slow_mean,
+                    horizon, FaultKind::disk_slow_begin,
+                    FaultKind::disk_slow_end, static_cast<std::uint32_t>(h),
+                    config.disk_slow_factor);
+  }
+  const Rng mem_rng = rng.split(9);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = mem_rng.split(h);
+    renewal_windows(out, r, config.mem_pressure_mtbf, config.mem_pressure_mean,
+                    horizon, FaultKind::mem_pressure_begin,
+                    FaultKind::mem_pressure_end, static_cast<std::uint32_t>(h),
+                    config.mem_pressure_fraction);
   }
 
   // Stable: simultaneous events keep category order (hosts before uplinks
@@ -228,6 +261,33 @@ void Injector::apply(const FaultEvent& event) {
         bind_.recover_manager();
         ++stats_.manager_recoveries;
       }
+      break;
+    }
+    case FaultKind::disk_full_begin: {
+      if (bind_.disk_full) bind_.disk_full(subject, true, event.magnitude);
+      ++stats_.disk_full_episodes;
+      break;
+    }
+    case FaultKind::disk_full_end: {
+      if (bind_.disk_full) bind_.disk_full(subject, false, event.magnitude);
+      break;
+    }
+    case FaultKind::disk_slow_begin: {
+      if (bind_.disk_slow) bind_.disk_slow(subject, true, event.magnitude);
+      ++stats_.disk_slow_episodes;
+      break;
+    }
+    case FaultKind::disk_slow_end: {
+      if (bind_.disk_slow) bind_.disk_slow(subject, false, event.magnitude);
+      break;
+    }
+    case FaultKind::mem_pressure_begin: {
+      if (bind_.mem_pressure) bind_.mem_pressure(subject, true, event.magnitude);
+      ++stats_.mem_pressure_episodes;
+      break;
+    }
+    case FaultKind::mem_pressure_end: {
+      if (bind_.mem_pressure) bind_.mem_pressure(subject, false, event.magnitude);
       break;
     }
   }

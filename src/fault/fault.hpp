@@ -28,7 +28,14 @@
 //                         refusal both ways + RST of cross-group traffic);
 //   manager crash         the control plane dies (fleet table, watchdog and
 //                         ack state lost); honeypots keep running and keep
-//                         spooling locally until a recovery re-adopts them.
+//                         spooling locally until a recovery re-adopts them;
+//   disk full             a host's spool quota collapses to a fraction of
+//                         its budget for an episode (the honeypot degrades:
+//                         compaction + priority shedding, never silent loss);
+//   disk slow             periodic spool cuts are throttled for an episode
+//                         (the unspooled tail grows; backpressure covers it);
+//   memory pressure       a host's record buffer shrinks and an fd-style
+//                         session ceiling engages for an episode.
 
 #include <cstdint>
 #include <functional>
@@ -36,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
@@ -56,6 +64,14 @@ enum class FaultKind : std::uint8_t {
   partition_heal,       ///< host `subject` rejoins group 0
   manager_crash,        ///< control-plane process dies (subject unused)
   manager_recover,      ///< replacement manager replays the journal
+  // Resource-exhaustion classes (appended — on-disk/journal values of the
+  // kinds above never change).
+  disk_full_begin,      ///< spool quota × magnitude for the episode
+  disk_full_end,
+  disk_slow_begin,      ///< periodic cuts throttled by factor `magnitude`
+  disk_slow_end,
+  mem_pressure_begin,   ///< record budget × magnitude + session ceiling
+  mem_pressure_end,
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k);
@@ -100,6 +116,26 @@ struct ChaosConfig {
   /// bit-identical across the ablation.
   bool manager_recovery = true;
 
+  // --- Resource-exhaustion classes (fresh RNG splits: enabling any of
+  // these never shifts the schedules above) ------------------------------
+  Duration disk_full_mtbf = 0;            ///< per-host spool-quota collapse
+  Duration disk_full_mean = hours(1);
+  double disk_full_fraction = 0.25;       ///< quota multiplier during episode
+  Duration disk_slow_mtbf = 0;            ///< per-host spool-cut throttling
+  Duration disk_slow_mean = minutes(30);
+  double disk_slow_factor = 4.0;          ///< cut-period multiplier
+  Duration mem_pressure_mtbf = 0;         ///< per-host record-buffer squeeze
+  Duration mem_pressure_mean = minutes(20);
+  double mem_pressure_fraction = 0.5;     ///< record-budget multiplier
+
+  // --- Resource budgets + degradation policy the scenarios hand every
+  // honeypot (0 = unlimited; defaults reproduce the pre-budget plane) -----
+  std::uint64_t disk_quota_bytes = 0;     ///< resident spool-byte quota
+  std::uint64_t mem_budget_records = 0;   ///< unspooled log-tail ceiling
+  std::uint32_t session_ceiling = 0;      ///< accepts allowed under mem_pressure
+  std::uint32_t resend_credit = 0;        ///< manager recovery-resend window
+  budget::DegradePolicy degrade_policy = budget::DegradePolicy::priority_shed;
+
   // --- Recovery policy the scenarios apply alongside the plan ------------
   Duration retry_base = 30.0;             ///< honeypot reconnect backoff base
   Duration retry_cap = minutes(30);
@@ -119,6 +155,9 @@ struct FaultStats {
   std::uint64_t partition_episodes = 0;  ///< host-level isolation events
   std::uint64_t manager_crashes = 0;     ///< control-plane crashes
   std::uint64_t manager_recoveries = 0;  ///< recover events delivered
+  std::uint64_t disk_full_episodes = 0;
+  std::uint64_t disk_slow_episodes = 0;
+  std::uint64_t mem_pressure_episodes = 0;
   std::uint64_t connections_aborted = 0;
 };
 
@@ -165,6 +204,11 @@ class Injector {
     std::function<void(std::size_t)> start_server;
     std::function<void()> crash_manager;    ///< control-plane process death
     std::function<void()> recover_manager;  ///< journal replay + re-adoption
+    /// Resource-fault hooks: (host, active, magnitude). Unset = no-op; the
+    /// episodes are purely app-level (no network effect to fall back on).
+    std::function<void(std::size_t, bool, double)> disk_full;
+    std::function<void(std::size_t, bool, double)> disk_slow;
+    std::function<void(std::size_t, bool, double)> mem_pressure;
   };
 
   Injector(net::Network& network, FaultPlan plan, Bindings bindings);

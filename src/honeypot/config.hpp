@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "logbook/spool.hpp"
@@ -87,6 +88,11 @@ struct HoneypotConfig {
   /// Hard fd-limit analog on concurrent peer connections, enforced even
   /// with the defense layer disabled; far above benign concurrency.
   std::size_t hard_peer_cap = 2048;
+
+  /// Resource budgets + degradation policy (all ceilings default 0 =
+  /// unlimited: the pre-budget data plane, bit-for-bit). The scenario fills
+  /// these from ChaosConfig; the manager's launch path leaves them alone.
+  budget::BudgetConfig budget;
 };
 
 }  // namespace edhp::honeypot

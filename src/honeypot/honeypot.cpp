@@ -80,7 +80,7 @@ void Honeypot::connect_to_server(const ServerRef& server) {
     // (the manager dedups), then the periodic cutter resumes.
     resend_spool();
     spool_timer_ = std::make_unique<sim::PeriodicTimer>(
-        net_.simulation(), config_.spool.period, [this] { spool_now(); });
+        net_.simulation(), config_.spool.period, [this] { periodic_spool(); });
     spool_timer_->start();
   }
 
@@ -231,6 +231,22 @@ double Honeypot::connected_time() const {
   return total;
 }
 
+void Honeypot::periodic_spool() {
+  if (!config_.spool.enabled) return;
+  if (log_.records.size() == spooled_mark_) return;
+  if (disk_slow_active_) {
+    // The episode throttles the cut cadence; forced cuts (backpressure,
+    // final flush on stop) go through spool_now directly and are unaffected.
+    const Duration min_gap = config_.spool.period * disk_slow_factor_;
+    if (net_.simulation().now() - last_spool_cut_ < min_gap) {
+      ++degrade_.spool_cuts_deferred;
+      counters_.add("spool_cuts_deferred");
+      return;
+    }
+  }
+  spool_now();
+}
+
 void Honeypot::spool_now() {
   if (!config_.spool.enabled) return;
   if (log_.records.size() == spooled_mark_) return;
@@ -242,6 +258,7 @@ void Honeypot::spool_now() {
   chunk.names.assign(log_.names.begin() +
                          static_cast<std::ptrdiff_t>(names_spooled_mark_),
                      log_.names.end());
+  const std::size_t rec_begin = spooled_mark_;
   chunk.records.assign(
       log_.records.begin() + static_cast<std::ptrdiff_t>(spooled_mark_),
       log_.records.end());
@@ -249,23 +266,68 @@ void Honeypot::spool_now() {
   names_spooled_mark_ = log_.names.size();
   chunk.checksum = logbook::chunk_checksum(chunk);
   counters_.add("chunks_spooled");
+  last_spool_cut_ = net_.simulation().now();
+  spool_resident_bytes_ += logbook::chunk_cost_bytes(chunk);
+  degrade_.spool_peak_bytes =
+      std::max(degrade_.spool_peak_bytes, spool_resident_bytes_);
   pending_chunks_.push_back(std::move(chunk));
+  pending_meta_.push_back(
+      {spool_sink_ != nullptr, spool_sink_ != nullptr, rec_begin, spooled_mark_});
   if (spool_sink_) spool_sink_(pending_chunks_.back());
+  maybe_compact();
+  update_degrade_state();
 }
 
 void Honeypot::resend_spool() {
-  for (const auto& chunk : pending_chunks_) {
+  // Legacy unlimited path (honeypot relaunch): everything goes out again,
+  // including chunks already in flight — the previous send may have died
+  // with the crashed process.
+  for (std::size_t i = 0; i < pending_chunks_.size(); ++i) {
     counters_.add("chunks_resent");
-    if (spool_sink_) spool_sink_(chunk);
+    if (spool_sink_) {
+      pending_meta_[i].delivered = true;
+      pending_meta_[i].in_flight = true;
+      spool_sink_(pending_chunks_[i]);
+    }
   }
 }
 
+std::size_t Honeypot::resend_spool(std::size_t limit) {
+  std::size_t sent = 0;
+  std::size_t deferred = 0;
+  for (std::size_t i = 0; i < pending_chunks_.size(); ++i) {
+    if (pending_meta_[i].in_flight) continue;
+    if (sent >= limit) {
+      ++deferred;
+      continue;
+    }
+    counters_.add("chunks_resent");
+    if (spool_sink_) {
+      pending_meta_[i].delivered = true;
+      pending_meta_[i].in_flight = true;
+      spool_sink_(pending_chunks_[i]);
+    }
+    ++sent;
+  }
+  if (deferred > 0) {
+    degrade_.resends_paced += deferred;
+    counters_.add("resends_paced", deferred);
+  }
+  return deferred;
+}
+
 void Honeypot::ack_spooled(std::uint64_t seq) {
-  const auto before = pending_chunks_.size();
-  std::erase_if(pending_chunks_,
-                [seq](const logbook::LogChunk& c) { return c.seq == seq; });
-  if (pending_chunks_.size() != before) {
+  for (std::size_t i = 0; i < pending_chunks_.size(); ++i) {
+    if (pending_chunks_[i].seq != seq) continue;
+    const std::uint64_t cost = logbook::chunk_cost_bytes(pending_chunks_[i]);
+    spool_resident_bytes_ =
+        cost >= spool_resident_bytes_ ? 0 : spool_resident_bytes_ - cost;
+    pending_chunks_.erase(pending_chunks_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    pending_meta_.erase(pending_meta_.begin() + static_cast<std::ptrdiff_t>(i));
     counters_.add("chunks_acked");
+    update_degrade_state();
+    return;
   }
 }
 
@@ -390,6 +452,14 @@ logbook::LogFile Honeypot::take_log() {
   name_cache_.clear();
   spooled_mark_ = 0;
   names_spooled_mark_ = 1;
+  // The marks reset, so every pending chunk's log range is stale: freeze
+  // them as delivered (compaction must never touch them again). The caller
+  // collected the log; the chunks only remain for at-least-once delivery.
+  for (auto& meta : pending_meta_) {
+    meta.delivered = true;
+    meta.rec_begin = 0;
+    meta.rec_end = 0;
+  }
   return out;
 }
 
@@ -398,6 +468,15 @@ void Honeypot::on_peer_accept(net::EndpointPtr ep) {
     // The fd-limit analog: even an undefended honeypot cannot hold
     // unbounded peer connections.
     counters_.add("hard_cap_refused");
+    ep->close();
+    return;
+  }
+  if (mem_pressure_active_ && session_ceiling_active_ != 0 &&
+      peers_.size() >= session_ceiling_active_) {
+    // Declared degradation: under memory pressure the episode's session
+    // ceiling refuses new peers before they can cost a buffer.
+    ++degrade_.sessions_refused;
+    counters_.add("sessions_refused");
     ep->close();
     return;
   }
@@ -718,9 +797,12 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
     r.file = *file;
     r.flags |= logbook::kFlagHasFile;
   }
-  log_.records.push_back(r);
+  // The query happened either way: heartbeat and per-type counters reflect
+  // observed traffic; only the LOG is subject to the budget gate.
   heartbeat_ = net_.simulation().now();
   counters_.add(std::string(logbook::to_string(type)));
+  if (!admit_record(r.user)) return;
+  log_.records.push_back(r);
 }
 
 std::uint16_t Honeypot::intern_name(const std::string& name) {
@@ -734,6 +816,205 @@ std::uint16_t Honeypot::intern_name(const std::string& name) {
 bool Honeypot::in_harvest_window() const {
   if (status_ != Status::connected) return false;
   return net_.simulation().now() - started_at_ <= config_.greedy_harvest_window;
+}
+
+std::uint64_t Honeypot::effective_disk_quota() const {
+  const std::uint64_t base = config_.budget.disk_quota_bytes;
+  if (!disk_full_active_) return base;
+  if (base == 0) {
+    // No configured quota to shrink: the episode freezes the disk at the
+    // fill level observed when it began.
+    return std::max<std::uint64_t>(1, disk_full_frozen_quota_);
+  }
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(base) *
+                                    disk_full_magnitude_));
+}
+
+std::uint64_t Honeypot::effective_mem_budget() const {
+  const std::uint64_t base = config_.budget.mem_budget_records;
+  if (!mem_pressure_active_) return base;
+  if (base == 0) {
+    return std::max<std::uint64_t>(1, mem_frozen_budget_);
+  }
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(base) *
+                                    mem_pressure_magnitude_));
+}
+
+bool Honeypot::admit_record(std::uint64_t user) {
+  const auto& b = config_.budget;
+  if (b.policy == budget::DegradePolicy::off) return true;
+  const std::uint64_t quota = effective_disk_quota();
+  const std::uint64_t mem = effective_mem_budget();
+  const bool disk_over = quota != 0 && spool_resident_bytes_ > quota;
+  const bool mem_over = mem != 0 && unspooled_tail() >= mem;
+  if (!disk_over && !mem_over) return true;
+  if (b.shed_user_word != 0 && user == b.shed_user_word) {
+    // Low-priority record while over budget: shed at the source, declared.
+    enter_degraded(disk_over ? budget::DegradeReason::disk_quota
+                             : budget::DegradeReason::mem_budget);
+    ++degrade_.records_shed;
+    counters_.add("records_shed");
+    return false;
+  }
+  // Evidence record: always kept. A full record buffer emits backpressure —
+  // an early cut pushes the tail downstream (and may compact) before this
+  // record lands; a full disk is soft for evidence (overrun counted).
+  if (mem_over) {
+    enter_degraded(budget::DegradeReason::mem_budget);
+    ++degrade_.backpressure_cuts;
+    counters_.add("backpressure_cuts");
+    spool_now();
+  }
+  if (disk_over) {
+    enter_degraded(budget::DegradeReason::disk_quota);
+    ++degrade_.quota_overruns;
+  }
+  return true;
+}
+
+void Honeypot::maybe_compact() {
+  const auto& b = config_.budget;
+  if (b.policy == budget::DegradePolicy::off) return;
+  const std::uint64_t quota = effective_disk_quota();
+  if (quota == 0 || spool_resident_bytes_ <= quota) return;
+  enter_degraded(disk_full_active_ ? budget::DegradeReason::fault_disk_full
+                                   : budget::DegradeReason::disk_quota);
+  if (pending_chunks_.empty()) return;
+  // Coalesce the maximal suffix of chunks no sink has ever received (the
+  // store cannot hold their seqs, so rebuilding them is safe) from the
+  // current epoch. Their log ranges are contiguous and end exactly at the
+  // spooled mark, so shedding from chunk and log together keeps the local
+  // log and the spool byte-for-byte consistent.
+  std::size_t first = pending_chunks_.size();
+  const std::uint32_t epoch = pending_chunks_.back().epoch;
+  while (first > 0 && !pending_meta_[first - 1].delivered &&
+         pending_chunks_[first - 1].epoch == epoch) {
+    --first;
+  }
+  const std::size_t n = pending_chunks_.size() - first;
+  if (n == 0) return;
+  const std::size_t lo = pending_meta_[first].rec_begin;
+  const std::size_t hi = spooled_mark_;
+  std::size_t removed = 0;
+  if (b.shed_user_word != 0 && hi > lo) {
+    const auto begin = log_.records.begin() + static_cast<std::ptrdiff_t>(lo);
+    const auto end = log_.records.begin() + static_cast<std::ptrdiff_t>(hi);
+    const auto keep_end =
+        std::remove_if(begin, end, [&](const logbook::LogRecord& r) {
+          return r.user == b.shed_user_word;
+        });
+    removed = static_cast<std::size_t>(end - keep_end);
+    if (removed > 0) {
+      log_.records.erase(keep_end, end);
+    }
+  }
+  if (n < 2 && removed == 0) return;  // nothing to coalesce, nothing shed
+  spooled_mark_ -= removed;
+  if (removed > 0) {
+    degrade_.records_shed += removed;
+    counters_.add("records_shed", removed);
+  }
+  logbook::LogChunk merged;
+  merged.honeypot = config_.id;
+  merged.epoch = epoch;
+  // Reuse the suffix's smallest seq: never delivered, so no dedup hazard;
+  // the seqs above it simply become gaps (dedup is exact-match).
+  merged.seq = pending_chunks_[first].seq;
+  merged.name_base = pending_chunks_[first].name_base;
+  for (std::size_t i = first; i < pending_chunks_.size(); ++i) {
+    merged.names.insert(merged.names.end(), pending_chunks_[i].names.begin(),
+                        pending_chunks_[i].names.end());
+  }
+  merged.records.assign(
+      log_.records.begin() + static_cast<std::ptrdiff_t>(lo),
+      log_.records.begin() + static_cast<std::ptrdiff_t>(spooled_mark_));
+  merged.checksum = logbook::chunk_checksum(merged);
+  std::uint64_t old_cost = 0;
+  for (std::size_t i = first; i < pending_chunks_.size(); ++i) {
+    old_cost += logbook::chunk_cost_bytes(pending_chunks_[i]);
+  }
+  const std::uint64_t new_cost = logbook::chunk_cost_bytes(merged);
+  pending_chunks_.resize(first);
+  pending_meta_.resize(first);
+  pending_chunks_.push_back(std::move(merged));
+  pending_meta_.push_back({false, false, lo, spooled_mark_});
+  spool_resident_bytes_ =
+      old_cost >= spool_resident_bytes_ + new_cost
+          ? new_cost
+          : spool_resident_bytes_ - old_cost + new_cost;
+  ++degrade_.compaction_runs;
+  degrade_.chunks_compacted += n;
+  if (old_cost > new_cost) {
+    degrade_.compaction_bytes_reclaimed += old_cost - new_cost;
+  }
+  counters_.add("compaction_runs");
+}
+
+void Honeypot::set_resource_fault(budget::ResourceFault which, bool active,
+                                  double magnitude) {
+  if (config_.budget.policy == budget::DegradePolicy::off) return;
+  switch (which) {
+    case budget::ResourceFault::disk_full: {
+      disk_full_active_ = active;
+      disk_full_magnitude_ = magnitude;
+      if (active) {
+        if (config_.budget.disk_quota_bytes == 0) {
+          disk_full_frozen_quota_ =
+              std::max<std::uint64_t>(1, spool_resident_bytes_);
+        }
+        enter_degraded(budget::DegradeReason::fault_disk_full);
+        maybe_compact();  // the quota just dropped: react immediately
+      }
+      break;
+    }
+    case budget::ResourceFault::disk_slow: {
+      disk_slow_active_ = active;
+      disk_slow_factor_ = active ? std::max(1.0, magnitude) : 1.0;
+      if (active) enter_degraded(budget::DegradeReason::fault_disk_slow);
+      break;
+    }
+    case budget::ResourceFault::mem_pressure: {
+      mem_pressure_active_ = active;
+      mem_pressure_magnitude_ = magnitude;
+      if (active) {
+        if (config_.budget.mem_budget_records == 0) {
+          mem_frozen_budget_ = std::max<std::uint64_t>(1, unspooled_tail());
+        }
+        session_ceiling_active_ =
+            config_.budget.session_ceiling != 0
+                ? config_.budget.session_ceiling
+                : std::max<std::size_t>(1, peers_.size());
+        enter_degraded(budget::DegradeReason::fault_mem_pressure);
+      } else {
+        session_ceiling_active_ = 0;
+      }
+      break;
+    }
+  }
+  if (!active) update_degrade_state();
+}
+
+void Honeypot::enter_degraded(budget::DegradeReason reason) {
+  if (degraded_) return;
+  degraded_ = true;
+  ++degrade_.degrade_enters;
+  counters_.add("degrade_enters");
+  if (degrade_sink_) degrade_sink_(true, reason);
+}
+
+void Honeypot::update_degrade_state() {
+  if (!degraded_) return;
+  if (disk_full_active_ || disk_slow_active_ || mem_pressure_active_) return;
+  const std::uint64_t quota = effective_disk_quota();
+  if (quota != 0 && spool_resident_bytes_ > quota) return;
+  const std::uint64_t mem = effective_mem_budget();
+  if (mem != 0 && unspooled_tail() >= mem) return;
+  degraded_ = false;
+  ++degrade_.degrade_exits;
+  counters_.add("degrade_exits");
+  if (degrade_sink_) degrade_sink_(false, budget::DegradeReason::none);
 }
 
 }  // namespace edhp::honeypot

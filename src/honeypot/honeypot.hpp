@@ -126,9 +126,14 @@ class Honeypot {
   /// Total time spent logged in, including the currently open window.
   [[nodiscard]] double connected_time() const;
 
-  /// Receives every spooled chunk (the manager's gathering channel).
+  /// Receives every spooled chunk (the manager's gathering channel). A new
+  /// sink is a new manager incarnation: chunks marked in-flight toward the
+  /// old one become eligible for (credit-paced) resending again.
   void set_spool_sink(std::function<void(const logbook::LogChunk&)> sink) {
     spool_sink_ = std::move(sink);
+    for (auto& meta : pending_meta_) {
+      meta.in_flight = false;
+    }
   }
   /// Cut the unspooled log tail into a chunk now (also runs periodically
   /// while spooling is enabled). No-op when the tail is empty.
@@ -154,6 +159,37 @@ class Honeypot {
   /// manager calls this when it re-adopts an orphan after recovery; also
   /// runs on every relaunch). The store dedups by (honeypot, seq).
   void resend_spool();
+  /// Credit-paced variant: re-send at most `limit` chunks not already in
+  /// flight toward the current sink; the rest stay spooled and are counted
+  /// as paced. The manager tops the window up one chunk per ack, so a
+  /// recovery cannot re-trigger the overload that caused the crash.
+  /// Returns the number of chunks deferred.
+  std::size_t resend_spool(std::size_t limit);
+
+  // --- Overload & degradation ---------------------------------------------
+
+  /// Apply (or lift) a resource-exhaustion fault episode. `magnitude` is
+  /// the quota/budget multiplier (disk_full, mem_pressure) or the cut-period
+  /// factor (disk_slow). No-op when the degrade policy is `off`.
+  void set_resource_fault(budget::ResourceFault which, bool active,
+                          double magnitude);
+  /// Observes every degraded-mode transition: (entered, reason). The
+  /// manager journals these; cleared when the manager crashes.
+  void set_degrade_sink(std::function<void(bool, budget::DegradeReason)> sink) {
+    degrade_sink_ = std::move(sink);
+  }
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] const budget::DegradeStats& degrade_stats() const noexcept {
+    return degrade_;
+  }
+  /// Resident (spooled-but-unacked) chunk bytes held locally.
+  [[nodiscard]] std::uint64_t spool_resident_bytes() const noexcept {
+    return spool_resident_bytes_;
+  }
+  /// Records appended since the last spool cut (the in-memory tail).
+  [[nodiscard]] std::uint64_t unspooled_tail() const noexcept {
+    return log_.records.size() - spooled_mark_;
+  }
 
   // --- Collected data ------------------------------------------------------
 
@@ -233,6 +269,19 @@ class Honeypot {
 
   void append_record(const PeerConn& conn, logbook::QueryType type,
                      const FileId* file);
+  /// Budget gate for one record-to-be (identified by its user word): false
+  /// = shed (declared). May force an early backpressure cut first.
+  [[nodiscard]] bool admit_record(std::uint64_t user);
+  /// Periodic cut wrapper honoring disk_slow throttling.
+  void periodic_spool();
+  /// Coalesce the undelivered pending-chunk suffix (and shed low-priority
+  /// records from it) when resident bytes exceed the effective quota.
+  void maybe_compact();
+  void enter_degraded(budget::DegradeReason reason);
+  /// Leave degraded mode once no episode is active and budgets are met.
+  void update_degrade_state();
+  [[nodiscard]] std::uint64_t effective_disk_quota() const;
+  [[nodiscard]] std::uint64_t effective_mem_budget() const;
   std::uint16_t intern_name(const std::string& name);
   [[nodiscard]] bool in_harvest_window() const;
   void grant_slot(ConnKey key, PeerConn& conn);
@@ -292,6 +341,34 @@ class Honeypot {
   std::size_t names_spooled_mark_ = 1;  ///< log_.names[0] is always ""
   std::uint64_t next_chunk_seq_ = 0;
   std::uint64_t lost_tail_ = 0;
+
+  // Overload & degradation state. `pending_meta_` is index-aligned with
+  // `pending_chunks_`: which log range a chunk covers (compaction erases
+  // shed records from log and chunk together, so the local log and the
+  // spool never diverge), whether any sink ever received it (delivered
+  // chunks are never compacted: the store may already hold their seq), and
+  // whether it is in flight toward the current sink (credit pacing).
+  struct SpoolMeta {
+    bool delivered = false;
+    bool in_flight = false;
+    std::size_t rec_begin = 0;
+    std::size_t rec_end = 0;
+  };
+  std::vector<SpoolMeta> pending_meta_;
+  std::uint64_t spool_resident_bytes_ = 0;
+  Time last_spool_cut_ = 0;
+  budget::DegradeStats degrade_;
+  std::function<void(bool, budget::DegradeReason)> degrade_sink_;
+  bool degraded_ = false;
+  bool disk_full_active_ = false;
+  double disk_full_magnitude_ = 1.0;
+  std::uint64_t disk_full_frozen_quota_ = 0;
+  bool disk_slow_active_ = false;
+  double disk_slow_factor_ = 1.0;
+  bool mem_pressure_active_ = false;
+  double mem_pressure_magnitude_ = 1.0;
+  std::uint64_t mem_frozen_budget_ = 0;
+  std::size_t session_ceiling_active_ = 0;
 
   sim::CounterSet counters_;
 };

@@ -100,8 +100,39 @@ void Manager::wire_spool_sink(Slot& slot) {
       frontier = std::max(frontier, chunk.seq + 1);
     }
     const auto seq = chunk.seq;
-    net_.simulation().schedule_in(config_.spool.ack_delay,
-                                  [hp, seq] { hp->ack_spooled(seq); });
+    // The ack lambda deliberately captures the credit VALUE, never `this`:
+    // it may fire after this manager incarnation crashed. Each ack tops the
+    // honeypot's resend window up by one chunk, so a recovery's backlog
+    // drains at the store's pace instead of in one burst.
+    const std::uint32_t credit = config_.resend_credit;
+    net_.simulation().schedule_in(config_.spool.ack_delay, [hp, seq, credit] {
+      hp->ack_spooled(seq);
+      if (credit > 0) hp->resend_spool(std::size_t{1});
+    });
+  });
+}
+
+void Manager::wire_degrade_sink(Slot& slot) {
+  // Overload transitions are control-plane state like any other: journaled
+  // when they happen, so a recovered manager (and edhp_inspect degrade) can
+  // audit which honeypots were degraded and what they shed. Cleared by
+  // crash() alongside the spool sink (the lambda captures `this`).
+  Honeypot* hp = slot.honeypot.get();
+  hp->set_degrade_sink([this, hp](bool entered, budget::DegradeReason reason) {
+    const auto& stats = hp->degrade_stats();
+    ByteWriter w;
+    w.u16(hp->config().id);
+    if (entered) {
+      w.u8(static_cast<std::uint8_t>(reason));
+      w.u64(hp->spool_resident_bytes());
+      w.u64(hp->unspooled_tail());
+      journal_append(JournalEntryType::degrade_enter, w.view());
+    } else {
+      w.u64(stats.records_shed);
+      w.u64(stats.chunks_compacted);
+      w.u64(stats.backpressure_cuts);
+      journal_append(JournalEntryType::degrade_exit, w.view());
+    }
   });
 }
 
@@ -120,6 +151,7 @@ std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
   slot.honeypot = std::make_unique<Honeypot>(net_, host, std::move(config));
   slot.server = server;
   wire_spool_sink(slot);
+  wire_degrade_sink(slot);
   {
     ByteWriter w;
     w.u16(slot.id);
@@ -275,6 +307,7 @@ std::size_t Manager::crash() {
   poll_timer_.reset();
   for (auto& slot : fleet_) {
     slot.honeypot->set_spool_sink(nullptr);
+    slot.honeypot->set_degrade_sink(nullptr);
     orphans_.push_back(std::move(slot.honeypot));
   }
   fleet_.clear();
@@ -409,6 +442,12 @@ void Manager::replay_journal() {
           ++recovery_.manager_recoveries;
           break;
         }
+        case JournalEntryType::degrade_enter:
+        case JournalEntryType::degrade_exit:
+          // Audit-only: the honeypot processes own the live degrade state
+          // and counters (they survive a manager crash); replaying these
+          // would double-count. They exist for edhp_inspect degrade.
+          break;
       }
       ++applied;
     } catch (const DecodeError&) {
@@ -440,6 +479,7 @@ std::size_t Manager::adopt_orphans() {
     slot.honeypot = std::move(it->second);
     by_id.erase(it);
     wire_spool_sink(slot);
+    wire_degrade_sink(slot);
     // Chunks the journal proves durable are acknowledged on the spot (no
     // round-trip needed: the recovery read its own store); the rest of the
     // local spool is re-sent and deduped by (honeypot, seq).
@@ -453,7 +493,14 @@ std::size_t Manager::adopt_orphans() {
         slot.honeypot->ack_spooled(seq);
       }
     }
-    slot.honeypot->resend_spool();
+    if (config_.resend_credit > 0) {
+      // Credit-paced recovery: open the window; each ack tops it up by one
+      // (see wire_spool_sink), so the backlog drains without re-creating
+      // the overload spike that killed the previous incarnation.
+      slot.honeypot->resend_spool(std::size_t{config_.resend_credit});
+    } else {
+      slot.honeypot->resend_spool();
+    }
     adopted.push_back(std::move(slot));
     ++count;
   }

@@ -51,6 +51,11 @@ struct ManagerConfig {
   /// enabled the manager wires itself as the chunk sink and acknowledges
   /// chunks after spool.ack_delay.
   logbook::SpoolConfig spool;
+  /// Credit window for recovery resends: when re-adopting orphans, at most
+  /// this many spooled chunks are in flight per honeypot at once, and each
+  /// ack releases one more credit. 0 = unlimited (the legacy burst), which
+  /// can re-trigger the very overload that crashed the manager.
+  std::uint32_t resend_credit = 0;
   /// Admission-control policy injected into every launched honeypot.
   net::DefenseConfig defense;
 
@@ -275,6 +280,8 @@ class Manager {
   /// Install the spool-chunk sink (ingest + journal + delayed ack) on the
   /// slot's honeypot.
   void wire_spool_sink(Slot& slot);
+  /// Install the degraded-mode observer (journals every transition).
+  void wire_degrade_sink(Slot& slot);
   /// Append one framed entry to the journal (no-op without one).
   void journal_append(logbook::JournalEntryType type,
                       std::span<const std::uint8_t> payload);

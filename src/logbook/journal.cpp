@@ -37,6 +37,8 @@ std::string_view to_string(JournalEntryType t) {
     case JournalEntryType::repair: return "repair";
     case JournalEntryType::chunk_stored: return "chunk_stored";
     case JournalEntryType::recovered: return "recovered";
+    case JournalEntryType::degrade_enter: return "degrade_enter";
+    case JournalEntryType::degrade_exit: return "degrade_exit";
   }
   return "unknown";
 }

@@ -54,6 +54,8 @@ enum class JournalEntryType : std::uint8_t {
   repair = 10,        ///< ordered-list re-offer (advertise repair)
   chunk_stored = 11,  ///< spool chunk durably ingested (ack frontier)
   recovered = 12,     ///< a recovery completed (downtime accounting)
+  degrade_enter = 13, ///< a honeypot declared degraded mode (overload)
+  degrade_exit = 14,  ///< degraded mode ended (shed/compaction totals)
 };
 
 [[nodiscard]] std::string_view to_string(JournalEntryType t);

@@ -31,6 +31,19 @@ std::uint64_t chunk_checksum(const LogChunk& chunk) {
   return fnv1a(w.view());
 }
 
+std::uint64_t chunk_cost_bytes(const LogChunk& chunk) {
+  // Fixed header: honeypot(2) + epoch(4) + seq(8) + name_base(8) = 22,
+  // plus the trailing checksum word. Records are costed at their packed
+  // wire width (56 B), names at length-prefixed size — NOT sizeof() of the
+  // in-memory containers, so the figure is platform-independent.
+  std::uint64_t cost = 22 + 8;
+  for (const auto& name : chunk.names) {
+    cost += 2 + name.size();
+  }
+  cost += chunk.records.size() * 56;
+  return cost;
+}
+
 void SpoolStore::set_header(std::uint16_t honeypot, const LogHeader& header) {
   auto& hp = honeypots_[honeypot];
   hp.header = header;
@@ -43,7 +56,9 @@ SpoolStore::Ingest SpoolStore::ingest(const LogChunk& chunk) {
     // transfer. Never merged, never acked — the sender keeps it spooled
     // and a later re-send (or the operator) resolves it.
     ++chunks_quarantined_;
-    quarantine_.push_back({chunk.honeypot, chunk.seq});
+    if (quarantine_.size() < kQuarantineRefCap) {
+      quarantine_.push_back({chunk.honeypot, chunk.seq});
+    }
     return Ingest::quarantined;
   }
   auto& hp = honeypots_[chunk.honeypot];

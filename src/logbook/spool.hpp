@@ -60,6 +60,18 @@ struct LogChunk {
 /// never leaks into the value.
 [[nodiscard]] std::uint64_t chunk_checksum(const LogChunk& chunk);
 
+/// Byte cost a resident chunk charges against a spool quota: the serialized
+/// footprint (frame header + name-table slice + packed records + checksum),
+/// deliberately the same arithmetic on every platform so byte-accounted
+/// degradation thresholds are deterministic.
+[[nodiscard]] std::uint64_t chunk_cost_bytes(const LogChunk& chunk);
+
+/// Quarantined chunks whose (honeypot, seq) refs are retained for triage;
+/// beyond this, quarantines are still counted and still rejected, but only
+/// the counter grows (a corruptor must not be able to balloon manager
+/// memory with distinct bad chunks — see ISSUE 5 satellite 1).
+inline constexpr std::size_t kQuarantineRefCap = 64;
+
 /// Manager-side chunk store: accepts chunks at-least-once, dedups by
 /// (honeypot, seq), and reassembles per-honeypot logs in sequence order.
 class SpoolStore {
@@ -105,14 +117,22 @@ class SpoolStore {
   [[nodiscard]] std::uint64_t chunks_quarantined() const noexcept {
     return chunks_quarantined_;
   }
-  /// (honeypot, seq) of every quarantined chunk, in arrival order — the
-  /// operator's triage list.
+  /// (honeypot, seq) of quarantined chunks in arrival order — the
+  /// operator's triage list, capped at kQuarantineRefCap entries (the
+  /// counter above keeps the true total; the overflow is
+  /// `quarantine_dropped()`).
   struct QuarantineRef {
     std::uint16_t honeypot = 0;
     std::uint64_t seq = 0;
   };
   [[nodiscard]] const std::vector<QuarantineRef>& quarantine() const noexcept {
     return quarantine_;
+  }
+  /// Quarantined chunks beyond the ref cap (counted, refs not retained).
+  [[nodiscard]] std::uint64_t quarantine_dropped() const noexcept {
+    return chunks_quarantined_ > quarantine_.size()
+               ? chunks_quarantined_ - quarantine_.size()
+               : 0;
   }
   /// Highest stored sequence number + 1 for a honeypot (0 when none): the
   /// ack frontier a recovering manager re-acknowledges from.

@@ -1,6 +1,7 @@
 #include "net/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace edhp::net {
 
@@ -14,18 +15,44 @@ DefenseStats& DefenseStats::operator+=(const DefenseStats& other) noexcept {
   return *this;
 }
 
+namespace {
+
+constexpr std::uint64_t kMicro = 1'000'000;
+
+std::uint64_t to_micro(double v) {
+  return static_cast<std::uint64_t>(std::llround(v * 1e6));
+}
+
+}  // namespace
+
 TokenBucket::TokenBucket(double rate_per_sec, double burst, Time now)
-    : rate_(rate_per_sec), burst_(std::max(burst, 1.0)), tokens_(burst_),
-      last_(now) {}
+    : rate_utok_(rate_per_sec > 0.0 ? to_micro(rate_per_sec) : 0),
+      burst_utok_(to_micro(std::max(burst, 1.0))),
+      tokens_utok_(burst_utok_),
+      last_us_(to_micro(std::max(now, 0.0))),
+      unlimited_(rate_per_sec <= 0.0) {}
 
 bool TokenBucket::try_take(Time now, double cost) {
-  if (rate_ <= 0.0) return true;
-  if (now > last_) {
-    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
-    last_ = now;
+  if (unlimited_) return true;
+  const std::uint64_t now_us = to_micro(std::max(now, 0.0));
+  if (now_us > last_us_) {
+    const std::uint64_t elapsed = now_us - last_us_;
+    // µs × µtok/s overflows u64 after ~weeks of idle at typical rates;
+    // saturate to a full bucket instead of wrapping (the idle session has
+    // earned at least a burst by then, by any arithmetic).
+    if (elapsed > (~0ull - rem_utok_us_) / rate_utok_) {
+      tokens_utok_ = burst_utok_;
+      rem_utok_us_ = 0;
+    } else {
+      const std::uint64_t total = elapsed * rate_utok_ + rem_utok_us_;
+      tokens_utok_ = std::min(burst_utok_, tokens_utok_ + total / kMicro);
+      rem_utok_us_ = tokens_utok_ == burst_utok_ ? 0 : total % kMicro;
+    }
+    last_us_ = now_us;
   }
-  if (tokens_ < cost) return false;
-  tokens_ -= cost;
+  const std::uint64_t cost_utok = to_micro(cost);
+  if (tokens_utok_ < cost_utok) return false;
+  tokens_utok_ -= cost_utok;
   return true;
 }
 

@@ -73,6 +73,13 @@ struct DefenseStats {
 /// Classic token bucket with lazy refill: no timer, no RNG; refilled from
 /// the elapsed simulation time on each take attempt. A rate <= 0 means
 /// "unlimited" (try_take always succeeds).
+///
+/// Internally the bucket runs on u64 fixed point — time in integer
+/// microseconds, tokens in micro-tokens (1 token = 1'000'000 µtok) — with a
+/// remainder accumulator so sub-µtoken-per-µs rates refill exactly. The
+/// refill SATURATES: when `elapsed_µs × rate` would exceed u64 range (a
+/// session idle for weeks at campaign scale), the bucket simply fills to
+/// burst instead of wrapping and starving a well-behaved peer.
 class TokenBucket {
  public:
   TokenBucket() = default;
@@ -81,11 +88,18 @@ class TokenBucket {
   /// Take `cost` tokens if available at time `now`.
   [[nodiscard]] bool try_take(Time now, double cost = 1.0);
 
+  /// Whole tokens currently available (diagnostics/tests).
+  [[nodiscard]] double tokens() const noexcept {
+    return static_cast<double>(tokens_utok_) / 1e6;
+  }
+
  private:
-  double rate_ = 0.0;
-  double burst_ = 0.0;
-  double tokens_ = 0.0;
-  Time last_ = 0.0;
+  std::uint64_t rate_utok_ = 0;    ///< µtokens refilled per second
+  std::uint64_t burst_utok_ = 0;   ///< bucket capacity in µtokens
+  std::uint64_t tokens_utok_ = 0;  ///< current fill in µtokens
+  std::uint64_t rem_utok_us_ = 0;  ///< refill remainder (µtok·µs carry)
+  std::uint64_t last_us_ = 0;      ///< last refill instant in µs
+  bool unlimited_ = true;
 };
 
 }  // namespace edhp::net

@@ -154,6 +154,11 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     hp.id = static_cast<std::uint16_t>(h);
     hp.name = "mhp-" + std::to_string(h);
     hp.strategy = honeypot::ContentStrategy::random_content;
+    hp.budget.disk_quota_bytes = config.chaos.disk_quota_bytes;
+    hp.budget.mem_budget_records = config.chaos.mem_budget_records;
+    hp.budget.session_ceiling = config.chaos.session_ceiling;
+    hp.budget.policy = config.chaos.degrade_policy;
+    hp.budget.shed_user_word = fault::kAbuseUserWord;
     const auto index =
         manager.launch(std::move(hp), network.add_node(true), refs[assignment[h]]);
     hosts.push_back(&manager.honeypot(index));
@@ -176,6 +181,18 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     bind.host_count = config.honeypots;
     bind.host_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
     bind.crash_host = [&hosts](std::size_t h) { hosts[h]->crash(); };
+    bind.disk_full = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::disk_full, active,
+                                   magnitude);
+    };
+    bind.disk_slow = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::disk_slow, active,
+                                   magnitude);
+    };
+    bind.mem_pressure = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::mem_pressure, active,
+                                   magnitude);
+    };
     bind.stop_server = [&servers](std::size_t s) {
       if (s < servers.size()) servers[s]->stop();
     };
@@ -295,6 +312,9 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   }
   if (abuse) {
     result.base.abuse = abuse->stats();
+  }
+  for (const auto* hp : hosts) {
+    result.base.degrade += hp->degrade_stats();
   }
   result.base.engine = simulation.stats();
   result.base.net_totals = network.totals();

@@ -110,6 +110,7 @@ honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
   mc.retry.max_retries = chaos.retry_max;
   mc.spool.enabled = true;
   mc.spool.period = chaos.spool_period;
+  mc.resend_credit = chaos.resend_credit;
   // Control-plane durability: the write-ahead journal and the chunk store
   // live outside the Manager object, modelling the fsync'd files that
   // survive a control-plane crash. Appending to the journal consumes no
@@ -207,6 +208,13 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     hp.strategy = random_content ? honeypot::ContentStrategy::random_content
                                  : honeypot::ContentStrategy::no_content;
     hp.harvest_shared_lists = true;
+    // Resource budgets: zero ceilings are exact no-ops, so unconditional
+    // assignment keeps the budget-free goldens bit-identical.
+    hp.budget.disk_quota_bytes = config.chaos.disk_quota_bytes;
+    hp.budget.mem_budget_records = config.chaos.mem_budget_records;
+    hp.budget.session_ceiling = config.chaos.session_ceiling;
+    hp.budget.policy = config.chaos.degrade_policy;
+    hp.budget.shed_user_word = fault::kAbuseUserWord;
     const auto host = world.network.add_node(true);
     const auto index = manager.launch(std::move(hp), host, server_ref);
     hosts.push_back(&manager.honeypot(index));
@@ -269,6 +277,20 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     // table: a host can crash or reboot while the control plane is down.
     bind.host_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
     bind.crash_host = [&hosts](std::size_t h) { hosts[h]->crash(); };
+    // Resource-exhaustion faults go through the same stable pointers: a
+    // disk can fill while the control plane is down.
+    bind.disk_full = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::disk_full, active,
+                                   magnitude);
+    };
+    bind.disk_slow = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::disk_slow, active,
+                                   magnitude);
+    };
+    bind.mem_pressure = [&hosts](std::size_t h, bool active, double magnitude) {
+      hosts[h]->set_resource_fault(budget::ResourceFault::mem_pressure, active,
+                                   magnitude);
+    };
     bind.stop_server = [&server](std::size_t s) {
       if (s == 0) server.stop();
     };
@@ -381,6 +403,9 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   for (const auto& s : standby) {
     result.defense += s->defense_stats();
   }
+  for (const auto* hp : hosts) {
+    result.degrade += hp->degrade_stats();
+  }
   if (abuse) {
     result.abuse = abuse->stats();
   }
@@ -409,6 +434,11 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   hp.name = "hp-greedy";
   hp.strategy = honeypot::ContentStrategy::no_content;  // sent no content
   hp.harvest_shared_lists = true;
+  hp.budget.disk_quota_bytes = config.chaos.disk_quota_bytes;
+  hp.budget.mem_budget_records = config.chaos.mem_budget_records;
+  hp.budget.session_ceiling = config.chaos.session_ceiling;
+  hp.budget.policy = config.chaos.degrade_policy;
+  hp.budget.shed_user_word = fault::kAbuseUserWord;
   hp.greedy = true;
   hp.greedy_harvest_window = config.harvest_window;
   hp.greedy_max_files = std::max<std::size_t>(
@@ -446,6 +476,18 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
     bind.host_count = 1;
     bind.host_node = [hp0](std::size_t) { return hp0->node(); };
     bind.crash_host = [hp0](std::size_t) { hp0->crash(); };
+    bind.disk_full = [hp0](std::size_t, bool active, double magnitude) {
+      hp0->set_resource_fault(budget::ResourceFault::disk_full, active,
+                              magnitude);
+    };
+    bind.disk_slow = [hp0](std::size_t, bool active, double magnitude) {
+      hp0->set_resource_fault(budget::ResourceFault::disk_slow, active,
+                              magnitude);
+    };
+    bind.mem_pressure = [hp0](std::size_t, bool active, double magnitude) {
+      hp0->set_resource_fault(budget::ResourceFault::mem_pressure, active,
+                              magnitude);
+    };
     bind.stop_server = [&server](std::size_t) { server.stop(); };
     bind.start_server = [&server](std::size_t) { server.start(); };
     bind.crash_manager = [&manager, &world, &outage] {
@@ -543,6 +585,7 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   }
   result.defense = manager.defense_stats();
   result.defense += server.defense_stats();
+  result.degrade += hp0->degrade_stats();
   if (abuse) {
     result.abuse = abuse->stats();
   }

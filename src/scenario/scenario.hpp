@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "common/budget.hpp"
 #include "fault/abuse.hpp"
 #include "fault/fault.hpp"
 #include "honeypot/manager.hpp"
@@ -120,6 +121,11 @@ struct ScenarioResult {
   net::DefenseStats defense;
   /// Hostile traffic actually generated (all-zero unless abuse was enabled).
   fault::AbuseStats abuse;
+  /// Overload/degradation accounting summed over the fleet (all-zero unless
+  /// resource budgets or resource faults were configured);
+  /// `spool_peak_bytes` is the fleet per-honeypot maximum, the number quota
+  /// sizing needs.
+  budget::DegradeStats degrade;
 };
 
 /// Manager policy used by the chaos variants of the campaigns: relaunch

@@ -113,6 +113,27 @@ TEST(TokenBucket, RefillNeverExceedsBurst) {
   EXPECT_FALSE(bucket.try_take(100.0));
 }
 
+// Regression: the lazy refill accumulates elapsed x rate in u64 microtokens;
+// a campaign-length idle gap (32 days at 8 tokens/s ~ 2.2e19 utok) overflows
+// u64 and used to WRAP, leaving the bucket empty and every later peer
+// rate-limited forever. The refill must saturate at burst instead.
+TEST(TokenBucket, CampaignLengthIdleSaturatesInsteadOfWrapping) {
+  net::TokenBucket bucket(8.0, 16.0, 0.0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(bucket.try_take(0.0)) << "burst take " << i;
+  }
+  EXPECT_FALSE(bucket.try_take(0.0));
+
+  const double after_idle = 32.0 * 86400.0;  // 32 days, the paper's campaign
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(bucket.try_take(after_idle)) << "post-idle take " << i;
+  }
+  EXPECT_FALSE(bucket.try_take(after_idle));
+  // And the bucket keeps refilling normally afterwards (1/8 s = 1 token).
+  EXPECT_TRUE(bucket.try_take(after_idle + 0.125));
+  EXPECT_FALSE(bucket.try_take(after_idle + 0.125));
+}
+
 TEST(DefenseStats, AccumulateSumsEveryField) {
   net::DefenseStats a;
   a.accepted = 1;

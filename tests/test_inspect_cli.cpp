@@ -12,6 +12,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/bytes.hpp"
 #include "fault/abuse.hpp"
 #include "logbook/journal.hpp"
 #include "logbook/log_io.hpp"
@@ -163,6 +164,87 @@ TEST_F(InspectCliTest, MergeAndAnonymizePipeline) {
   r = run_inspect("stats " + published);
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.output.find("stage-2"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, JournalModeCapsQuarantineListing) {
+  // 70 one-byte-payload frames, every payload byte flipped after framing:
+  // all 70 quarantine, but the audit lists only the first kQuarantineRefCap
+  // offsets and reports the overflow.
+  logbook::Journal j;
+  const std::vector<std::uint8_t> payload{0x55};
+  for (int i = 0; i < 70; ++i) {
+    j.append(logbook::JournalEntryType::relaunch, payload);
+  }
+  auto bytes = j.bytes();
+  const std::size_t frame = bytes.size() / 70;
+  for (std::size_t f = 0; f < 70; ++f) {
+    bytes[f * frame + frame - 1] ^= 0xFF;  // last byte = the payload
+  }
+  const auto path = (dir / "rotted.edhpjrn").string();
+  logbook::Journal::from_bytes(std::move(bytes)).save(path);
+
+  const auto r = run_inspect("journal " + path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("quarantine listing capped"), std::string::npos);
+  EXPECT_NE(r.output.find("first 64 of 70"), std::string::npos);
+}
+
+// --- degrade triage mode ----------------------------------------------------
+
+/// Append a degrade_enter entry for honeypot `hp` (reason 4 = disk_quota).
+void append_degrade_enter(logbook::Journal& j, std::uint16_t hp) {
+  ByteWriter w;
+  w.u16(hp);
+  w.u8(4);          // DegradeReason::disk_quota
+  w.u64(100'000);   // resident spool bytes at the transition
+  w.u64(250);       // unspooled tail records
+  j.append(logbook::JournalEntryType::degrade_enter, w.view());
+}
+
+/// Append a degrade_exit entry with cumulative shed/compaction counters.
+void append_degrade_exit(logbook::Journal& j, std::uint16_t hp,
+                         std::uint64_t shed) {
+  ByteWriter w;
+  w.u16(hp);
+  w.u64(shed);  // records_shed
+  w.u64(3);     // chunks_compacted
+  w.u64(2);     // backpressure_cuts
+  j.append(logbook::JournalEntryType::degrade_exit, w.view());
+}
+
+TEST_F(InspectCliTest, DegradeModeNoDegradationExitsZero) {
+  const auto r = run_inspect("degrade " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no degradation recorded"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, DegradeModeClosedEpisodesExitThree) {
+  const auto path = (dir / "degraded.edhpjrn").string();
+  logbook::Journal j;
+  append_degrade_enter(j, 3);
+  append_degrade_exit(j, 3, 17);
+  append_degrade_enter(j, 5);
+  append_degrade_exit(j, 5, 4);
+  j.save(path);
+  const auto r = run_inspect("degrade " + path);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("all episodes closed"), std::string::npos);
+  EXPECT_NE(r.output.find("hp 3"), std::string::npos);
+  EXPECT_NE(r.output.find("hp 5"), std::string::npos);
+  EXPECT_NE(r.output.find("disk_quota"), std::string::npos);
+  // 17 + 4 shed records, fully declared.
+  EXPECT_NE(r.output.find("21"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, DegradeModeOpenEpisodeExitsFour) {
+  const auto path = (dir / "still_degraded.edhpjrn").string();
+  logbook::Journal j;
+  append_degrade_enter(j, 9);
+  j.save(path);
+  const auto r = run_inspect("degrade " + path);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("STILL DEGRADED"), std::string::npos);
+  EXPECT_NE(r.output.find("degraded at end of journal"), std::string::npos);
 }
 
 TEST_F(InspectCliTest, MissingFileFailsCleanly) {

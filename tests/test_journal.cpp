@@ -215,6 +215,37 @@ TEST(SpoolIntegrity, CorruptChunkIsQuarantinedNeverStored) {
   EXPECT_EQ(store.next_seq(1), 2u);
 }
 
+// A corruptor hurling endless distinct bad chunks must not balloon manager
+// memory: refs are kept for the FIRST kQuarantineRefCap quarantines, the
+// counter keeps the true total, and the overflow is reported.
+TEST(SpoolIntegrity, QuarantineRefsAreCappedButStillCounted) {
+  SpoolStore store;
+  const std::uint64_t total = kQuarantineRefCap + 40;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto bad = make_chunk(1, i);
+    bad.records[0].user ^= 0xDEAD;
+    ASSERT_EQ(store.ingest(bad), SpoolStore::Ingest::quarantined);
+  }
+  EXPECT_EQ(store.chunks_quarantined(), total);
+  ASSERT_EQ(store.quarantine().size(), kQuarantineRefCap);
+  EXPECT_EQ(store.quarantine_dropped(), total - kQuarantineRefCap);
+  EXPECT_EQ(store.quarantine().front().seq, 0u);
+  EXPECT_EQ(store.quarantine().back().seq, kQuarantineRefCap - 1);
+  EXPECT_EQ(store.records_stored(), 0u);
+}
+
+TEST(SpoolCost, DeterministicAcrossPlatformsAndGrowsWithPayload) {
+  // The cost is the serialized wire footprint, not sizeof(): fixed frame
+  // header (22) + checksum (8), 2 + len per name, 56 per packed record.
+  LogChunk empty;
+  EXPECT_EQ(chunk_cost_bytes(empty), 30u);
+  const auto chunk = make_chunk(1, 0);  // names "" + "file.avi", one record
+  EXPECT_EQ(chunk_cost_bytes(chunk), 30u + 2 + (2 + 8) + 56);
+  auto more = chunk;
+  more.records.push_back(chunk.records[0]);
+  EXPECT_EQ(chunk_cost_bytes(more), chunk_cost_bytes(chunk) + 56);
+}
+
 TEST(SpoolIntegrity, DuplicateStillDetectedAndLegacyChunksSkipVerification) {
   SpoolStore store;
   EXPECT_EQ(store.ingest(make_chunk(2, 0)), SpoolStore::Ingest::stored);

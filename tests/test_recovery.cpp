@@ -291,6 +291,68 @@ TEST_F(RecoveryTest, CrashWithOutstandingSurveyDeliversWithoutUseAfterFree) {
   EXPECT_EQ(backup.index().sources(f.id, 10).size(), 1u);
 }
 
+// A checkpoint damaged on disk must never brick a cold start: scan()
+// already demotes a cut-short final frame to a torn tail and a bit-rotted
+// one to quarantine, so recovery silently falls back to replaying the full
+// journal. The sweep proves it for EVERY strict prefix inside the frame.
+TEST_F(RecoveryTest, TruncatedCheckpointFallsBackToFullReplay) {
+  Manager manager(net, durable_config());
+  launch_one(manager, ref);
+  launch_one(manager, ref);
+  settle();
+  manager.crash();
+  manager.recover(s.now());  // appends `recovered` + the final checkpoint
+
+  const auto bytes = journal->bytes();  // copy: sweep journals diverge
+  const auto scan = journal->scan();
+  ASSERT_FALSE(scan.entries.empty());
+  const auto& last = scan.entries.back();
+  ASSERT_EQ(last.type,
+            static_cast<std::uint8_t>(logbook::JournalEntryType::checkpoint));
+
+  for (std::size_t cut = last.offset + 1; cut < bytes.size(); ++cut) {
+    ManagerConfig mc = durable_config();
+    mc.journal = std::make_shared<logbook::Journal>(logbook::Journal::from_bytes(
+        std::vector<std::uint8_t>(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut))));
+    const auto prefix_scan = mc.journal->scan();
+    EXPECT_TRUE(prefix_scan.torn_tail) << "cut at " << cut;
+    std::unique_ptr<Manager> cold;
+    ASSERT_NO_THROW(cold = Manager::recover(net, mc, {}, s.now()))
+        << "cut at " << cut;
+    // Full-journal fallback: every intact pre-checkpoint entry was applied
+    // (launch, launch, recovered), not the snapshot that was cut short.
+    EXPECT_EQ(cold->recovery_stats().journal_replayed,
+              prefix_scan.entries.size())
+        << "cut at " << cut;
+    EXPECT_GE(cold->recovery_stats().journal_replayed, 3u);
+  }
+}
+
+TEST_F(RecoveryTest, BitRottedCheckpointIsQuarantinedNotFatal) {
+  Manager manager(net, durable_config());
+  launch_one(manager, ref);
+  settle();
+  manager.crash();
+  manager.recover(s.now());
+
+  auto damaged = journal->bytes();
+  const auto scan = journal->scan();
+  const auto& last = scan.entries.back();
+  ASSERT_EQ(last.type,
+            static_cast<std::uint8_t>(logbook::JournalEntryType::checkpoint));
+  // Flip one payload byte: the frame stays complete but fails its checksum.
+  damaged[damaged.size() - last.payload.size() / 2 - 1] ^= 0x40;
+
+  ManagerConfig mc = durable_config();
+  mc.journal = std::make_shared<logbook::Journal>(
+      logbook::Journal::from_bytes(std::move(damaged)));
+  ASSERT_EQ(mc.journal->scan().quarantined.size(), 1u);
+  std::unique_ptr<Manager> cold;
+  ASSERT_NO_THROW(cold = Manager::recover(net, mc, {}, s.now()));
+  EXPECT_GE(cold->recovery_stats().journal_replayed, 2u);
+}
+
 TEST_F(RecoveryTest, CheckpointCompactsReplay) {
   Manager manager(net, durable_config());
   launch_one(manager, ref);

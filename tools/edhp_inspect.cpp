@@ -8,6 +8,7 @@
 //   clients <log>             client-software mix of a stage-2 log
 //   defense <log...>          triage hostile-marked traffic in campaign logs
 //   journal <journal...>      audit a manager write-ahead journal
+//   degrade <journal...>      triage overload/degradation episodes
 //
 // Logs are the binary format honeypots write (logbook::save/load). The
 // pipeline an operator runs after a campaign:
@@ -15,6 +16,11 @@
 //   edhp_inspect anonymize merged.edhplog published.edhplog
 //   edhp_inspect stats published.edhplog
 //   edhp_inspect defense published.edhplog
+//
+// Exit codes: 0 success, 1 I/O or decode error, 2 usage. `degrade` adds a
+// triage contract on top: 0 = no degradation recorded, 3 = degradation
+// recorded but every episode closed (fully declared loss), 4 = at least one
+// honeypot still degraded at the end of the journal.
 
 #include <iostream>
 #include <map>
@@ -25,24 +31,29 @@
 #include "analysis/log_stats.hpp"
 #include "analysis/report.hpp"
 #include "anonymize/renumber.hpp"
+#include "common/budget.hpp"
+#include "common/bytes.hpp"
 #include "fault/abuse.hpp"
 #include "logbook/journal.hpp"
 #include "logbook/log_io.hpp"
 #include "logbook/merge.hpp"
+#include "logbook/spool.hpp"
 
 using namespace edhp;
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense|journal> ...\n"
+  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense|journal|degrade> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
                "  anonymize <in> <out>\n"
                "  clients <log>\n"
                "  defense <log...>\n"
-               "  journal <journal...>\n";
+               "  journal <journal...>\n"
+               "  degrade <journal...>   exit 0: no degradation, 3: closed"
+               " episodes, 4: still degraded\n";
   return 2;
 }
 
@@ -78,15 +89,110 @@ void print_journal(const std::string& path, const logbook::Journal& journal) {
                               " entries from last checkpoint"
                         : "full journal (no checkpoint)");
   rows.emplace_back("quarantined", analysis::with_commas(scan.quarantined.size()));
-  for (const auto& bad : scan.quarantined) {
+  // Per-offset listing is capped like the SpoolStore's quarantine refs: an
+  // adversarial stream cannot make the audit report itself unbounded.
+  const std::size_t listed =
+      std::min(scan.quarantined.size(), logbook::kQuarantineRefCap);
+  for (std::size_t i = 0; i < listed; ++i) {
     rows.emplace_back("  bad checksum at offset",
-                      analysis::with_commas(bad.offset));
+                      analysis::with_commas(scan.quarantined[i].offset));
+  }
+  if (scan.quarantined.size() > listed) {
+    rows.emplace_back(
+        "  quarantine listing capped",
+        "first " + analysis::with_commas(listed) + " of " +
+            analysis::with_commas(scan.quarantined.size()) + " offsets");
   }
   rows.emplace_back("torn tail", scan.torn_tail
                                      ? analysis::with_commas(scan.torn_bytes) +
                                            " bytes (clean tail loss)"
                                      : std::string("none"));
   analysis::print_kv(std::cout, path, rows);
+}
+
+/// Overload triage over the manager journal's degrade_enter/degrade_exit
+/// entries. Returns the per-journal triage verdict: 0 = no degradation, 3 =
+/// every episode closed (loss fully declared), 4 = a honeypot was still
+/// degraded when the journal ends. Damaged frames are skipped by scan();
+/// undecodable payloads of the right type are counted but otherwise ignored
+/// (the tool must never crash on a field journal).
+int print_degrade(const std::string& path, const logbook::Journal& journal) {
+  struct PerHoneypot {
+    std::uint64_t enters = 0;
+    std::uint64_t exits = 0;
+    std::map<std::uint8_t, std::uint64_t> reasons;
+    std::uint64_t last_resident = 0;   ///< spool bytes at the latest enter
+    std::uint64_t last_tail = 0;       ///< unspooled records at latest enter
+    std::uint64_t shed = 0;            ///< cumulative, from the latest exit
+    std::uint64_t compacted = 0;
+    std::uint64_t backpressure = 0;
+    bool open = false;  ///< entered degraded mode and never left
+  };
+  std::map<std::uint16_t, PerHoneypot> fleet;
+  std::uint64_t undecodable = 0;
+  const auto scan = journal.scan();
+  for (const auto& e : scan.entries) {
+    const auto type = static_cast<logbook::JournalEntryType>(e.type);
+    if (type != logbook::JournalEntryType::degrade_enter &&
+        type != logbook::JournalEntryType::degrade_exit) {
+      continue;
+    }
+    try {
+      ByteReader r(e.payload);
+      auto& hp = fleet[r.u16()];
+      if (type == logbook::JournalEntryType::degrade_enter) {
+        ++hp.enters;
+        ++hp.reasons[r.u8()];
+        hp.last_resident = r.u64();
+        hp.last_tail = r.u64();
+        hp.open = true;
+      } else {
+        ++hp.exits;
+        hp.shed = r.u64();
+        hp.compacted = r.u64();
+        hp.backpressure = r.u64();
+        hp.open = false;
+      }
+    } catch (const DecodeError&) {
+      ++undecodable;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("degraded honeypots", analysis::with_commas(fleet.size()));
+  std::uint64_t total_shed = 0;
+  bool any_open = false;
+  for (const auto& [id, hp] : fleet) {
+    any_open = any_open || hp.open;
+    total_shed += hp.shed;
+    std::string detail = analysis::with_commas(hp.enters) + " episodes";
+    for (const auto& [reason, count] : hp.reasons) {
+      detail += ", " +
+                std::string(budget::to_string(
+                    static_cast<budget::DegradeReason>(reason))) +
+                " x" + analysis::with_commas(count);
+    }
+    detail += "; shed " + analysis::with_commas(hp.shed) + ", compacted " +
+              analysis::with_commas(hp.compacted) + " chunks, backpressure " +
+              analysis::with_commas(hp.backpressure) + " cuts";
+    if (hp.open) {
+      detail += "; STILL DEGRADED (resident " +
+                analysis::with_commas(hp.last_resident) + " B, tail " +
+                analysis::with_commas(hp.last_tail) + ")";
+    }
+    rows.emplace_back("  hp " + std::to_string(id), detail);
+  }
+  rows.emplace_back("records shed (declared)", analysis::with_commas(total_shed));
+  if (undecodable > 0) {
+    rows.emplace_back("undecodable degrade entries",
+                      analysis::with_commas(undecodable));
+  }
+  rows.emplace_back("verdict", fleet.empty()  ? "no degradation recorded"
+                               : any_open     ? "degraded at end of journal"
+                                              : "all episodes closed");
+  analysis::print_kv(std::cout, path, rows);
+  if (fleet.empty()) return 0;
+  return any_open ? 4 : 3;
 }
 
 /// Hostile-traffic triage: attackers in the abuse model carry a fixed
@@ -217,6 +323,14 @@ int main(int argc, char** argv) {
         print_journal(argv[i], logbook::Journal::load(argv[i]));
       }
       return 0;
+    }
+    if (cmd == "degrade") {
+      int verdict = 0;
+      for (int i = 2; i < argc; ++i) {
+        verdict = std::max(
+            verdict, print_degrade(argv[i], logbook::Journal::load(argv[i])));
+      }
+      return verdict;
     }
     if (cmd == "clients") {
       const auto log = logbook::load(argv[2]);
