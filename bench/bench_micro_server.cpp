@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/memstat.hpp"
 #include "common/rng.hpp"
 #include "server/index.hpp"
 
@@ -125,7 +126,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // One machine-readable line for the perf trajectory (BENCH_*.json).
-  std::printf("{\"bench\":\"micro_server\",\"events_per_sec\":%.0f}\n",
-              measure_offers_per_sec());
+  std::printf(
+      "{\"bench\":\"micro_server\",\"events_per_sec\":%.0f,"
+      "\"peak_rss_bytes\":%llu}\n",
+      measure_offers_per_sec(),
+      static_cast<unsigned long long>(edhp::peak_rss_bytes()));
   return 0;
 }

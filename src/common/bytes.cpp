@@ -90,9 +90,13 @@ std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
 }
 
 std::string ByteReader::str16() {
+  return std::string(str16_view());
+}
+
+std::string_view ByteReader::str16_view() {
   const std::size_t n = u16();
   auto raw = bytes(n);
-  return std::string(raw.begin(), raw.end());
+  return {reinterpret_cast<const char*>(raw.data()), raw.size()};
 }
 
 void ByteReader::expect_done(std::string_view context) const {

@@ -70,6 +70,10 @@ class ByteReader {
   /// eDonkey string: u16 length prefix then raw bytes.
   [[nodiscard]] std::string str16();
 
+  /// Non-owning variant of str16(): the returned view borrows the reader's
+  /// underlying buffer and is valid only as long as that buffer lives.
+  [[nodiscard]] std::string_view str16_view();
+
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }

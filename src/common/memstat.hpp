@@ -1,0 +1,69 @@
+#pragma once
+// Process-memory introspection for the memory-telemetry fields benches and
+// scenario results report. Linux: parsed from /proc/self/status (VmRSS /
+// VmHWM, kB granularity). Elsewhere: getrusage ru_maxrss for the peak and 0
+// for the current figure — callers must treat 0 as "unknown", not "empty".
+
+#include <cstdint>
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace edhp {
+
+#if defined(__linux__)
+namespace detail {
+/// Value of one `Vm...:` line of /proc/self/status, in bytes (0 if absent).
+inline std::uint64_t proc_status_bytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      std::sscanf(line + field_len + 1, "%lu", &kb);  // NOLINT
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace detail
+#endif
+
+/// Current resident set size in bytes (0 when the platform can't tell).
+inline std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  return detail::proc_status_bytes("VmRSS");
+#else
+  return 0;
+#endif
+}
+
+/// Peak resident set size in bytes since process start (0 if unknown).
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  if (const auto hwm = detail::proc_status_bytes("VmHWM"); hwm != 0) {
+    return hwm;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace edhp

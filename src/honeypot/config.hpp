@@ -93,6 +93,13 @@ struct HoneypotConfig {
   /// unlimited: the pre-budget data plane, bit-for-bit). The scenario fills
   /// these from ChaosConfig; the manager's launch path leaves them alone.
   budget::BudgetConfig budget;
+
+  /// Million-peer bench mode: fold every admitted record into a running
+  /// count + FNV-1a fingerprint instead of appending it to the in-memory
+  /// log, so the footprint stops growing with observed traffic. Intended
+  /// for chaos-off campaigns only (an empty log means spooling and
+  /// publication have nothing to ship); the dataset campaigns keep it off.
+  bool stream_records = false;
 };
 
 }  // namespace edhp::honeypot

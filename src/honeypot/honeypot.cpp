@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/md4.hpp"
 
@@ -120,21 +121,21 @@ void Honeypot::attempt_connect() {
 }
 
 void Honeypot::on_server_message(net::Bytes packet) {
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_server, packet);
+    msg = proto::decode_view(proto::Channel::client_server, packet, arena_);
   } catch (const DecodeError&) {
     counters_.add("server_decode_errors");
     defense_.malformed += 1;
     net_.note_malformed(self_);
     return;
   }
-  if (const auto* results = std::get_if<proto::SearchResult>(&msg)) {
+  if (const auto* results = std::get_if<proto::SearchResultView>(&msg)) {
     std::size_t adopted = 0;
-    for (const auto& f : results->files) {
+    for (const auto& f : arena_.of(results->files)) {
       if (adopted >= pending_search_adopt_) break;
       if (advertised_ids_.contains(f.file)) continue;
-      add_advertised(AdvertisedFile{f.file, f.name, f.size});
+      add_advertised(AdvertisedFile{f.file, std::string(f.name), f.size});
       ++adopted;
     }
     pending_search_adopt_ = 0;
@@ -596,9 +597,9 @@ void Honeypot::process_peer(ConnKey key, net::Bytes packet) {
   if (it == peers_.end()) return;
   PeerConn& conn = it->second;
 
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_client, packet);
+    msg = proto::decode_view(proto::Channel::client_client, packet, arena_);
   } catch (const DecodeError&) {
     counters_.add("peer_decode_errors");
     defense_.malformed += 1;
@@ -616,13 +617,13 @@ void Honeypot::process_peer(ConnKey key, net::Bytes packet) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, proto::Hello>) {
+        if constexpr (std::is_same_v<T, proto::HelloView>) {
           handle_hello(conn, m);
         } else if constexpr (std::is_same_v<T, proto::StartUpload>) {
           handle_start_upload(key, conn, m);
         } else if constexpr (std::is_same_v<T, proto::RequestParts>) {
           handle_request_parts(conn, m);
-        } else if constexpr (std::is_same_v<T, proto::AskSharedFilesAnswer>) {
+        } else if constexpr (std::is_same_v<T, proto::AskSharedFilesAnswerView>) {
           handle_shared_list(conn, m);
         } else if constexpr (std::is_same_v<T, proto::AskSharedFiles>) {
           // A peer may browse us; answer with the advertised list to look
@@ -648,16 +649,17 @@ void Honeypot::process_peer(ConnKey key, net::Bytes packet) {
       msg);
 }
 
-void Honeypot::handle_hello(PeerConn& conn, const proto::Hello& msg) {
+void Honeypot::handle_hello(PeerConn& conn, const proto::HelloView& msg) {
   // Stage-1 anonymisation happens here, before the record exists.
   conn.peer_hash = ip_anon_.anonymize(net_.info(conn.endpoint->remote_node()).ip);
   conn.user = truncate_user(msg.user);
   conn.client_id = msg.client_id;
   conn.port = msg.port;
-  if (const auto* name = proto::find_string_tag(msg.tags, proto::kTagName)) {
-    conn.name_ref = intern_name(*name);
+  const auto tags = arena_.of(msg.tags);
+  if (const auto* name = proto::find_string_tag(tags, proto::kTagName)) {
+    conn.name_ref = intern_name(std::string(*name));
   }
-  if (const auto* version = proto::find_u32_tag(msg.tags, proto::kTagVersion)) {
+  if (const auto* version = proto::find_u32_tag(tags, proto::kTagVersion)) {
     conn.version = *version;
   }
   conn.hello_seen = true;
@@ -762,17 +764,18 @@ void Honeypot::handle_request_parts(PeerConn& conn, const proto::RequestParts& m
 }
 
 void Honeypot::handle_shared_list(PeerConn& conn,
-                                  const proto::AskSharedFilesAnswer& msg) {
+                                  const proto::AskSharedFilesAnswerView& msg) {
   counters_.add("shared_lists_received");
-  for (const auto& f : msg.files) {
+  for (const auto& f : arena_.of(msg.files)) {
     if (observed_files_.try_emplace(f.file, f.size).second) {
       observed_bytes_ += f.size;
-      observed_names_.push_back(f.name);
+      // Retained past the packet's lifetime: copy out of the view.
+      observed_names_.push_back(std::string(f.name));
     }
     if (config_.greedy && in_harvest_window() &&
         advertised_.size() < config_.greedy_max_files &&
         !advertised_ids_.contains(f.file)) {
-      add_advertised(AdvertisedFile{f.file, f.name, f.size});
+      add_advertised(AdvertisedFile{f.file, std::string(f.name), f.size});
     }
   }
   (void)conn;
@@ -802,6 +805,24 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
   heartbeat_ = net_.simulation().now();
   counters_.add(std::string(logbook::to_string(type)));
   if (!admit_record(r.user)) return;
+  if (config_.stream_records) {
+    // Fold instead of retain: the running count + fingerprint are the
+    // evidence a bench campaign keeps of its dataset.
+    ++records_streamed_;
+    auto mix = [this](std::uint64_t v) {
+      stream_fingerprint_ ^= v;
+      stream_fingerprint_ *= 1099511628211ull;
+    };
+    std::uint64_t t_bits = 0;
+    static_assert(sizeof(r.timestamp) == 8);
+    std::memcpy(&t_bits, &r.timestamp, 8);
+    mix(t_bits);
+    mix(r.peer);
+    mix(r.user);
+    mix(static_cast<std::uint64_t>(r.honeypot));
+    mix(static_cast<std::uint64_t>(r.type));
+    return;
+  }
   log_.records.push_back(r);
 }
 

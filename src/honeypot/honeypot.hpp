@@ -219,6 +219,16 @@ class Honeypot {
     return defense_;
   }
 
+  /// Records folded away by stream mode (0 unless config.stream_records).
+  [[nodiscard]] std::uint64_t records_streamed() const noexcept {
+    return records_streamed_;
+  }
+  /// FNV-1a over the streamed records' bit-identity fields (same mix as the
+  /// golden-fingerprint checks); the FNV offset basis when none streamed.
+  [[nodiscard]] std::uint64_t stream_fingerprint() const noexcept {
+    return stream_fingerprint_;
+  }
+
  private:
   struct PeerConn {
     net::EndpointPtr endpoint;
@@ -261,11 +271,12 @@ class Honeypot {
   /// Close + forget one peer connection, cancelling its reap timer.
   void drop_peer(ConnKey key);
 
-  void handle_hello(PeerConn& conn, const proto::Hello& msg);
+  void handle_hello(PeerConn& conn, const proto::HelloView& msg);
   void handle_start_upload(ConnKey key, PeerConn& conn,
                            const proto::StartUpload& msg);
   void handle_request_parts(PeerConn& conn, const proto::RequestParts& msg);
-  void handle_shared_list(PeerConn& conn, const proto::AskSharedFilesAnswer& msg);
+  void handle_shared_list(PeerConn& conn,
+                          const proto::AskSharedFilesAnswerView& msg);
 
   void append_record(const PeerConn& conn, logbook::QueryType type,
                      const FileId* file);
@@ -290,6 +301,9 @@ class Honeypot {
   net::Network& net_;
   net::NodeId self_;
   HoneypotConfig config_;
+  /// Scratch backing the zero-copy decode of the packet currently being
+  /// handled; reused across deliveries (steady state: no allocation).
+  proto::MessageArena arena_;
   anonymize::IpAnonymizer ip_anon_;
   UserId user_hash_;
 
@@ -316,6 +330,8 @@ class Honeypot {
   bool inbox_armed_ = false;
 
   logbook::LogFile log_;
+  std::uint64_t records_streamed_ = 0;
+  std::uint64_t stream_fingerprint_ = 1469598103934665603ull;  // FNV offset
   std::unordered_map<std::string, std::uint16_t> name_cache_;
   std::unordered_map<FileId, std::uint32_t> observed_files_;
   std::uint64_t observed_bytes_ = 0;

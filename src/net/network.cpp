@@ -46,9 +46,10 @@ void Endpoint::send_sized(Bytes payload, std::size_t wire_size) {
   next_free_tx_ = start + serialization;
   const double arrival = next_free_tx_ + shared_->latency;
 
-  LinkCounters& tx = net.node_counters_[local_];
-  tx.messages_sent += 1;
-  tx.bytes_serialized += bytes_on_wire;
+  if (Network::NodeSlot* tx = net.slot_of(local_)) {
+    tx->counters.messages_sent += 1;
+    tx->counters.bytes_serialized += bytes_on_wire;
+  }
   net.totals_.messages_sent += 1;
   net.totals_.bytes_serialized += bytes_on_wire;
 
@@ -79,6 +80,33 @@ void Endpoint::close() {
 Network::Network(sim::Simulation& simulation, LinkModel model)
     : sim_(simulation), model_(model), rng_(simulation.rng().split(0x4e455457ull)) {}
 
+Network::NodeSlot* Network::slot_of(NodeId id) noexcept {
+  if (id >= node_slot_.size()) return nullptr;
+  const std::uint32_t s = node_slot_[id];
+  return s == kRetiredSlot ? nullptr : &node_slots_[s];
+}
+
+const Network::NodeSlot* Network::slot_of(NodeId id) const noexcept {
+  if (id >= node_slot_.size()) return nullptr;
+  const std::uint32_t s = node_slot_[id];
+  return s == kRetiredSlot ? nullptr : &node_slots_[s];
+}
+
+Network::NodeSlot* Network::known_slot(NodeId id, const char* what) {
+  if (id >= node_slot_.size()) {
+    throw std::out_of_range(what);
+  }
+  return slot_of(id);
+}
+
+const Network::NodeSlot* Network::known_slot(NodeId id,
+                                             const char* what) const {
+  if (id >= node_slot_.size()) {
+    throw std::out_of_range(what);
+  }
+  return slot_of(id);
+}
+
 void Network::arm_delivery(const std::shared_ptr<Endpoint::Shared>& shared,
                            bool to_a) {
   auto& direction = to_a ? shared->to_a : shared->to_b;
@@ -104,9 +132,10 @@ void Network::deliver_head(const std::shared_ptr<Endpoint::Shared>& shared,
   }
   auto ep = (to_a ? shared->a : shared->b).lock();
   if (!ep || !ep->on_message_) return;
-  LinkCounters& rx = node_counters_[ep->local_];
-  rx.messages_delivered += 1;
-  rx.bytes_delivered += delivery.wire;
+  if (NodeSlot* rx = slot_of(ep->local_)) {
+    rx->counters.messages_delivered += 1;
+    rx->counters.bytes_delivered += delivery.wire;
+  }
   totals_.messages_delivered += 1;
   totals_.bytes_delivered += delivery.wire;
   ep->on_message_(std::move(delivery.payload));
@@ -114,33 +143,65 @@ void Network::deliver_head(const std::shared_ptr<Endpoint::Shared>& shared,
 
 NodeId Network::add_node(bool reachable, double tz_offset_hours,
                          std::optional<double> upload_bps) {
-  const auto id = static_cast<NodeId>(nodes_.size());
+  const auto id = static_cast<NodeId>(node_slot_.size());
   // Knuth multiplicative hash is a bijection on 32-bit ints, so every node
   // gets a distinct synthetic IP; add 1 so node 0 does not map to 0.0.0.0.
+  // Ids are never reused, so the id -> IP mapping is stable regardless of
+  // how many earlier nodes were retired.
   std::uint32_t ip = (id + 1u) * 2654435761u;
   if (ip == 0) ip = 1;
-  nodes_.push_back(NodeInfo{IpAddr(ip), 4662, reachable, tz_offset_hours});
-  upload_bps_.push_back(upload_bps.value_or(model_.default_upload_bps));
-  node_counters_.emplace_back();
-  node_up_.push_back(1);
-  partition_.push_back(0);
-  latency_factor_.push_back(1.0);
+
+  std::uint32_t s;
+  if (free_node_head_ != kRetiredSlot) {
+    s = free_node_head_;
+    free_node_head_ = node_slots_[s].next_free;
+    node_slots_[s] = NodeSlot{};
+  } else {
+    s = static_cast<std::uint32_t>(node_slots_.size());
+    node_slots_.emplace_back();
+  }
+  NodeSlot& slot = node_slots_[s];
+  slot.info = NodeInfo{IpAddr(ip), 4662, reachable, tz_offset_hours};
+  slot.upload_bps = upload_bps.value_or(model_.default_upload_bps);
+  node_slot_.push_back(s);
   by_ip_.emplace(ip, id);
+  ++live_nodes_;
+  peak_live_nodes_ = std::max(peak_live_nodes_, live_nodes_);
   return id;
 }
 
-void Network::set_node_up(NodeId id, bool up) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::set_node_up: unknown node");
+void Network::retire_node(NodeId id) {
+  if (id >= node_slot_.size()) {
+    throw std::out_of_range("Network::retire_node: unknown node");
   }
-  node_up_[id] = up ? 1 : 0;
+  const std::uint32_t s = node_slot_[id];
+  if (s == kRetiredSlot) return;  // idempotent
+  NodeSlot& slot = node_slots_[s];
+  by_ip_.erase(slot.info.ip.value());
+  listeners_.erase(id);
+  datagram_listeners_.erase(id);
+  corruptors_.erase(id);
+  node_slot_[id] = kRetiredSlot;
+  slot = NodeSlot{};
+  slot.next_free = free_node_head_;
+  free_node_head_ = s;
+  --live_nodes_;
+  ++nodes_retired_;
+}
+
+bool Network::node_live(NodeId id) const noexcept {
+  return id < node_slot_.size() && node_slot_[id] != kRetiredSlot;
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  if (NodeSlot* slot = known_slot(id, "Network::set_node_up: unknown node")) {
+    slot->up = up ? 1 : 0;
+  }
 }
 
 bool Network::node_up(NodeId id) const {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::node_up: unknown node");
-  }
-  return node_up_[id] != 0;
+  const NodeSlot* slot = known_slot(id, "Network::node_up: unknown node");
+  return slot != nullptr && slot->up != 0;
 }
 
 std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
@@ -150,7 +211,7 @@ std::uint64_t Network::link_key(NodeId a, NodeId b) noexcept {
 }
 
 void Network::block_link(NodeId a, NodeId b) {
-  if (a >= nodes_.size() || b >= nodes_.size()) {
+  if (a >= node_slot_.size() || b >= node_slot_.size()) {
     throw std::out_of_range("Network::block_link: unknown node");
   }
   blocked_links_.insert(link_key(a, b));
@@ -161,34 +222,36 @@ void Network::unblock_link(NodeId a, NodeId b) {
 }
 
 void Network::set_partition(NodeId id, std::uint32_t group) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::set_partition: unknown node");
+  if (NodeSlot* slot = known_slot(id, "Network::set_partition: unknown node")) {
+    slot->partition = group;
   }
-  partition_[id] = group;
 }
 
 std::uint32_t Network::partition_of(NodeId id) const {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::partition_of: unknown node");
-  }
-  return partition_[id];
+  const NodeSlot* slot = known_slot(id, "Network::partition_of: unknown node");
+  return slot == nullptr ? 0 : slot->partition;
 }
 
 void Network::set_latency_factor(NodeId id, double factor) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::set_latency_factor: unknown node");
+  if (NodeSlot* slot =
+          known_slot(id, "Network::set_latency_factor: unknown node")) {
+    slot->latency_factor = factor > 0 ? factor : 1.0;
   }
-  latency_factor_[id] = factor > 0 ? factor : 1.0;
 }
 
 bool Network::link_usable(NodeId from, NodeId to) const {
-  if (node_up_[from] == 0 || node_up_[to] == 0) return false;
-  if (partition_[from] != partition_[to]) return false;
+  const NodeSlot* f = slot_of(from);
+  const NodeSlot* t = slot_of(to);
+  if (f == nullptr || t == nullptr || f->up == 0 || t->up == 0) return false;
+  if (f->partition != t->partition) return false;
   return blocked_links_.empty() || !blocked_links_.contains(link_key(from, to));
 }
 
 double Network::latency_factor(NodeId from, NodeId to) const {
-  return std::max(latency_factor_[from], latency_factor_[to]);
+  const NodeSlot* f = slot_of(from);
+  const NodeSlot* t = slot_of(to);
+  return std::max(f == nullptr ? 1.0 : f->latency_factor,
+                  t == nullptr ? 1.0 : t->latency_factor);
 }
 
 std::size_t Network::abort_matching(
@@ -208,8 +271,12 @@ std::size_t Network::abort_matching(
         if (ep && ep->on_close_) ep->on_close_();
       });
     }
-    node_counters_[shared->node_a].connections_aborted += 1;
-    node_counters_[shared->node_b].connections_aborted += 1;
+    if (NodeSlot* sa = slot_of(shared->node_a)) {
+      sa->counters.connections_aborted += 1;
+    }
+    if (NodeSlot* sb = slot_of(shared->node_b)) {
+      sb->counters.connections_aborted += 1;
+    }
     totals_.connections_aborted += 1;
     ++aborted;
   }
@@ -239,13 +306,16 @@ std::size_t Network::abort_link(NodeId a, NodeId b) {
 
 std::size_t Network::abort_cross_partition() {
   return abort_matching([this](NodeId a, NodeId b) {
-    return partition_[a] != partition_[b];
+    const NodeSlot* sa = slot_of(a);
+    const NodeSlot* sb = slot_of(b);
+    return (sa == nullptr ? 0 : sa->partition) !=
+           (sb == nullptr ? 0 : sb->partition);
   });
 }
 
 void Network::set_corruption(NodeId id, const CorruptionSpec& spec) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::set_corruption: unknown node");
+  if (known_slot(id, "Network::set_corruption: unknown node") == nullptr) {
+    return;  // retired senders cannot transmit, let alone corrupt
   }
   corruptors_[id] = CorruptionState{spec, Rng(spec.seed)};
 }
@@ -274,17 +344,18 @@ void Network::maybe_corrupt(NodeId sender, Bytes& payload) {
     touched = true;
   }
   if (touched) {
-    node_counters_[sender].messages_corrupted += 1;
+    if (NodeSlot* slot = slot_of(sender)) {
+      slot->counters.messages_corrupted += 1;
+    }
     totals_.messages_corrupted += 1;
   }
 }
 
 void Network::note_malformed(NodeId id) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::note_malformed: unknown node");
+  if (NodeSlot* slot = known_slot(id, "Network::note_malformed: unknown node")) {
+    slot->counters.malformed_packets += 1;
+    totals_.malformed_packets += 1;
   }
-  node_counters_[id].malformed_packets += 1;
-  totals_.malformed_packets += 1;
 }
 
 std::optional<NodeId> Network::find_by_ip(std::uint32_t ip) const {
@@ -294,31 +365,32 @@ std::optional<NodeId> Network::find_by_ip(std::uint32_t ip) const {
 }
 
 const NodeInfo& Network::info(NodeId id) const {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::info: unknown node");
+  const NodeSlot* slot = known_slot(id, "Network::info: unknown node");
+  if (slot == nullptr) {
+    throw std::out_of_range("Network::info: retired node");
   }
-  return nodes_[id];
+  return slot->info;
 }
 
 const LinkCounters& Network::counters(NodeId id) const {
-  if (id >= node_counters_.size()) {
-    throw std::out_of_range("Network::counters: unknown node");
+  const NodeSlot* slot = known_slot(id, "Network::counters: unknown node");
+  if (slot == nullptr) {
+    static const LinkCounters kRetired{};  // counters died with the node
+    return kRetired;
   }
-  return node_counters_[id];
+  return slot->counters;
 }
 
 void Network::listen(NodeId id, AcceptHandler handler) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::listen: unknown node");
-  }
+  if (known_slot(id, "Network::listen: unknown node") == nullptr) return;
   listeners_[id] = std::move(handler);
 }
 
 void Network::stop_listening(NodeId id) { listeners_.erase(id); }
 
 void Network::listen_datagram(NodeId id, DatagramHandler handler) {
-  if (id >= nodes_.size()) {
-    throw std::out_of_range("Network::listen_datagram: unknown node");
+  if (known_slot(id, "Network::listen_datagram: unknown node") == nullptr) {
+    return;
   }
   datagram_listeners_[id] = std::move(handler);
 }
@@ -328,14 +400,21 @@ void Network::stop_listening_datagram(NodeId id) {
 }
 
 void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
-  if (from >= nodes_.size() || to >= nodes_.size()) {
+  if (from >= node_slot_.size() || to >= node_slot_.size()) {
     throw std::out_of_range("Network::send_datagram: unknown node");
   }
-  node_counters_[from].datagrams_sent += 1;
+  if (NodeSlot* tx = slot_of(from)) {
+    tx->counters.datagrams_sent += 1;
+  }
   totals_.datagrams_sent += 1;
-  if (!link_usable(from, to) || !nodes_[to].reachable ||
+  const NodeSlot* target = slot_of(to);
+  // Short-circuit order matters for determinism: the loss draw only happens
+  // when the link is usable, exactly as before node retirement existed.
+  if (!link_usable(from, to) || target == nullptr || !target->info.reachable ||
       rng_.chance(model_.datagram_loss)) {
-    node_counters_[from].datagrams_dropped += 1;
+    if (NodeSlot* tx = slot_of(from)) {
+      tx->counters.datagrams_dropped += 1;
+    }
     totals_.datagrams_dropped += 1;
     return;  // silently lost, as UDP does
   }
@@ -345,13 +424,16 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
   sim_.schedule_in(latency, [this, from, to, payload = std::move(payload)]() mutable {
     auto it = datagram_listeners_.find(to);
     if (it == datagram_listeners_.end() || !it->second) {
-      node_counters_[from].datagrams_dropped += 1;
+      if (NodeSlot* tx = slot_of(from)) {
+        tx->counters.datagrams_dropped += 1;
+      }
       totals_.datagrams_dropped += 1;
       return;
     }
-    LinkCounters& rx = node_counters_[to];
-    rx.messages_delivered += 1;
-    rx.bytes_delivered += payload.size();
+    if (NodeSlot* rx = slot_of(to)) {
+      rx->counters.messages_delivered += 1;
+      rx->counters.bytes_delivered += payload.size();
+    }
     totals_.messages_delivered += 1;
     totals_.bytes_delivered += payload.size();
     it->second(from, std::move(payload));
@@ -359,20 +441,25 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
 }
 
 void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
-  if (from >= nodes_.size() || to >= nodes_.size()) {
+  if (from >= node_slot_.size() || to >= node_slot_.size()) {
     throw std::out_of_range("Network::connect: unknown node");
   }
-  node_counters_[from].connects_initiated += 1;
+  if (NodeSlot* initiator = slot_of(from)) {
+    initiator->counters.connects_initiated += 1;
+  }
   totals_.connects_initiated += 1;
   const double latency = std::max(
       model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma) *
                               latency_factor(from, to));
 
   auto listener = listeners_.find(to);
-  const bool ok = link_usable(from, to) && nodes_[to].reachable &&
-                  listener != listeners_.end();
+  const NodeSlot* target = slot_of(to);
+  const bool ok = link_usable(from, to) && target != nullptr &&
+                  target->info.reachable && listener != listeners_.end();
   if (!ok) {
-    node_counters_[to].refusals += 1;
+    if (NodeSlot* t = slot_of(to)) {
+      t->counters.refusals += 1;
+    }
     totals_.refusals += 1;
     // Failure is learned after a round trip (SYN, then RST / timeout).
     sim_.schedule_in(2 * latency, [done = std::move(done)] { done(nullptr); });
@@ -394,14 +481,14 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   side_a->local_ = from;
   side_a->remote_ = to;
   side_a->is_a_ = true;
-  side_a->upload_bps_ = upload_bps_[from];
+  side_a->upload_bps_ = slot_of(from)->upload_bps;
   side_a->shared_ = shared;
 
   auto side_b = std::make_shared<Endpoint>();
   side_b->local_ = to;
   side_b->remote_ = from;
   side_b->is_a_ = false;
-  side_b->upload_bps_ = upload_bps_[to];
+  side_b->upload_bps_ = target->upload_bps;
   side_b->shared_ = shared;
 
   shared->a = side_a;
@@ -412,7 +499,9 @@ void Network::connect(NodeId from, NodeId to, ConnectHandler done) {
   sim_.schedule_in(latency, [this, to, side_b] {
     auto it = listeners_.find(to);
     if (it != listeners_.end() && it->second) {
-      node_counters_[to].connects_accepted += 1;
+      if (NodeSlot* t = slot_of(to)) {
+        t->counters.connects_accepted += 1;
+      }
       totals_.connects_accepted += 1;
       it->second(side_b);
     }

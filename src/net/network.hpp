@@ -137,8 +137,35 @@ class Network {
   NodeId add_node(bool reachable, double tz_offset_hours = 0.0,
                   std::optional<double> upload_bps = std::nullopt);
 
+  /// Forget a node that will never communicate again: its per-node state
+  /// (info, counters, fault knobs, IP mapping, handlers) is released and the
+  /// storage slot is recycled by the next add_node(). NodeIds are never
+  /// reused, so later nodes keep the same deterministic IPs whether or not
+  /// earlier ones were retired. Million-peer campaigns retire each peer node
+  /// on reclaim, keeping network state proportional to the LIVE population.
+  /// Retiring an already-retired id is a no-op; the id must be known.
+  void retire_node(NodeId id);
+
+  /// Whether `id` names a registered, not-yet-retired node.
+  [[nodiscard]] bool node_live(NodeId id) const noexcept;
+
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Total ids ever registered (monotonic; includes retired nodes).
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_slot_.size();
+  }
+  /// Currently live (registered, not retired) nodes.
+  [[nodiscard]] std::size_t live_node_count() const noexcept {
+    return live_nodes_;
+  }
+  /// High-water mark of simultaneously live nodes — the structural memory
+  /// bound of a campaign, independent of how many peers EVER existed.
+  [[nodiscard]] std::size_t peak_live_node_count() const noexcept {
+    return peak_live_nodes_;
+  }
+  [[nodiscard]] std::uint64_t nodes_retired() const noexcept {
+    return nodes_retired_;
+  }
 
   /// Node owning a given IP (peers resolve FOUND-SOURCES entries, whose
   /// HighID *is* the provider's address, to a connection target).
@@ -262,15 +289,39 @@ class Network {
   std::size_t abort_matching(
       const std::function<bool(NodeId, NodeId)>& pred);
 
+  static constexpr std::uint32_t kRetiredSlot = 0xFFFFFFFFu;
+
+  /// Per-node state lives in a recycling slab; `node_slot_` maps the
+  /// monotonically growing NodeId space onto slab slots so retired nodes
+  /// cost 4 bytes instead of a full record. Slots are reused through an
+  /// intrusive free list.
+  struct NodeSlot {
+    NodeInfo info;
+    double upload_bps = 0.0;
+    double latency_factor = 1.0;
+    std::uint32_t partition = 0;
+    std::uint8_t up = 1;
+    std::uint32_t next_free = kRetiredSlot;
+    LinkCounters counters;
+  };
+
+  /// Slot of a live node, nullptr for retired or unknown ids.
+  [[nodiscard]] NodeSlot* slot_of(NodeId id) noexcept;
+  [[nodiscard]] const NodeSlot* slot_of(NodeId id) const noexcept;
+  /// Slot of a known id (throws out_of_range with `what` for unknown ids),
+  /// nullptr when the node is retired.
+  NodeSlot* known_slot(NodeId id, const char* what);
+  [[nodiscard]] const NodeSlot* known_slot(NodeId id, const char* what) const;
+
   sim::Simulation& sim_;
   LinkModel model_;
   Rng rng_;
-  std::vector<NodeInfo> nodes_;
-  std::vector<double> upload_bps_;
-  std::vector<LinkCounters> node_counters_;
-  std::vector<std::uint8_t> node_up_;
-  std::vector<std::uint32_t> partition_;
-  std::vector<double> latency_factor_;
+  std::vector<std::uint32_t> node_slot_;  ///< NodeId -> slab slot / kRetiredSlot
+  std::vector<NodeSlot> node_slots_;
+  std::uint32_t free_node_head_ = kRetiredSlot;
+  std::size_t live_nodes_ = 0;
+  std::size_t peak_live_nodes_ = 0;
+  std::uint64_t nodes_retired_ = 0;
   std::unordered_set<std::uint64_t> blocked_links_;
   /// Active wire-corruptors, keyed by sender; each carries its own RNG so
   /// mutation draws never touch rng_ (see maybe_corrupt()).

@@ -116,9 +116,9 @@ void Peer::on_server_connected(net::EndpointPtr ep) {
 }
 
 void Peer::on_server_message(net::Bytes packet) {
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_server, packet);
+    msg = proto::decode_view(proto::Channel::client_server, packet, arena_);
   } catch (const DecodeError&) {
     ctx_.net->note_malformed(node_);
     return;
@@ -128,13 +128,14 @@ void Peer::on_server_message(net::Bytes packet) {
     server_ep_->send(proto::encode(proto::AnyMessage{proto::GetSources{target_}}));
     return;
   }
-  if (const auto* found = std::get_if<proto::FoundSources>(&msg)) {
+  if (const auto* found = std::get_if<proto::FoundSourcesView>(&msg)) {
     if (found->file == target_) {
+      const auto sources = arena_.of(found->sources);
       if (ctx_.source_cache != nullptr) {
         // Feed the community cache: this is what later PEX peers consult.
-        ctx_.source_cache->offer(target_, found->sources);
+        ctx_.source_cache->offer(target_, sources);
       }
-      select_sources(found->sources);
+      select_sources(sources);
       // The short-lived server session served its purpose. (Real clients
       // stay connected; only the source query matters to the honeypots.)
       server_ep_->close();
@@ -151,7 +152,7 @@ double Peer::source_weight(std::uint32_t client_id) const {
   return it == ctx_.source_weights->end() ? 1.0 : it->second;
 }
 
-void Peer::select_sources(const std::vector<proto::SourceEntry>& found) {
+void Peer::select_sources(std::span<const proto::SourceEntry> found) {
   sources_selected_ = true;
   // Candidates: reachable (HighID) providers.
   std::vector<proto::SourceEntry> candidates;
@@ -278,9 +279,9 @@ void Peer::on_source_message(std::size_t index, net::Bytes packet) {
   Source& src = sources_[index];
   if (!src.endpoint || !src.engaged) return;
 
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_client, packet);
+    msg = proto::decode_view(proto::Channel::client_client, packet, arena_);
   } catch (const DecodeError&) {
     ctx_.net->note_malformed(node_);
     conclude(index);
@@ -290,7 +291,7 @@ void Peer::on_source_message(std::size_t index, net::Bytes packet) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, proto::HelloAnswer>) {
+        if constexpr (std::is_same_v<T, proto::HelloAnswerView>) {
           if (uploader_) {
             src.endpoint->send(
                 proto::encode(proto::AnyMessage{proto::StartUpload{target_}}));
@@ -339,7 +340,7 @@ void Peer::on_source_message(std::size_t index, net::Bytes packet) {
           // Queued: give up this session, retry next time.
           simulation().cancel(src.timeout);
           conclude(index);
-        } else if constexpr (std::is_same_v<T, proto::SendingPart>) {
+        } else if constexpr (std::is_same_v<T, proto::SendingPartView>) {
           if (!src.uploading) return;
           const std::uint64_t got = m.end - m.begin;
           src.round_received += got;

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "net/network.hpp"
@@ -123,7 +124,7 @@ class Peer {
   void begin_session();
   void on_server_connected(net::EndpointPtr ep);
   void on_server_message(net::Bytes packet);
-  void select_sources(const std::vector<proto::SourceEntry>& found);
+  void select_sources(std::span<const proto::SourceEntry> found);
   void contact_sources();
   void contact(std::size_t index);
   void on_source_message(std::size_t index, net::Bytes packet);
@@ -147,6 +148,8 @@ class Peer {
   std::vector<FileId> secondary_targets_;
   Rng rng_;
   DoneCallback on_done_;
+  /// Scratch for zero-copy decode of the packet currently being handled.
+  proto::MessageArena arena_;
 
   std::uint32_t client_id_ = 0;
   std::uint32_t sessions_left_ = 0;

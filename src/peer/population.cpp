@@ -4,8 +4,22 @@
 #include <cmath>
 
 namespace edhp::peer {
+namespace {
 
-Population::Population(PeerContext ctx, Rng rng) : ctx_(ctx), rng_(rng) {
+void fold(PeerStats& into, const PeerStats& s) {
+  into.sessions += s.sessions;
+  into.hellos_sent += s.hellos_sent;
+  into.start_uploads_sent += s.start_uploads_sent;
+  into.request_parts_sent += s.request_parts_sent;
+  into.parts_completed += s.parts_completed;
+  into.detections += s.detections;
+  into.connect_failures += s.connect_failures;
+}
+
+}  // namespace
+
+Population::Population(PeerContext ctx, Rng rng, PopulationMode mode)
+    : ctx_(ctx), rng_(rng), mode_(mode) {
   // Bound of the diurnal factor for thinning, scanned over one week.
   for (double t = 0; t < kWeek; t += kMinute * 10) {
     diurnal_max_ = std::max(diurnal_max_, ctx_.diurnal->factor(t));
@@ -16,6 +30,7 @@ Population::~Population() = default;
 
 void Population::add_demand(FileDemand demand) {
   demands_.push_back(Demand{demand, ctx_.net->simulation().now(), 0, {}});
+  demand_finished_.emplace_back();
   const double prev =
       demand_cumulative_.empty() ? 0.0 : demand_cumulative_.back();
   demand_cumulative_.push_back(prev +
@@ -102,11 +117,31 @@ void Population::schedule_arrival(std::size_t demand_index) {
   });
 }
 
+std::uint32_t Population::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slot_next_free_[slot];
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_peer_.size());
+  slot_peer_.emplace_back();
+  slot_gen_.push_back(0);
+  slot_next_free_.push_back(kNoSlot);
+  slot_demand_.push_back(0);
+  slot_spawn_time_.push_back(0.0);
+  slot_arrival_.push_back(0);
+  return slot;
+}
+
 void Population::spawn(std::size_t demand_index) {
   Demand& d = demands_[demand_index];
   ++d.spawned;
   ++arrivals_;
 
+  // The RNG draw order below (profile, then node, then id, then secondary
+  // targets, then the peer's own stream) is identical in both modes; so is
+  // the single reclaim event each finished peer schedules. Mode selection
+  // therefore cannot shift a single draw or event of a campaign.
   Rng peer_rng = rng_.split(arrivals_);
   PeerProfile profile = sample_profile(peer_rng, *ctx_.params, *ctx_.diurnal);
   const auto node = ctx_.net->add_node(profile.reachable, profile.tz_offset_hours,
@@ -114,42 +149,82 @@ void Population::spawn(std::size_t demand_index) {
 
   const std::uint64_t id = next_id_++;
   auto secondary = sample_secondary(peer_rng, demand_index);
+
+  if (mode_ == PopulationMode::legacy_eager) {
+    auto peer = std::make_unique<Peer>(
+        ctx_, node, std::move(profile), d.cfg.file, peer_rng.split(1),
+        [this, id] {
+          // Reclaim on the next step: the peer may still be on the call stack.
+          ctx_.net->simulation().schedule_in(0.0,
+                                             [this, id] { reclaim_legacy(id); });
+        },
+        std::move(secondary));
+    Peer& ref = *peer;
+    peers_.emplace(id, std::move(peer));
+    ++live_;
+    peak_live_ = std::max(peak_live_, live_);
+    ref.start();
+    return;
+  }
+
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t generation = slot_gen_[slot];
+  slot_demand_[slot] = static_cast<std::uint32_t>(demand_index);
+  slot_spawn_time_[slot] = ctx_.net->simulation().now();
+  slot_arrival_[slot] = arrivals_;
   auto peer = std::make_unique<Peer>(
       ctx_, node, std::move(profile), d.cfg.file, peer_rng.split(1),
-      [this, id] {
+      [this, slot, generation] {
         // Reclaim on the next step: the peer may still be on the call stack.
-        ctx_.net->simulation().schedule_in(0.0, [this, id] {
-          auto it = peers_.find(id);
-          if (it == peers_.end()) return;
-          const auto& s = it->second->stats();
-          finished_totals_.sessions += s.sessions;
-          finished_totals_.hellos_sent += s.hellos_sent;
-          finished_totals_.start_uploads_sent += s.start_uploads_sent;
-          finished_totals_.request_parts_sent += s.request_parts_sent;
-          finished_totals_.parts_completed += s.parts_completed;
-          finished_totals_.detections += s.detections;
-          finished_totals_.connect_failures += s.connect_failures;
-          peers_.erase(it);
-          ++finished_;
-        });
+        ctx_.net->simulation().schedule_in(
+            0.0, [this, slot, generation] { reclaim(slot, generation); });
       },
       std::move(secondary));
   Peer& ref = *peer;
-  peers_.emplace(id, std::move(peer));
+  slot_peer_[slot] = std::move(peer);
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
   ref.start();
+}
+
+void Population::reclaim(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slot_gen_.size() || slot_gen_[slot] != generation ||
+      slot_peer_[slot] == nullptr) {
+    return;
+  }
+  const Peer& peer = *slot_peer_[slot];
+  const PeerStats& s = peer.stats();
+  fold(demand_finished_[slot_demand_[slot]], s);
+  fold(finished_totals_, s);
+  const auto node = peer.node();
+  // ~Peer closes every endpoint, nothing ever connects TO a peer node, and
+  // peer IPs appear in no provider list — so the node's network state can
+  // be released the moment the object goes.
+  slot_peer_[slot].reset();
+  ctx_.net->retire_node(node);
+  ++slot_gen_[slot];  // outstanding reclaim handles to this slot go stale
+  slot_next_free_[slot] = free_head_;
+  free_head_ = slot;
+  --live_;
+  ++finished_;
+}
+
+void Population::reclaim_legacy(std::uint64_t id) {
+  auto it = peers_.find(id);
+  if (it == peers_.end()) return;
+  fold(finished_totals_, it->second->stats());
+  peers_.erase(it);
+  --live_;
+  ++finished_;
 }
 
 PeerStats Population::totals() const {
   PeerStats out = finished_totals_;
+  for (const auto& p : slot_peer_) {
+    if (p) fold(out, p->stats());
+  }
   for (const auto& [id, p] : peers_) {
-    const auto& s = p->stats();
-    out.sessions += s.sessions;
-    out.hellos_sent += s.hellos_sent;
-    out.start_uploads_sent += s.start_uploads_sent;
-    out.request_parts_sent += s.request_parts_sent;
-    out.parts_completed += s.parts_completed;
-    out.detections += s.detections;
-    out.connect_failures += s.connect_failures;
+    fold(out, p->stats());
   }
   return out;
 }

@@ -9,12 +9,24 @@
 // saturate). Arrival intensity is modulated by the diurnal profile, giving
 // Fig 4's day-night oscillation.
 //
-// The Population owns the live Peer objects; a finished peer is reclaimed
-// on the next simulation step, and its counters are folded into aggregate
-// statistics.
+// The population is a statistical process, not a roster: a peer exists only
+// as aggregate per-demand state (arrival counters, folded PeerStats) until
+// its arrival fires, at which point it materializes into a recycling slab
+// slot for the duration of its interaction. On completion its counters fold
+// back into the per-demand aggregates, its slot is recycled, and its
+// network node is retired — so memory tracks the peak SIMULTANEOUS
+// population, not the total number of peers a campaign ever spawns.
+// Million-arrival campaigns therefore run at the footprint of their ~tens
+// of thousands of concurrently active peers.
+//
+// The slab keeps the owning Peer pointers (cold) apart from the per-slot
+// scalars the reclaim/accounting paths touch (generation, demand index,
+// spawn time, arrival index — hot, struct-of-arrays), so bookkeeping scans
+// never pull whole Peer objects through the cache.
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "peer/downloader.hpp"
 
@@ -32,10 +44,25 @@ struct FileDemand {
   Duration ramp_up = 0;
 };
 
+/// Storage strategy for live peers. Both modes consume the RNG stream in
+/// exactly the same order and schedule identical events, so a campaign's
+/// dataset is bit-for-bit independent of the mode (tested on the golden
+/// fingerprints); they differ only in memory behaviour.
+enum class PopulationMode : std::uint8_t {
+  /// Recycling slab + SoA bookkeeping; finished peers retire their network
+  /// node. Constant memory in total arrivals. The default.
+  lazy,
+  /// The historical path: an id-keyed map of live peers, nodes never
+  /// retired. Memory grows with total arrivals; kept as the determinism
+  /// baseline the lazy path is tested against.
+  legacy_eager,
+};
+
 class Population {
  public:
   /// `ctx` holds non-owning pointers that must outlive the Population.
-  Population(PeerContext ctx, Rng rng);
+  Population(PeerContext ctx, Rng rng,
+             PopulationMode mode = PopulationMode::lazy);
   ~Population();
 
   Population(const Population&) = delete;
@@ -51,14 +78,32 @@ class Population {
   /// in the event queue.
   void stop();
 
+  [[nodiscard]] PopulationMode mode() const noexcept { return mode_; }
   [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
-  [[nodiscard]] std::uint64_t active() const noexcept { return peers_.size(); }
+  [[nodiscard]] std::uint64_t active() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t finished() const noexcept { return finished_; }
+  /// High-water mark of simultaneously live peers.
+  [[nodiscard]] std::uint64_t peak_active() const noexcept {
+    return peak_live_;
+  }
+  /// Slots ever allocated by the lazy slab (its structural memory bound);
+  /// 0 in legacy_eager mode.
+  [[nodiscard]] std::size_t slab_capacity() const noexcept {
+    return slot_peer_.size();
+  }
 
   /// Aggregate behaviour counters (finished peers plus live ones).
   [[nodiscard]] PeerStats totals() const;
+  /// Counters folded from FINISHED peers of one demand (lazy mode; in
+  /// legacy_eager mode finished stats are only tracked population-wide and
+  /// every per-demand entry stays zero).
+  [[nodiscard]] const PeerStats& finished_stats(std::size_t demand_index) const {
+    return demand_finished_.at(demand_index);
+  }
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   struct Demand {
     FileDemand cfg;
     Time added_at = 0;  ///< when the demand was registered (ramp anchor)
@@ -68,17 +113,40 @@ class Population {
 
   void schedule_arrival(std::size_t demand_index);
   void spawn(std::size_t demand_index);
+  /// Fold a finished slab peer back into the aggregates and release its
+  /// slot + network node. Generation-checked: stale events are no-ops.
+  void reclaim(std::uint32_t slot, std::uint32_t generation);
+  void reclaim_legacy(std::uint64_t id);
+  [[nodiscard]] std::uint32_t acquire_slot();
   [[nodiscard]] double rate_at(const Demand& d, Time t) const;
   [[nodiscard]] std::vector<FileId> sample_secondary(Rng& rng,
                                                      std::size_t primary_index);
 
   PeerContext ctx_;
   Rng rng_;
+  PopulationMode mode_;
   std::vector<Demand> demands_;
   std::vector<double> demand_cumulative_;  ///< prefix sums of demand rates
+  std::vector<PeerStats> demand_finished_;  ///< aligned with demands_
+
+  // Lazy slab. slot_peer_ owns the materialized peers (cold); the parallel
+  // vectors are the hot per-slot scalars (SoA). Freed slots chain through
+  // slot_next_free_.
+  std::vector<std::unique_ptr<Peer>> slot_peer_;
+  std::vector<std::uint32_t> slot_gen_;
+  std::vector<std::uint32_t> slot_next_free_;
+  std::vector<std::uint32_t> slot_demand_;
+  std::vector<double> slot_spawn_time_;
+  std::vector<std::uint64_t> slot_arrival_;
+  std::uint32_t free_head_ = kNoSlot;
+
+  // legacy_eager storage.
   std::unordered_map<std::uint64_t, std::unique_ptr<Peer>> peers_;
+
   std::uint64_t next_id_ = 1;
   std::uint64_t arrivals_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t peak_live_ = 0;
   std::uint64_t finished_ = 0;
   PeerStats finished_totals_;
   double diurnal_max_ = 1.0;

@@ -8,6 +8,7 @@
 // of newly arriving peers consults the cache instead of the server.
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,7 +20,12 @@ namespace edhp::peer {
 class SourceCache {
  public:
   /// Record sources a peer learned for `file` (deduplicated by clientID).
-  void offer(const FileId& file, const std::vector<proto::SourceEntry>& sources) {
+  void offer(const FileId& file,
+             std::initializer_list<proto::SourceEntry> sources) {
+    offer(file, std::span<const proto::SourceEntry>(sources.begin(),
+                                                    sources.size()));
+  }
+  void offer(const FileId& file, std::span<const proto::SourceEntry> sources) {
     auto& known = cache_[file];
     for (const auto& s : sources) {
       const bool present =

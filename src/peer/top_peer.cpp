@@ -66,9 +66,9 @@ void TopPeer::stop() {
 }
 
 void TopPeer::on_server_message(net::Bytes packet) {
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_server, packet);
+    msg = proto::decode_view(proto::Channel::client_server, packet, arena_);
   } catch (const DecodeError&) {
     net_.note_malformed(node_);
     return;
@@ -78,8 +78,9 @@ void TopPeer::on_server_message(net::Bytes packet) {
     server_ep_->send(proto::encode(proto::AnyMessage{proto::GetSources{target_}}));
     return;
   }
-  if (const auto* found = std::get_if<proto::FoundSources>(&msg)) {
-    sources_ = found->sources;
+  if (const auto* found = std::get_if<proto::FoundSourcesView>(&msg)) {
+    const auto learned = arena_.of(found->sources);
+    sources_.assign(learned.begin(), learned.end());
     sources_stats_.clear();
     encounters_.clear();
     sources_stats_.resize(sources_.size());
@@ -153,9 +154,9 @@ void TopPeer::run_encounter(std::size_t index) {
 void TopPeer::on_message(std::size_t index, net::Bytes packet) {
   Encounter& e = encounters_[index];
   if (!e.endpoint) return;
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_client, packet);
+    msg = proto::decode_view(proto::Channel::client_client, packet, arena_);
   } catch (const DecodeError&) {
     net_.note_malformed(node_);
     finish_encounter(index);
@@ -164,13 +165,13 @@ void TopPeer::on_message(std::size_t index, net::Bytes packet) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, proto::HelloAnswer>) {
+        if constexpr (std::is_same_v<T, proto::HelloAnswerView>) {
           e.endpoint->send(
               proto::encode(proto::AnyMessage{proto::StartUpload{target_}}));
           ++sources_stats_[index].start_uploads;
         } else if constexpr (std::is_same_v<T, proto::AcceptUpload>) {
           send_round(index);
-        } else if constexpr (std::is_same_v<T, proto::SendingPart>) {
+        } else if constexpr (std::is_same_v<T, proto::SendingPartView>) {
           e.received += m.end - m.begin;
           e.offset += m.end - m.begin;
           if (e.received >= e.expected) {

@@ -88,6 +88,8 @@ class TopPeer {
   FileId target_;
   TopPeerParams params_;
   Rng rng_;
+  /// Scratch for zero-copy decode of the packet currently being handled.
+  proto::MessageArena arena_;
 
   std::uint32_t client_id_ = 0;
   net::EndpointPtr server_ep_;

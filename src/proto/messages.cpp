@@ -32,19 +32,19 @@ void encode_published_file(ByteWriter& w, const PublishedFile& f) {
   encode_tags(w, tags);
 }
 
-PublishedFile decode_published_file(ByteReader& r) {
-  PublishedFile f;
+void decode_published_file_view(ByteReader& r, MessageArena& arena) {
+  PublishedFileView f;
   f.file = get_hash<FileTag>(r);
   f.client_id = r.u32();
   f.port = r.u16();
-  const auto tags = decode_tags(r);
-  if (const Tag* t = find_tag(tags, kTagName)) {
+  f.tags = decode_tags_view(r, arena.tags);
+  if (const TagView* t = find_tag(arena.of(f.tags), kTagName)) {
     f.name = t->as_string();
   }
-  if (const Tag* t = find_tag(tags, kTagFileSize)) {
+  if (const TagView* t = find_tag(arena.of(f.tags), kTagFileSize)) {
     f.size = t->as_u32();
   }
-  return f;
+  arena.files.push_back(f);
 }
 
 void encode_file_list(ByteWriter& w, const std::vector<PublishedFile>& files) {
@@ -54,7 +54,7 @@ void encode_file_list(ByteWriter& w, const std::vector<PublishedFile>& files) {
   }
 }
 
-std::vector<PublishedFile> decode_file_list(ByteReader& r) {
+FileRange decode_file_list_view(ByteReader& r, MessageArena& arena) {
   const std::uint32_t n = r.u32();
   if (n > kMaxListedFiles) {
     throw DecodeError("file list: absurd count " + std::to_string(n));
@@ -65,12 +65,12 @@ std::vector<PublishedFile> decode_file_list(ByteReader& r) {
     throw DecodeError("file list: count " + std::to_string(n) +
                       " exceeds payload");
   }
-  std::vector<PublishedFile> files;
-  files.reserve(n);
+  FileRange range{static_cast<std::uint32_t>(arena.files.size()), n};
+  arena.files.reserve(arena.files.size() + n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    files.push_back(decode_published_file(r));
+    decode_published_file_view(r, arena);
   }
-  return files;
+  return range;
 }
 
 void encode_hello_body(ByteWriter& w, const UserId& user, std::uint32_t client_id,
@@ -86,7 +86,7 @@ void encode_hello_body(ByteWriter& w, const UserId& user, std::uint32_t client_i
 }
 
 template <typename T>
-T decode_hello_body(ByteReader& r) {
+T decode_hello_body_view(ByteReader& r, MessageArena& arena) {
   const std::uint8_t hash_size = r.u8();
   if (hash_size != 16) {
     throw DecodeError("HELLO: unexpected hash size " + std::to_string(hash_size));
@@ -95,7 +95,7 @@ T decode_hello_body(ByteReader& r) {
   m.user = get_hash<UserTag>(r);
   m.client_id = r.u32();
   m.port = r.u16();
-  m.tags = decode_tags(r);
+  m.tags = decode_tags_view(r, arena.tags);
   m.server_ip = r.u32();
   m.server_port = r.u16();
   return m;
@@ -227,7 +227,36 @@ std::vector<std::uint8_t> encode(const AnyMessage& msg) {
   return std::move(w).take();
 }
 
-AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
+std::string_view name_of(const AnyMessageView& msg) {
+  return std::visit(
+      [](const auto& m) -> std::string_view {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginRequestView>) return "LOGIN-REQUEST";
+        else if constexpr (std::is_same_v<T, IdChange>) return "ID-CHANGE";
+        else if constexpr (std::is_same_v<T, OfferFilesView>) return "OFFER-FILES";
+        else if constexpr (std::is_same_v<T, GetSources>) return "GET-SOURCES";
+        else if constexpr (std::is_same_v<T, FoundSourcesView>) return "FOUND-SOURCES";
+        else if constexpr (std::is_same_v<T, SearchRequestView>) return "SEARCH-REQUEST";
+        else if constexpr (std::is_same_v<T, SearchResultView>) return "SEARCH-RESULT";
+        else if constexpr (std::is_same_v<T, ServerMessageView>) return "SERVER-MESSAGE";
+        else if constexpr (std::is_same_v<T, HelloView>) return "HELLO";
+        else if constexpr (std::is_same_v<T, HelloAnswerView>) return "HELLO-ANSWER";
+        else if constexpr (std::is_same_v<T, StartUpload>) return "START-UPLOAD";
+        else if constexpr (std::is_same_v<T, AcceptUpload>) return "ACCEPT-UPLOAD";
+        else if constexpr (std::is_same_v<T, QueueRank>) return "QUEUE-RANK";
+        else if constexpr (std::is_same_v<T, RequestParts>) return "REQUEST-PART";
+        else if constexpr (std::is_same_v<T, SendingPartView>) return "SENDING-PART";
+        else if constexpr (std::is_same_v<T, CancelTransfer>) return "CANCEL-TRANSFER";
+        else if constexpr (std::is_same_v<T, AskSharedFiles>) return "ASK-SHARED-FILES";
+        else if constexpr (std::is_same_v<T, AskSharedFilesAnswerView>)
+          return "ASK-SHARED-FILES-ANSWER";
+      },
+      msg);
+}
+
+AnyMessageView decode_view(Channel channel, std::span<const std::uint8_t> packet,
+                           MessageArena& arena) {
+  arena.reset();
   ByteReader r(packet);
   const std::uint8_t marker = r.u8();
   if (marker != kProtoEDonkey) {
@@ -243,7 +272,7 @@ AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
   }
   const std::uint8_t op = r.u8();
 
-  auto finish = [&r](AnyMessage m) {
+  auto finish = [&r](AnyMessageView m) {
     r.expect_done(std::string(name_of(m)));
     return m;
   };
@@ -251,12 +280,12 @@ AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
   if (channel == Channel::client_server) {
     switch (op) {
       case kOpLoginRequest: {
-        LoginRequest m;
+        LoginRequestView m;
         m.user = get_hash<UserTag>(r);
         m.client_id = r.u32();
         m.port = r.u16();
-        m.tags = decode_tags(r);
-        return finish(std::move(m));
+        m.tags = decode_tags_view(r, arena.tags);
+        return finish(m);
       }
       case kOpIdChange: {
         IdChange m;
@@ -265,33 +294,34 @@ AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
         return finish(m);
       }
       case kOpOfferFiles:
-        return finish(OfferFiles{decode_file_list(r)});
+        return finish(OfferFilesView{decode_file_list_view(r, arena)});
       case kOpGetSources:
         return finish(GetSources{get_hash<FileTag>(r)});
       case kOpFoundSources: {
-        FoundSources m;
+        FoundSourcesView m;
         m.file = get_hash<FileTag>(r);
         const std::uint8_t n = r.u8();
-        m.sources.reserve(n);
+        m.sources = SourceRange{static_cast<std::uint32_t>(arena.sources.size()), n};
+        arena.sources.reserve(arena.sources.size() + n);
         for (std::uint8_t i = 0; i < n; ++i) {
           SourceEntry s;
           s.client_id = r.u32();
           s.port = r.u16();
-          m.sources.push_back(s);
+          arena.sources.push_back(s);
         }
-        return finish(std::move(m));
+        return finish(m);
       }
       case kOpSearchRequest: {
         const std::uint8_t search_type = r.u8();
         if (search_type != 0x01) {
           throw DecodeError("SEARCH-REQUEST: unsupported search type");
         }
-        return finish(SearchRequest{r.str16()});
+        return finish(SearchRequestView{r.str16_view()});
       }
       case kOpSearchResult:
-        return finish(SearchResult{decode_file_list(r)});
+        return finish(SearchResultView{decode_file_list_view(r, arena)});
       case kOpServerMessage:
-        return finish(ServerMessage{r.str16()});
+        return finish(ServerMessageView{r.str16_view()});
       default:
         throw DecodeError("client-server packet: unknown opcode " +
                           std::to_string(op));
@@ -300,9 +330,9 @@ AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
 
   switch (op) {
     case kOpHello:
-      return finish(decode_hello_body<Hello>(r));
+      return finish(decode_hello_body_view<HelloView>(r, arena));
     case kOpHelloAnswer:
-      return finish(decode_hello_body<HelloAnswer>(r));
+      return finish(decode_hello_body_view<HelloAnswerView>(r, arena));
     case kOpStartUpload:
       return finish(StartUpload{get_hash<FileTag>(r)});
     case kOpAcceptUpload:
@@ -317,27 +347,104 @@ AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
       return finish(m);
     }
     case kOpSendingPart: {
-      SendingPart m;
+      SendingPartView m;
       m.file = get_hash<FileTag>(r);
       m.begin = r.u32();
       m.end = r.u32();
       if (m.end < m.begin) {
         throw DecodeError("SENDING-PART: end before begin");
       }
-      auto raw = r.bytes(r.remaining());
-      m.data.assign(raw.begin(), raw.end());
-      return finish(std::move(m));
+      m.data = r.bytes(r.remaining());
+      return finish(m);
     }
     case kOpCancelTransfer:
       return finish(CancelTransfer{});
     case kOpAskSharedFiles:
       return finish(AskSharedFiles{});
     case kOpAskSharedFilesAnswer:
-      return finish(AskSharedFilesAnswer{decode_file_list(r)});
+      return finish(AskSharedFilesAnswerView{decode_file_list_view(r, arena)});
     default:
       throw DecodeError("client-client packet: unknown opcode " +
                         std::to_string(op));
   }
+}
+
+namespace {
+
+std::vector<Tag> materialize_tags(TagRange range, const MessageArena& arena) {
+  std::vector<Tag> out;
+  out.reserve(range.count);
+  for (const TagView& v : arena.of(range)) {
+    if (v.is_string()) {
+      out.push_back(Tag::string_tag(v.name, std::string(v.as_string())));
+    } else {
+      out.push_back(Tag::u32_tag(v.name, v.as_u32()));
+    }
+  }
+  return out;
+}
+
+std::vector<PublishedFile> materialize_files(FileRange range,
+                                             const MessageArena& arena) {
+  std::vector<PublishedFile> out;
+  out.reserve(range.count);
+  for (const PublishedFileView& v : arena.of(range)) {
+    PublishedFile f;
+    f.file = v.file;
+    f.client_id = v.client_id;
+    f.port = v.port;
+    f.name = std::string(v.name);
+    f.size = v.size;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+AnyMessage materialize(const AnyMessageView& msg, const MessageArena& arena) {
+  return std::visit(
+      [&arena](const auto& m) -> AnyMessage {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, LoginRequestView>) {
+          return LoginRequest{m.user, m.client_id, m.port,
+                              materialize_tags(m.tags, arena)};
+        } else if constexpr (std::is_same_v<T, OfferFilesView>) {
+          return OfferFiles{materialize_files(m.files, arena)};
+        } else if constexpr (std::is_same_v<T, FoundSourcesView>) {
+          const auto span = arena.of(m.sources);
+          return FoundSources{m.file, {span.begin(), span.end()}};
+        } else if constexpr (std::is_same_v<T, SearchRequestView>) {
+          return SearchRequest{std::string(m.query)};
+        } else if constexpr (std::is_same_v<T, SearchResultView>) {
+          return SearchResult{materialize_files(m.files, arena)};
+        } else if constexpr (std::is_same_v<T, ServerMessageView>) {
+          return ServerMessage{std::string(m.text)};
+        } else if constexpr (std::is_same_v<T, HelloView>) {
+          return Hello{m.user,      m.client_id,  m.port,
+                       materialize_tags(m.tags, arena), m.server_ip,
+                       m.server_port};
+        } else if constexpr (std::is_same_v<T, HelloAnswerView>) {
+          return HelloAnswer{m.user,      m.client_id,  m.port,
+                             materialize_tags(m.tags, arena), m.server_ip,
+                             m.server_port};
+        } else if constexpr (std::is_same_v<T, SendingPartView>) {
+          return SendingPart{m.file,
+                             m.begin,
+                             m.end,
+                             {m.data.begin(), m.data.end()}};
+        } else if constexpr (std::is_same_v<T, AskSharedFilesAnswerView>) {
+          return AskSharedFilesAnswer{materialize_files(m.files, arena)};
+        } else {
+          return m;  // fixed-size messages are shared between the variants
+        }
+      },
+      msg);
+}
+
+AnyMessage decode(Channel channel, std::span<const std::uint8_t> packet) {
+  MessageArena arena;
+  return materialize(decode_view(channel, packet, arena), arena);
 }
 
 }  // namespace edhp::proto

@@ -206,6 +206,132 @@ using AnyMessage =
                  StartUpload, AcceptUpload, QueueRank, RequestParts, SendingPart,
                  CancelTransfer, AskSharedFiles, AskSharedFilesAnswer>;
 
+// --- Zero-copy view layer --------------------------------------------------
+//
+// decode_view() parses a packet without copying payload bytes: strings become
+// std::string_view into the receive buffer, variable-length sequences (tags,
+// file lists, source lists) are appended to a caller-owned MessageArena and
+// addressed by index ranges. The views are valid only while BOTH the packet
+// buffer and the arena live; net::Endpoint guarantees the buffer outlives the
+// message handler, so a handler may decode and act on views with zero
+// allocation in steady state. Consumers that retain data (server index,
+// honeypot observation log, spool) must copy out of the views explicitly.
+
+/// Index range into MessageArena::files.
+struct FileRange {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Index range into MessageArena::sources.
+struct SourceRange {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Non-owning counterpart of PublishedFile. `name` and `size` are extracted
+/// from the tag list with the same strictness as the owning decoder; the raw
+/// tags stay addressable through `tags` for consumers that want the rest.
+struct PublishedFileView {
+  FileId file;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  std::string_view name;
+  std::uint32_t size = 0;
+  TagRange tags;
+};
+
+/// Per-delivery scratch storage backing one decoded view message. reset() is
+/// cheap (capacity is retained), so a long-lived arena reaches a zero-
+/// allocation steady state after a handful of messages.
+struct MessageArena {
+  std::vector<TagView> tags;
+  std::vector<PublishedFileView> files;
+  std::vector<SourceEntry> sources;
+
+  void reset() noexcept {
+    tags.clear();
+    files.clear();
+    sources.clear();
+  }
+
+  [[nodiscard]] std::span<const TagView> of(TagRange r) const {
+    return std::span<const TagView>(tags).subspan(r.first, r.count);
+  }
+  [[nodiscard]] std::span<const PublishedFileView> of(FileRange r) const {
+    return std::span<const PublishedFileView>(files).subspan(r.first, r.count);
+  }
+  [[nodiscard]] std::span<const SourceEntry> of(SourceRange r) const {
+    return std::span<const SourceEntry>(sources).subspan(r.first, r.count);
+  }
+};
+
+struct LoginRequestView {
+  UserId user;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  TagRange tags;
+};
+
+struct OfferFilesView {
+  FileRange files;
+};
+
+struct FoundSourcesView {
+  FileId file;
+  SourceRange sources;
+};
+
+struct SearchRequestView {
+  std::string_view query;
+};
+
+struct SearchResultView {
+  FileRange files;
+};
+
+struct ServerMessageView {
+  std::string_view text;
+};
+
+struct HelloView {
+  UserId user;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  TagRange tags;
+  std::uint32_t server_ip = 0;
+  std::uint16_t server_port = 0;
+};
+
+struct HelloAnswerView {
+  UserId user;
+  std::uint32_t client_id = 0;
+  std::uint16_t port = 0;
+  TagRange tags;
+  std::uint32_t server_ip = 0;
+  std::uint16_t server_port = 0;
+};
+
+struct SendingPartView {
+  FileId file;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::span<const std::uint8_t> data;  ///< borrows the packet buffer
+};
+
+struct AskSharedFilesAnswerView {
+  FileRange files;
+};
+
+/// Any protocol message, view flavour. Fixed-size messages are shared with
+/// AnyMessage; alternatives appear in the same order as AnyMessage.
+using AnyMessageView =
+    std::variant<LoginRequestView, IdChange, OfferFilesView, GetSources,
+                 FoundSourcesView, SearchRequestView, SearchResultView,
+                 ServerMessageView, HelloView, HelloAnswerView, StartUpload,
+                 AcceptUpload, QueueRank, RequestParts, SendingPartView,
+                 CancelTransfer, AskSharedFiles, AskSharedFilesAnswerView>;
+
 /// Serialize a message into a complete packet (header + opcode + payload).
 [[nodiscard]] std::vector<std::uint8_t> encode(const AnyMessage& msg);
 
@@ -215,10 +341,23 @@ using AnyMessage =
 [[nodiscard]] AnyMessage decode(Channel channel,
                                 std::span<const std::uint8_t> packet);
 
+/// Zero-copy parse of a complete packet. Resets `arena`, then fills it with
+/// the message's variable-length pieces. Accepts and rejects exactly the
+/// same inputs as decode() — the owning decoder is implemented on top of
+/// this one.
+[[nodiscard]] AnyMessageView decode_view(Channel channel,
+                                         std::span<const std::uint8_t> packet,
+                                         MessageArena& arena);
+
+/// Deep-copy a view message (plus its arena pieces) into an owning message.
+[[nodiscard]] AnyMessage materialize(const AnyMessageView& msg,
+                                     const MessageArena& arena);
+
 /// Opcode a message serializes to (for logging and tests).
 [[nodiscard]] std::uint8_t opcode_of(const AnyMessage& msg);
 
 /// Human-readable message name (for logs and reports).
 [[nodiscard]] std::string_view name_of(const AnyMessage& msg);
+[[nodiscard]] std::string_view name_of(const AnyMessageView& msg);
 
 }  // namespace edhp::proto

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "analysis/log_stats.hpp"
+#include "common/memstat.hpp"
 #include "peer/population.hpp"
 #include "scenario/calibration.hpp"
 #include "server/server.hpp"
@@ -261,7 +262,7 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     ctx.home_server_weights.push_back(config.server_sizes[i]);
   }
 
-  peer::Population population(ctx, rng.split(0x90B));
+  peer::Population population(ctx, rng.split(0x90B), config.population_mode);
   for (std::size_t i = 0; i < files.size(); ++i) {
     const auto& d = kDistributedFiles[i];
     peer::FileDemand demand;
@@ -321,6 +322,12 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   result.base.sim_events = result.base.engine.events_executed;
   result.base.wire_messages = result.base.net_totals.messages_delivered;
   result.base.wire_bytes = result.base.net_totals.bytes_delivered;
+  result.base.population_arrivals = population.arrivals();
+  result.base.population_peak_active = population.peak_active();
+  result.base.population_slab_slots = population.slab_capacity();
+  result.base.net_peak_live_nodes = network.peak_live_node_count();
+  result.base.net_nodes_retired = network.nodes_retired();
+  result.base.peak_rss_bytes = peak_rss_bytes();
 
   const auto sets =
       analysis::peer_sets_by_honeypot(result.base.merged, config.honeypots);

@@ -34,6 +34,8 @@ struct MultiServerConfig {
   net::DefenseConfig defense;
   bool auto_defense = true;
   peer::BehaviorParams behavior;
+  /// Live-peer storage strategy (see DistributedConfig::population_mode).
+  peer::PopulationMode population_mode = peer::PopulationMode::lazy;
 
   MultiServerConfig();
 };

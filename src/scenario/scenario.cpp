@@ -4,6 +4,8 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "common/memstat.hpp"
+
 #include "peer/population.hpp"
 #include "peer/top_peer.hpp"
 #include "scenario/calibration.hpp"
@@ -75,6 +77,23 @@ void fill_result(ScenarioResult& result, World& world,
   result.sim_events = result.engine.events_executed;
   result.wire_messages = result.net_totals.messages_delivered;
   result.wire_bytes = result.net_totals.bytes_delivered;
+
+  result.population_arrivals = population.arrivals();
+  result.population_peak_active = population.peak_active();
+  result.population_slab_slots = population.slab_capacity();
+  result.net_peak_live_nodes = world.network.peak_live_node_count();
+  result.net_nodes_retired = world.network.nodes_retired();
+  // Stream-mode accounting: sum the counts, chain the per-honeypot
+  // fingerprints (in fleet order) into one run fingerprint.
+  std::uint64_t sf = 1469598103934665603ull;
+  for (std::size_t h = 0; h < manager.fleet_size(); ++h) {
+    const honeypot::Honeypot& hp = manager.honeypot(h);
+    result.records_streamed += hp.records_streamed();
+    sf ^= hp.stream_fingerprint();
+    sf *= 1099511628211ull;
+  }
+  result.stream_fingerprint = sf;
+  result.peak_rss_bytes = peak_rss_bytes();
 }
 
 /// The defense policy a run actually applies: an explicit request wins;
@@ -215,6 +234,7 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     hp.budget.session_ceiling = config.chaos.session_ceiling;
     hp.budget.policy = config.chaos.degrade_policy;
     hp.budget.shed_user_word = fault::kAbuseUserWord;
+    hp.stream_records = config.stream_records;
     const auto host = world.network.add_node(true);
     const auto index = manager.launch(std::move(hp), host, server_ref);
     hosts.push_back(&manager.honeypot(index));
@@ -240,16 +260,32 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   }
   result.advertised_files = files.size();
 
-  // Interested-peer demand per file.
-  peer::Population population(world.context(server_node), rng.split(0x90B));
+  // Interested-peer demand per file. A population override rescales every
+  // file's finite pool pro-rata so the pools sum to the override, while the
+  // arrival rates stay at the campaign baseline: the interested population
+  // is how many peers *could* arrive, and since unarrived peers are pure
+  // per-demand accounting, memory stays bounded by concurrency (rate x
+  // lifetime) no matter how large the pool grows. Pools smaller than the
+  // baseline bite earlier; pools larger never bite sooner.
+  double pool_factor = 1.0;
+  if (config.population_override > 0) {
+    double scaled_total = 0;
+    for (const auto& d : kDistributedFiles) {
+      scaled_total += static_cast<double>(d.population) * config.scale;
+    }
+    pool_factor =
+        static_cast<double>(config.population_override) / scaled_total;
+  }
+  peer::Population population(world.context(server_node), rng.split(0x90B),
+                              config.population_mode);
   for (std::size_t i = 0; i < files.size(); ++i) {
     const auto& d = kDistributedFiles[i];
     peer::FileDemand demand;
     demand.file = files[i].id;
     demand.base_rate_per_day = d.rate_per_day * config.scale;
     demand.decay_per_day = d.decay_per_day;
-    demand.population = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(d.population) * config.scale));
+    demand.population = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(d.population) * config.scale * pool_factor));
     demand.ramp_up = hours(6);  // server indexing + peers' re-query cadence
     population.add_demand(demand);
   }
@@ -527,7 +563,8 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   // for every newly advertised file. Per-file demand is a property of the
   // network (not of the honeypot) and is NOT scaled: the greedy measurement
   // scales through the size of the harvested list instead.
-  peer::Population population(world.context(server_node), rng.split(0x90B));
+  peer::Population population(world.context(server_node), rng.split(0x90B),
+                              config.population_mode);
   Rng demand_rng = rng.split(0xDE3A);
   std::size_t demanded = 0;
   auto sync_demands = [&] {

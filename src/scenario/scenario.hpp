@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "peer/behavior.hpp"
 #include "peer/downloader.hpp"
+#include "peer/population.hpp"
 #include "sim/diurnal.hpp"
 #include "sim/simulation.hpp"
 
@@ -63,6 +64,22 @@ struct DistributedConfig {
   /// Override of the regional activity mixture (default: european_2008).
   std::optional<sim::DiurnalProfile> diurnal;
 
+  /// When nonzero, rescales the per-file finite pools pro-rata so the total
+  /// interested-peer population equals this count. Arrival rates are left
+  /// at the campaign baseline: unarrived peers are pure per-demand
+  /// accounting, so memory stays bounded by peak concurrency (rate x peer
+  /// lifetime) however large the pool — the million-peer bench knob. Pools
+  /// below the baseline cap arrivals early; 0 keeps the paper's pools
+  /// (times `scale`).
+  std::uint64_t population_override = 0;
+  /// Fold every honeypot record into a count + fingerprint instead of
+  /// retaining it (ScenarioResult::records_streamed/stream_fingerprint).
+  /// Bench-only: the merged dataset comes out empty. Keep off with chaos.
+  bool stream_records = false;
+  /// Live-peer storage strategy; both modes produce bit-identical campaign
+  /// datasets and differ only in memory behaviour.
+  peer::PopulationMode population_mode = peer::PopulationMode::lazy;
+
   DistributedConfig();
 
  private:
@@ -81,6 +98,8 @@ struct GreedyConfig {
   net::DefenseConfig defense;
   bool auto_defense = true;
   peer::BehaviorParams behavior;
+  /// Live-peer storage strategy (see DistributedConfig::population_mode).
+  peer::PopulationMode population_mode = peer::PopulationMode::lazy;
 
   GreedyConfig();
 };
@@ -126,6 +145,24 @@ struct ScenarioResult {
   /// `spool_peak_bytes` is the fleet per-honeypot maximum, the number quota
   /// sizing needs.
   budget::DegradeStats degrade;
+
+  // --- Memory telemetry ----------------------------------------------------
+  /// Peak process RSS at result-fill time (bytes; 0 when the platform can't
+  /// tell). Process-wide, so compare runs within one process with care.
+  std::uint64_t peak_rss_bytes = 0;
+  /// Interested peers that ever arrived / were simultaneously live.
+  std::uint64_t population_arrivals = 0;
+  std::uint64_t population_peak_active = 0;
+  /// Slots the population slab ever allocated (its structural footprint;
+  /// 0 under PopulationMode::legacy_eager).
+  std::uint64_t population_slab_slots = 0;
+  /// Node-table high-water mark and retirements (constant-memory evidence:
+  /// peak live nodes stays near peak active peers, not total arrivals).
+  std::uint64_t net_peak_live_nodes = 0;
+  std::uint64_t net_nodes_retired = 0;
+  /// Stream-mode accounting (zero / FNV offset unless stream_records).
+  std::uint64_t records_streamed = 0;
+  std::uint64_t stream_fingerprint = 0;
 };
 
 /// Manager policy used by the chaos variants of the campaigns: relaunch

@@ -9,6 +9,18 @@ namespace edhp::server {
 void FileIndex::set_shared_list(SessionKey session, std::uint32_t client_id,
                                 std::uint16_t port,
                                 const std::vector<proto::PublishedFile>& files) {
+  std::vector<proto::PublishedFileView> views;
+  views.reserve(files.size());
+  for (const auto& f : files) {
+    views.push_back(
+        proto::PublishedFileView{f.file, f.client_id, f.port, f.name, f.size, {}});
+  }
+  set_shared_list(session, client_id, port, views);
+}
+
+void FileIndex::set_shared_list(SessionKey session, std::uint32_t client_id,
+                                std::uint16_t port,
+                                std::span<const proto::PublishedFileView> files) {
   // OFFER-FILES replaces the session's list: drop old entries first.
   drop_session(session);
 
@@ -24,10 +36,12 @@ void FileIndex::set_shared_list(SessionKey session, std::uint32_t client_id,
     }
     // A session may list the same hash twice under different names; keep a
     // single provider record per (file, session).
-    const bool already =
-        std::any_of(entry.providers.begin(), entry.providers.end(),
-                    [&](const Provider& p) { return p.session == session; });
-    if (!already) {
+    const bool fresh =
+        provider_pos_
+            .try_emplace(ProviderKey{f.file, session},
+                         static_cast<std::uint32_t>(entry.providers.size()))
+            .second;
+    if (fresh) {
       entry.providers.push_back(Provider{session, client_id, port});
       owned.push_back(f.file);
       ++providers_;
@@ -51,11 +65,17 @@ void FileIndex::remove_provider(const FileId& file, SessionKey session) {
   auto it = files_.find(file);
   if (it == files_.end()) return;
   auto& providers = it->second.providers;
-  auto pit = std::find_if(providers.begin(), providers.end(),
-                          [&](const Provider& p) { return p.session == session; });
-  if (pit == providers.end()) return;
-  *pit = providers.back();
+  const auto pp = provider_pos_.find(ProviderKey{file, session});
+  if (pp == provider_pos_.end()) return;
+  const std::uint32_t idx = pp->second;
+  provider_pos_.erase(pp);
+  // Same swap-remove as the pre-index code, so provider (and therefore
+  // sources()) order is preserved bit-for-bit.
+  providers[idx] = providers.back();
   providers.pop_back();
+  if (idx < providers.size()) {
+    provider_pos_.find(ProviderKey{file, providers[idx].session})->second = idx;
+  }
   --providers_;
   if (providers.empty()) {
     unindex_words(file, it->second.name);

@@ -3,6 +3,7 @@
 // files, plus an inverted keyword index over file names for searches.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,7 +29,12 @@ struct Provider {
 class FileIndex {
  public:
   /// Replace the shared-file list of a session (OFFER-FILES semantics: the
-  /// message carries the full current list).
+  /// message carries the full current list). The view flavour is the
+  /// primary path: entries may borrow a receive buffer — the index copies
+  /// what it retains (names) into its own storage.
+  void set_shared_list(SessionKey session, std::uint32_t client_id,
+                       std::uint16_t port,
+                       std::span<const proto::PublishedFileView> files);
   void set_shared_list(SessionKey session, std::uint32_t client_id,
                        std::uint16_t port,
                        const std::vector<proto::PublishedFile>& files);
@@ -62,6 +68,22 @@ class FileIndex {
     std::vector<Provider> providers;
   };
 
+  /// Key of the (file, session) -> provider-position map that makes both
+  /// the duplicate check in set_shared_list and remove_provider O(1)
+  /// regardless of how many sessions provide a popular file.
+  struct ProviderKey {
+    FileId file;
+    SessionKey session = 0;
+    bool operator==(const ProviderKey&) const = default;
+  };
+  struct ProviderKeyHash {
+    std::size_t operator()(const ProviderKey& k) const noexcept {
+      const std::size_t h = std::hash<FileId>{}(k.file);
+      return h ^ (std::hash<SessionKey>{}(k.session) + 0x9e3779b97f4a7c15ull +
+                  (h << 6) + (h >> 2));
+    }
+  };
+
   void remove_provider(const FileId& file, SessionKey session);
   void index_words(const FileId& file, const std::string& name);
   void unindex_words(const FileId& file, const std::string& name);
@@ -69,6 +91,7 @@ class FileIndex {
   std::unordered_map<FileId, FileEntry> files_;
   std::unordered_map<std::string, std::unordered_set<FileId>> words_;
   std::unordered_map<SessionKey, std::vector<FileId>> session_files_;
+  std::unordered_map<ProviderKey, std::uint32_t, ProviderKeyHash> provider_pos_;
   std::size_t providers_ = 0;
 };
 

@@ -197,9 +197,9 @@ void Server::process(SessionKey key, net::Bytes packet) {
   if (it == sessions_.end()) return;
   Session& session = it->second;
 
-  proto::AnyMessage msg;
+  proto::AnyMessageView msg;
   try {
-    msg = proto::decode(proto::Channel::client_server, packet);
+    msg = proto::decode_view(proto::Channel::client_server, packet, arena_);
   } catch (const DecodeError&) {
     // Malformed traffic: count it, then close the connection, as lugdunum
     // servers do.
@@ -218,10 +218,10 @@ void Server::process(SessionKey key, net::Bytes packet) {
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
-        if constexpr (std::is_same_v<T, proto::LoginRequest> ||
-                      std::is_same_v<T, proto::OfferFiles> ||
+        if constexpr (std::is_same_v<T, proto::LoginRequestView> ||
+                      std::is_same_v<T, proto::OfferFilesView> ||
                       std::is_same_v<T, proto::GetSources> ||
-                      std::is_same_v<T, proto::SearchRequest>) {
+                      std::is_same_v<T, proto::SearchRequestView>) {
           handle(session, m);
         } else {
           counters_.add("unexpected_messages");
@@ -230,7 +230,7 @@ void Server::process(SessionKey key, net::Bytes packet) {
       msg);
 }
 
-void Server::handle(Session& session, const proto::LoginRequest& msg) {
+void Server::handle(Session& session, const proto::LoginRequestView& msg) {
   counters_.add("logins");
   session.user = msg.user;
   session.port = msg.port;
@@ -251,15 +251,15 @@ void Server::handle(Session& session, const proto::LoginRequest& msg) {
       proto::encode(proto::IdChange{session.client_id.value(), 0}));
 }
 
-void Server::handle(Session& session, const proto::OfferFiles& msg) {
+void Server::handle(Session& session, const proto::OfferFilesView& msg) {
   if (!session.logged_in) {
     counters_.add("offer_before_login");
     return;
   }
   counters_.add("offers");
-  counters_.add("offered_files", msg.files.size());
+  counters_.add("offered_files", msg.files.count);
   index_.set_shared_list(session.key, session.client_id.value(), session.port,
-                         msg.files);
+                         arena_.of(msg.files));
 }
 
 void Server::handle(Session& session, const proto::GetSources& msg) {
@@ -271,7 +271,7 @@ void Server::handle(Session& session, const proto::GetSources& msg) {
       proto::encode(proto::FoundSources{msg.file, std::move(sources)}));
 }
 
-void Server::handle(Session& session, const proto::SearchRequest& msg) {
+void Server::handle(Session& session, const proto::SearchRequestView& msg) {
   if (!session.logged_in) return;
   counters_.add("searches");
   auto files = index_.search(msg.query, config_.max_search_results);

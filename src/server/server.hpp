@@ -92,14 +92,17 @@ class Server {
   /// Drain up to queue_batch packets from the bounded inbound queue.
   void service_inbox();
 
-  void handle(Session& session, const proto::LoginRequest& msg);
-  void handle(Session& session, const proto::OfferFiles& msg);
+  void handle(Session& session, const proto::LoginRequestView& msg);
+  void handle(Session& session, const proto::OfferFilesView& msg);
   void handle(Session& session, const proto::GetSources& msg);
-  void handle(Session& session, const proto::SearchRequest& msg);
+  void handle(Session& session, const proto::SearchRequestView& msg);
 
   net::Network& net_;
   net::NodeId self_;
   ServerConfig config_;
+  /// Scratch backing the zero-copy decode of the packet currently being
+  /// handled; reused across deliveries (steady state: no allocation).
+  proto::MessageArena arena_;
   FileIndex index_;
   std::unordered_map<SessionKey, Session> sessions_;
   SessionKey next_key_ = 1;

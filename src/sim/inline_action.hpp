@@ -1,0 +1,120 @@
+#pragma once
+// Move-only callable with a large inline buffer, built for the event kernel.
+//
+// std::function's small-buffer optimization only applies to targets that are
+// both tiny (two words on libstdc++) and trivially copyable, so almost every
+// simulation closure — anything capturing a shared_ptr or more than two
+// words — costs one heap allocation per scheduled event. InlineAction stores
+// any nothrow-movable callable up to kInlineSize bytes in place, falling
+// back to the heap only for outsized targets, which removes the allocator
+// from the schedule/execute hot path entirely.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace edhp::sim {
+
+class InlineAction {
+ public:
+  /// Closures up to this size (and max_align_t alignment) are stored inline.
+  /// 48 bytes covers six captured words — enough for every closure the
+  /// simulator schedules on its hot paths.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineAction() noexcept = default;
+  InlineAction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::remove_cvref_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineAction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invoke the stored callable. Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*std::launder(static_cast<D*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(static_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(static_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**std::launder(static_cast<D**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*std::launder(static_cast<D**>(src)));
+      },
+      [](void* s) noexcept { delete *std::launder(static_cast<D**>(s)); },
+  };
+
+  void move_from(InlineAction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace edhp::sim

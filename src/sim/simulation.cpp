@@ -8,6 +8,41 @@ namespace edhp::sim {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
+void Simulation::EventHeap::push(Entry e) {
+  // Hole-shifting insert: parents slide down into the hole, the new entry is
+  // written once at its final position (one move per level, not a swap).
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::EventHeap::pop() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t cap = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < cap; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
 std::uint32_t Simulation::acquire_slot(Action action) {
   ++slot_acquisitions_;
   std::uint32_t index;

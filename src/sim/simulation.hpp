@@ -6,9 +6,9 @@
 // order (FIFO), which makes runs deterministic.
 //
 // Storage is a recycling slot arena ("slab"): every scheduled action lives
-// in a slot identified by {index, generation}. The binary heap itself holds
+// in a slot identified by {index, generation}. The 4-ary heap itself holds
 // only {time, seq, slot} PODs, so sifting moves 24-byte entries instead of
-// std::function objects. An EventHandle is a {slot, generation} pair:
+// closure objects. An EventHandle is a {slot, generation} pair:
 // cancel() compares generations and retires the slot in O(1) — no auxiliary
 // cancellation set, and cancelling an already-executed (or already-
 // cancelled) handle is a constant-time no-op that retains nothing. Slots
@@ -16,12 +16,11 @@
 // so steady-state runs stop allocating entirely.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "sim/inline_action.hpp"
 
 namespace edhp::sim {
 
@@ -68,7 +67,9 @@ struct EngineStats {
 /// Single-threaded discrete-event simulator.
 class Simulation {
  public:
-  using Action = std::function<void()>;
+  /// Scheduled closures live in InlineAction's in-place buffer, so the
+  /// schedule/execute cycle allocates nothing in steady state.
+  using Action = InlineAction;
 
   explicit Simulation(std::uint64_t seed = 1);
 
@@ -125,10 +126,25 @@ class Simulation {
     std::uint64_t seq;   // FIFO tie-break
     std::uint32_t slot;  // arena index
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+
+  /// 4-ary min-heap of Entry ordered by (t, seq). The strict total order
+  /// means any correct heap pops the same sequence, so swapping the binary
+  /// std::priority_queue for a shallower, cache-friendlier d-ary heap is
+  /// invisible to determinism. Sift loops move 24-byte PODs only.
+  class EventHeap {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+    [[nodiscard]] const Entry& top() const noexcept { return heap_.front(); }
+    void push(Entry e);
+    void pop();
+
+   private:
+    static constexpr std::size_t kArity = 4;
+    static bool before(const Entry& a, const Entry& b) noexcept {
+      return a.t < b.t || (a.t == b.t && a.seq < b.seq);
     }
+    std::vector<Entry> heap_;
   };
 
   [[nodiscard]] std::uint32_t acquire_slot(Action action);
@@ -148,7 +164,7 @@ class Simulation {
   std::size_t peak_heap_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  EventHeap queue_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFreeSlot;
   Rng rng_;

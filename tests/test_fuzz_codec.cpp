@@ -110,6 +110,32 @@ void expect_parses_or_rejects(const Bytes& packet) {
   }
 }
 
+/// The zero-copy oracle: decode_view must accept exactly the inputs decode
+/// accepts, and materialize must reproduce the owning decoder's message
+/// while the views still borrow the packet buffer. Run under ASan this is
+/// the lifetime proof for the view path.
+void expect_view_path_agrees(const Bytes& packet) {
+  MessageArena arena;
+  for (const auto channel : {Channel::client_server, Channel::client_client}) {
+    bool owned_ok = true;
+    AnyMessage owned;
+    try {
+      owned = decode(channel, packet);
+    } catch (const DecodeError&) {
+      owned_ok = false;
+    }
+    bool view_ok = true;
+    try {
+      const AnyMessageView view = decode_view(channel, packet, arena);
+      ASSERT_TRUE(owned_ok) << "view path accepted what decode rejected";
+      EXPECT_EQ(materialize(view, arena), owned);
+    } catch (const DecodeError&) {
+      view_ok = false;
+    }
+    EXPECT_EQ(owned_ok, view_ok);
+  }
+}
+
 void expect_udp_parses_or_rejects(const Bytes& datagram) {
   try {
     (void)decode_udp(datagram);
@@ -188,9 +214,53 @@ TEST(CodecFuzz, RegressionCorpusParsesOrRejects) {
       expect_udp_parses_or_rejects(packet);
     } else {
       expect_parses_or_rejects(packet);
+      expect_view_path_agrees(packet);
     }
   }
   EXPECT_GE(seen, 10u) << "regression corpus went missing from " << dir;
+}
+
+TEST(CodecFuzz, ViewsStayValidAfterArenaGrowth) {
+  // One OFFER-FILES with enough entries that the arena's vectors reallocate
+  // mid-parse several times over: TagRange/FileRange are index ranges, not
+  // pointers, so every early entry must still read back intact at the end.
+  OfferFiles offer;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    offer.files.push_back(sample_file(i));
+  }
+  const Bytes packet = encode(AnyMessage{offer});
+  MessageArena arena;
+  const auto view = decode_view(Channel::client_server, packet, arena);
+  const auto* ofv = std::get_if<OfferFilesView>(&view);
+  ASSERT_NE(ofv, nullptr);
+  const auto files = arena.of(ofv->files);
+  ASSERT_EQ(files.size(), offer.files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    EXPECT_EQ(files[i].file, offer.files[i].file);
+    EXPECT_EQ(files[i].name, offer.files[i].name);
+    EXPECT_EQ(files[i].size, offer.files[i].size);
+  }
+  EXPECT_EQ(materialize(view, arena), AnyMessage{offer});
+}
+
+TEST(CodecFuzz, ViewsBorrowThePacketNotTheArena) {
+  // String views must point into the original packet buffer — the whole
+  // point of the zero-copy path. (If this ever starts copying, the RSS
+  // claims of the million-peer benches die quietly.)
+  const Bytes packet =
+      encode(AnyMessage{Hello{UserId::from_words(1, 2), 3, 4, sample_tags(),
+                              0x7F000001, 4661}});
+  MessageArena arena;
+  const auto view = decode_view(Channel::client_client, packet, arena);
+  const auto* hello = std::get_if<HelloView>(&view);
+  ASSERT_NE(hello, nullptr);
+  const auto tags = arena.of(hello->tags);
+  const auto* name = find_string_tag(tags, kTagName);
+  ASSERT_NE(name, nullptr);
+  const auto* lo = reinterpret_cast<const char*>(packet.data());
+  EXPECT_GE(name->data(), lo);
+  EXPECT_LE(name->data() + name->size(),
+            lo + static_cast<std::ptrdiff_t>(packet.size()));
 }
 
 TEST(CodecFuzz, LyingLengthFieldsAreRejected) {
@@ -292,6 +362,22 @@ TEST(CodecFuzz, SeededTcpMutationsNeverEscapeTheOracle) {
       mutate(packet, rng);
     }
     expect_parses_or_rejects(packet);
+  }
+}
+
+TEST(CodecFuzz, SeededMutationsKeepViewAndOwnedDecodersInAgreement) {
+  // 60k mutated packets through BOTH decoders: same accept/reject verdict,
+  // and on accept, materialize(view) == owned message. Under ASan, the
+  // view-path half of this sweep is the memory-safety proof for borrowed
+  // string_views and arena index ranges under hostile framing.
+  const auto corpus = tcp_corpus();
+  Rng rng(0xF0220004);
+  for (int iter = 0; iter < 60000; ++iter) {
+    Bytes packet = corpus[rng.below(corpus.size())];
+    for (std::uint64_t m = 0, n = 1 + rng.below(4); m < n; ++m) {
+      mutate(packet, rng);
+    }
+    expect_view_path_agrees(packet);
   }
 }
 

@@ -115,6 +115,33 @@ TEST(MultiServer, GoldenUnchangedWithFaultsDisabled) {
   EXPECT_EQ(r.base.recovery.records_lost_tail, 0u);
 }
 
+// Third leg of the lazy-vs-eager determinism contract (distributed and
+// greedy live in test_scenario.cpp): eager materialization must reproduce
+// the lazy campaign — and therefore the golden fingerprint — bit for bit.
+TEST(MultiServer, LazyAndEagerCampaignsProduceIdenticalDatasets) {
+  MultiServerConfig config;
+  config.scale = 0.03;
+  config.days = 4;
+  config.honeypots = 6;
+  config.server_sizes = {0.5, 0.3, 0.2};
+  config.population_mode = peer::PopulationMode::legacy_eager;
+  const auto eager = run_multi_server(config);
+  const auto& lazy = mini_run();  // default mode is lazy
+  ASSERT_EQ(eager.base.merged.records.size(),
+            lazy.base.merged.records.size());
+  for (std::size_t i = 0; i < eager.base.merged.records.size(); ++i) {
+    const auto& a = eager.base.merged.records[i];
+    const auto& b = lazy.base.merged.records[i];
+    ASSERT_EQ(a.timestamp, b.timestamp) << "record " << i;
+    ASSERT_EQ(a.peer, b.peer) << "record " << i;
+    ASSERT_EQ(a.user, b.user) << "record " << i;
+    ASSERT_EQ(a.honeypot, b.honeypot) << "record " << i;
+    ASSERT_EQ(a.type, b.type) << "record " << i;
+  }
+  EXPECT_EQ(eager.base.net_nodes_retired, 0u);
+  EXPECT_GT(lazy.base.net_nodes_retired, 0u);
+}
+
 TEST(MultiServer, MergedLogIsStage2AndOrdered) {
   const auto& r = mini_run();
   EXPECT_EQ(r.base.merged.header.peer_kind, logbook::PeerIdKind::stage2_index);

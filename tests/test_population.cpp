@@ -162,6 +162,93 @@ TEST_F(PopulationTest, DiurnalModulatesArrivalTimes) {
   EXPECT_GT(day_arrivals, 2 * night_arrivals);
 }
 
+TEST_F(PopulationTest, ExhaustedPoolSchedulesNoFurtherArrivalCandidates) {
+  Population pop(context(), Rng(11));
+  pop.add_demand(FileDemand{file, 2000, 0, /*pool=*/10});
+  pop.start();
+  s.run_until(days(2));
+  ASSERT_EQ(pop.arrivals(), 10u);
+  ASSERT_EQ(pop.finished(), 10u);
+  // The arrival process must have shut itself off at the pool boundary, not
+  // keep drawing rejected candidates: an idle week of simulation executes
+  // only the honeypot's periodic keep-alive machinery, whose event count is
+  // far below the ~28k candidates a still-armed 2000/day thinning loop at
+  // diurnal max would burn.
+  const auto before = s.executed();
+  s.run_until(days(9));
+  EXPECT_LT(s.executed() - before, 4000u);
+}
+
+TEST_F(PopulationTest, RampUpSuppressesEarlyArrivals) {
+  Population pop(context(), Rng(12));
+  FileDemand d{file, 1200, 0, 1000000};
+  d.ramp_up = days(1);
+  pop.add_demand(d);
+  pop.start();
+  // At t=0 the instantaneous rate is exactly 0 and climbs linearly: the
+  // first 2h window expects ~4 accepted arrivals, the same window after the
+  // ramp expects ~100.
+  s.run_until(hours(2));
+  const auto early = pop.arrivals();
+  s.run_until(days(1));
+  const auto at_ramp = pop.arrivals();
+  s.run_until(days(1) + hours(2));
+  const auto post_ramp = pop.arrivals() - at_ramp;
+  EXPECT_LT(early, 20u);
+  EXPECT_GT(post_ramp, 5 * std::max<std::uint64_t>(early, 1));
+}
+
+TEST_F(PopulationTest, StopThenRestartResumesCleanly) {
+  Population pop(context(), Rng(13));
+  pop.add_demand(FileDemand{file, 1000, 0, 100000});
+  pop.start();
+  s.run_until(hours(6));
+  pop.stop();
+  const auto frozen = pop.arrivals();
+  EXPECT_GT(frozen, 0u);
+  s.run_until(hours(30));
+  ASSERT_EQ(pop.arrivals(), frozen);
+  // start() after stop() re-arms every demand; stale handles from the
+  // stopped phase must not fire or double-schedule.
+  pop.start();
+  s.run_until(hours(54));
+  EXPECT_GT(pop.arrivals(), frozen + 100);
+  pop.stop();
+  const auto frozen2 = pop.arrivals();
+  s.run_until(hours(78));
+  EXPECT_EQ(pop.arrivals(), frozen2);
+}
+
+TEST_F(PopulationTest, LazySlabRecyclesSlotsAndRetiresNodes) {
+  Population pop(context(), Rng(14));
+  ASSERT_EQ(pop.mode(), PopulationMode::lazy);
+  pop.add_demand(FileDemand{file, 300, 0, 300});
+  pop.start();
+  s.run_until(days(6));
+  ASSERT_EQ(pop.arrivals(), 300u);
+  ASSERT_GT(pop.finished(), 250u);
+  // Memory tracks peak concurrency, not total arrivals: slots recycle...
+  EXPECT_EQ(pop.slab_capacity(), pop.peak_active());
+  EXPECT_LT(pop.slab_capacity(), pop.arrivals() / 2);
+  // ...and every finished peer released its network node.
+  EXPECT_EQ(net.nodes_retired(), pop.finished());
+  EXPECT_LT(net.live_node_count(), net.node_count());
+  // Per-demand folded stats carry the finished peers' behaviour.
+  EXPECT_GT(pop.finished_stats(0).sessions, 0u);
+}
+
+TEST_F(PopulationTest, LegacyEagerModeKeepsEveryPeerMaterialized) {
+  Population pop(context(), Rng(15), PopulationMode::legacy_eager);
+  pop.add_demand(FileDemand{file, 200, 0, 100});
+  pop.start();
+  s.run_until(days(4));
+  ASSERT_EQ(pop.arrivals(), 100u);
+  EXPECT_EQ(pop.slab_capacity(), 0u);  // the slab never engaged
+  EXPECT_EQ(net.nodes_retired(), 0u);  // nodes live forever
+  EXPECT_GT(pop.finished(), 50u);
+  EXPECT_GT(pop.totals().sessions, 0u);
+}
+
 TEST_F(PopulationTest, PexPeersSkipTheServer) {
   params.pex_prob = 1.0;  // everyone tries PEX first
   Population pop(context(), Rng(10));

@@ -266,6 +266,85 @@ TEST(Scenarios, DeterministicForFixedSeed) {
   EXPECT_EQ(a.merged.records, b.merged.records);
 }
 
+// The lazy slab (the default) and the historical eager map must produce the
+// same campaign bit-for-bit: materialization strategy is invisible to the
+// RNG stream and the event order. The golden tests above already pin the
+// lazy path to the seed fingerprints; these pin eager == lazy directly.
+TEST(Scenarios, LazyAndEagerPopulationsProduceIdenticalDatasets) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 3;
+  config.honeypots = 4;
+  const auto lazy = run_distributed(config);
+  config.population_mode = peer::PopulationMode::legacy_eager;
+  const auto eager = run_distributed(config);
+  EXPECT_EQ(lazy.merged.records.size(), eager.merged.records.size());
+  EXPECT_EQ(fingerprint(lazy.merged), fingerprint(eager.merged));
+  EXPECT_EQ(lazy.population_arrivals, eager.population_arrivals);
+  EXPECT_EQ(lazy.peer_totals.sessions, eager.peer_totals.sessions);
+  // ...while the memory behaviour diverges as designed.
+  EXPECT_GT(lazy.net_nodes_retired, 0u);
+  EXPECT_EQ(eager.net_nodes_retired, 0u);
+  EXPECT_GT(lazy.population_slab_slots, 0u);
+  EXPECT_EQ(eager.population_slab_slots, 0u);
+  EXPECT_LT(lazy.population_slab_slots, lazy.population_arrivals);
+}
+
+TEST(Scenarios, LazyAndEagerGreedyCampaignsProduceIdenticalDatasets) {
+  GreedyConfig config;
+  config.scale = 0.02;
+  config.days = 3;
+  const auto lazy = run_greedy(config);
+  config.population_mode = peer::PopulationMode::legacy_eager;
+  const auto eager = run_greedy(config);
+  EXPECT_EQ(lazy.merged.records.size(), eager.merged.records.size());
+  EXPECT_EQ(fingerprint(lazy.merged), fingerprint(eager.merged));
+  EXPECT_EQ(lazy.population_arrivals, eager.population_arrivals);
+}
+
+// Record streaming folds the dataset into count + fingerprint instead of
+// retaining it: the counters must match what an identical non-streaming run
+// publishes, record for record.
+TEST(Scenarios, StreamedRecordCountMatchesRetainedDataset) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 3;
+  config.honeypots = 4;
+  const auto retained = run_distributed(config);
+  config.stream_records = true;
+  const auto streamed = run_distributed(config);
+  EXPECT_EQ(streamed.merged.records.size(), 0u);
+  EXPECT_EQ(streamed.records_streamed, retained.merged.records.size());
+  EXPECT_NE(streamed.stream_fingerprint, 0u);
+  // Campaign bits are otherwise untouched: the peers behaved identically.
+  EXPECT_EQ(streamed.population_arrivals, retained.population_arrivals);
+  EXPECT_EQ(streamed.peer_totals.sessions, retained.peer_totals.sessions);
+}
+
+TEST(Scenarios, PopulationOverrideScalesPoolsNotRates) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 2;
+  config.honeypots = 4;
+  config.with_top_peer = false;
+  const auto baseline = run_distributed(config);
+
+  // A tiny override caps the interested pools: arrivals hit the ceiling.
+  config.population_override = 40;
+  const auto capped = run_distributed(config);
+  EXPECT_LE(capped.population_arrivals, 40u);
+  EXPECT_GT(capped.population_arrivals, 15u);
+  EXPECT_LT(capped.population_arrivals, baseline.population_arrivals);
+
+  // A huge override only raises the never-binding ceilings — the campaign
+  // is bit-identical to the baseline (rates untouched, same RNG stream),
+  // which is exactly why a million-peer interested population is free.
+  config.population_override = 100000;
+  const auto huge = run_distributed(config);
+  EXPECT_EQ(huge.population_arrivals, baseline.population_arrivals);
+  EXPECT_EQ(fingerprint(huge.merged), fingerprint(baseline.merged));
+}
+
 TEST(Scenarios, SeedChangesOutcome) {
   DistributedConfig config;
   config.scale = 0.01;
