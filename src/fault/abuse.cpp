@@ -1,5 +1,7 @@
 #include "fault/abuse.hpp"
 
+#include "fault/rng_splits.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
@@ -58,8 +60,8 @@ AbusePlan AbusePlan::generate(const AbuseConfig& config, std::size_t honeypots,
   const std::size_t targets = honeypots + servers;
 
   // Mirror FaultPlan::generate: each (class, target) pair owns a split
-  // stream, so tuning one class (or adding a target) never reshuffles the
-  // arrival times of another.
+  // stream (registry: fault/rng_splits.hpp), so tuning one class (or adding
+  // a target) never reshuffles the arrival times of another.
   struct Class {
     AbuseKind kind;
     Duration mtba;
@@ -70,8 +72,10 @@ AbusePlan AbusePlan::generate(const AbuseConfig& config, std::size_t honeypots,
       {AbuseKind::slowloris, config.slowloris_mtba},
       {AbuseKind::oversize_messages, config.oversize_mtba},
   };
+  static_assert(std::size(classes) == splits::kAbuseClassCount,
+                "register new abuse classes in fault/rng_splits.hpp");
   for (std::size_t c = 0; c < std::size(classes); ++c) {
-    const Rng class_rng = rng.split(c + 1);
+    const Rng class_rng = rng.split(splits::kAbuseClassBase + c);
     for (std::size_t t = 0; t < targets; ++t) {
       Rng r = class_rng.split(t);
       arrivals(out, r, classes[c].mtba, config.intensity, horizon,

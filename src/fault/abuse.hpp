@@ -36,6 +36,7 @@
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "fault/rng_splits.hpp"
 #include "net/network.hpp"
 
 namespace edhp::fault {
@@ -72,7 +73,7 @@ struct AbuseConfig {
   bool enabled = false;
   /// Mixed into the scenario seed so abuse draws are independent of both
   /// the behavioural streams and the chaos streams.
-  std::uint64_t seed = 0xAB05E;
+  std::uint64_t seed = splits::kAbuseSeedDefault;
   double intensity = 1.0;
 
   /// Per-target mean time between episodes, per class.

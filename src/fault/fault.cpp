@@ -72,23 +72,24 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
   if (!config.enabled || horizon <= 0) return plan;
   auto& out = plan.events_;
 
-  // Each (category, subject) pair draws from its own split stream, so e.g.
-  // adding uplink churn cannot shift the host-crash schedule.
-  const Rng host_rng = rng.split(1);
+  // Each (category, subject) pair draws from its own split stream (registry:
+  // fault/rng_splits.hpp), so e.g. adding uplink churn cannot shift the
+  // host-crash schedule.
+  const Rng host_rng = rng.split(splits::kFaultHost);
   for (std::size_t h = 0; h < hosts; ++h) {
     Rng r = host_rng.split(h);
     renewal_windows(out, r, config.host_mtbf, config.host_reboot_mean, horizon,
                     FaultKind::host_crash, FaultKind::host_reboot,
                     static_cast<std::uint32_t>(h), 1.0);
   }
-  const Rng uplink_rng = rng.split(2);
+  const Rng uplink_rng = rng.split(splits::kFaultUplink);
   for (std::size_t h = 0; h < hosts; ++h) {
     Rng r = uplink_rng.split(h);
     renewal_windows(out, r, config.uplink_mtbf, config.uplink_outage_mean,
                     horizon, FaultKind::uplink_down, FaultKind::uplink_up,
                     static_cast<std::uint32_t>(h), 1.0);
   }
-  const Rng server_rng = rng.split(3);
+  const Rng server_rng = rng.split(splits::kFaultServer);
   for (std::size_t s = 0; s < servers; ++s) {
     Rng r = server_rng.split(s);
     renewal_windows(out, r, config.server_mtbf, config.server_restart_mean,
@@ -96,7 +97,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
                     static_cast<std::uint32_t>(s), 1.0);
   }
   {
-    Rng r = rng.split(4);
+    Rng r = rng.split(splits::kFaultLatency);
     renewal_windows(out, r, config.latency_spike_mtbf,
                     config.latency_spike_mean, horizon,
                     FaultKind::latency_spike_begin,
@@ -107,7 +108,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
     // Partition episodes isolate a fresh random subset of hosts each time;
     // begin/heal events are emitted per host so the Injector needs no
     // episode memory.
-    Rng r = rng.split(5);
+    Rng r = rng.split(splits::kFaultPartition);
     Time t = 0;
     while (true) {
       t += r.exponential(config.partition_mtbf);
@@ -135,7 +136,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
     // even when recovery is disabled at scenario level (the binding is
     // simply left unset), so toggling `manager_recovery` cannot perturb
     // this — or, via stream splitting, any other — fault schedule.
-    Rng r = rng.split(6);
+    Rng r = rng.split(splits::kFaultManager);
     renewal_windows(out, r, config.manager_mtbf, config.manager_outage_mean,
                     horizon, FaultKind::manager_crash,
                     FaultKind::manager_recover, 0, 1.0);
@@ -143,7 +144,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
 
   // Resource-exhaustion classes on fresh splits (7/8/9): enabling any of
   // them leaves every schedule above bit-identical.
-  const Rng disk_full_rng = rng.split(7);
+  const Rng disk_full_rng = rng.split(splits::kFaultDiskFull);
   for (std::size_t h = 0; h < hosts; ++h) {
     Rng r = disk_full_rng.split(h);
     renewal_windows(out, r, config.disk_full_mtbf, config.disk_full_mean,
@@ -151,7 +152,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
                     FaultKind::disk_full_end, static_cast<std::uint32_t>(h),
                     config.disk_full_fraction);
   }
-  const Rng disk_slow_rng = rng.split(8);
+  const Rng disk_slow_rng = rng.split(splits::kFaultDiskSlow);
   for (std::size_t h = 0; h < hosts; ++h) {
     Rng r = disk_slow_rng.split(h);
     renewal_windows(out, r, config.disk_slow_mtbf, config.disk_slow_mean,
@@ -159,7 +160,7 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
                     FaultKind::disk_slow_end, static_cast<std::uint32_t>(h),
                     config.disk_slow_factor);
   }
-  const Rng mem_rng = rng.split(9);
+  const Rng mem_rng = rng.split(splits::kFaultMemPressure);
   for (std::size_t h = 0; h < hosts; ++h) {
     Rng r = mem_rng.split(h);
     renewal_windows(out, r, config.mem_pressure_mtbf, config.mem_pressure_mean,

@@ -46,6 +46,8 @@
 #include "common/budget.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "fault/byzantine.hpp"
+#include "fault/rng_splits.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
@@ -94,7 +96,7 @@ struct ChaosConfig {
   bool enabled = false;
   /// Mixed into the scenario seed so chaos draws are independent of the
   /// behavioural streams.
-  std::uint64_t seed = 0xFA1757;
+  std::uint64_t seed = splits::kChaosSeedDefault;
 
   Duration host_mtbf = days(16);          ///< per-host crash rate
   Duration host_reboot_mean = minutes(20);
@@ -135,6 +137,10 @@ struct ChaosConfig {
   std::uint32_t session_ceiling = 0;      ///< accepts allowed under mem_pressure
   std::uint32_t resend_credit = 0;        ///< manager recovery-resend window
   budget::DegradePolicy degrade_policy = budget::DegradePolicy::priority_shed;
+
+  // --- Byzantine (wrongness) behaviors + their defenses. Own seed, fresh
+  // splits: enabling lies never shifts any silence-fault schedule ---------
+  ByzantineConfig byzantine;
 
   // --- Recovery policy the scenarios apply alongside the plan ------------
   Duration retry_base = 30.0;             ///< honeypot reconnect backoff base

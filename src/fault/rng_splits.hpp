@@ -1,0 +1,114 @@
+#pragma once
+// Central registry of RNG split indices.
+//
+// Every fault/abuse/byzantine subsystem is a pure function of
+// (config, rng) drawing from `Rng::split(index)` sub-streams, and
+// `split()` never advances the parent stream — so two subsystems stay
+// independent exactly as long as no two of them split the *same parent*
+// with the *same index*. Historically those indices were magic numbers
+// scattered across three files; this header enumerates them per parent
+// stream and static_asserts that no group contains a collision, so adding
+// a split that would silently alias an existing stream fails to compile.
+//
+// Groups (one per parent stream):
+//   scenario   — splits of the main simulation RNG taken by the scenario
+//                layer (scenario.cpp / multi_server.cpp);
+//   fault      — category splits of rng.split(chaos.seed) in
+//                FaultPlan::generate;
+//   abuse      — class splits of rng.split(abuse.seed) in
+//                AbusePlan::generate, plus the content split of the
+//                injector's own stream;
+//   byzantine  — behavior splits of rng.split(byzantine.seed) in
+//                ByzantinePlan::generate, plus the liar-content split.
+//
+// Per-subject second-level splits (`category_rng.split(h)`) use the
+// subject index itself and need no registry: within one category stream
+// the subjects are distinct by construction.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace edhp::fault::splits {
+
+namespace detail {
+template <std::size_t N>
+[[nodiscard]] constexpr bool all_distinct(const std::uint64_t (&v)[N]) {
+  for (std::size_t i = 0; i < N; ++i) {
+    for (std::size_t j = i + 1; j < N; ++j) {
+      if (v[i] == v[j]) return false;
+    }
+  }
+  return true;
+}
+}  // namespace detail
+
+// --- Scenario layer: splits of the main simulation RNG -----------------
+inline constexpr std::uint64_t kCatalog = 0xCA7A;        ///< file catalog shuffle
+inline constexpr std::uint64_t kPairWeights = 0xBEEF;    ///< per-host visibility weights
+inline constexpr std::uint64_t kFileIds = 0xF11E;        ///< advertised fake-file ids
+inline constexpr std::uint64_t kPopulation = 0x90B;      ///< peer population engine
+inline constexpr std::uint64_t kLegacyCrashGrid = 0xDEAD;///< pre-chaos hourly crash grid
+inline constexpr std::uint64_t kTopPeer = 0x709;         ///< the Fig 8/9 hyperactive peer
+inline constexpr std::uint64_t kGreedyDemand = 0xDE3A;   ///< greedy per-file demand draws
+inline constexpr std::uint64_t kMultiServerResidents = 0x4E5; ///< resident pools per server
+inline constexpr std::uint64_t kChaosSeedDefault = 0xFA1757;  ///< ChaosConfig::seed
+inline constexpr std::uint64_t kAbuseSeedDefault = 0xAB05E;   ///< AbuseConfig::seed
+inline constexpr std::uint64_t kByzantineSeedDefault = 0xB15A17; ///< ByzantineConfig::seed
+
+inline constexpr std::uint64_t kScenarioSplits[] = {
+    kCatalog,         kPairWeights,      kFileIds,
+    kPopulation,      kLegacyCrashGrid,  kTopPeer,
+    kGreedyDemand,    kMultiServerResidents,
+    kChaosSeedDefault, kAbuseSeedDefault, kByzantineSeedDefault,
+};
+static_assert(detail::all_distinct(kScenarioSplits),
+              "scenario-level RNG split collision");
+
+// --- FaultPlan: category splits of rng.split(chaos.seed) ---------------
+inline constexpr std::uint64_t kFaultHost = 1;
+inline constexpr std::uint64_t kFaultUplink = 2;
+inline constexpr std::uint64_t kFaultServer = 3;
+inline constexpr std::uint64_t kFaultLatency = 4;
+inline constexpr std::uint64_t kFaultPartition = 5;
+inline constexpr std::uint64_t kFaultManager = 6;
+inline constexpr std::uint64_t kFaultDiskFull = 7;
+inline constexpr std::uint64_t kFaultDiskSlow = 8;
+inline constexpr std::uint64_t kFaultMemPressure = 9;
+
+inline constexpr std::uint64_t kFaultSplits[] = {
+    kFaultHost,     kFaultUplink,   kFaultServer,
+    kFaultLatency,  kFaultPartition, kFaultManager,
+    kFaultDiskFull, kFaultDiskSlow, kFaultMemPressure,
+};
+static_assert(detail::all_distinct(kFaultSplits),
+              "FaultPlan category split collision");
+
+// --- AbusePlan: class splits of rng.split(abuse.seed) ------------------
+// Class c draws from split(kAbuseClassBase + c), c = 0..3; the injector's
+// content stream is a scenario-provided split of the same parent.
+inline constexpr std::uint64_t kAbuseClassBase = 1;  ///< splits 1..4
+inline constexpr std::uint64_t kAbuseClassCount = 4;
+inline constexpr std::uint64_t kAbuseContent = 0xEE; ///< injector content stream
+
+static_assert(kAbuseContent >= kAbuseClassBase + kAbuseClassCount,
+              "abuse content split collides with a class split");
+
+// --- ByzantinePlan: behavior splits of rng.split(byzantine.seed) -------
+inline constexpr std::uint64_t kByzOfferDrop = 1;
+inline constexpr std::uint64_t kByzOfferTruncate = 2;
+inline constexpr std::uint64_t kByzStaleIndex = 3;
+inline constexpr std::uint64_t kByzFabricateSources = 4;
+inline constexpr std::uint64_t kByzCorruptSearch = 5;
+inline constexpr std::uint64_t kByzForgeList = 6;
+inline constexpr std::uint64_t kByzReplayHello = 7;
+inline constexpr std::uint64_t kByzContent = 0xEE;   ///< liar identities / forged payloads
+
+inline constexpr std::uint64_t kByzantineSplits[] = {
+    kByzOfferDrop,  kByzOfferTruncate,    kByzStaleIndex,
+    kByzFabricateSources, kByzCorruptSearch, kByzForgeList,
+    kByzReplayHello, kByzContent,
+};
+static_assert(detail::all_distinct(kByzantineSplits),
+              "ByzantinePlan behavior split collision");
+
+}  // namespace edhp::fault::splits

@@ -94,6 +94,27 @@ struct HoneypotConfig {
   /// these from ChaosConfig; the manager's launch path leaves them alone.
   budget::BudgetConfig budget;
 
+  /// Advertise-and-verify self-probes (0 = off, the default). Every period
+  /// the honeypot alternates between (a) searching the server for one of its
+  /// own advertised files — the reply must contain that file id — and (b) a
+  /// canary GET-SOURCES for a hash it never advertised — any non-empty reply
+  /// proves the server fabricates sources. A probe miss triggers an
+  /// immediate re-advertise (self-heal) and is reported to the manager
+  /// through the probe sink for server health scoring.
+  Duration self_probe_period = 0;
+  Duration self_probe_timeout = minutes(2);
+
+  /// Record-level integrity defenses (provenance tainting + forged-list
+  /// rejection). Off by default: greedy honeypots adopt harvested catalog
+  /// files into their own advertised list, so an honest peer sharing the
+  /// same catalog files would trip the forged-list detector. The Byzantine
+  /// campaigns enable this on the distributed fleet only.
+  bool integrity_defense = false;
+  /// A shared-file list claiming at least this many of the honeypot's own
+  /// advertised hashes is treated as forged (honeypot files are fakes nobody
+  /// else can legitimately have).
+  std::size_t forged_list_min_matches = 2;
+
   /// Million-peer bench mode: fold every admitted record into a running
   /// count + FNV-1a fingerprint instead of appending it to the in-memory
   /// log, so the footprint stops growing with observed traffic. Intended

@@ -131,6 +131,20 @@ void Honeypot::on_server_message(net::Bytes packet) {
     return;
   }
   if (const auto* results = std::get_if<proto::SearchResultView>(&msg)) {
+    if (probe_await_search_) {
+      // Probe reply, consumed before the adopt path: confirmed iff the
+      // reply still lists the advertised file we asked about. A corrupted
+      // reply (garbled ids) or an emptied index both read as a miss.
+      bool confirmed = false;
+      for (const auto& f : arena_.of(results->files)) {
+        if (f.file == probe_file_) {
+          confirmed = true;
+          break;
+        }
+      }
+      probe_result(confirmed);
+      return;
+    }
     std::size_t adopted = 0;
     for (const auto& f : arena_.of(results->files)) {
       if (adopted >= pending_search_adopt_) break;
@@ -140,6 +154,20 @@ void Honeypot::on_server_message(net::Bytes packet) {
     }
     pending_search_adopt_ = 0;
     counters_.add("search_adopted", adopted);
+    return;
+  }
+  if (const auto* found = std::get_if<proto::FoundSourcesView>(&msg)) {
+    if (probe_await_canary_ && found->file == canary_file()) {
+      // The canary hash was never advertised by anyone: any source the
+      // server returns for it is fabricated.
+      if (found->sources.count > 0) {
+        ++integrity_.fabricated_sources_detected;
+        counters_.add("fabricated_sources_detected");
+        probe_result(false);
+      } else {
+        probe_result(true);
+      }
+    }
     return;
   }
   if (const auto* id = std::get_if<proto::IdChange>(&msg)) {
@@ -157,6 +185,12 @@ void Honeypot::on_server_message(net::Bytes packet) {
     offer_timer_ = std::make_unique<sim::PeriodicTimer>(
         net_.simulation(), config_.offer_keepalive, [this] { send_offer(); });
     offer_timer_->start();
+    if (config_.self_probe_period > 0) {
+      probe_timer_ = std::make_unique<sim::PeriodicTimer>(
+          net_.simulation(), config_.self_probe_period,
+          [this] { run_self_probe(); });
+      probe_timer_->start();
+    }
   }
   // FOUND-SOURCES / SERVER-MESSAGE are accepted silently.
 }
@@ -164,6 +198,9 @@ void Honeypot::on_server_message(net::Bytes packet) {
 void Honeypot::on_server_closed() {
   counters_.add("server_connection_lost");
   offer_timer_.reset();
+  probe_timer_.reset();
+  net_.simulation().cancel(probe_timeout_event_);
+  probe_pending_ = probe_await_search_ = probe_await_canary_ = false;
   server_ep_.reset();
   end_coverage();
   if (config_.retry.enabled) {
@@ -390,8 +427,11 @@ void Honeypot::search_and_adopt(const std::string& query, std::size_t limit) {
 
 void Honeypot::disconnect() {
   offer_timer_.reset();
+  probe_timer_.reset();
   spool_timer_.reset();
   net_.simulation().cancel(retry_event_);
+  net_.simulation().cancel(probe_timeout_event_);
+  probe_pending_ = probe_await_search_ = probe_await_canary_ = false;
   end_coverage();
   if (server_ep_) {
     server_ep_->close();
@@ -413,8 +453,14 @@ void Honeypot::disconnect() {
 void Honeypot::crash() {
   counters_.add("crashes");
   offer_timer_.reset();
+  probe_timer_.reset();
   spool_timer_.reset();
   net_.simulation().cancel(retry_event_);
+  net_.simulation().cancel(probe_timeout_event_);
+  probe_pending_ = probe_await_search_ = probe_await_canary_ = false;
+  // Severed like the degrade sink: the sink captures manager wiring, and a
+  // probe verdict racing a relaunch must not reach a stale incarnation.
+  probe_sink_ = nullptr;
   retries_episode_ = 0;
   end_coverage();
   if (config_.spool.enabled) {
@@ -506,6 +552,7 @@ void Honeypot::on_peer_accept(net::EndpointPtr ep) {
   const ConnKey key = next_conn_++;
   PeerConn conn;
   conn.endpoint = std::move(ep);
+  conn.connected_at = net_.simulation().now();
   auto [it, inserted] = peers_.emplace(key, std::move(conn));
   net::Endpoint& endpoint = *it->second.endpoint;
   endpoint.on_message([this, key](net::Bytes p) { on_peer_message(key, std::move(p)); });
@@ -650,6 +697,24 @@ void Honeypot::process_peer(ConnKey key, net::Bytes packet) {
 }
 
 void Honeypot::handle_hello(PeerConn& conn, const proto::HelloView& msg) {
+  if (config_.integrity_defense && conn.hello_seen &&
+      truncate_user(msg.user) != conn.user) {
+    // A second HELLO on the same connection under a different user hash is
+    // a replay: one client process has exactly one persistent user hash, so
+    // rotating it mid-connection cannot be benign (and node recycling makes
+    // any cross-connection IP heuristic unsafe — this rule has zero false
+    // positives). Record the attempt tainted and answer nothing.
+    ++integrity_.replayed_hellos_rejected;
+    counters_.add("replayed_hellos_rejected");
+    conn.taint |= logbook::kFlagProvReplayed;
+    // The first HELLO of the episode looked benign when it arrived; now
+    // that the rotation proves a replayer, taint everything this
+    // connection already logged.
+    taint_tail(conn, logbook::kFlagProvReplayed);
+    conn.user = truncate_user(msg.user);
+    append_record(conn, logbook::QueryType::hello, nullptr);
+    return;
+  }
   // Stage-1 anonymisation happens here, before the record exists.
   conn.peer_hash = ip_anon_.anonymize(net_.info(conn.endpoint->remote_node()).ip);
   conn.user = truncate_user(msg.user);
@@ -688,7 +753,17 @@ void Honeypot::handle_start_upload(ConnKey key, PeerConn& conn,
   if (!conn.hello_seen) {
     counters_.add("start_upload_without_hello");
   }
-  append_record(conn, logbook::QueryType::start_upload, &msg.file);
+  std::uint8_t taint = 0;
+  if (config_.integrity_defense && !advertised_ids_.contains(msg.file)) {
+    // We never advertised this hash, so no honest index can have steered
+    // the peer here for it: the query exists because a server invented a
+    // source record. Log it (the operator audits quarantined evidence) but
+    // taint it out of the published dataset.
+    ++integrity_.fabricated_sources_detected;
+    counters_.add("fabricated_upload_queries");
+    taint = logbook::kFlagProvFabricated;
+  }
+  append_record(conn, logbook::QueryType::start_upload, &msg.file, taint);
   if (conn.uploading) {
     // Additional wanted files on an already-granted connection: the slot
     // covers the connection, just log the query (done above).
@@ -766,6 +841,24 @@ void Honeypot::handle_request_parts(PeerConn& conn, const proto::RequestParts& m
 void Honeypot::handle_shared_list(PeerConn& conn,
                                   const proto::AskSharedFilesAnswerView& msg) {
   counters_.add("shared_lists_received");
+  if (config_.integrity_defense) {
+    // Our advertised files are fakes the manager invented: no honest peer
+    // can really hold them, so a shared list claiming several of them is
+    // forged flattery designed to pollute the observed-files statistics.
+    std::size_t matches = 0;
+    for (const auto& f : arena_.of(msg.files)) {
+      if (advertised_ids_.contains(f.file)) ++matches;
+    }
+    if (matches >= std::max<std::size_t>(1, config_.forged_list_min_matches)) {
+      ++integrity_.forged_lists_rejected;
+      counters_.add("forged_lists_rejected");
+      conn.taint |= logbook::kFlagProvForged;
+      // The HELLO that opened this exchange looked benign; the forged list
+      // proves the whole connection adversarial.
+      taint_tail(conn, logbook::kFlagProvForged);
+      return;  // reject: no observed-files/greedy adoption from a forger
+    }
+  }
   for (const auto& f : arena_.of(msg.files)) {
     if (observed_files_.try_emplace(f.file, f.size).second) {
       observed_bytes_ += f.size;
@@ -782,7 +875,7 @@ void Honeypot::handle_shared_list(PeerConn& conn,
 }
 
 void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
-                             const FileId* file) {
+                             const FileId* file, std::uint8_t taint) {
   logbook::LogRecord r;
   r.timestamp = net_.simulation().now();
   r.peer = conn.peer_hash;
@@ -792,13 +885,17 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
   r.peer_port = conn.port;
   r.name_ref = conn.name_ref;
   r.type = type;
-  r.flags = 0;
+  r.flags = static_cast<std::uint8_t>(taint | conn.taint);
   if (ClientId(conn.client_id).is_high()) {
     r.flags |= logbook::kFlagHighId;
   }
   if (file != nullptr) {
     r.file = *file;
     r.flags |= logbook::kFlagHasFile;
+  }
+  if (r.tainted()) {
+    ++integrity_.records_quarantined;
+    counters_.add("records_quarantined");
   }
   // The query happened either way: heartbeat and per-type counters reflect
   // observed traffic; only the LOG is subject to the budget gate.
@@ -824,6 +921,72 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
     return;
   }
   log_.records.push_back(r);
+}
+
+FileId Honeypot::canary_file() const {
+  // Deterministic per-honeypot hash nobody ever advertises (the scenario's
+  // catalog ids come from dedicated RNG splits with different high words).
+  return FileId::from_words(0xEDC0FFEE00000000ull | config_.id,
+                            0x0000000CA7A12E5ull);
+}
+
+void Honeypot::run_self_probe() {
+  if (status_ != Status::connected || !server_ep_ || !server_ep_->open()) return;
+  if (probe_pending_) return;  // previous probe still awaiting its timeout
+  const bool canary = (probe_seq_++ % 2) == 1;
+  if (canary) {
+    probe_await_canary_ = true;
+    server_ep_->send(
+        proto::encode(proto::AnyMessage{proto::GetSources{canary_file()}}));
+  } else {
+    if (advertised_.empty()) {
+      --probe_seq_;  // nothing to verify yet; keep the alternation phase
+      return;
+    }
+    const auto& f = advertised_[probe_cursor_++ % advertised_.size()];
+    probe_file_ = f.id;
+    probe_await_search_ = true;
+    server_ep_->send(
+        proto::encode(proto::AnyMessage{proto::SearchRequest{f.name}}));
+  }
+  probe_pending_ = true;
+  ++integrity_.probes_sent;
+  counters_.add("self_probes_sent");
+  probe_timeout_event_ = net_.simulation().schedule_in(
+      config_.self_probe_timeout, [this] { probe_result(false); });
+}
+
+void Honeypot::probe_result(bool confirmed) {
+  if (!probe_pending_) return;
+  probe_pending_ = probe_await_search_ = probe_await_canary_ = false;
+  net_.simulation().cancel(probe_timeout_event_);
+  if (confirmed) {
+    ++integrity_.probes_confirmed;
+    counters_.add("self_probes_confirmed");
+  } else {
+    ++integrity_.probes_missed;
+    counters_.add("self_probes_missed");
+    // Self-heal: the server lost (or lied away) our advertisement; push the
+    // full list again immediately instead of waiting for the keep-alive.
+    if (status_ == Status::connected) send_offer();
+  }
+  if (probe_sink_) probe_sink_(confirmed);
+}
+
+void Honeypot::taint_tail(const PeerConn& conn, std::uint8_t taint) {
+  // Bounded backwards scan: a connection's records are a suffix slice no
+  // older than its accept time (records append in time order).
+  for (auto it = log_.records.rbegin(); it != log_.records.rend(); ++it) {
+    if (it->timestamp < conn.connected_at) break;
+    if (it->peer != conn.peer_hash) continue;
+    if ((it->flags & taint) != 0) continue;
+    const bool fresh = !it->tainted();
+    it->flags |= taint;
+    if (fresh) {
+      ++integrity_.records_quarantined;
+      counters_.add("records_quarantined");
+    }
+  }
 }
 
 std::uint16_t Honeypot::intern_name(const std::string& name) {

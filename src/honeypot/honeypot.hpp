@@ -31,6 +31,7 @@
 
 #include "anonymize/ip_anonymizer.hpp"
 #include "honeypot/config.hpp"
+#include "honeypot/integrity.hpp"
 #include "logbook/record.hpp"
 #include "net/network.hpp"
 #include "proto/messages.hpp"
@@ -166,6 +167,22 @@ class Honeypot {
   /// Returns the number of chunks deferred.
   std::size_t resend_spool(std::size_t limit);
 
+  // --- Measurement integrity ----------------------------------------------
+
+  /// Observes every self-probe verdict (true = confirmed, false = missed or
+  /// canary tripped). The manager scores server health from these; severed
+  /// on crash() like the degrade sink, so a probe resolving after a host
+  /// crash cannot call into stale manager wiring.
+  void set_probe_sink(std::function<void(bool)> sink) {
+    probe_sink_ = std::move(sink);
+  }
+  [[nodiscard]] const IntegrityStats& integrity_stats() const noexcept {
+    return integrity_;
+  }
+  /// The canary hash this honeypot GET-SOURCES-probes (never advertised; a
+  /// server returning sources for it is fabricating). Exposed for tests.
+  [[nodiscard]] FileId canary_file() const;
+
   // --- Overload & degradation ---------------------------------------------
 
   /// Apply (or lift) a resource-exhaustion fault episode. `magnitude` is
@@ -241,6 +258,8 @@ class Honeypot {
     bool hello_seen = false;
     bool uploading = false;  ///< holds an upload slot
     bool queued = false;     ///< waiting for a slot
+    std::uint8_t taint = 0;  ///< provenance flags applied to new records
+    Time connected_at = 0;   ///< accept time (bounds retroactive tainting)
     net::TokenBucket bucket;  ///< per-peer message budget (defense)
     sim::EventHandle reap;    ///< pending handshake/idle timeout
   };
@@ -279,7 +298,16 @@ class Honeypot {
                           const proto::AskSharedFilesAnswerView& msg);
 
   void append_record(const PeerConn& conn, logbook::QueryType type,
-                     const FileId* file);
+                     const FileId* file, std::uint8_t taint = 0);
+  /// One advertise-and-verify self-probe tick: alternates a keyword search
+  /// for an own advertised file with a canary GET-SOURCES.
+  void run_self_probe();
+  /// Resolve the in-flight probe; a miss re-advertises (self-heal) and both
+  /// outcomes reach the manager through the probe sink.
+  void probe_result(bool confirmed);
+  /// Retroactively taint this connection's records since accept time (a
+  /// forged list proves everything the peer sent was adversarial).
+  void taint_tail(const PeerConn& conn, std::uint8_t taint);
   /// Budget gate for one record-to-be (identified by its user word): false
   /// = shed (declared). May force an early backpressure cut first.
   [[nodiscard]] bool admit_record(std::uint64_t user);
@@ -385,6 +413,19 @@ class Honeypot {
   double mem_pressure_magnitude_ = 1.0;
   std::uint64_t mem_frozen_budget_ = 0;
   std::size_t session_ceiling_active_ = 0;
+
+  // Measurement-integrity state (dormant unless config_.self_probe_period
+  // or config_.integrity_defense is set).
+  IntegrityStats integrity_;
+  std::function<void(bool)> probe_sink_;
+  std::unique_ptr<sim::PeriodicTimer> probe_timer_;
+  sim::EventHandle probe_timeout_event_{};
+  bool probe_pending_ = false;
+  bool probe_await_search_ = false;  ///< reply consumed before adopt path
+  bool probe_await_canary_ = false;
+  std::uint64_t probe_seq_ = 0;     ///< alternates search / canary probes
+  std::size_t probe_cursor_ = 0;    ///< round-robin over advertised files
+  FileId probe_file_{};             ///< file the pending search probe expects
 
   sim::CounterSet counters_;
 };

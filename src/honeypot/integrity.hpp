@@ -1,0 +1,58 @@
+#pragma once
+// Measurement-integrity accounting shared by the honeypot defense layer,
+// the manager's health scoring, and the scenario results.
+//
+// The Byzantine fault layer (fault/byzantine.hpp) makes servers lie and
+// peers forge; these counters account for everything the defenses caught
+// and everything the published dataset excluded because of it. The headline
+// invariant (tests/test_byzantine.cpp) is that every record missing from
+// the merged log is accounted here: merged + records_excluded == collected.
+
+#include <cstdint>
+
+namespace edhp::honeypot {
+
+struct IntegrityStats {
+  // --- Self-probes (advertise-and-verify + canary GET-SOURCES) ----------
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_confirmed = 0;
+  std::uint64_t probes_missed = 0;
+
+  // --- Detections --------------------------------------------------------
+  /// Canary replies with sources, or upload queries for never-advertised
+  /// files: the server invented data.
+  std::uint64_t fabricated_sources_detected = 0;
+  /// Shared-file lists claiming the honeypot's own advertised hashes.
+  std::uint64_t forged_lists_rejected = 0;
+  /// Same-connection HELLOs under rotated user hashes.
+  std::uint64_t replayed_hellos_rejected = 0;
+
+  // --- Dataset accounting -------------------------------------------------
+  /// Records provenance-tainted at the honeypot (still collected, so the
+  /// operator can audit them, but excluded from the merged dataset).
+  std::uint64_t records_quarantined = 0;
+  /// Tainted records the manager's merge pass actually excluded.
+  std::uint64_t records_excluded = 0;
+
+  // --- Manager verdicts ---------------------------------------------------
+  std::uint64_t servers_quarantined = 0;
+  std::uint64_t servers_reinstated = 0;
+
+  IntegrityStats& operator+=(const IntegrityStats& o) {
+    probes_sent += o.probes_sent;
+    probes_confirmed += o.probes_confirmed;
+    probes_missed += o.probes_missed;
+    fabricated_sources_detected += o.fabricated_sources_detected;
+    forged_lists_rejected += o.forged_lists_rejected;
+    replayed_hellos_rejected += o.replayed_hellos_rejected;
+    records_quarantined += o.records_quarantined;
+    records_excluded += o.records_excluded;
+    servers_quarantined += o.servers_quarantined;
+    servers_reinstated += o.servers_reinstated;
+    return *this;
+  }
+
+  bool operator==(const IntegrityStats&) const = default;
+};
+
+}  // namespace edhp::honeypot

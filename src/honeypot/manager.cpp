@@ -60,6 +60,11 @@ std::vector<AdvertisedFile> get_files(ByteReader& r) {
   return files;
 }
 
+/// Cap on displaced-slot references inside one quarantine journal frame
+/// (bounds the frame; a fleet larger than this keeps its overflow slots on
+/// the quarantined server, which still yields quarantined-record evidence).
+constexpr std::size_t kQuarantineRefCap = 64;
+
 }  // namespace
 
 Manager::Manager(net::Network& network, ManagerConfig config)
@@ -136,6 +141,113 @@ void Manager::wire_degrade_sink(Slot& slot) {
   });
 }
 
+void Manager::wire_probe_sink(Slot& slot) {
+  // Probe verdicts are control-plane input: journaled and scored here. The
+  // honeypot severs this sink in crash() (a verdict racing a relaunch must
+  // not reach wiring that captures a possibly-dead incarnation), and
+  // adoption re-installs it.
+  Honeypot* hp = slot.honeypot.get();
+  hp->set_probe_sink([this, hp](bool confirmed) {
+    on_probe_verdict(hp->config().id, confirmed);
+  });
+}
+
+void Manager::on_probe_verdict(std::uint16_t hp_id, bool confirmed) {
+  const Slot* slot = nullptr;
+  for (const auto& s : fleet_) {
+    if (s.id == hp_id) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) return;
+  const std::string name = slot->server.name;
+  {
+    ByteWriter w;
+    w.u16(hp_id);
+    w.u8(confirmed ? 1 : 0);
+    w.str16(name);
+    journal_append(JournalEntryType::probe_verdict, w.view());
+  }
+  auto& health = health_[name];
+  if (confirmed) {
+    ++health.confirms;
+    health.score = std::max(0.0, health.score - config_.probe_confirm_decay);
+    return;
+  }
+  ++health.misses;
+  health.score += 1.0;
+  if (config_.quarantine_threshold > 0 &&
+      health.score >= config_.quarantine_threshold &&
+      !server_quarantined(name)) {
+    quarantine_server(name);
+  }
+}
+
+void Manager::quarantine_server(const std::string& name) {
+  // Only bench the liar if there is somewhere honest to go; without a
+  // distinct backup the fleet keeps measuring (its defenses still taint
+  // whatever the liar pollutes) and the score keeps accumulating.
+  std::vector<const ServerRef*> targets;
+  for (const auto& b : backups_) {
+    if (b.name != name) targets.push_back(&b);
+  }
+  if (targets.empty()) return;
+  Quarantine q;
+  q.server_name = name;
+  q.until = net_.simulation().now() + config_.quarantine_cooloff;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    if (fleet_[i].server.name != name) continue;
+    if (q.displaced.empty()) q.original = fleet_[i].server;
+    if (q.displaced.size() < kQuarantineRefCap) {
+      q.displaced.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (q.displaced.empty()) return;
+  ++integrity_.servers_quarantined;
+  health_[name].score = 0;  // fresh ledger when it comes back
+  {
+    ByteWriter w;
+    w.str16(q.server_name);
+    put_server(w, q.original);
+    w.u64(std::bit_cast<std::uint64_t>(q.until));
+    w.u32(static_cast<std::uint32_t>(q.displaced.size()));
+    for (const auto index : q.displaced) {
+      w.u32(index);
+    }
+    journal_append(JournalEntryType::server_quarantine, w.view());
+  }
+  const std::vector<std::uint32_t> displaced = q.displaced;
+  quarantines_.push_back(std::move(q));
+  for (const auto index : displaced) {
+    reassign(index, *targets[next_backup_++ % targets.size()]);
+  }
+}
+
+void Manager::service_quarantines(Time now) {
+  for (std::size_t qi = 0; qi < quarantines_.size();) {
+    if (quarantines_[qi].until > now) {
+      ++qi;
+      continue;
+    }
+    const Quarantine q = std::move(quarantines_[qi]);
+    quarantines_.erase(quarantines_.begin() + static_cast<std::ptrdiff_t>(qi));
+    ++integrity_.servers_reinstated;
+    {
+      ByteWriter w;
+      w.str16(q.server_name);
+      journal_append(JournalEntryType::server_reinstate, w.view());
+    }
+    // Cooloff served: move exactly the displaced slots back where the
+    // measurement plan had them (the backup was a stopgap, not a new home).
+    for (const auto index : q.displaced) {
+      if (index < fleet_.size()) {
+        reassign(index, q.original);
+      }
+    }
+  }
+}
+
 std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
                             const ServerRef& server) {
   config.salt = config_.salt;
@@ -152,6 +264,7 @@ std::size_t Manager::launch(HoneypotConfig config, net::NodeId host,
   slot.server = server;
   wire_spool_sink(slot);
   wire_degrade_sink(slot);
+  wire_probe_sink(slot);
   {
     ByteWriter w;
     w.u16(slot.id);
@@ -308,6 +421,7 @@ std::size_t Manager::crash() {
   for (auto& slot : fleet_) {
     slot.honeypot->set_spool_sink(nullptr);
     slot.honeypot->set_degrade_sink(nullptr);
+    slot.honeypot->set_probe_sink(nullptr);
     orphans_.push_back(std::move(slot.honeypot));
   }
   fleet_.clear();
@@ -317,6 +431,10 @@ std::size_t Manager::crash() {
   started_ = false;
   ack_frontier_.clear();
   recovery_ = RecoveryStats{};
+  health_.clear();
+  quarantines_.clear();
+  integrity_ = IntegrityStats{};
+  records_excluded_ = 0;
   return orphans_.size();
 }
 
@@ -368,6 +486,33 @@ void Manager::replay_journal() {
           for (std::uint32_t n = r.u32(); n > 0; --n) {
             const auto hp = r.u16();
             ack_frontier_[hp] = r.u64();
+          }
+          // Byzantine-defense sections, appended by newer checkpoints;
+          // absent (remaining() == 0) in pre-quarantine frames.
+          integrity_ = IntegrityStats{};
+          health_.clear();
+          quarantines_.clear();
+          if (r.remaining() > 0) {
+            integrity_.servers_quarantined = r.u64();
+            integrity_.servers_reinstated = r.u64();
+            for (std::uint32_t n = r.u32(); n > 0; --n) {
+              auto name = r.str16();
+              ServerHealth health;
+              health.score = std::bit_cast<double>(r.u64());
+              health.misses = r.u64();
+              health.confirms = r.u64();
+              health_.emplace(std::move(name), health);
+            }
+            for (std::uint32_t n = r.u32(); n > 0; --n) {
+              Quarantine q;
+              q.server_name = r.str16();
+              q.original = get_server(r);
+              q.until = std::bit_cast<double>(r.u64());
+              for (std::uint32_t m = r.u32(); m > 0; --m) {
+                q.displaced.push_back(r.u32());
+              }
+              quarantines_.push_back(std::move(q));
+            }
           }
           break;
         }
@@ -448,6 +593,47 @@ void Manager::replay_journal() {
           // and counters (they survive a manager crash); replaying these
           // would double-count. They exist for edhp_inspect degrade.
           break;
+        case JournalEntryType::probe_verdict: {
+          // Rebuild the health ledger with the live scoring math, but never
+          // act on it here: a threshold crossing has its own quarantine
+          // entry (replay reconstructs state, it does not re-decide).
+          [[maybe_unused]] const auto hp = r.u16();
+          const bool confirmed = r.u8() != 0;
+          auto& health = health_[r.str16()];
+          if (confirmed) {
+            ++health.confirms;
+            health.score =
+                std::max(0.0, health.score - config_.probe_confirm_decay);
+          } else {
+            ++health.misses;
+            health.score += 1.0;
+          }
+          break;
+        }
+        case JournalEntryType::server_quarantine: {
+          Quarantine q;
+          q.server_name = r.str16();
+          q.original = get_server(r);
+          q.until = std::bit_cast<double>(r.u64());
+          for (std::uint32_t n = r.u32(); n > 0; --n) {
+            q.displaced.push_back(r.u32());
+          }
+          ++integrity_.servers_quarantined;
+          health_[q.server_name].score = 0;
+          std::erase_if(quarantines_, [&](const Quarantine& other) {
+            return other.server_name == q.server_name;
+          });
+          quarantines_.push_back(std::move(q));
+          break;
+        }
+        case JournalEntryType::server_reinstate: {
+          const auto name = r.str16();
+          ++integrity_.servers_reinstated;
+          std::erase_if(quarantines_, [&](const Quarantine& other) {
+            return other.server_name == name;
+          });
+          break;
+        }
       }
       ++applied;
     } catch (const DecodeError&) {
@@ -480,6 +666,7 @@ std::size_t Manager::adopt_orphans() {
     by_id.erase(it);
     wire_spool_sink(slot);
     wire_degrade_sink(slot);
+    wire_probe_sink(slot);
     // Chunks the journal proves durable are acknowledged on the spot (no
     // round-trip needed: the recovery read its own store); the rest of the
     // local spool is re-sent and deduped by (honeypot, seq).
@@ -575,6 +762,27 @@ void Manager::checkpoint() {
     w.u16(hp);
     w.u64(next);
   }
+  // Byzantine-defense sections (appended last so older readers — and the
+  // hand-crafted checkpoint frames in test fixtures — keep replaying).
+  w.u64(integrity_.servers_quarantined);
+  w.u64(integrity_.servers_reinstated);
+  w.u32(static_cast<std::uint32_t>(health_.size()));
+  for (const auto& [name, health] : health_) {
+    w.str16(name);
+    w.u64(std::bit_cast<std::uint64_t>(health.score));
+    w.u64(health.misses);
+    w.u64(health.confirms);
+  }
+  w.u32(static_cast<std::uint32_t>(quarantines_.size()));
+  for (const auto& q : quarantines_) {
+    w.str16(q.server_name);
+    put_server(w, q.original);
+    w.u64(std::bit_cast<std::uint64_t>(q.until));
+    w.u32(static_cast<std::uint32_t>(q.displaced.size()));
+    for (const auto index : q.displaced) {
+      w.u32(index);
+    }
+  }
   config_.journal->append(JournalEntryType::checkpoint, w.view());
 }
 
@@ -650,6 +858,7 @@ void Manager::escalate(std::size_t index, EscalateReason reason) {
 }
 
 void Manager::poll() {
+  service_quarantines(net_.simulation().now());
   if (!config_.auto_relaunch) return;
   const Time now = net_.simulation().now();
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
@@ -758,6 +967,29 @@ RecoveryStats Manager::recovery_stats() const {
   return out;
 }
 
+IntegrityStats Manager::integrity_stats() const {
+  IntegrityStats out = integrity_;
+  out.records_excluded = records_excluded_;
+  for (const auto& slot : fleet_) {
+    out += slot.honeypot->integrity_stats();
+  }
+  for (const auto& hp : orphans_) {
+    out += hp->integrity_stats();
+  }
+  return out;
+}
+
+double Manager::server_health(const std::string& name) const {
+  const auto it = health_.find(name);
+  return it == health_.end() ? 0.0 : it->second.score;
+}
+
+bool Manager::server_quarantined(const std::string& name) const {
+  return std::any_of(
+      quarantines_.begin(), quarantines_.end(),
+      [&name](const Quarantine& q) { return q.server_name == name; });
+}
+
 net::DefenseStats Manager::defense_stats() const {
   net::DefenseStats out;
   for (const auto& slot : fleet_) {
@@ -800,6 +1032,14 @@ std::vector<std::string> Manager::persist_logs(const std::string& directory) con
 
 logbook::LogFile Manager::merged_anonymized(std::uint64_t* distinct_peers_out) const {
   auto logs = collect_logs();
+  std::uint64_t excluded = 0;
+  for (auto& log : logs) {
+    const auto before = log.records.size();
+    std::erase_if(log.records,
+                  [](const logbook::LogRecord& r) { return r.tainted(); });
+    excluded += before - log.records.size();
+  }
+  records_excluded_ = excluded;
   auto merged = logbook::merge_logs(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {
@@ -826,7 +1066,15 @@ logbook::LogFile Manager::merged_anonymized_durable(
   for (const auto& hp : orphans_) {
     salvage_from(*hp);
   }
-  const auto logs = salvage.reassemble_all();
+  auto logs = salvage.reassemble_all();
+  std::uint64_t excluded = 0;
+  for (auto& log : logs) {
+    const auto before = log.records.size();
+    std::erase_if(log.records,
+                  [](const logbook::LogRecord& r) { return r.tainted(); });
+    excluded += before - log.records.size();
+  }
+  records_excluded_ = excluded;
   auto merged = logbook::merge_logs(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {

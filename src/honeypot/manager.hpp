@@ -59,6 +59,21 @@ struct ManagerConfig {
   /// Admission-control policy injected into every launched honeypot.
   net::DefenseConfig defense;
 
+  // --- Server-health scoring (Byzantine defense). Threshold 0 = disabled:
+  // --- probe verdicts are still journaled for audit, but never acted on.
+
+  /// A probe miss adds 1.0 to the reporting server's health score; at this
+  /// score the server is quarantined — every slot assigned to it moves to a
+  /// backup server — until the cooloff expires. High enough by default that
+  /// transient outages (which also miss probes) never trip it.
+  double quarantine_threshold = 0;
+  /// Score decay applied by each confirmed probe (honest servers that
+  /// occasionally race a keep-alive recover instead of accumulating).
+  double probe_confirm_decay = 0.25;
+  /// How long a quarantined server stays benched before its displaced
+  /// honeypots are reassigned back (checked by the poll loop).
+  Duration quarantine_cooloff = minutes(30);
+
   // --- Control-plane durability. Both null by default: the historical
   // --- purely-in-memory manager, byte-identical behaviour.
 
@@ -208,6 +223,16 @@ class Manager {
   /// Fleet-sum of every honeypot's admission-control decision counters.
   [[nodiscard]] net::DefenseStats defense_stats() const;
 
+  /// Fleet-sum of measurement-integrity accounting (probe verdicts,
+  /// detections, quarantined records) plus the manager's own verdicts
+  /// (servers quarantined/reinstated, records excluded by the last merge).
+  [[nodiscard]] IntegrityStats integrity_stats() const;
+
+  /// Current health score of a server (by name); 0 when never scored.
+  [[nodiscard]] double server_health(const std::string& name) const;
+  /// Whether a server is currently benched by a quarantine.
+  [[nodiscard]] bool server_quarantined(const std::string& name) const;
+
   /// The chunk store backing crash-safe spooling (empty unless
   /// ManagerConfig::spool.enabled).
   [[nodiscard]] const logbook::SpoolStore& spool_store() const noexcept {
@@ -282,6 +307,14 @@ class Manager {
   void wire_spool_sink(Slot& slot);
   /// Install the degraded-mode observer (journals every transition).
   void wire_degrade_sink(Slot& slot);
+  /// Install the self-probe verdict observer (health scoring + journal).
+  void wire_probe_sink(Slot& slot);
+  /// Score one probe verdict; may quarantine the reporting server.
+  void on_probe_verdict(std::uint16_t hp_id, bool confirmed);
+  /// Bench a server: journal the verdict, move its slots to backups.
+  void quarantine_server(const std::string& name);
+  /// Expire due quarantines: reassign displaced slots back to the original.
+  void service_quarantines(Time now);
   /// Append one framed entry to the journal (no-op without one).
   void journal_append(logbook::JournalEntryType type,
                       std::span<const std::uint8_t> payload);
@@ -306,6 +339,28 @@ class Manager {
   /// Honeypots surviving a control-plane crash, awaiting re-adoption.
   std::vector<std::unique_ptr<Honeypot>> orphans_;
   RecoveryStats recovery_;  ///< counters accumulated by the watchdog
+
+  // --- Server-health / quarantine state (Byzantine defense) ---------------
+  struct ServerHealth {
+    double score = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t confirms = 0;
+  };
+  /// One benched server and the slots displaced away from it, so the
+  /// reinstate can move exactly those honeypots back (journaled, so a
+  /// recovered manager honors the pending cooloff).
+  struct Quarantine {
+    std::string server_name;
+    ServerRef original;
+    Time until = 0;
+    std::vector<std::uint32_t> displaced;
+  };
+  std::map<std::string, ServerHealth> health_;
+  std::vector<Quarantine> quarantines_;
+  IntegrityStats integrity_;  ///< manager-side verdict counters
+  /// Tainted records dropped by the most recent merged_anonymized[_durable]
+  /// pass (mutable: merging is logically const, the audit trail is not).
+  mutable std::uint64_t records_excluded_ = 0;
 };
 
 }  // namespace edhp::honeypot

@@ -39,6 +39,9 @@ std::string_view to_string(JournalEntryType t) {
     case JournalEntryType::recovered: return "recovered";
     case JournalEntryType::degrade_enter: return "degrade_enter";
     case JournalEntryType::degrade_exit: return "degrade_exit";
+    case JournalEntryType::probe_verdict: return "probe_verdict";
+    case JournalEntryType::server_quarantine: return "server_quarantine";
+    case JournalEntryType::server_reinstate: return "server_reinstate";
   }
   return "unknown";
 }

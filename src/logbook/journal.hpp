@@ -56,6 +56,9 @@ enum class JournalEntryType : std::uint8_t {
   recovered = 12,     ///< a recovery completed (downtime accounting)
   degrade_enter = 13, ///< a honeypot declared degraded mode (overload)
   degrade_exit = 14,  ///< degraded mode ended (shed/compaction totals)
+  probe_verdict = 15,      ///< a self-probe verdict reached the manager
+  server_quarantine = 16,  ///< a lying server quarantined, slots reassigned
+  server_reinstate = 17,   ///< quarantine cooloff ended, slots moved back
 };
 
 [[nodiscard]] std::string_view to_string(JournalEntryType t);

@@ -32,11 +32,23 @@ enum class QueryType : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(QueryType t);
 
-/// Bit flags describing the recorded query.
+/// Bit flags describing the recorded query. Bits >= kFlagProvFabricated are
+/// provenance taints set by the honeypot's integrity defenses; the merge
+/// pass excludes tainted records from the published dataset (accounted in
+/// IntegrityStats), and the golden-fingerprint mix never includes flags, so
+/// chaos-off runs (where no taint is ever set) stay bit-identical.
 enum RecordFlags : std::uint8_t {
   kFlagHighId = 1u << 0,  ///< the peer had a HighID
   kFlagHasFile = 1u << 1, ///< the file field is meaningful
+  kFlagProvFabricated = 1u << 2,  ///< upload query for a never-advertised file
+  kFlagProvForged = 1u << 3,      ///< peer sent a forged shared-file list
+  kFlagProvReplayed = 1u << 4,    ///< HELLO replayed under a rotated user hash
 };
+
+/// All provenance-taint bits (records carrying any of these are excluded
+/// from the merged dataset).
+inline constexpr std::uint8_t kProvenanceMask =
+    kFlagProvFabricated | kFlagProvForged | kFlagProvReplayed;
 
 /// One logged query. 56 bytes; honeypots at paper scale produce tens of
 /// millions of these, so the layout is deliberately compact: client-name
@@ -55,6 +67,9 @@ struct LogRecord {
 
   [[nodiscard]] bool high_id() const noexcept { return flags & kFlagHighId; }
   [[nodiscard]] bool has_file() const noexcept { return flags & kFlagHasFile; }
+  [[nodiscard]] bool tainted() const noexcept {
+    return (flags & kProvenanceMask) != 0;
+  }
 
   bool operator==(const LogRecord&) const = default;
 };

@@ -94,7 +94,7 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   honeypot::ManagerConfig manager_cfg = chaos_manager_config(config.chaos);
   manager_cfg.defense = defense;
   honeypot::Manager manager(network, manager_cfg);
-  if (config.chaos.enabled) {
+  if (config.chaos.enabled || config.chaos.byzantine.enabled) {
     manager.set_backup_servers(refs);  // sibling servers double as backups
   }
   MultiServerResult result;
@@ -160,6 +160,11 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
     hp.budget.session_ceiling = config.chaos.session_ceiling;
     hp.budget.policy = config.chaos.degrade_policy;
     hp.budget.shed_user_word = fault::kAbuseUserWord;
+    if (config.chaos.byzantine.enabled && config.chaos.byzantine.defend) {
+      hp.self_probe_period = config.chaos.byzantine.probe_period;
+      hp.self_probe_timeout = config.chaos.byzantine.probe_timeout;
+      hp.integrity_defense = true;
+    }
     const auto index =
         manager.launch(std::move(hp), network.add_node(true), refs[assignment[h]]);
     hosts.push_back(&manager.honeypot(index));
@@ -233,6 +238,55 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
         network, std::move(plan), config.abuse, std::move(bind),
         abuse_rng.split(0xEE));
     abuse->arm();
+  }
+
+  // Byzantine misbehavior (see run_distributed): every directory server can
+  // lie, every honeypot is a liar-peer target.
+  std::unique_ptr<fault::ByzantineInjector> byz;
+  if (config.chaos.byzantine.enabled) {
+    const Rng byz_rng = rng.split(config.chaos.byzantine.seed);
+    auto plan = fault::ByzantinePlan::generate(config.chaos.byzantine,
+                                               config.honeypots, n_servers,
+                                               config.days * kDay, byz_rng);
+    fault::ByzantineInjector::Bindings bind;
+    bind.honeypot_count = config.honeypots;
+    bind.honeypot_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
+    bind.server_count = n_servers;
+    bind.drop_offers = [&servers](std::size_t s, bool active) {
+      servers[s]->set_drop_offers(active);
+    };
+    bind.truncate_offers = [&servers](std::size_t s, bool active,
+                                      double keep) {
+      servers[s]->set_truncate_offers(active, keep);
+    };
+    bind.stale_index = [&servers](std::size_t s, bool active) {
+      servers[s]->set_stale_index(active);
+    };
+    bind.fabricate_sources = [&servers](std::size_t s, bool active,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+      servers[s]->set_fabricate_sources(active, count, seed);
+    };
+    bind.corrupt_search = [&servers](std::size_t s, bool active,
+                                     std::uint64_t seed) {
+      servers[s]->set_corrupt_search(active, seed);
+    };
+    bind.advertised_files = [&hosts](std::size_t h) {
+      std::vector<proto::PublishedFile> out;
+      for (const auto& f : hosts[h]->advertised()) {
+        proto::PublishedFile pf;
+        pf.file = f.id;
+        pf.port = 4662;
+        pf.name = f.name;
+        pf.size = f.size;
+        out.push_back(std::move(pf));
+      }
+      return out;
+    };
+    byz = std::make_unique<fault::ByzantineInjector>(
+        network, std::move(plan), config.chaos.byzantine, std::move(bind),
+        byz_rng.split(fault::splits::kByzContent));
+    byz->arm();
   }
 
   // --- Advertised files + demand ----------------------------------------------
@@ -314,6 +368,10 @@ MultiServerResult run_multi_server(const MultiServerConfig& config,
   if (abuse) {
     result.base.abuse = abuse->stats();
   }
+  if (byz) {
+    result.base.byzantine = byz->stats();
+  }
+  result.base.integrity = manager.integrity_stats();
   for (const auto* hp : hosts) {
     result.base.degrade += hp->degrade_stats();
   }

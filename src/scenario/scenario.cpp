@@ -118,6 +118,18 @@ void report_progress(std::ostream* progress, World& world, double total_days) {
 
 honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
   honeypot::ManagerConfig mc;
+  if (chaos.byzantine.enabled && chaos.byzantine.defend) {
+    // Quarantine policy rides with the Byzantine model, independent of the
+    // crash/outage switch: a lying server is a threat even in an otherwise
+    // healthy run. Byzantine-only campaigns still get a journal so probe
+    // verdicts and quarantine decisions leave an auditable trail (appends
+    // consume no RNG draws and schedule no events).
+    mc.quarantine_threshold = chaos.byzantine.quarantine_threshold;
+    mc.quarantine_cooloff = chaos.byzantine.quarantine_cooloff;
+    if (!chaos.enabled) {
+      mc.journal = std::make_shared<logbook::Journal>();
+    }
+  }
   if (!chaos.enabled) return mc;
   mc.relaunch_backoff_base = minutes(10);
   mc.relaunch_backoff_cap = hours(2);
@@ -175,11 +187,12 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   server.start();
   honeypot::ServerRef server_ref{server_node, "big-server-2008", 4661};
 
-  // Standby servers for watchdog escalation (chaos runs only: adding nodes
-  // would shift every later IP assignment otherwise).
+  // Standby servers for watchdog escalation and Byzantine quarantine
+  // (chaos/byzantine runs only: adding nodes would shift every later IP
+  // assignment otherwise).
   std::vector<std::unique_ptr<server::Server>> standby;
   std::vector<honeypot::ServerRef> standby_refs;
-  if (config.chaos.enabled) {
+  if (config.chaos.enabled || config.chaos.byzantine.enabled) {
     for (std::size_t s = 0; s < config.chaos.backup_servers; ++s) {
       const auto node = world.network.add_node(true);
       server::ServerConfig sc;
@@ -235,6 +248,11 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     hp.budget.policy = config.chaos.degrade_policy;
     hp.budget.shed_user_word = fault::kAbuseUserWord;
     hp.stream_records = config.stream_records;
+    if (config.chaos.byzantine.enabled && config.chaos.byzantine.defend) {
+      hp.self_probe_period = config.chaos.byzantine.probe_period;
+      hp.self_probe_timeout = config.chaos.byzantine.probe_timeout;
+      hp.integrity_defense = true;
+    }
     const auto host = world.network.add_node(true);
     const auto index = manager.launch(std::move(hp), host, server_ref);
     hosts.push_back(&manager.honeypot(index));
@@ -375,6 +393,59 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     abuse->arm();
   }
 
+  // Byzantine misbehavior: lie windows flipped on the live servers, liar
+  // peers run against the honeypots. Gated exactly like abuse — disabled
+  // means no liar nodes, no RNG draws, bit-identical runs.
+  std::unique_ptr<fault::ByzantineInjector> byz;
+  if (config.chaos.byzantine.enabled) {
+    const Rng byz_rng = rng.split(config.chaos.byzantine.seed);
+    auto plan = fault::ByzantinePlan::generate(
+        config.chaos.byzantine, config.honeypots, 1 + standby.size(),
+        config.days * kDay, byz_rng);
+    fault::ByzantineInjector::Bindings bind;
+    bind.honeypot_count = config.honeypots;
+    bind.honeypot_node = [&hosts](std::size_t h) { return hosts[h]->node(); };
+    bind.server_count = 1 + standby.size();
+    auto server_at = [&server, &standby](std::size_t s) -> server::Server& {
+      return s == 0 ? server : *standby[s - 1];
+    };
+    bind.drop_offers = [server_at](std::size_t s, bool active) {
+      server_at(s).set_drop_offers(active);
+    };
+    bind.truncate_offers = [server_at](std::size_t s, bool active,
+                                       double keep) {
+      server_at(s).set_truncate_offers(active, keep);
+    };
+    bind.stale_index = [server_at](std::size_t s, bool active) {
+      server_at(s).set_stale_index(active);
+    };
+    bind.fabricate_sources = [server_at](std::size_t s, bool active,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+      server_at(s).set_fabricate_sources(active, count, seed);
+    };
+    bind.corrupt_search = [server_at](std::size_t s, bool active,
+                                      std::uint64_t seed) {
+      server_at(s).set_corrupt_search(active, seed);
+    };
+    bind.advertised_files = [&hosts](std::size_t h) {
+      std::vector<proto::PublishedFile> out;
+      for (const auto& f : hosts[h]->advertised()) {
+        proto::PublishedFile pf;
+        pf.file = f.id;
+        pf.port = 4662;
+        pf.name = f.name;
+        pf.size = f.size;
+        out.push_back(std::move(pf));
+      }
+      return out;
+    };
+    byz = std::make_unique<fault::ByzantineInjector>(
+        world.network, std::move(plan), config.chaos.byzantine,
+        std::move(bind), byz_rng.split(fault::splits::kByzContent));
+    byz->arm();
+  }
+
   // The single hyperactive peer of Figs 8/9.
   std::unique_ptr<peer::TopPeer> top;
   if (config.with_top_peer) {
@@ -445,6 +516,12 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   if (abuse) {
     result.abuse = abuse->stats();
   }
+  if (byz) {
+    result.byzantine = byz->stats();
+  }
+  // Integrity accounting is filled unconditionally (all-zero when the
+  // Byzantine model is off); records_excluded was fixed by the merge above.
+  result.integrity = manager.integrity_stats();
   return result;
 }
 
@@ -475,6 +552,15 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   hp.budget.session_ceiling = config.chaos.session_ceiling;
   hp.budget.policy = config.chaos.degrade_policy;
   hp.budget.shed_user_word = fault::kAbuseUserWord;
+  if (config.chaos.byzantine.enabled && config.chaos.byzantine.defend) {
+    hp.self_probe_period = config.chaos.byzantine.probe_period;
+    hp.self_probe_timeout = config.chaos.byzantine.probe_timeout;
+    // integrity_defense stays OFF for the greedy strategy: it adopts the
+    // very files it harvests from contacting peers, so the forged-list rule
+    // (peer claims our own advertised hashes) would flag every honest
+    // provider and break the harvest. Self-probes alone still catch the
+    // server-side lies.
+  }
   hp.greedy = true;
   hp.greedy_harvest_window = config.harvest_window;
   hp.greedy_max_files = std::max<std::size_t>(
@@ -559,6 +645,51 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
     abuse->arm();
   }
 
+  // Byzantine misbehavior (see run_distributed): one server, one honeypot.
+  std::unique_ptr<fault::ByzantineInjector> byz;
+  if (config.chaos.byzantine.enabled) {
+    const Rng byz_rng = rng.split(config.chaos.byzantine.seed);
+    auto plan = fault::ByzantinePlan::generate(config.chaos.byzantine, 1, 1,
+                                               config.days * kDay, byz_rng);
+    fault::ByzantineInjector::Bindings bind;
+    bind.honeypot_count = 1;
+    bind.honeypot_node = [hp0](std::size_t) { return hp0->node(); };
+    bind.server_count = 1;
+    bind.drop_offers = [&server](std::size_t, bool active) {
+      server.set_drop_offers(active);
+    };
+    bind.truncate_offers = [&server](std::size_t, bool active, double keep) {
+      server.set_truncate_offers(active, keep);
+    };
+    bind.stale_index = [&server](std::size_t, bool active) {
+      server.set_stale_index(active);
+    };
+    bind.fabricate_sources = [&server](std::size_t, bool active,
+                                       std::size_t count, std::uint64_t seed) {
+      server.set_fabricate_sources(active, count, seed);
+    };
+    bind.corrupt_search = [&server](std::size_t, bool active,
+                                    std::uint64_t seed) {
+      server.set_corrupt_search(active, seed);
+    };
+    bind.advertised_files = [hp0](std::size_t) {
+      std::vector<proto::PublishedFile> out;
+      for (const auto& f : hp0->advertised()) {
+        proto::PublishedFile pf;
+        pf.file = f.id;
+        pf.port = 4662;
+        pf.name = f.name;
+        pf.size = f.size;
+        out.push_back(std::move(pf));
+      }
+      return out;
+    };
+    byz = std::make_unique<fault::ByzantineInjector>(
+        world.network, std::move(plan), config.chaos.byzantine,
+        std::move(bind), byz_rng.split(fault::splits::kByzContent));
+    byz->arm();
+  }
+
   // Demands follow the advertised list as it grows: a watcher adds a demand
   // for every newly advertised file. Per-file demand is a property of the
   // network (not of the honeypot) and is NOT scaled: the greedy measurement
@@ -626,6 +757,10 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   if (abuse) {
     result.abuse = abuse->stats();
   }
+  if (byz) {
+    result.byzantine = byz->stats();
+  }
+  result.integrity = manager.integrity_stats();
   return result;
 }
 

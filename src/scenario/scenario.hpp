@@ -145,6 +145,12 @@ struct ScenarioResult {
   /// `spool_peak_bytes` is the fleet per-honeypot maximum, the number quota
   /// sizing needs.
   budget::DegradeStats degrade;
+  /// Measurement-integrity accounting: self-probe verdicts, fabrication/
+  /// forgery/replay detections, quarantined + excluded records, and server
+  /// quarantine verdicts (all-zero unless chaos.byzantine was enabled).
+  honeypot::IntegrityStats integrity;
+  /// Byzantine misbehavior actually injected (all-zero unless enabled).
+  fault::ByzantineStats byzantine;
 
   // --- Memory telemetry ----------------------------------------------------
   /// Peak process RSS at result-fill time (bytes; 0 when the platform can't

@@ -140,6 +140,44 @@ std::string FileIndex::name_of(const FileId& file) const {
   return it == files_.end() ? std::string{} : it->second.name;
 }
 
+std::size_t FileIndex::audit() const {
+  std::size_t violations = 0;
+  std::size_t provider_records = 0;
+  for (const auto& [file, entry] : files_) {
+    // A file with no providers must have been erased by remove_provider.
+    if (entry.providers.empty()) ++violations;
+    provider_records += entry.providers.size();
+    for (std::uint32_t i = 0; i < entry.providers.size(); ++i) {
+      // Every provider slot is mirrored in the position map, at its slot.
+      const auto pp =
+          provider_pos_.find(ProviderKey{file, entry.providers[i].session});
+      if (pp == provider_pos_.end() || pp->second != i) ++violations;
+    }
+    // Every word of the recorded name posts back to this file.
+    for (const auto& w : tokenize(entry.name)) {
+      auto it = words_.find(w);
+      if (it == words_.end() || !it->second.contains(file)) ++violations;
+    }
+  }
+  if (provider_records != providers_) ++violations;
+  if (provider_records != provider_pos_.size()) ++violations;
+  // Session ownership round-trips: every owned file has a provider record.
+  for (const auto& [session, owned] : session_files_) {
+    if (owned.empty()) ++violations;
+    for (const auto& file : owned) {
+      if (!provider_pos_.contains(ProviderKey{file, session})) ++violations;
+    }
+  }
+  // No orphan postings: every posted file still exists.
+  for (const auto& [word, posting] : words_) {
+    if (posting.empty()) ++violations;
+    for (const auto& file : posting) {
+      if (!files_.contains(file)) ++violations;
+    }
+  }
+  return violations;
+}
+
 void FileIndex::index_words(const FileId& file, const std::string& name) {
   for (const auto& w : tokenize(name)) {
     words_[w].insert(file);

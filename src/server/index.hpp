@@ -61,6 +61,14 @@ class FileIndex {
   /// Name recorded for a file (first advertiser wins), empty if unknown.
   [[nodiscard]] std::string name_of(const FileId& file) const;
 
+  /// Consistency self-check: verifies every cross-map invariant (provider
+  /// count, position map, keyword postings, session ownership) and returns
+  /// the number of violations — 0 means internally consistent. Byzantine
+  /// staleness is injected *outside* the index (the server defers offers),
+  /// so this must hold even in the middle of a lie window: injected
+  /// staleness is a modeled fault, never a corrupted index.
+  [[nodiscard]] std::size_t audit() const;
+
  private:
   struct FileEntry {
     std::string name;

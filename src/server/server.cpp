@@ -5,6 +5,18 @@
 #include "proto/udp_messages.hpp"
 
 namespace edhp::server {
+namespace {
+
+/// SplitMix64 step: deterministic forged identities without an RNG object
+/// (lie content must be a pure function of the injected seed + sequence).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 Server::Server(net::Network& network, net::NodeId self, ServerConfig config)
     : net_(network), self_(self), config_(std::move(config)) {}
@@ -38,6 +50,8 @@ void Server::stop() {
   inbox_.clear();
   inbox_armed_ = false;
   connect_buckets_.clear();
+  // Deferred stale-window offers die with their sessions.
+  stale_pending_.clear();
 }
 
 void Server::on_accept(net::EndpointPtr endpoint) {
@@ -258,8 +272,48 @@ void Server::handle(Session& session, const proto::OfferFilesView& msg) {
   }
   counters_.add("offers");
   counters_.add("offered_files", msg.files.count);
+  const auto views = arena_.of(msg.files);
+  if (lies_.drop_offers) {
+    // No protocol-level ack exists for OFFER-FILES, so the client cannot
+    // tell: only an advertise-and-verify self-probe surfaces this.
+    counters_.add("byz_offers_dropped");
+    return;
+  }
+  std::size_t keep = views.size();
+  if (lies_.truncate_offers && keep > 0) {
+    keep = static_cast<std::size_t>(
+        static_cast<double>(keep) *
+        std::clamp(lies_.truncate_keep, 0.0, 1.0));
+    counters_.add("byz_offers_truncated");
+  }
+  if (lies_.stale_index) {
+    // Evict early (the session's previous ad vanishes now), index late
+    // (the new list lands only when the window ends).
+    index_.drop_session(session.key);
+    PendingOffer pending;
+    pending.key = session.key;
+    pending.client_id = session.client_id.value();
+    pending.port = session.port;
+    pending.files.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto& f = views[i];
+      pending.files.push_back(proto::PublishedFile{
+          f.file, f.client_id, f.port, std::string(f.name), f.size});
+    }
+    auto it = std::find_if(stale_pending_.begin(), stale_pending_.end(),
+                           [&](const PendingOffer& p) {
+                             return p.key == session.key;
+                           });
+    if (it != stale_pending_.end()) {
+      *it = std::move(pending);
+    } else {
+      stale_pending_.push_back(std::move(pending));
+    }
+    counters_.add("byz_offers_deferred");
+    return;
+  }
   index_.set_shared_list(session.key, session.client_id.value(), session.port,
-                         arena_.of(msg.files));
+                         views.first(keep));
 }
 
 void Server::handle(Session& session, const proto::GetSources& msg) {
@@ -267,6 +321,21 @@ void Server::handle(Session& session, const proto::GetSources& msg) {
   counters_.add("get_sources");
   auto sources =
       index_.sources(msg.file, std::min<std::size_t>(config_.max_sources_per_reply, 255));
+  if (lies_.fabricate_count > 0) {
+    // Forge sources pointing at nonexistent peers: plausible HighIDs drawn
+    // from the seeded sequence. Clients waste connection attempts on them;
+    // a canary probe (GET-SOURCES for a hash nobody has) proves the lie.
+    std::size_t forged = 0;
+    while (forged < lies_.fabricate_count && sources.size() < 255) {
+      const std::uint64_t h = mix64(lies_.fabricate_seed + ++fabricate_counter_);
+      proto::SourceEntry entry;
+      entry.client_id = static_cast<std::uint32_t>(h) | 0x80000000u;
+      entry.port = 4662;
+      sources.push_back(entry);
+      ++forged;
+    }
+    counters_.add("byz_sources_fabricated", forged);
+  }
   session.endpoint->send(
       proto::encode(proto::FoundSources{msg.file, std::move(sources)}));
 }
@@ -275,7 +344,58 @@ void Server::handle(Session& session, const proto::SearchRequestView& msg) {
   if (!session.logged_in) return;
   counters_.add("searches");
   auto files = index_.search(msg.query, config_.max_search_results);
+  if (lies_.corrupt_search && !files.empty()) {
+    // Garble every returned hash: the names still look right, the ids are
+    // junk — the measurement poison a self-probe is built to catch.
+    for (auto& f : files) {
+      const std::uint64_t h = mix64(lies_.corrupt_seed + ++corrupt_counter_);
+      f.file = FileId::from_words(h, mix64(h));
+    }
+    counters_.add("byz_searches_corrupted");
+  }
   session.endpoint->send(proto::encode(proto::SearchResult{std::move(files)}));
+}
+
+void Server::set_drop_offers(bool active) { lies_.drop_offers = active; }
+
+void Server::set_truncate_offers(bool active, double keep) {
+  lies_.truncate_offers = active;
+  lies_.truncate_keep = active ? keep : 1.0;
+}
+
+void Server::set_stale_index(bool active) {
+  if (lies_.stale_index && !active) {
+    lies_.stale_index = false;
+    apply_stale_pending();
+    return;
+  }
+  lies_.stale_index = active;
+}
+
+void Server::set_fabricate_sources(bool active, std::size_t count,
+                                   std::uint64_t seed) {
+  lies_.fabricate_count = active ? count : 0;
+  lies_.fabricate_seed = seed;
+}
+
+void Server::set_corrupt_search(bool active, std::uint64_t seed) {
+  lies_.corrupt_search = active;
+  lies_.corrupt_seed = seed;
+}
+
+void Server::apply_stale_pending() {
+  // Indexed late: deferred offers land now, in arrival order, for sessions
+  // that survived the window. A stop() in between dropped the sessions, so
+  // their deferred lists simply evaporate (exactly what a restarted lying
+  // server would do).
+  for (auto& pending : stale_pending_) {
+    auto it = sessions_.find(pending.key);
+    if (it == sessions_.end() || !it->second.logged_in) continue;
+    index_.set_shared_list(pending.key, pending.client_id, pending.port,
+                           pending.files);
+    counters_.add("byz_offers_late_indexed");
+  }
+  stale_pending_.clear();
 }
 
 }  // namespace edhp::server

@@ -38,6 +38,21 @@ struct ServerConfig {
   std::size_t hard_session_cap = 4096;
 };
 
+/// Injected Byzantine misbehavior switches — modeled faults, not bugs. The
+/// fault layer flips these through scenario bindings (fault/byzantine.hpp);
+/// all default off, and the handlers consult them before the index so the
+/// index itself stays consistent (FileIndex::audit) through every lie.
+struct ServerLies {
+  bool drop_offers = false;       ///< silently ignore OFFER-FILES
+  bool truncate_offers = false;   ///< index only a prefix of each list
+  double truncate_keep = 1.0;     ///< fraction kept while truncating
+  bool stale_index = false;       ///< defer offers; evict on keepalive
+  std::size_t fabricate_count = 0;///< forged entries per GET-SOURCES reply
+  std::uint64_t fabricate_seed = 0;
+  bool corrupt_search = false;    ///< garble search-reply file ids
+  std::uint64_t corrupt_seed = 0;
+};
+
 /// A directory server attached to one network node.
 class Server {
  public:
@@ -66,6 +81,19 @@ class Server {
   [[nodiscard]] const net::DefenseStats& defense_stats() const noexcept {
     return defense_;
   }
+
+  // --- Byzantine lie switches (see ServerLies) ---------------------------
+  void set_drop_offers(bool active);
+  void set_truncate_offers(bool active, double keep);
+  /// Deactivating applies the deferred offers (indexed late).
+  void set_stale_index(bool active);
+  void set_fabricate_sources(bool active, std::size_t count,
+                             std::uint64_t seed);
+  void set_corrupt_search(bool active, std::uint64_t seed);
+  [[nodiscard]] const ServerLies& lies() const noexcept { return lies_; }
+  /// Index consistency self-check (0 = consistent). Lie windows defer and
+  /// drop *outside* the index, so this must hold even mid-window.
+  [[nodiscard]] std::size_t index_audit() const { return index_.audit(); }
 
  private:
   struct Session {
@@ -97,9 +125,24 @@ class Server {
   void handle(Session& session, const proto::GetSources& msg);
   void handle(Session& session, const proto::SearchRequestView& msg);
 
+  /// One offer deferred by a stale-index window (owned copy; applied when
+  /// the window ends, if the session still exists).
+  struct PendingOffer {
+    SessionKey key = 0;
+    std::uint32_t client_id = 0;
+    std::uint16_t port = 0;
+    std::vector<proto::PublishedFile> files;
+  };
+
+  void apply_stale_pending();
+
   net::Network& net_;
   net::NodeId self_;
   ServerConfig config_;
+  ServerLies lies_;
+  std::vector<PendingOffer> stale_pending_;  ///< last offer per session wins
+  std::uint64_t fabricate_counter_ = 0;      ///< forged-identity sequence
+  std::uint64_t corrupt_counter_ = 0;        ///< garbled-id sequence
   /// Scratch backing the zero-copy decode of the packet currently being
   /// handled; reused across deliveries (steady state: no allocation).
   proto::MessageArena arena_;

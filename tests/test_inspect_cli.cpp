@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -251,6 +252,103 @@ TEST_F(InspectCliTest, MissingFileFailsCleanly) {
   const auto r = run_inspect("stats " + (dir / "nope.edhplog").string());
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+// --- integrity triage mode ---------------------------------------------------
+
+/// Append a probe_verdict entry: honeypot `hp` probing `server`.
+void append_probe_verdict(logbook::Journal& j, std::uint16_t hp,
+                          bool confirmed, const std::string& server) {
+  ByteWriter w;
+  w.u16(hp);
+  w.u8(confirmed ? 1 : 0);
+  w.str16(server);
+  j.append(logbook::JournalEntryType::probe_verdict, w.view());
+}
+
+/// Append a server_quarantine entry displacing `displaced` slots.
+void append_quarantine(logbook::Journal& j, const std::string& server,
+                       const std::vector<std::uint32_t>& displaced) {
+  ByteWriter w;
+  w.str16(server);
+  w.u64(1);          // original ServerRef: node id
+  w.str16(server);   //   name
+  w.u16(4661);       //   port
+  w.u64(0);          // reinstate deadline (double bits)
+  w.u32(static_cast<std::uint32_t>(displaced.size()));
+  for (const auto index : displaced) w.u32(index);
+  j.append(logbook::JournalEntryType::server_quarantine, w.view());
+}
+
+void append_reinstate(logbook::Journal& j, const std::string& server) {
+  ByteWriter w;
+  w.str16(server);
+  j.append(logbook::JournalEntryType::server_reinstate, w.view());
+}
+
+TEST_F(InspectCliTest, IntegrityModeQuietJournalExitsZero) {
+  const auto r = run_inspect("integrity " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no Byzantine-defense activity"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, IntegrityModeReinstatedQuarantineExitsThree) {
+  const auto path = (dir / "byzantine.edhpjrn").string();
+  logbook::Journal j;
+  append_probe_verdict(j, 0, true, "srv-a");
+  append_probe_verdict(j, 1, false, "srv-a");
+  append_probe_verdict(j, 1, false, "srv-a");
+  append_quarantine(j, "srv-a", {1, 2, 3});
+  append_reinstate(j, "srv-a");
+  j.save(path);
+  const auto r = run_inspect("integrity " + path);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("server srv-a"), std::string::npos);
+  EXPECT_NE(r.output.find("1 confirmed, 2 missed"), std::string::npos);
+  EXPECT_NE(r.output.find("3 slots displaced"), std::string::npos);
+  EXPECT_NE(r.output.find("all quarantines reinstated"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, IntegrityModeOpenQuarantineExitsFour) {
+  const auto path = (dir / "still_lying.edhpjrn").string();
+  logbook::Journal j;
+  append_probe_verdict(j, 2, false, "srv-b");
+  append_quarantine(j, "srv-b", {0});
+  j.save(path);
+  const auto r = run_inspect("integrity " + path);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("STILL QUARANTINED"), std::string::npos);
+  EXPECT_NE(r.output.find("quarantined at end of journal"), std::string::npos);
+}
+
+// --- --json output -----------------------------------------------------------
+
+TEST_F(InspectCliTest, JsonFlagEmitsOneObjectPerFile) {
+  const auto r = run_inspect("--json stats " + log_path);
+  EXPECT_EQ(r.exit_code, 0);
+  // One line, object-shaped, carrying the path and the records row.
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1);
+  EXPECT_NE(r.output.find("\"path\":"), std::string::npos);
+  EXPECT_NE(r.output.find("\"records\":\"3\""), std::string::npos);
+}
+
+TEST_F(InspectCliTest, JsonFlagWorksForJournalAndIntegrityModes) {
+  auto r = run_inspect("journal --json " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_NE(r.output.find("\"entries\":\"4\""), std::string::npos);
+
+  const auto path = (dir / "byzantine_json.edhpjrn").string();
+  logbook::Journal j;
+  append_probe_verdict(j, 0, false, "srv-c");
+  append_quarantine(j, "srv-c", {7});
+  j.save(path);
+  r = run_inspect("--json integrity " + path);
+  EXPECT_EQ(r.exit_code, 4);  // exit-code contract survives --json
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_NE(r.output.find("\"verdict\":\"quarantined at end of journal\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -374,5 +374,65 @@ TEST_F(RecoveryTest, CheckpointCompactsReplay) {
   EXPECT_EQ(manager.recovery_stats().manager_recoveries, 2u);
 }
 
+// A self-probe is in flight (verdict or timeout pending) when the manager
+// dies. The probe sink must not reach into the dead incarnation — crash()
+// severs it — and the verdict stream must resume once recovery rewires the
+// fleet. Cold-start makes the race maximal: the first Manager object is
+// destroyed outright while the honeypot keeps probing as an orphan.
+TEST_F(RecoveryTest, RecoveryRacesPendingSelfProbe) {
+  const auto probed_config = [this] {
+    HoneypotConfig c;
+    c.name = "hp-probe-race";
+    c.strategy = ContentStrategy::no_content;
+    c.integrity_defense = true;
+    c.self_probe_period = minutes(5);
+    c.self_probe_timeout = minutes(2);
+    return c;
+  };
+  auto first = std::make_unique<Manager>(net, durable_config());
+  const auto idx =
+      first->launch(probed_config(), net.add_node(true), ref);
+  first->start();
+  settle();
+  first->advertise(idx, {AdvertisedFile{FileId::from_words(0xC, 0xC),
+                                        "probe-bait.avi", 1000}});
+  settle(minutes(21));
+  const auto verdicts_at = [this] {
+    std::uint64_t n = 0;
+    for (const auto& e : journal->scan().entries) {
+      if (e.type == static_cast<std::uint8_t>(
+                        logbook::JournalEntryType::probe_verdict)) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  const auto before = verdicts_at();
+  ASSERT_GT(before, 0u);
+
+  // Land the crash inside a probe window: the next probe fires within
+  // 5 minutes and its verdict/timeout finds the manager gone.
+  settle(minutes(4.5));
+  first->crash();
+  auto orphans = first->take_orphans();
+  ASSERT_EQ(orphans.size(), 1u);
+  first.reset();  // any probe callback into the dead manager is now a UAF
+
+  // The orphan keeps probing against the live server while unmanaged; its
+  // verdicts go nowhere, and must not crash the process.
+  settle(minutes(12));
+
+  auto second =
+      Manager::recover(net, durable_config(), std::move(orphans), s.now());
+  ASSERT_EQ(second->fleet_size(), 1u);
+  settle(minutes(21));
+
+  // The verdict stream resumed under the new incarnation.
+  EXPECT_GT(verdicts_at(), before);
+  EXPECT_GT(second->integrity_stats().probes_sent, 0u);
+  EXPECT_EQ(second->integrity_stats().probes_missed, 0u);
+  EXPECT_EQ(second->server_health("srv"), 0.0);
+}
+
 }  // namespace
 }  // namespace edhp::honeypot

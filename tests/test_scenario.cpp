@@ -290,6 +290,45 @@ TEST(Scenarios, LazyAndEagerPopulationsProduceIdenticalDatasets) {
   EXPECT_LT(lazy.population_slab_slots, lazy.population_arrivals);
 }
 
+// The hardest parity case: every adversarial subsystem at once. Chaos
+// churn, abuse traffic and Byzantine lies all draw from their own split
+// streams and schedule against the same engine, so the materialization
+// strategy must stay invisible even while hosts crash, liars connect and
+// the defense excludes records.
+TEST(Scenarios, ChaosAbuseByzantineParityAcrossPopulationModes) {
+  DistributedConfig config;
+  config.scale = 0.01;
+  config.days = 3;
+  config.honeypots = 4;
+  config.with_top_peer = false;
+  config.chaos.enabled = true;
+  config.chaos.host_mtbf = hours(18);
+  config.chaos.uplink_mtbf = hours(16);
+  config.chaos.server_mtbf = days(2);
+  config.abuse.enabled = true;
+  auto& b = config.chaos.byzantine;
+  b.enabled = true;
+  b.offer_drop_mtbf = hours(12);
+  b.stale_index_mtbf = hours(12);
+  b.fabricate_mtbf = hours(12);
+  b.forge_list_mtba = hours(4);
+  b.replay_hello_mtba = hours(4);
+
+  const auto lazy = run_distributed(config);
+  config.population_mode = peer::PopulationMode::legacy_eager;
+  const auto eager = run_distributed(config);
+
+  // The run genuinely exercised all three adversaries.
+  EXPECT_GT(lazy.faults.host_crashes, 0u);
+  EXPECT_GT(lazy.abuse.connections_opened, 0u);
+  EXPECT_GT(lazy.byzantine.forged_lists_sent, 0u);
+
+  EXPECT_EQ(lazy.merged.records.size(), eager.merged.records.size());
+  EXPECT_EQ(fingerprint(lazy.merged), fingerprint(eager.merged));
+  EXPECT_EQ(lazy.integrity.records_excluded, eager.integrity.records_excluded);
+  EXPECT_EQ(lazy.byzantine.messages_sent, eager.byzantine.messages_sent);
+}
+
 TEST(Scenarios, LazyAndEagerGreedyCampaignsProduceIdenticalDatasets) {
   GreedyConfig config;
   config.scale = 0.02;

@@ -9,6 +9,11 @@
 //   defense <log...>          triage hostile-marked traffic in campaign logs
 //   journal <journal...>      audit a manager write-ahead journal
 //   degrade <journal...>      triage overload/degradation episodes
+//   integrity <journal...>    triage Byzantine-defense verdicts/quarantines
+//
+// A `--json` flag anywhere on the command line switches the reporting modes
+// (stats, defense, journal, degrade, integrity, clients) to one JSON object
+// per input file on stdout — machine-readable for CI gates and dashboards.
 //
 // Logs are the binary format honeypots write (logbook::save/load). The
 // pipeline an operator runs after a campaign:
@@ -20,11 +25,14 @@
 // Exit codes: 0 success, 1 I/O or decode error, 2 usage. `degrade` adds a
 // triage contract on top: 0 = no degradation recorded, 3 = degradation
 // recorded but every episode closed (fully declared loss), 4 = at least one
-// honeypot still degraded at the end of the journal.
+// honeypot still degraded at the end of the journal. `integrity` mirrors it:
+// 0 = no Byzantine-defense activity, 3 = every quarantine was reinstated,
+// 4 = a server is still quarantined when the journal ends.
 
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/client_stats.hpp"
@@ -44,7 +52,7 @@ using namespace edhp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect <stats|csv|merge|anonymize|clients|defense|journal|degrade> ...\n"
+  std::cerr << "usage: edhp_inspect [--json] <stats|csv|merge|anonymize|clients|defense|journal|degrade|integrity> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
@@ -53,15 +61,62 @@ int usage() {
                "  defense <log...>\n"
                "  journal <journal...>\n"
                "  degrade <journal...>   exit 0: no degradation, 3: closed"
-               " episodes, 4: still degraded\n";
+               " episodes, 4: still degraded\n"
+               "  integrity <journal...> exit 0: no Byzantine activity,"
+               " 3: quarantines all reinstated, 4: still quarantined\n"
+               "  --json: reporting modes emit one JSON object per file\n";
   return 2;
+}
+
+/// One JSON string literal (quotes, backslashes and control bytes escaped).
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Report sink shared by every reporting mode: the human kv table, or one
+/// JSON object line when `--json` was given. Row keys pass through verbatim
+/// (leading indentation and all) so the two forms stay diffable.
+void emit(const std::string& path,
+          const std::vector<std::pair<std::string, std::string>>& rows,
+          bool json) {
+  if (!json) {
+    analysis::print_kv(std::cout, path, rows);
+    return;
+  }
+  std::string line = "{" + json_quote("path") + ":" + json_quote(path);
+  for (const auto& [key, value] : rows) {
+    std::string_view k = key;
+    while (!k.empty() && k.front() == ' ') k.remove_prefix(1);
+    line += "," + json_quote(k) + ":" + json_quote(value);
+  }
+  line += "}";
+  std::cout << line << "\n";
 }
 
 /// Manager write-ahead-journal audit: frame counts per entry type, the
 /// checkpoint the next recovery would replay from, and integrity findings
 /// (quarantined frames, torn tail). Never throws on damage — damage is the
 /// report.
-void print_journal(const std::string& path, const logbook::Journal& journal) {
+void print_journal(const std::string& path, const logbook::Journal& journal,
+                   bool json) {
   const auto scan = journal.scan();
   std::vector<std::pair<std::string, std::string>> rows;
   rows.emplace_back("bytes", analysis::with_commas(journal.size_bytes()));
@@ -107,7 +162,100 @@ void print_journal(const std::string& path, const logbook::Journal& journal) {
                                      ? analysis::with_commas(scan.torn_bytes) +
                                            " bytes (clean tail loss)"
                                      : std::string("none"));
-  analysis::print_kv(std::cout, path, rows);
+  emit(path, rows, json);
+}
+
+/// Byzantine-defense triage over the manager journal's probe_verdict /
+/// server_quarantine / server_reinstate entries: per-server verdict ledger
+/// and quarantine history. Exit-code contract mirrors `degrade`: 0 = no
+/// Byzantine-defense activity, 3 = quarantines happened and every one was
+/// reinstated, 4 = a server is still quarantined when the journal ends.
+int print_integrity(const std::string& path, const logbook::Journal& journal,
+                    bool json) {
+  struct PerServer {
+    std::uint64_t confirmed = 0;
+    std::uint64_t missed = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t reinstates = 0;
+    std::uint64_t displaced = 0;  ///< honeypot slots moved by quarantines
+    bool quarantined = false;     ///< quarantined and never reinstated
+  };
+  std::map<std::string, PerServer> servers;
+  std::uint64_t verdicts = 0;
+  std::uint64_t undecodable = 0;
+  const auto scan = journal.scan();
+  for (const auto& e : scan.entries) {
+    const auto type = static_cast<logbook::JournalEntryType>(e.type);
+    if (type != logbook::JournalEntryType::probe_verdict &&
+        type != logbook::JournalEntryType::server_quarantine &&
+        type != logbook::JournalEntryType::server_reinstate) {
+      continue;
+    }
+    try {
+      ByteReader r(e.payload);
+      if (type == logbook::JournalEntryType::probe_verdict) {
+        (void)r.u16();  // honeypot id
+        const bool confirmed = r.u8() != 0;
+        auto& s = servers[r.str16()];
+        ++verdicts;
+        if (confirmed) {
+          ++s.confirmed;
+        } else {
+          ++s.missed;
+        }
+      } else if (type == logbook::JournalEntryType::server_quarantine) {
+        auto& s = servers[r.str16()];
+        ++s.quarantines;
+        s.quarantined = true;
+        // Skip the original ServerRef (node id, name, port) + deadline,
+        // then count the displaced slot list.
+        (void)r.u64();
+        (void)r.str16();
+        (void)r.u16();
+        (void)r.u64();
+        s.displaced += r.u32();
+      } else {
+        auto& s = servers[r.str16()];
+        ++s.reinstates;
+        s.quarantined = false;
+      }
+    } catch (const DecodeError&) {
+      ++undecodable;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("probe verdicts", analysis::with_commas(verdicts));
+  std::uint64_t total_quarantines = 0;
+  bool any_open = false;
+  for (const auto& [name, s] : servers) {
+    any_open = any_open || s.quarantined;
+    total_quarantines += s.quarantines;
+    std::string detail = analysis::with_commas(s.confirmed) + " confirmed, " +
+                         analysis::with_commas(s.missed) + " missed";
+    if (s.quarantines > 0) {
+      detail += "; quarantined x" + analysis::with_commas(s.quarantines) +
+                " (" + analysis::with_commas(s.displaced) +
+                " slots displaced), reinstated x" +
+                analysis::with_commas(s.reinstates);
+    }
+    if (s.quarantined) {
+      detail += "; STILL QUARANTINED";
+    }
+    rows.emplace_back("  server " + name, detail);
+  }
+  rows.emplace_back("quarantines", analysis::with_commas(total_quarantines));
+  if (undecodable > 0) {
+    rows.emplace_back("undecodable integrity entries",
+                      analysis::with_commas(undecodable));
+  }
+  const bool quiet = verdicts == 0 && total_quarantines == 0;
+  rows.emplace_back("verdict", quiet      ? "no Byzantine-defense activity"
+                               : any_open ? "quarantined at end of journal"
+                                          : "all quarantines reinstated");
+  emit(path, rows, json);
+  if (quiet) return 0;
+  return any_open ? 4 : 3;
 }
 
 /// Overload triage over the manager journal's degrade_enter/degrade_exit
@@ -116,7 +264,8 @@ void print_journal(const std::string& path, const logbook::Journal& journal) {
 /// degraded when the journal ends. Damaged frames are skipped by scan();
 /// undecodable payloads of the right type are counted but otherwise ignored
 /// (the tool must never crash on a field journal).
-int print_degrade(const std::string& path, const logbook::Journal& journal) {
+int print_degrade(const std::string& path, const logbook::Journal& journal,
+                  bool json) {
   struct PerHoneypot {
     std::uint64_t enters = 0;
     std::uint64_t exits = 0;
@@ -190,7 +339,7 @@ int print_degrade(const std::string& path, const logbook::Journal& journal) {
   rows.emplace_back("verdict", fleet.empty()  ? "no degradation recorded"
                                : any_open     ? "degraded at end of journal"
                                               : "all episodes closed");
-  analysis::print_kv(std::cout, path, rows);
+  emit(path, rows, json);
   if (fleet.empty()) return 0;
   return any_open ? 4 : 3;
 }
@@ -200,7 +349,8 @@ int print_degrade(const std::string& path, const logbook::Journal& journal) {
 /// separated from the measurement after the fact. Reports, per log, how much
 /// of the record stream the defenses let through from hostile sessions and
 /// what the benign measurement actually kept.
-void print_defense(const std::string& path, const logbook::LogFile& log) {
+void print_defense(const std::string& path, const logbook::LogFile& log,
+                   bool json) {
   std::uint64_t hostile = 0;
   std::array<std::uint64_t, 3> hostile_by_type{};
   double first_hostile = -1, last_hostile = -1;
@@ -231,10 +381,11 @@ void print_defense(const std::string& path, const logbook::LogFile& log) {
   if (first_hostile >= 0) {
     rows.emplace_back("hostile span", std::to_string((last_hostile - first_hostile) / kDay) + " days");
   }
-  analysis::print_kv(std::cout, path, rows);
+  emit(path, rows, json);
 }
 
-void print_stats(const std::string& path, const logbook::LogFile& log) {
+void print_stats(const std::string& path, const logbook::LogFile& log,
+                 bool json) {
   std::vector<std::pair<std::string, std::string>> rows;
   rows.emplace_back("honeypot", log.header.honeypot == 0xFFFF
                                     ? "merged"
@@ -259,6 +410,15 @@ void print_stats(const std::string& path, const logbook::LogFile& log) {
   rows.emplace_back("HELLO", analysis::with_commas(by_type[0]));
   rows.emplace_back("START-UPLOAD", analysis::with_commas(by_type[1]));
   rows.emplace_back("REQUEST-PART", analysis::with_commas(by_type[2]));
+  // Provenance-tainted records only ever appear in raw per-honeypot logs:
+  // the manager's merge excludes them from anything it publishes.
+  std::uint64_t tainted = 0;
+  for (const auto& r : log.records) {
+    if (r.tainted()) ++tainted;
+  }
+  if (tainted > 0) {
+    rows.emplace_back("provenance-tainted", analysis::with_commas(tainted));
+  }
   if (first >= 0) {
     rows.emplace_back("span",
                       std::to_string((last - first) / kDay) + " days");
@@ -271,70 +431,106 @@ void print_stats(const std::string& path, const logbook::LogFile& log) {
     std::snprintf(buf, sizeof(buf), "%.1f%%", 100 * ids.fraction_high());
     rows.emplace_back("HighID peers", buf);
   }
-  analysis::print_kv(std::cout, path, rows);
+  emit(path, rows, json);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
+  // `--json` may appear anywhere; strip it before positional parsing.
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& cmd = args[0];
   try {
     if (cmd == "stats") {
-      for (int i = 2; i < argc; ++i) {
-        print_stats(argv[i], logbook::load(argv[i]));
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        print_stats(args[i], logbook::load(args[i]), json);
       }
       return 0;
     }
     if (cmd == "csv") {
-      logbook::write_csv(std::cout, logbook::load(argv[2]));
+      logbook::write_csv(std::cout, logbook::load(args[1]));
       return 0;
     }
     if (cmd == "merge") {
-      if (argc < 4) return usage();
+      if (args.size() < 3) return usage();
       std::vector<logbook::LogFile> logs;
-      for (int i = 3; i < argc; ++i) {
-        logs.push_back(logbook::load(argv[i]));
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        logs.push_back(logbook::load(args[i]));
       }
       const auto merged = logbook::merge_logs(logs);
-      logbook::save(argv[2], merged);
+      logbook::save(args[1], merged);
       std::cout << "merged " << logs.size() << " logs ("
                 << analysis::with_commas(merged.records.size())
-                << " records) into " << argv[2] << "\n";
+                << " records) into " << args[1] << "\n";
       return 0;
     }
     if (cmd == "anonymize") {
-      if (argc < 4) return usage();
-      auto log = logbook::load(argv[2]);
+      if (args.size() < 3) return usage();
+      auto log = logbook::load(args[1]);
       const auto distinct = anonymize::renumber_peers(log);
-      logbook::save(argv[3], log);
+      logbook::save(args[2], log);
       std::cout << "stage-2 applied: " << analysis::with_commas(distinct)
-                << " distinct peers -> " << argv[3] << "\n";
+                << " distinct peers -> " << args[2] << "\n";
       return 0;
     }
     if (cmd == "defense" || cmd == "--defense") {
-      for (int i = 2; i < argc; ++i) {
-        print_defense(argv[i], logbook::load(argv[i]));
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        print_defense(args[i], logbook::load(args[i]), json);
       }
       return 0;
     }
     if (cmd == "journal") {
-      for (int i = 2; i < argc; ++i) {
-        print_journal(argv[i], logbook::Journal::load(argv[i]));
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        print_journal(args[i], logbook::Journal::load(args[i]), json);
       }
       return 0;
     }
     if (cmd == "degrade") {
       int verdict = 0;
-      for (int i = 2; i < argc; ++i) {
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        verdict = std::max(verdict, print_degrade(
+                                        args[i],
+                                        logbook::Journal::load(args[i]), json));
+      }
+      return verdict;
+    }
+    if (cmd == "integrity") {
+      int verdict = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
         verdict = std::max(
-            verdict, print_degrade(argv[i], logbook::Journal::load(argv[i])));
+            verdict,
+            print_integrity(args[i], logbook::Journal::load(args[i]), json));
       }
       return verdict;
     }
     if (cmd == "clients") {
-      const auto log = logbook::load(argv[2]);
+      const auto log = logbook::load(args[1]);
       const auto mix = analysis::client_mix(log);
+      if (json) {
+        std::string line = "{" + json_quote("kinds") + ":" +
+                           std::to_string(mix.size()) + "," +
+                           json_quote("clients") + ":[";
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+          const auto& c = mix[i];
+          if (i > 0) line += ",";
+          line += "{" + json_quote("name") + ":" +
+                  json_quote(c.name.empty() ? "(no name tag)" : c.name) + "," +
+                  json_quote("share") + ":" + std::to_string(c.share) + "," +
+                  json_quote("peers") + ":" + std::to_string(c.peers) + "}";
+        }
+        line += "]}";
+        std::cout << line << "\n";
+        return 0;
+      }
       std::cout << "client software mix (" << mix.size() << " kinds):\n";
       for (const auto& c : mix) {
         char buf[32];
