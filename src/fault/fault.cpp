@@ -54,6 +54,10 @@ std::string_view to_string(FaultKind k) {
     case FaultKind::disk_slow_end: return "disk_slow_end";
     case FaultKind::mem_pressure_begin: return "mem_pressure_begin";
     case FaultKind::mem_pressure_end: return "mem_pressure_end";
+    case FaultKind::clock_drift: return "clock_drift";
+    case FaultKind::clock_step: return "clock_step";
+    case FaultKind::clock_freeze_begin: return "clock_freeze_begin";
+    case FaultKind::clock_freeze_end: return "clock_freeze_end";
   }
   return "unknown";
 }
@@ -167,6 +171,54 @@ FaultPlan FaultPlan::generate(const ChaosConfig& config, std::size_t hosts,
                     horizon, FaultKind::mem_pressure_begin,
                     FaultKind::mem_pressure_end, static_cast<std::uint32_t>(h),
                     config.mem_pressure_fraction);
+  }
+
+  // Clock-fault classes on fresh splits (10/11/12): enabling virtual time
+  // leaves every schedule above bit-identical, and the events themselves
+  // only ever touch ClockModels — record content other than timestamps is
+  // invariant under them.
+  const Rng drift_rng = rng.split(splits::kFaultClockDrift);
+  if (config.clock_drift_mtbf > 0) {
+    for (std::size_t h = 0; h < hosts; ++h) {
+      Rng r = drift_rng.split(h);
+      // An initial rate at t=0 models the oscillator's inherent skew;
+      // re-draws at MTBF cadence model temperature/load episodes.
+      Time t = 0;
+      out.push_back({t, FaultKind::clock_drift, static_cast<std::uint32_t>(h),
+                     r.uniform(-config.clock_drift_ppm,
+                               config.clock_drift_ppm)});
+      while (true) {
+        t += r.exponential(config.clock_drift_mtbf);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::clock_drift,
+                       static_cast<std::uint32_t>(h),
+                       r.uniform(-config.clock_drift_ppm,
+                                 config.clock_drift_ppm)});
+      }
+    }
+  }
+  const Rng step_rng = rng.split(splits::kFaultClockStep);
+  if (config.clock_step_mtbf > 0) {
+    for (std::size_t h = 0; h < hosts; ++h) {
+      Rng r = step_rng.split(h);
+      Time t = 0;
+      while (true) {
+        t += r.exponential(config.clock_step_mtbf);
+        if (t >= horizon) break;
+        out.push_back({t, FaultKind::clock_step,
+                       static_cast<std::uint32_t>(h),
+                       r.uniform(-config.clock_step_max,
+                                 config.clock_step_max)});
+      }
+    }
+  }
+  const Rng freeze_rng = rng.split(splits::kFaultClockFreeze);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    Rng r = freeze_rng.split(h);
+    renewal_windows(out, r, config.clock_freeze_mtbf, config.clock_freeze_mean,
+                    horizon, FaultKind::clock_freeze_begin,
+                    FaultKind::clock_freeze_end, static_cast<std::uint32_t>(h),
+                    1.0);
   }
 
   // Stable: simultaneous events keep category order (hosts before uplinks
@@ -289,6 +341,27 @@ void Injector::apply(const FaultEvent& event) {
     }
     case FaultKind::mem_pressure_end: {
       if (bind_.mem_pressure) bind_.mem_pressure(subject, false, event.magnitude);
+      break;
+    }
+    case FaultKind::clock_drift: {
+      net_.clock(bind_.host_node(subject))
+          .set_drift(net_.simulation().now(), event.magnitude * 1e-6);
+      ++stats_.clock_drift_changes;
+      break;
+    }
+    case FaultKind::clock_step: {
+      net_.clock(bind_.host_node(subject))
+          .step(net_.simulation().now(), event.magnitude);
+      ++stats_.clock_steps;
+      break;
+    }
+    case FaultKind::clock_freeze_begin: {
+      net_.clock(bind_.host_node(subject)).freeze(net_.simulation().now());
+      ++stats_.clock_freezes;
+      break;
+    }
+    case FaultKind::clock_freeze_end: {
+      net_.clock(bind_.host_node(subject)).thaw(net_.simulation().now());
       break;
     }
   }

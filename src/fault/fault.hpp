@@ -74,6 +74,13 @@ enum class FaultKind : std::uint8_t {
   disk_slow_end,
   mem_pressure_begin,   ///< record budget × magnitude + session ceiling
   mem_pressure_end,
+  // Clock-fault classes (appended): they perturb a host's *virtual clock*
+  // only — never topology, traffic, or any RNG stream at apply time — so
+  // record content other than timestamps is invariant under them.
+  clock_drift,          ///< set drift rate; magnitude = signed ppm
+  clock_step,           ///< NTP-style step; magnitude = signed local seconds
+  clock_freeze_begin,   ///< local clock halts (hung RTC / suspended VM)
+  clock_freeze_end,     ///< clock resumes from the frozen reading
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k);
@@ -130,6 +137,17 @@ struct ChaosConfig {
   Duration mem_pressure_mean = minutes(20);
   double mem_pressure_fraction = 0.5;     ///< record-budget multiplier
 
+  // --- Clock-fault classes (fresh RNG splits: enabling any of these never
+  // shifts the schedules above, and applying them consumes no RNG — the
+  // same seed with clocks on/off yields the same records, differently
+  // stamped) --------------------------------------------------------------
+  Duration clock_drift_mtbf = 0;          ///< per-host drift re-draw cadence
+  double clock_drift_ppm = 200.0;         ///< rate drawn uniform in ±ppm
+  Duration clock_step_mtbf = 0;           ///< per-host NTP-style step rate
+  Duration clock_step_max = 60.0;         ///< |step| bound in seconds (signed)
+  Duration clock_freeze_mtbf = 0;         ///< per-host clock-halt episodes
+  Duration clock_freeze_mean = minutes(2);
+
   // --- Resource budgets + degradation policy the scenarios hand every
   // honeypot (0 = unlimited; defaults reproduce the pre-budget plane) -----
   std::uint64_t disk_quota_bytes = 0;     ///< resident spool-byte quota
@@ -164,6 +182,9 @@ struct FaultStats {
   std::uint64_t disk_full_episodes = 0;
   std::uint64_t disk_slow_episodes = 0;
   std::uint64_t mem_pressure_episodes = 0;
+  std::uint64_t clock_drift_changes = 0;
+  std::uint64_t clock_steps = 0;
+  std::uint64_t clock_freezes = 0;
   std::uint64_t connections_aborted = 0;
 };
 

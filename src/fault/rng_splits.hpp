@@ -74,11 +74,15 @@ inline constexpr std::uint64_t kFaultManager = 6;
 inline constexpr std::uint64_t kFaultDiskFull = 7;
 inline constexpr std::uint64_t kFaultDiskSlow = 8;
 inline constexpr std::uint64_t kFaultMemPressure = 9;
+inline constexpr std::uint64_t kFaultClockDrift = 10;
+inline constexpr std::uint64_t kFaultClockStep = 11;
+inline constexpr std::uint64_t kFaultClockFreeze = 12;
 
 inline constexpr std::uint64_t kFaultSplits[] = {
-    kFaultHost,     kFaultUplink,   kFaultServer,
-    kFaultLatency,  kFaultPartition, kFaultManager,
-    kFaultDiskFull, kFaultDiskSlow, kFaultMemPressure,
+    kFaultHost,      kFaultUplink,    kFaultServer,
+    kFaultLatency,   kFaultPartition, kFaultManager,
+    kFaultDiskFull,  kFaultDiskSlow,  kFaultMemPressure,
+    kFaultClockDrift, kFaultClockStep, kFaultClockFreeze,
 };
 static_assert(detail::all_distinct(kFaultSplits),
               "FaultPlan category split collision");

@@ -103,6 +103,11 @@ struct HoneypotConfig {
   /// through the probe sink for server health scoring.
   Duration self_probe_period = 0;
   Duration self_probe_timeout = minutes(2);
+  /// Timeout retransmits allowed per probe before a miss is scored (0 = the
+  /// historical one-shot probe). Late duplicate replies from earlier copies
+  /// are recognized and suppressed, so bursty UDP loss costs retries, not
+  /// false "server is lying" verdicts.
+  std::size_t self_probe_retries = 0;
 
   /// Record-level integrity defenses (provenance tainting + forged-list
   /// rejection). Off by default: greedy honeypots adopt harvested catalog

@@ -145,6 +145,14 @@ void Honeypot::on_server_message(net::Bytes packet) {
       probe_result(confirmed);
       return;
     }
+    if (probe_dups_expected_ > 0 && pending_search_adopt_ == 0) {
+      // A retransmitted probe's extra reply landing after the probe already
+      // resolved: recognized and suppressed, never re-scored.
+      ++probe_dup_replies_;
+      --probe_dups_expected_;
+      counters_.add("probe_dup_replies");
+      return;
+    }
     std::size_t adopted = 0;
     for (const auto& f : arena_.of(results->files)) {
       if (adopted >= pending_search_adopt_) break;
@@ -167,6 +175,12 @@ void Honeypot::on_server_message(net::Bytes packet) {
       } else {
         probe_result(true);
       }
+    } else if (found->file == canary_file() && probe_dups_expected_ > 0) {
+      // Late duplicate of an already-resolved canary probe (only our own
+      // probes ever ask about the canary hash).
+      ++probe_dup_replies_;
+      --probe_dups_expected_;
+      counters_.add("probe_dup_replies");
     }
     return;
   }
@@ -201,6 +215,10 @@ void Honeypot::on_server_closed() {
   probe_timer_.reset();
   net_.simulation().cancel(probe_timeout_event_);
   probe_pending_ = probe_await_search_ = probe_await_canary_ = false;
+  // In-flight probe replies (and their dedup window) die with the session.
+  probe_retries_left_ = 0;
+  probe_dups_expected_ = 0;
+  probe_payload_.clear();
   server_ep_.reset();
   end_coverage();
   if (config_.retry.enabled) {
@@ -302,6 +320,9 @@ void Honeypot::spool_now() {
       log_.records.end());
   spooled_mark_ = log_.records.size();
   names_spooled_mark_ = log_.names.size();
+  // Stamped with the LOCAL clock: the manager pairs this with its own
+  // receive time to observe this host's clock offset.
+  chunk.cut_at_local = local_now();
   chunk.checksum = logbook::chunk_checksum(chunk);
   counters_.add("chunks_spooled");
   last_spool_cut_ = net_.simulation().now();
@@ -311,7 +332,7 @@ void Honeypot::spool_now() {
   pending_chunks_.push_back(std::move(chunk));
   pending_meta_.push_back(
       {spool_sink_ != nullptr, spool_sink_ != nullptr, rec_begin, spooled_mark_});
-  if (spool_sink_) spool_sink_(pending_chunks_.back());
+  if (spool_sink_) spool_sink_(pending_chunks_.back(), /*fresh=*/true);
   maybe_compact();
   update_degrade_state();
 }
@@ -325,7 +346,7 @@ void Honeypot::resend_spool() {
     if (spool_sink_) {
       pending_meta_[i].delivered = true;
       pending_meta_[i].in_flight = true;
-      spool_sink_(pending_chunks_[i]);
+      spool_sink_(pending_chunks_[i], /*fresh=*/false);
     }
   }
 }
@@ -343,7 +364,7 @@ std::size_t Honeypot::resend_spool(std::size_t limit) {
     if (spool_sink_) {
       pending_meta_[i].delivered = true;
       pending_meta_[i].in_flight = true;
-      spool_sink_(pending_chunks_[i]);
+      spool_sink_(pending_chunks_[i], /*fresh=*/false);
     }
     ++sent;
   }
@@ -552,7 +573,9 @@ void Honeypot::on_peer_accept(net::EndpointPtr ep) {
   const ConnKey key = next_conn_++;
   PeerConn conn;
   conn.endpoint = std::move(ep);
-  conn.connected_at = net_.simulation().now();
+  // Local clock: taint_tail compares this against record timestamps, which
+  // are local-stamped too — mixing timebases would unbound the scan.
+  conn.connected_at = local_now();
   auto [it, inserted] = peers_.emplace(key, std::move(conn));
   net::Endpoint& endpoint = *it->second.endpoint;
   endpoint.on_message([this, key](net::Bytes p) { on_peer_message(key, std::move(p)); });
@@ -877,7 +900,10 @@ void Honeypot::handle_shared_list(PeerConn& conn,
 void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
                              const FileId* file, std::uint8_t taint) {
   logbook::LogRecord r;
-  r.timestamp = net_.simulation().now();
+  // The honeypot stamps what its own wall clock claims — identical to true
+  // sim time until a clock fault touches this host. The merge layer earns
+  // back the true ordering from clock observations.
+  r.timestamp = local_now();
   r.peer = conn.peer_hash;
   r.user = conn.user;
   r.client_version = conn.version;
@@ -936,8 +962,8 @@ void Honeypot::run_self_probe() {
   const bool canary = (probe_seq_++ % 2) == 1;
   if (canary) {
     probe_await_canary_ = true;
-    server_ep_->send(
-        proto::encode(proto::AnyMessage{proto::GetSources{canary_file()}}));
+    probe_payload_ =
+        proto::encode(proto::AnyMessage{proto::GetSources{canary_file()}});
   } else {
     if (advertised_.empty()) {
       --probe_seq_;  // nothing to verify yet; keep the alternation phase
@@ -946,14 +972,36 @@ void Honeypot::run_self_probe() {
     const auto& f = advertised_[probe_cursor_++ % advertised_.size()];
     probe_file_ = f.id;
     probe_await_search_ = true;
-    server_ep_->send(
-        proto::encode(proto::AnyMessage{proto::SearchRequest{f.name}}));
+    probe_payload_ =
+        proto::encode(proto::AnyMessage{proto::SearchRequest{f.name}});
   }
+  // The encoded probe is kept verbatim for timeout retransmits.
+  server_ep_->send(probe_payload_);
   probe_pending_ = true;
+  probe_retries_left_ = config_.self_probe_retries;
   ++integrity_.probes_sent;
   counters_.add("self_probes_sent");
   probe_timeout_event_ = net_.simulation().schedule_in(
-      config_.self_probe_timeout, [this] { probe_result(false); });
+      config_.self_probe_timeout, [this] { on_probe_timeout(); });
+}
+
+void Honeypot::on_probe_timeout() {
+  if (!probe_pending_) return;
+  if (probe_retries_left_ > 0 && status_ == Status::connected && server_ep_ &&
+      server_ep_->open()) {
+    // Re-send the identical probe instead of scoring a miss: under bursty
+    // loss the request (or its reply) often just vanished. The earlier
+    // copy may still be answered, so widen the duplicate-reply window.
+    --probe_retries_left_;
+    ++probe_retransmits_;
+    ++probe_dups_expected_;
+    counters_.add("probe_retransmits");
+    server_ep_->send(probe_payload_);
+    probe_timeout_event_ = net_.simulation().schedule_in(
+        config_.self_probe_timeout, [this] { on_probe_timeout(); });
+    return;
+  }
+  probe_result(false);
 }
 
 void Honeypot::probe_result(bool confirmed) {

@@ -109,8 +109,14 @@ class Honeypot {
   /// Last instant this honeypot demonstrably made progress (connect
   /// attempt, login, OFFER keep-alive, or logged query). The manager's
   /// watchdog escalates on heartbeat age, which also catches a honeypot
-  /// wedged in `connecting` (its SYN raced a server restart).
+  /// wedged in `connecting` (its SYN raced a server restart). Measured on
+  /// TRUE time: the watchdog must not be fooled by a frozen local clock.
   [[nodiscard]] Time last_heartbeat() const noexcept { return heartbeat_; }
+
+  /// This honeypot's LOCAL wall-clock reading of the current instant —
+  /// what it stamps on records and spool cuts. Identity with true sim time
+  /// until a clock fault touches the host.
+  [[nodiscard]] Time local_now() const { return net_.local_time(self_); }
 
   /// Total self-reconnect attempts across all outage episodes.
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_total_; }
@@ -127,10 +133,12 @@ class Honeypot {
   /// Total time spent logged in, including the currently open window.
   [[nodiscard]] double connected_time() const;
 
-  /// Receives every spooled chunk (the manager's gathering channel). A new
-  /// sink is a new manager incarnation: chunks marked in-flight toward the
-  /// old one become eligible for (credit-paced) resending again.
-  void set_spool_sink(std::function<void(const logbook::LogChunk&)> sink) {
+  /// Receives every spooled chunk (the manager's gathering channel); the
+  /// bool is true for a fresh cut, false for a (possibly stale) re-send —
+  /// only fresh cuts are trustworthy clock observations. A new sink is a
+  /// new manager incarnation: chunks marked in-flight toward the old one
+  /// become eligible for (credit-paced) resending again.
+  void set_spool_sink(std::function<void(const logbook::LogChunk&, bool)> sink) {
     spool_sink_ = std::move(sink);
     for (auto& meta : pending_meta_) {
       meta.in_flight = false;
@@ -182,6 +190,16 @@ class Honeypot {
   /// The canary hash this honeypot GET-SOURCES-probes (never advertised; a
   /// server returning sources for it is fabricating). Exposed for tests.
   [[nodiscard]] FileId canary_file() const;
+  /// Probe copies re-sent after a timeout (config.self_probe_retries caps
+  /// the per-probe budget).
+  [[nodiscard]] std::uint64_t probe_retransmits() const noexcept {
+    return probe_retransmits_;
+  }
+  /// Duplicate probe replies recognized and suppressed (late copies after
+  /// the probe already resolved, e.g. under bursty loss + retransmit).
+  [[nodiscard]] std::uint64_t probe_dup_replies() const noexcept {
+    return probe_dup_replies_;
+  }
 
   // --- Overload & degradation ---------------------------------------------
 
@@ -302,6 +320,9 @@ class Honeypot {
   /// One advertise-and-verify self-probe tick: alternates a keyword search
   /// for an own advertised file with a canary GET-SOURCES.
   void run_self_probe();
+  /// Probe deadline hit: either re-send the same probe (retry budget left)
+  /// or declare the miss.
+  void on_probe_timeout();
   /// Resolve the in-flight probe; a miss re-advertises (self-heal) and both
   /// outcomes reach the manager through the probe sink.
   void probe_result(bool confirmed);
@@ -379,7 +400,7 @@ class Honeypot {
   // already cut into chunks; `pending_chunks_` is the local on-disk spool
   // (survives crash(); re-sent on relaunch until acked).
   std::unique_ptr<sim::PeriodicTimer> spool_timer_;
-  std::function<void(const logbook::LogChunk&)> spool_sink_;
+  std::function<void(const logbook::LogChunk&, bool)> spool_sink_;
   std::vector<logbook::LogChunk> pending_chunks_;
   std::size_t spooled_mark_ = 0;
   std::size_t names_spooled_mark_ = 1;  ///< log_.names[0] is always ""
@@ -426,6 +447,13 @@ class Honeypot {
   std::uint64_t probe_seq_ = 0;     ///< alternates search / canary probes
   std::size_t probe_cursor_ = 0;    ///< round-robin over advertised files
   FileId probe_file_{};             ///< file the pending search probe expects
+  net::Bytes probe_payload_;        ///< encoded probe, kept for retransmit
+  std::size_t probe_retries_left_ = 0;
+  std::uint64_t probe_retransmits_ = 0;
+  std::uint64_t probe_dup_replies_ = 0;
+  /// Extra replies still possibly in flight after the probe resolved (one
+  /// per retransmit of the resolved probe) — the dedup window.
+  std::uint64_t probe_dups_expected_ = 0;
 
   sim::CounterSet counters_;
 };

@@ -90,7 +90,7 @@ void Manager::wire_spool_sink(Slot& slot) {
   // at-least-once path. Quarantined chunks are never acknowledged: the
   // honeypot keeps them spooled for a later re-send.
   Honeypot* hp = slot.honeypot.get();
-  hp->set_spool_sink([this, hp](const logbook::LogChunk& chunk) {
+  hp->set_spool_sink([this, hp](const logbook::LogChunk& chunk, bool fresh) {
     spool_store_->set_header(chunk.honeypot, hp->log().header);
     const auto outcome = spool_store_->ingest(chunk);
     if (outcome == logbook::SpoolStore::Ingest::quarantined) return;
@@ -103,6 +103,13 @@ void Manager::wire_spool_sink(Slot& slot) {
       journal_append(JournalEntryType::chunk_stored, w.view());
       auto& frontier = ack_frontier_[chunk.honeypot];
       frontier = std::max(frontier, chunk.seq + 1);
+      if (fresh) {
+        // A fresh cut is a bounded-delay exchange: the honeypot stamped the
+        // cut with its local clock an instant ago, so (now, cut_at_local)
+        // anchors that clock's reconstruction. Re-sent backlog chunks carry
+        // stale cut stamps and are useless as sightings.
+        record_clock_observation(chunk.honeypot, chunk.cut_at_local);
+      }
     }
     const auto seq = chunk.seq;
     // The ack lambda deliberately captures the credit VALUE, never `this`:
@@ -115,6 +122,20 @@ void Manager::wire_spool_sink(Slot& slot) {
       if (credit > 0) hp->resend_spool(std::size_t{1});
     });
   });
+}
+
+void Manager::record_clock_observation(std::uint16_t hp_id, Time local_time) {
+  if (!config_.track_clocks) return;
+  logbook::ClockObservation obs;
+  obs.honeypot = hp_id;
+  obs.true_time = net_.simulation().now();
+  obs.local_time = local_time;
+  clock_obs_.push_back(obs);
+  ByteWriter w;
+  w.u16(obs.honeypot);
+  w.u64(std::bit_cast<std::uint64_t>(obs.true_time));
+  w.u64(std::bit_cast<std::uint64_t>(obs.local_time));
+  journal_append(JournalEntryType::clock_observation, w.view());
 }
 
 void Manager::wire_degrade_sink(Slot& slot) {
@@ -294,15 +315,18 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
   struct Survey {
     std::vector<ServerRef> candidates;
     std::vector<std::optional<proto::ServStatResponse>> answers;
+    bool closed = false;  ///< timeout fired; retransmit rounds stand down
   };
   auto survey = std::make_shared<Survey>();
   survey->candidates = std::move(candidates);
   survey->answers.resize(survey->candidates.size());
 
-  // The probe callbacks deliberately capture the network, never `this`: a
-  // survey outstanding while the manager crashes (and possibly a new
-  // incarnation replaces it) must still time out and deliver cleanly.
-  net_.listen_datagram(probe_node, [&net = net_, survey, probe_node](
+  // The probe callbacks deliberately capture the network (and the shared
+  // counters), never `this`: a survey outstanding while the manager crashes
+  // (and possibly a new incarnation replaces it) must still time out and
+  // deliver cleanly.
+  auto counters = survey_counters_;
+  net_.listen_datagram(probe_node, [&net = net_, survey, counters, probe_node](
                                        net::NodeId, net::Bytes datagram) {
     proto::AnyUdpMessage msg;
     try {
@@ -314,7 +338,13 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
     if (const auto* res = std::get_if<proto::ServStatResponse>(&msg)) {
       // The challenge encodes the candidate index.
       if (res->challenge < survey->answers.size()) {
-        survey->answers[res->challenge] = *res;
+        if (survey->answers[res->challenge]) {
+          // Late duplicate (a retransmitted request answered twice, or a
+          // network-level duplicated datagram): the first copy won.
+          ++counters->dups;
+        } else {
+          survey->answers[res->challenge] = *res;
+        }
       }
     }
   });
@@ -326,8 +356,29 @@ void Manager::survey_servers(std::vector<ServerRef> candidates,
                        proto::encode_udp(req));
   }
 
+  // Capped retransmit rounds: each re-asks only the still-silent candidates,
+  // so one lost UDP request costs a retry instead of a missing survey row.
+  // Default-off (survey_retries = 0) keeps the historical single-shot
+  // survey's network draw sequence bit-exact.
+  for (std::size_t round = 1; round <= config_.survey_retries; ++round) {
+    net_.simulation().schedule_in(
+        config_.survey_retry_interval * static_cast<double>(round),
+        [&net = net_, survey, counters, probe_node] {
+          if (survey->closed) return;
+          for (std::size_t i = 0; i < survey->candidates.size(); ++i) {
+            if (survey->answers[i]) continue;
+            proto::ServStatRequest req;
+            req.challenge = static_cast<std::uint32_t>(i);
+            ++counters->retries;
+            net.send_datagram(probe_node, survey->candidates[i].node,
+                              proto::encode_udp(req));
+          }
+        });
+  }
+
   net_.simulation().schedule_in(
       timeout, [&net = net_, survey, probe_node, done = std::move(done)] {
+        survey->closed = true;
         net.stop_listening_datagram(probe_node);
         std::vector<ServerSurveyEntry> out;
         for (std::size_t i = 0; i < survey->candidates.size(); ++i) {
@@ -435,6 +486,12 @@ std::size_t Manager::crash() {
   quarantines_.clear();
   integrity_ = IntegrityStats{};
   records_excluded_ = 0;
+  clock_obs_.clear();
+  time_integrity_ = logbook::TimeIntegrityStats{};
+  // The counters shared with in-flight survey closures survive the crash on
+  // purpose (a pending retransmit round still fires and still counts); only
+  // this incarnation's handle to them is re-zeroed.
+  survey_counters_ = std::make_shared<SurveyCounters>();
   return orphans_.size();
 }
 
@@ -492,6 +549,7 @@ void Manager::replay_journal() {
           integrity_ = IntegrityStats{};
           health_.clear();
           quarantines_.clear();
+          clock_obs_.clear();
           if (r.remaining() > 0) {
             integrity_.servers_quarantined = r.u64();
             integrity_.servers_reinstated = r.u64();
@@ -512,6 +570,17 @@ void Manager::replay_journal() {
                 q.displaced.push_back(r.u32());
               }
               quarantines_.push_back(std::move(q));
+            }
+          }
+          // Clock-observation section (appended after the byzantine
+          // sections by newer checkpoints; absent in older frames).
+          if (r.remaining() > 0) {
+            for (std::uint32_t n = r.u32(); n > 0; --n) {
+              logbook::ClockObservation obs;
+              obs.honeypot = r.u16();
+              obs.true_time = std::bit_cast<double>(r.u64());
+              obs.local_time = std::bit_cast<double>(r.u64());
+              clock_obs_.push_back(obs);
             }
           }
           break;
@@ -632,6 +701,14 @@ void Manager::replay_journal() {
           std::erase_if(quarantines_, [&](const Quarantine& other) {
             return other.server_name == name;
           });
+          break;
+        }
+        case JournalEntryType::clock_observation: {
+          logbook::ClockObservation obs;
+          obs.honeypot = r.u16();
+          obs.true_time = std::bit_cast<double>(r.u64());
+          obs.local_time = std::bit_cast<double>(r.u64());
+          clock_obs_.push_back(obs);
           break;
         }
       }
@@ -783,6 +860,14 @@ void Manager::checkpoint() {
       w.u32(index);
     }
   }
+  // Clock-observation section (appended after the byzantine sections, same
+  // backward-compatibility contract: older frames simply end earlier).
+  w.u32(static_cast<std::uint32_t>(clock_obs_.size()));
+  for (const auto& obs : clock_obs_) {
+    w.u16(obs.honeypot);
+    w.u64(std::bit_cast<std::uint64_t>(obs.true_time));
+    w.u64(std::bit_cast<std::uint64_t>(obs.local_time));
+  }
   config_.journal->append(JournalEntryType::checkpoint, w.view());
 }
 
@@ -867,6 +952,10 @@ void Manager::poll() {
     const Status status = hp.status();
 
     if (status == Status::connected) {
+      // Every status poll of a live honeypot doubles as a clock sighting:
+      // the exchange is bounded-delay, so "its local clock reads X while
+      // true time reads now" anchors the skew reconstruction.
+      record_clock_observation(slot.id, hp.local_now());
       if (slot.down_since >= 0) {
         recovery_.total_downtime += now - slot.down_since;
         slot.down_since = -1.0;
@@ -943,9 +1032,13 @@ RecoveryStats Manager::recovery_stats() const {
   }
   const Time now = net_.simulation().now();
   std::uint64_t kept = 0;
+  out.probe_retries = survey_counters_->retries;
+  out.probe_dups_suppressed = survey_counters_->dups;
   const auto tally = [&](const Honeypot& hp) {
     out.honeypot_retries += hp.retries();
     out.records_lost_tail += hp.records_lost_tail();
+    out.probe_retries += hp.probe_retransmits();
+    out.probe_dups_suppressed += hp.probe_dup_replies();
     kept += hp.log().records.size();
   };
   for (const auto& slot : fleet_) {
@@ -1040,12 +1133,24 @@ logbook::LogFile Manager::merged_anonymized(std::uint64_t* distinct_peers_out) c
     excluded += before - log.records.size();
   }
   records_excluded_ = excluded;
-  auto merged = logbook::merge_logs(logs);
+  auto merged = merge_with_clock_correction(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {
     *distinct_peers_out = distinct;
   }
   return merged;
+}
+
+logbook::LogFile Manager::merge_with_clock_correction(
+    std::span<const logbook::LogFile> logs) const {
+  // With clock tracking on, every merge is skew-corrected against the
+  // accumulated sightings and audited into time_integrity_. Without it the
+  // historical merge runs untouched (merge_logs_skew with zero observations
+  // is equivalent, but keeping the old path makes the no-op visible).
+  if (!config_.track_clocks || clock_obs_.empty()) {
+    return logbook::merge_logs(logs);
+  }
+  return logbook::merge_logs_skew(logs, clock_obs_, &time_integrity_);
 }
 
 logbook::LogFile Manager::merged_anonymized_durable(
@@ -1075,7 +1180,7 @@ logbook::LogFile Manager::merged_anonymized_durable(
     excluded += before - log.records.size();
   }
   records_excluded_ = excluded;
-  auto merged = logbook::merge_logs(logs);
+  auto merged = merge_with_clock_correction(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {
     *distinct_peers_out = distinct;

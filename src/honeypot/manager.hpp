@@ -59,6 +59,17 @@ struct ManagerConfig {
   /// Admission-control policy injected into every launched honeypot.
   net::DefenseConfig defense;
 
+  /// Harvest clock observations from exchanges the manager already has
+  /// (heartbeat polls, freshly-cut spool chunks) and run the skew-corrected
+  /// merge. Off by default: the historical pipeline trusts timestamps, and
+  /// clock-off campaigns append no extra journal entries.
+  bool track_clocks = false;
+  /// UDP server-survey retransmit rounds for candidates that have not
+  /// answered yet (0 = the historical single-shot survey). Duplicate
+  /// replies are deduped by challenge, not double-counted.
+  std::size_t survey_retries = 0;
+  Duration survey_retry_interval = 5.0;
+
   // --- Server-health scoring (Byzantine defense). Threshold 0 = disabled:
   // --- probe verdicts are still journaled for audit, but never acted on.
 
@@ -115,6 +126,10 @@ struct RecoveryStats {
   std::uint64_t journal_bytes = 0;      ///< WAL size
   std::uint64_t journal_replayed = 0;   ///< entries applied by the last replay
   std::uint64_t journal_tail_lost = 0;  ///< torn-tail bytes at the last replay
+
+  // --- Probe/survey retransmit accounting (zero unless retries enabled).
+  std::uint64_t probe_retries = 0;          ///< probe + survey re-sends
+  std::uint64_t probe_dups_suppressed = 0;  ///< duplicate replies recognized
 };
 
 /// Owns and coordinates a fleet of honeypots.
@@ -228,6 +243,18 @@ class Manager {
   /// (servers quarantined/reinstated, records excluded by the last merge).
   [[nodiscard]] IntegrityStats integrity_stats() const;
 
+  /// Ledger of the last skew-corrected merge (zero-initialized until a
+  /// track_clocks merge ran).
+  [[nodiscard]] const logbook::TimeIntegrityStats& time_integrity()
+      const noexcept {
+    return time_integrity_;
+  }
+  /// Clock sightings harvested so far (journaled; survives crash/recover).
+  [[nodiscard]] const std::vector<logbook::ClockObservation>&
+  clock_observations() const noexcept {
+    return clock_obs_;
+  }
+
   /// Current health score of a server (by name); 0 when never scored.
   [[nodiscard]] double server_health(const std::string& name) const;
   /// Whether a server is currently benched by a quarantine.
@@ -315,6 +342,14 @@ class Manager {
   void quarantine_server(const std::string& name);
   /// Expire due quarantines: reassign displaced slots back to the original.
   void service_quarantines(Time now);
+  /// Record one (true, local) clock sighting for honeypot `hp_id` at the
+  /// current instant: journaled, retained for the skew-corrected merge.
+  /// No-op unless config_.track_clocks.
+  void record_clock_observation(std::uint16_t hp_id, Time local_time);
+  /// Merge per-honeypot logs, skew-correcting against accumulated clock
+  /// observations when clock tracking is on (plain merge_logs otherwise).
+  [[nodiscard]] logbook::LogFile merge_with_clock_correction(
+      std::span<const logbook::LogFile> logs) const;
   /// Append one framed entry to the journal (no-op without one).
   void journal_append(logbook::JournalEntryType type,
                       std::span<const std::uint8_t> payload);
@@ -361,6 +396,24 @@ class Manager {
   /// Tainted records dropped by the most recent merged_anonymized[_durable]
   /// pass (mutable: merging is logically const, the audit trail is not).
   mutable std::uint64_t records_excluded_ = 0;
+
+  // --- Virtual-clock state (empty unless config_.track_clocks) -------------
+  /// Clock sightings in arrival order; journaled (type clock_observation)
+  /// and checkpointed, so a recovered manager keeps its reconstruction
+  /// anchors. Cleared by crash(), restored by replay.
+  std::vector<logbook::ClockObservation> clock_obs_;
+  /// Ledger of the last skew-corrected merge (mutable for the same reason
+  /// as records_excluded_).
+  mutable logbook::TimeIntegrityStats time_integrity_;
+
+  /// Survey retransmit accounting, shared with in-flight survey closures
+  /// (which deliberately never capture `this`).
+  struct SurveyCounters {
+    std::uint64_t retries = 0;
+    std::uint64_t dups = 0;
+  };
+  std::shared_ptr<SurveyCounters> survey_counters_ =
+      std::make_shared<SurveyCounters>();
 };
 
 }  // namespace edhp::honeypot

@@ -42,6 +42,7 @@ std::string_view to_string(JournalEntryType t) {
     case JournalEntryType::probe_verdict: return "probe_verdict";
     case JournalEntryType::server_quarantine: return "server_quarantine";
     case JournalEntryType::server_reinstate: return "server_reinstate";
+    case JournalEntryType::clock_observation: return "clock_observation";
   }
   return "unknown";
 }

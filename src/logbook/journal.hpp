@@ -59,6 +59,7 @@ enum class JournalEntryType : std::uint8_t {
   probe_verdict = 15,      ///< a self-probe verdict reached the manager
   server_quarantine = 16,  ///< a lying server quarantined, slots reassigned
   server_reinstate = 17,   ///< quarantine cooloff ended, slots moved back
+  clock_observation = 18,  ///< a honeypot's (true, local) clock sighting
 };
 
 [[nodiscard]] std::string_view to_string(JournalEntryType t);

@@ -1,11 +1,18 @@
 #include "logbook/merge.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <unordered_map>
+#include <vector>
 
 namespace edhp::logbook {
+namespace {
 
-LogFile merge_logs(std::span<const LogFile> logs) {
+/// Header union + name re-interning shared by both merge flavors: records
+/// are appended in log order (each input log is one honeypot's chunks in
+/// (epoch, seq) order, so per-honeypot append order survives), unsorted.
+LogFile merge_unsorted(std::span<const LogFile> logs) {
   LogFile merged;
   merged.header.honeypot = 0xFFFF;
   merged.header.honeypot_name = "merged";
@@ -44,7 +51,10 @@ LogFile merge_logs(std::span<const LogFile> logs) {
       merged.records.push_back(r);
     }
   }
+  return merged;
+}
 
+void sort_merged(LogFile& merged) {
   std::stable_sort(merged.records.begin(), merged.records.end(),
                    [](const LogRecord& a, const LogRecord& b) {
                      if (a.timestamp != b.timestamp) {
@@ -52,6 +62,160 @@ LogFile merge_logs(std::span<const LogFile> logs) {
                      }
                      return a.honeypot < b.honeypot;
                    });
+}
+
+/// One honeypot's reconstructed clock: the monotone envelope of its
+/// observed local readings paired with the manager's true times, plus the
+/// boundary slopes used beyond the observed range.
+struct ClockFit {
+  std::vector<Time> local;  ///< monotone envelope, non-decreasing
+  std::vector<Time> truth;  ///< strictly increasing observation times
+  double slope_lo = 1.0;    ///< d(true)/d(local) before the first sighting
+  double slope_hi = 1.0;    ///< ... after the last sighting
+};
+
+/// Map a (monotone-repaired) local reading onto the true timeline.
+Time apply_fit(const ClockFit& fit, Time local, TimeIntegrityStats& stats) {
+  const std::size_t n = fit.local.size();
+  if (n == 1) {
+    // A single sighting supports only a constant-offset model.
+    ++stats.records_extrapolated;
+    return local + (fit.truth[0] - fit.local[0]);
+  }
+  const auto it = std::upper_bound(fit.local.begin(), fit.local.end(), local);
+  const auto idx = static_cast<std::size_t>(it - fit.local.begin());
+  if (idx == 0) {
+    ++stats.records_extrapolated;
+    return fit.truth.front() + (local - fit.local.front()) * fit.slope_lo;
+  }
+  if (idx == n) {
+    ++stats.records_extrapolated;
+    return fit.truth.back() + (local - fit.local.back()) * fit.slope_hi;
+  }
+  const std::size_t i = idx - 1;
+  const Time dl = fit.local[i + 1] - fit.local[i];
+  if (dl <= 0) {
+    // Flat (non-invertible) segment: a backwards step collapsed it. The
+    // best defensible claim is "somewhere in this window"; pin to its
+    // start so same-honeypot order still decides, and flag it.
+    ++stats.records_ambiguous;
+    return fit.truth[i];
+  }
+  ++stats.records_interpolated;
+  return fit.truth[i] +
+         (local - fit.local[i]) * (fit.truth[i + 1] - fit.truth[i]) / dl;
+}
+
+}  // namespace
+
+LogFile merge_logs(std::span<const LogFile> logs) {
+  LogFile merged = merge_unsorted(logs);
+  sort_merged(merged);
+  return merged;
+}
+
+LogFile merge_logs_skew(std::span<const LogFile> logs,
+                        std::span<const ClockObservation> observations,
+                        TimeIntegrityStats* stats_out) {
+  TimeIntegrityStats stats;
+  LogFile merged = merge_unsorted(logs);
+
+  // --- Per-honeypot piecewise-linear clock reconstruction ----------------
+  std::unordered_map<std::uint16_t, std::vector<ClockObservation>> by_hp;
+  for (const auto& obs : observations) by_hp[obs.honeypot].push_back(obs);
+  stats.observations_used = observations.size();
+
+  std::unordered_map<std::uint16_t, ClockFit> fits;
+  fits.reserve(by_hp.size());
+  for (auto& [hp, obs] : by_hp) {
+    std::stable_sort(obs.begin(), obs.end(),
+                     [](const ClockObservation& a, const ClockObservation& b) {
+                       return a.true_time < b.true_time;
+                     });
+    ClockFit fit;
+    fit.local.reserve(obs.size());
+    fit.truth.reserve(obs.size());
+    for (const auto& o : obs) {
+      if (!fit.truth.empty() && o.true_time == fit.truth.back() &&
+          o.local_time == fit.local.back()) {
+        continue;  // heartbeat and chunk cut landing on the same instant
+      }
+      Time env = o.local_time;
+      if (!fit.local.empty() && env < fit.local.back()) {
+        // The honeypot's clock regressed between sightings (backwards NTP
+        // step). Keep the envelope monotone so the map stays invertible;
+        // the collapsed span becomes a flagged flat segment.
+        ++stats.observation_resets;
+        env = fit.local.back();
+      }
+      fit.local.push_back(env);
+      fit.truth.push_back(o.true_time);
+    }
+    if (fit.truth.size() >= 2) ++stats.honeypots_tracked;
+    // Boundary slopes: reuse the nearest invertible segment's rate so a
+    // drifting clock extrapolates with its measured drift, not 1:1.
+    for (std::size_t j = 0; j + 1 < fit.local.size(); ++j) {
+      if (fit.local[j + 1] > fit.local[j] && fit.truth[j + 1] > fit.truth[j]) {
+        fit.slope_lo =
+            (fit.truth[j + 1] - fit.truth[j]) / (fit.local[j + 1] - fit.local[j]);
+        break;
+      }
+    }
+    for (std::size_t j = fit.local.size(); j-- > 1;) {
+      if (fit.local[j] > fit.local[j - 1] && fit.truth[j] > fit.truth[j - 1]) {
+        fit.slope_hi =
+            (fit.truth[j] - fit.truth[j - 1]) / (fit.local[j] - fit.local[j - 1]);
+        break;
+      }
+    }
+    fits.emplace(hp, std::move(fit));
+  }
+
+  // --- Rewrite timestamps in per-honeypot append order -------------------
+  // Within a honeypot, append order (chunk (epoch, seq) order) is ground
+  // truth: a raw local timestamp running backwards is a clock artifact,
+  // never a real reordering, so it is lifted back to monotone before the
+  // clock map is applied and the lift is counted.
+  struct HpState {
+    bool has_prev = false;
+    Time prev_raw = 0;
+    Time prev_eff = 0;
+    Time prev_corrected = 0;
+  };
+  std::unordered_map<std::uint16_t, HpState> state;
+  for (LogRecord& r : merged.records) {
+    HpState& st = state[r.honeypot];
+    const Time raw = r.timestamp;
+    if (st.has_prev && raw < st.prev_raw) ++stats.monotonicity_violations;
+    Time eff = raw;
+    if (st.has_prev && eff < st.prev_eff) {
+      eff = st.prev_eff;
+      ++stats.order_restorations;
+    }
+    Time corrected = eff;
+    const auto fit = fits.find(r.honeypot);
+    if (fit != fits.end() && !fit->second.truth.empty()) {
+      corrected = apply_fit(fit->second, eff, stats);
+    }
+    // The map is monotone in eff, so this clamp only absorbs floating-point
+    // dust at segment boundaries; it can never silently reorder.
+    if (st.has_prev && corrected < st.prev_corrected) {
+      corrected = st.prev_corrected;
+    }
+    if (corrected != raw) {
+      ++stats.records_corrected;
+      stats.max_abs_correction =
+          std::max(stats.max_abs_correction, std::abs(corrected - raw));
+    }
+    st.prev_raw = raw;
+    st.prev_eff = eff;
+    st.prev_corrected = corrected;
+    st.has_prev = true;
+    r.timestamp = corrected;
+  }
+
+  sort_merged(merged);
+  if (stats_out != nullptr) *stats_out = stats;
   return merged;
 }
 

@@ -13,6 +13,7 @@ std::uint64_t chunk_checksum(const LogChunk& chunk) {
   w.u32(chunk.epoch);
   w.u64(chunk.seq);
   w.u64(chunk.name_base);
+  w.u64(std::bit_cast<std::uint64_t>(chunk.cut_at_local));
   for (const auto& name : chunk.names) {
     w.str16(name);
   }

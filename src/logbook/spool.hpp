@@ -47,6 +47,13 @@ struct LogChunk {
   std::uint32_t epoch = 0;  ///< process incarnation that FIRST sent it
   std::uint64_t seq = 0;    ///< monotone per honeypot, across epochs
   std::size_t name_base = 0;
+  /// The honeypot's LOCAL clock reading at the instant it cut the chunk.
+  /// The manager pairs it with its own receive time to observe the
+  /// honeypot's clock offset (see logbook::ClockObservation); 0 on chunks
+  /// from producers predating virtual clocks. Checksummed, but excluded
+  /// from chunk_cost_bytes so quota thresholds are identical across clock
+  /// ablations.
+  Time cut_at_local = 0;
   std::vector<std::string> names;
   std::vector<LogRecord> records;
   /// FNV-1a over the payload (see chunk_checksum), stamped by the honeypot

@@ -409,18 +409,64 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
   totals_.datagrams_sent += 1;
   const NodeSlot* target = slot_of(to);
   // Short-circuit order matters for determinism: the loss draw only happens
-  // when the link is usable, exactly as before node retirement existed.
-  if (!link_usable(from, to) || target == nullptr || !target->info.reachable ||
-      rng_.chance(model_.datagram_loss)) {
+  // when the link is usable, exactly as before node retirement existed, and
+  // every burst/dup/reorder draw is gated behind its (default-zero) knob so
+  // the i.i.d. model consumes the identical RNG sequence it always did.
+  bool drop =
+      !link_usable(from, to) || target == nullptr || !target->info.reachable;
+  bool burst = false;
+  if (!drop) {
+    double loss = model_.datagram_loss;
+    if (model_.ge_p_enter_bad > 0) {
+      // Advance the sender's Gilbert–Elliott channel state one transition
+      // per datagram; while bad, the burst loss probability applies.
+      if (NodeSlot* tx = slot_of(from)) {
+        if (tx->ge_bad != 0) {
+          if (rng_.chance(model_.ge_p_exit_bad)) tx->ge_bad = 0;
+        } else if (rng_.chance(model_.ge_p_enter_bad)) {
+          tx->ge_bad = 1;
+        }
+        if (tx->ge_bad != 0) {
+          loss = model_.ge_loss_bad;
+          burst = true;
+        }
+      }
+    }
+    drop = rng_.chance(loss);
+  }
+  if (drop) {
     if (NodeSlot* tx = slot_of(from)) {
       tx->counters.datagrams_dropped += 1;
+      if (burst) tx->counters.datagrams_dropped_burst += 1;
     }
     totals_.datagrams_dropped += 1;
+    if (burst) totals_.datagrams_dropped_burst += 1;
     return;  // silently lost, as UDP does
   }
-  const double latency = std::max(
+  double latency = std::max(
       model_.min_latency, rng_.lognormal(model_.latency_mu, model_.latency_sigma) *
                               latency_factor(from, to));
+  if (model_.datagram_reorder > 0 && rng_.chance(model_.datagram_reorder)) {
+    // Delayed past its natural slot: anything sent within reorder_delay
+    // overtakes this copy.
+    latency += model_.reorder_delay;
+    if (NodeSlot* tx = slot_of(from)) tx->counters.datagrams_reordered += 1;
+    totals_.datagrams_reordered += 1;
+  }
+  if (model_.datagram_dup > 0 && rng_.chance(model_.datagram_dup)) {
+    const double dup_latency = std::max(
+        model_.min_latency,
+        rng_.lognormal(model_.latency_mu, model_.latency_sigma) *
+            latency_factor(from, to));
+    if (NodeSlot* tx = slot_of(from)) tx->counters.datagrams_duplicated += 1;
+    totals_.datagrams_duplicated += 1;
+    schedule_datagram_delivery(from, to, payload, dup_latency);
+  }
+  schedule_datagram_delivery(from, to, std::move(payload), latency);
+}
+
+void Network::schedule_datagram_delivery(NodeId from, NodeId to, Bytes payload,
+                                         double latency) {
   sim_.schedule_in(latency, [this, from, to, payload = std::move(payload)]() mutable {
     auto it = datagram_listeners_.find(to);
     if (it == datagram_listeners_.end() || !it->second) {
@@ -438,6 +484,19 @@ void Network::send_datagram(NodeId from, NodeId to, Bytes payload) {
     totals_.bytes_delivered += payload.size();
     it->second(from, std::move(payload));
   });
+}
+
+sim::ClockModel& Network::clock(NodeId id) {
+  if (id >= node_slot_.size()) {
+    throw std::out_of_range("Network::clock: unknown node");
+  }
+  return clocks_[id];
+}
+
+Time Network::local_time(NodeId id) const {
+  if (clocks_.empty()) return sim_.now();
+  const auto it = clocks_.find(id);
+  return it == clocks_.end() ? sim_.now() : it->second.local(sim_.now());
 }
 
 void Network::connect(NodeId from, NodeId to, ConnectHandler done) {

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "sim/clock_model.hpp"
 #include "sim/simulation.hpp"
 
 namespace edhp::net {
@@ -62,7 +63,20 @@ struct LinkModel {
   double latency_sigma = 0.45;   ///< lognormal sigma
   double min_latency = 0.005;    ///< floor (s)
   double default_upload_bps = 80.0 * 1024;  ///< 2008 ADSL uplink, bytes/s
-  double datagram_loss = 0.02;   ///< UDP drop probability
+  double datagram_loss = 0.02;   ///< UDP drop probability (good state)
+
+  // --- Bursty loss: 2-state Gilbert–Elliott per *sender*. With
+  // ge_p_enter_bad == 0 (the default) the chain never engages, no extra
+  // RNG is drawn, and the i.i.d. model above applies unchanged — runs are
+  // bit-identical to a build without the chain.
+  double ge_p_enter_bad = 0.0;   ///< per-datagram good→bad transition prob
+  double ge_p_exit_bad = 0.3;    ///< per-datagram bad→good transition prob
+  double ge_loss_bad = 0.5;      ///< drop probability while in the bad state
+
+  // --- Duplication and reordering (default-off ⇒ zero extra draws).
+  double datagram_dup = 0.0;     ///< probability a datagram arrives twice
+  double datagram_reorder = 0.0; ///< probability of a late (reordered) copy
+  double reorder_delay = 0.25;   ///< extra latency for reordered datagrams (s)
 };
 
 /// Traffic counters, kept per node and aggregated network-wide.
@@ -79,6 +93,9 @@ struct LinkCounters {
   std::uint64_t connections_aborted = 0; ///< established conns RST by faults
   std::uint64_t messages_corrupted = 0;  ///< payloads mangled on send here
   std::uint64_t malformed_packets = 0;   ///< received packets the decoder rejected
+  std::uint64_t datagrams_dropped_burst = 0;  ///< dropped in the GE bad state
+  std::uint64_t datagrams_duplicated = 0;     ///< extra copies delivered
+  std::uint64_t datagrams_reordered = 0;      ///< copies delayed out of order
 };
 
 /// One side of an established connection. Handlers are invoked from the
@@ -221,6 +238,17 @@ class Network {
   /// restores the base model; factors never consume extra RNG draws.
   void set_latency_factor(NodeId id, double factor);
 
+  // --- Virtual clocks (see fault clock_drift/clock_step/clock_freeze) ------
+
+  /// Mutable per-node clock, created on demand. Driving it is the fault
+  /// injector's job; mutators consume no RNG and schedule no events.
+  [[nodiscard]] sim::ClockModel& clock(NodeId id);
+
+  /// The node's local wall-clock reading of the current instant. Identity
+  /// (bit-exactly simulation().now()) for every node no clock fault ever
+  /// touched — the common case costs one empty-map check.
+  [[nodiscard]] Time local_time(NodeId id) const;
+
   /// Sever every established connection touching `id`: both sides observe a
   /// RST (on_close) after one propagation latency, in-flight data is lost.
   /// Returns the number of connections aborted.
@@ -279,6 +307,9 @@ class Network {
   /// Whether traffic may flow between two nodes (both up, link not blocked,
   /// same partition group). Never consumes RNG.
   [[nodiscard]] bool link_usable(NodeId from, NodeId to) const;
+  /// Schedule one datagram copy for delivery after `latency` seconds.
+  void schedule_datagram_delivery(NodeId from, NodeId to, Bytes payload,
+                                  double latency);
   /// Apply a registered corruption profile to an outgoing payload. No-op
   /// (and no RNG draw) unless `sender` has an active CorruptionSpec.
   void maybe_corrupt(NodeId sender, Bytes& payload);
@@ -301,6 +332,7 @@ class Network {
     double latency_factor = 1.0;
     std::uint32_t partition = 0;
     std::uint8_t up = 1;
+    std::uint8_t ge_bad = 0;  ///< sender-side Gilbert–Elliott channel state
     std::uint32_t next_free = kRetiredSlot;
     LinkCounters counters;
   };
@@ -337,6 +369,9 @@ class Network {
   std::unordered_map<std::uint32_t, NodeId> by_ip_;
   std::unordered_map<NodeId, AcceptHandler> listeners_;
   std::unordered_map<NodeId, DatagramHandler> datagram_listeners_;
+  /// Sparse: only nodes a clock fault actually touched carry a model, so
+  /// chaos-off campaigns never pay a lookup beyond one empty() check.
+  std::unordered_map<NodeId, sim::ClockModel> clocks_;
   LinkCounters totals_;
 };
 

@@ -68,6 +68,9 @@ void fill_result(ScenarioResult& result, World& world,
   result.merged = durable_merge
                       ? manager.merged_anonymized_durable(&result.distinct_peers)
                       : manager.merged_anonymized(&result.distinct_peers);
+  // The merge above is what fills the timestamp-integrity ledger; read it
+  // only afterwards.
+  result.time_integrity = manager.time_integrity();
   result.observed = manager.observed_files();
   result.relaunches = manager.relaunches();
   result.peer_totals = population.totals();
@@ -148,6 +151,11 @@ honeypot::ManagerConfig chaos_manager_config(const fault::ChaosConfig& chaos) {
   // RNG draws and schedules no events, so chaos schedules are unchanged.
   mc.journal = std::make_shared<logbook::Journal>();
   mc.spool_store = std::make_shared<logbook::SpoolStore>();
+  // Clock tracking rides with the clock fault knobs: sightings are recorded
+  // on exchanges that happen anyway (status polls, fresh spool cuts), so
+  // enabling it consumes no RNG draws and schedules no events.
+  mc.track_clocks = chaos.clock_drift_mtbf > 0 || chaos.clock_step_mtbf > 0 ||
+                    chaos.clock_freeze_mtbf > 0;
   return mc;
 }
 

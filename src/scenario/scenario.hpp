@@ -151,6 +151,10 @@ struct ScenarioResult {
   honeypot::IntegrityStats integrity;
   /// Byzantine misbehavior actually injected (all-zero unless enabled).
   fault::ByzantineStats byzantine;
+  /// Timestamp-integrity ledger from the skew-corrected merge (all-zero
+  /// unless clock faults were enabled: observations, corrections, detected
+  /// monotonicity violations, ambiguous mappings).
+  logbook::TimeIntegrityStats time_integrity;
 
   // --- Memory telemetry ----------------------------------------------------
   /// Peak process RSS at result-fill time (bytes; 0 when the platform can't

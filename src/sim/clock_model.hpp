@@ -1,0 +1,85 @@
+#pragma once
+// Per-node virtual clocks: deterministic local-time views of true sim time.
+//
+// Every measurement in the paper rests on merging logs stamped by 24
+// machines whose wall clocks drift, step (NTP corrections), and sometimes
+// freeze outright. A ClockModel maps the simulation's one true timeline to
+// a node's *local* reading via an anchored affine segment: local time
+// advances at (1 + drift) seconds per true second from the last anchor,
+// plus discrete steps. Faults re-anchor the model; between faults the map
+// is a straight line, so the whole local timeline is piecewise linear —
+// exactly the shape the skew-tolerant merge reconstructs on the other end.
+//
+// Determinism contract: a freshly constructed ClockModel is the *identity*
+// map, bit-exact — local(t) returns t itself, not the result of arithmetic
+// that happens to equal t. Nodes that no fault ever touches therefore
+// stamp identical doubles with or without the clock layer compiled in, and
+// the chaos-off golden fingerprints cannot move. Mutators consume no RNG
+// and schedule no events; driving them is the fault injector's job.
+
+#include "common/clock.hpp"
+
+namespace edhp::sim {
+
+class ClockModel {
+ public:
+  /// The node's local reading of true instant `now`.
+  [[nodiscard]] Time local(Time now) const noexcept {
+    if (identity_) return now;  // bit-exact until the first fault
+    if (frozen_) return local_anchor_;
+    return local_anchor_ + (now - anchor_) * (1.0 + drift_);
+  }
+
+  /// True if no mutator has ever run: local(t) == t bit-exactly.
+  [[nodiscard]] bool identity() const noexcept { return identity_; }
+  /// Current fractional drift rate (e.g. 200e-6 for +200 ppm).
+  [[nodiscard]] double drift() const noexcept { return drift_; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+  /// Change the drift rate at true instant `now`. The local value is
+  /// continuous across the change: past skew stays baked into the anchor,
+  /// as a real oscillator's accumulated error would.
+  void set_drift(Time now, double drift) {
+    rebase(now);
+    drift_ = drift;
+  }
+
+  /// Apply a discrete step of `delta` local seconds at true instant `now`
+  /// (an NTP-style correction). Negative deltas make local time run
+  /// backwards — the merge layer must detect and repair that.
+  void step(Time now, Duration delta) {
+    rebase(now);
+    local_anchor_ += delta;
+  }
+
+  /// Halt the local clock at its current reading (hung RTC, suspended VM).
+  void freeze(Time now) {
+    rebase(now);
+    frozen_ = true;
+  }
+
+  /// Resume ticking from the frozen reading; the pause becomes a permanent
+  /// negative offset relative to true time.
+  void thaw(Time now) {
+    if (!frozen_) return;
+    anchor_ = now;
+    frozen_ = false;
+  }
+
+ private:
+  // Re-anchor the affine segment at `now` so a mutator changes the future
+  // without rewriting the past. Any mutation ends the identity regime.
+  void rebase(Time now) {
+    local_anchor_ = local(now);
+    anchor_ = now;
+    identity_ = false;
+  }
+
+  Time local_anchor_ = 0;  ///< local reading at the anchor instant
+  Time anchor_ = 0;        ///< true time of the last re-anchoring
+  double drift_ = 0;       ///< fractional rate error (ppm * 1e-6)
+  bool frozen_ = false;
+  bool identity_ = true;
+};
+
+}  // namespace edhp::sim

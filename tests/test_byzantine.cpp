@@ -390,6 +390,39 @@ TEST_F(ByzantineDefenseTest, SelfProbesConfirmAgainstHonestServer) {
   EXPECT_EQ(verdicts, stats.probes_confirmed + stats.probes_missed);
 }
 
+TEST_F(ByzantineDefenseTest, ProbeTimeoutRetransmitsAndSuppressesLateReplies) {
+  // A probe timeout shorter than the link's minimum RTT makes the race
+  // deterministic: every probe times out before its reply can land, so the
+  // retransmit path fires, and the original reply then arrives as a late
+  // duplicate that must be recognized — never re-scored as a verdict.
+  auto c = defended_config("hp-retrans");
+  c.self_probe_retries = 1;
+  c.self_probe_timeout = 0.001;  // < min_latency (5 ms): reply always loses
+  ManagerConfig mc;
+  mc.journal = journal;
+  Manager m(net, mc);
+  const auto idx = m.launch(std::move(c), net.add_node(true), ref);
+  m.start();
+  settle();
+  m.advertise(idx, bait());
+  settle(hours(1));
+
+  const auto& hp = m.honeypot(idx);
+  EXPECT_GE(hp.probe_retransmits(), 1u);
+  EXPECT_GE(hp.probe_dup_replies(), 1u);
+  // Both the retransmit and the duplicate replies roll up into the
+  // manager's fleet-wide recovery accounting.
+  EXPECT_GE(m.recovery_stats().probe_retries, hp.probe_retransmits());
+  EXPECT_GE(m.recovery_stats().probe_dups_suppressed, hp.probe_dup_replies());
+  // Every probe resolved exactly once: sent == confirmed + missed (+1 if
+  // one is still pending at shutdown).
+  const auto stats = m.integrity_stats();
+  EXPECT_LE(stats.probes_confirmed + stats.probes_missed, stats.probes_sent);
+  EXPECT_GE(stats.probes_confirmed + stats.probes_missed + 1,
+            stats.probes_sent);
+  m.stop();
+}
+
 TEST_F(ByzantineDefenseTest, CanaryProbeCatchesFabricatedSources) {
   ManagerConfig mc;
   mc.journal = journal;

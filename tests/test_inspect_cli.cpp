@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -319,6 +320,71 @@ TEST_F(InspectCliTest, IntegrityModeOpenQuarantineExitsFour) {
   EXPECT_EQ(r.exit_code, 4);
   EXPECT_NE(r.output.find("STILL QUARANTINED"), std::string::npos);
   EXPECT_NE(r.output.find("quarantined at end of journal"), std::string::npos);
+}
+
+// --- clock triage mode -------------------------------------------------------
+
+/// Append a clock_observation entry: honeypot `hp` read `local` at true
+/// time `true_time` (the manager's type-18 wire shape).
+void append_clock_obs(logbook::Journal& j, std::uint16_t hp, double true_time,
+                      double local) {
+  ByteWriter w;
+  w.u16(hp);
+  w.u64(std::bit_cast<std::uint64_t>(true_time));
+  w.u64(std::bit_cast<std::uint64_t>(local));
+  j.append(logbook::JournalEntryType::clock_observation, w.view());
+}
+
+TEST_F(InspectCliTest, ClockModeNoObservationsExitsZero) {
+  const auto r = run_inspect("clock " + journal_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no clock observations"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, ClockModeMonotoneClocksExitThree) {
+  const auto path = (dir / "skewed.edhpjrn").string();
+  logbook::Journal j;
+  // hp 2 runs +1000 ppm fast; hp 6 is 30 s behind but steady. Monotone both.
+  append_clock_obs(j, 2, 1000.0, 1000.0);
+  append_clock_obs(j, 2, 2000.0, 2001.0);
+  append_clock_obs(j, 6, 1000.0, 970.0);
+  append_clock_obs(j, 6, 2000.0, 1970.0);
+  j.save(path);
+  const auto r = run_inspect("clock " + path);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("all clocks monotone"), std::string::npos);
+  EXPECT_NE(r.output.find("hp 2"), std::string::npos);
+  EXPECT_NE(r.output.find("+1000.0 ppm"), std::string::npos);
+  EXPECT_NE(r.output.find("hp 6"), std::string::npos);
+  EXPECT_NE(r.output.find("30.000 s"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, ClockModeBackwardsClockExitsFour) {
+  const auto path = (dir / "backwards.edhpjrn").string();
+  logbook::Journal j;
+  append_clock_obs(j, 4, 1000.0, 1000.0);
+  append_clock_obs(j, 4, 2000.0, 900.0);  // local regressed between sightings
+  append_clock_obs(j, 4, 3000.0, 1900.0);
+  j.save(path);
+  const auto r = run_inspect("clock " + path);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("BACKWARDS CLOCK"), std::string::npos);
+  EXPECT_NE(r.output.find("backwards clock observed"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, ClockModeJsonEmitsVerdictLine) {
+  const auto path = (dir / "skewed_json.edhpjrn").string();
+  logbook::Journal j;
+  append_clock_obs(j, 1, 100.0, 100.0);
+  append_clock_obs(j, 1, 200.0, 199.0);
+  j.save(path);
+  const auto r = run_inspect("--json clock " + path);
+  EXPECT_EQ(r.exit_code, 3);  // exit-code contract survives --json
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1);
+  EXPECT_NE(r.output.find("\"verdict\":\"all clocks monotone\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"clock observations\":\"2\""), std::string::npos);
 }
 
 // --- --json output -----------------------------------------------------------

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -98,6 +99,54 @@ TEST(Journal, ByteByByteTruncationSweep) {
     }
     EXPECT_TRUE(scan.quarantined.empty()) << "cut at " << cut;
   }
+}
+
+// Same sweep with the journal ending in a clock-observation frame — the
+// shape a crash leaves when the manager dies right after harvesting a clock
+// sighting from a spool cut. Entries before the tear must survive, and the
+// final observation must parse whole or vanish whole, never half.
+TEST(Journal, TruncationSweepEndingInClockObservation) {
+  Journal j;
+  j.append(JournalEntryType::launch, payload({1, 2, 3}));
+  j.append(JournalEntryType::chunk_stored, payload({9, 9}));
+  // u16 honeypot + u64 true-time bits + u64 local-time bits, the type-18
+  // wire shape the manager writes.
+  std::vector<std::uint8_t> obs(2 + 8 + 8);
+  obs[0] = 4;  // honeypot 4
+  const auto true_bits = std::bit_cast<std::uint64_t>(1234.5);
+  const auto local_bits = std::bit_cast<std::uint64_t>(1204.25);
+  for (int i = 0; i < 8; ++i) {
+    obs[2 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(true_bits >> (8 * i));
+    obs[10 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(local_bits >> (8 * i));
+  }
+  j.append(JournalEntryType::clock_observation, obs);
+
+  const auto full = j.scan();
+  ASSERT_EQ(full.entries.size(), 3u);
+  const std::size_t obs_offset = full.entries[2].offset;
+  for (std::size_t cut = 0; cut < j.size_bytes(); ++cut) {
+    std::vector<std::uint8_t> bytes(j.bytes().begin(),
+                                    j.bytes().begin() + static_cast<long>(cut));
+    JournalScan scan;
+    ASSERT_NO_THROW(scan = scan_journal(bytes)) << "cut at " << cut;
+    if (cut <= obs_offset) {
+      // The observation frame is gone entirely; earlier entries intact.
+      EXPECT_LE(scan.entries.size(), 2u) << "cut at " << cut;
+      for (std::size_t i = 0; i < scan.entries.size(); ++i) {
+        EXPECT_EQ(scan.entries[i].payload, full.entries[i].payload);
+      }
+    } else {
+      // Mid-observation tear: never a partial type-18 payload.
+      ASSERT_EQ(scan.entries.size(), 2u) << "cut at " << cut;
+      EXPECT_TRUE(scan.torn_tail) << "cut at " << cut;
+    }
+  }
+  // And the intact frame round-trips the observation bit-exactly.
+  EXPECT_EQ(full.entries[2].type,
+            static_cast<std::uint8_t>(JournalEntryType::clock_observation));
+  EXPECT_EQ(full.entries[2].payload, obs);
 }
 
 // A complete frame whose payload was corrupted is quarantined — skipped,

@@ -471,5 +471,99 @@ TEST_F(Fixture, FindByIpResolvesNodes) {
                *net.find_by_ip(ip + 1) == a);
 }
 
+// --- Bursty loss, duplication and reordering (Gilbert–Elliott layer) ------
+
+TEST_F(Fixture, BurstDupReorderCountersStayZeroByDefault) {
+  // The GE chain, duplication and reordering are default-off: plain traffic
+  // must never tick their counters (and therefore never draws for them).
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  net.listen_datagram(b, [](NodeId, Bytes) {});
+  for (int i = 0; i < 50; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  EXPECT_EQ(net.totals().datagrams_dropped_burst, 0u);
+  EXPECT_EQ(net.totals().datagrams_duplicated, 0u);
+  EXPECT_EQ(net.totals().datagrams_reordered, 0u);
+}
+
+TEST(GilbertElliott, BadStateDropsBursts) {
+  sim::Simulation s{7};
+  LinkModel model;
+  model.datagram_loss = 0;
+  model.ge_p_enter_bad = 1.0;  // first transition lands in the bad state
+  model.ge_p_exit_bad = 0.0;   // and stays there
+  model.ge_loss_bad = 1.0;     // where everything burns
+  Network net{s, model};
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  int heard = 0;
+  net.listen_datagram(b, [&](NodeId, Bytes) { ++heard; });
+  for (int i = 0; i < 30; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(net.counters(a).datagrams_dropped_burst, 30u);
+  EXPECT_EQ(net.totals().datagrams_dropped_burst, 30u);
+}
+
+TEST(GilbertElliott, RecoveringChannelDropsOnlyDuringEpisodes) {
+  sim::Simulation s{7};
+  LinkModel model;
+  model.datagram_loss = 0;
+  model.ge_p_enter_bad = 0.2;
+  model.ge_p_exit_bad = 0.5;
+  model.ge_loss_bad = 1.0;
+  Network net{s, model};
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  int heard = 0;
+  net.listen_datagram(b, [&](NodeId, Bytes) { ++heard; });
+  for (int i = 0; i < 200; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  const auto& c = net.counters(a);
+  // The chain visits both states: some bursts, some clean deliveries, and
+  // every drop is a burst drop (good-state loss is zero).
+  EXPECT_GT(heard, 0);
+  EXPECT_GT(c.datagrams_dropped_burst, 0u);
+  EXPECT_EQ(c.datagrams_dropped, c.datagrams_dropped_burst);
+  EXPECT_EQ(static_cast<std::uint64_t>(heard),
+            200u - c.datagrams_dropped_burst);
+}
+
+TEST(DatagramFaults, DuplicationDeliversTwiceAndCounts) {
+  sim::Simulation s{7};
+  LinkModel model;
+  model.datagram_loss = 0;
+  model.datagram_dup = 1.0;
+  Network net{s, model};
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  int heard = 0;
+  net.listen_datagram(b, [&](NodeId, Bytes) { ++heard; });
+  for (int i = 0; i < 25; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  EXPECT_EQ(heard, 50);  // every datagram arrives twice
+  EXPECT_EQ(net.counters(a).datagrams_duplicated, 25u);
+  EXPECT_EQ(net.totals().datagrams_duplicated, 25u);
+}
+
+TEST(DatagramFaults, ReorderedCopiesArriveLateAndCount) {
+  sim::Simulation s{7};
+  LinkModel model;
+  model.datagram_loss = 0;
+  model.datagram_reorder = 1.0;
+  model.reorder_delay = 2.0;  // far beyond any latency sample
+  Network net{s, model};
+  auto a = net.add_node(true);
+  auto b = net.add_node(true);
+  std::vector<Time> arrivals;
+  net.listen_datagram(b, [&](NodeId, Bytes) { arrivals.push_back(s.now()); });
+  for (int i = 0; i < 10; ++i) net.send_datagram(a, b, Bytes{1});
+  s.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (Time t : arrivals) EXPECT_GE(t, 2.0);  // the delay was applied
+  EXPECT_EQ(net.counters(a).datagrams_reordered, 10u);
+  EXPECT_EQ(net.totals().datagrams_reordered, 10u);
+}
+
 }  // namespace
 }  // namespace edhp::net

@@ -374,6 +374,81 @@ TEST_F(RecoveryTest, CheckpointCompactsReplay) {
   EXPECT_EQ(manager.recovery_stats().manager_recoveries, 2u);
 }
 
+// --- Clock-observation durability ----------------------------------------
+
+TEST_F(RecoveryTest, ClockObservationsJournaledOnlyWhenTracked) {
+  // Off by default: spool cuts and polls happen, but no type-18 frames and
+  // no observation state — the clock-off journal stays bit-identical.
+  {
+    Manager manager(net, durable_config());
+    launch_one(manager, ref);
+    manager.start();
+    feed_hellos(manager.honeypot(0), 3);
+    s.run_until(s.now() + minutes(30));
+    EXPECT_TRUE(manager.clock_observations().empty());
+    for (const auto& e : journal->scan().entries) {
+      EXPECT_NE(e.type, static_cast<std::uint8_t>(
+                            logbook::JournalEntryType::clock_observation));
+    }
+    manager.stop();
+  }
+  // On: every stored fresh chunk and status poll yields a sighting, and
+  // each one is journaled as it happens.
+  journal = std::make_shared<logbook::Journal>();
+  store = std::make_shared<logbook::SpoolStore>();
+  auto mc = durable_config();
+  mc.track_clocks = true;
+  Manager manager(net, mc);
+  launch_one(manager, ref);
+  manager.start();
+  feed_hellos(manager.honeypot(0), 3);
+  s.run_until(s.now() + minutes(30));
+  ASSERT_FALSE(manager.clock_observations().empty());
+  std::size_t frames = 0;
+  for (const auto& e : journal->scan().entries) {
+    if (e.type == static_cast<std::uint8_t>(
+                      logbook::JournalEntryType::clock_observation)) {
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, manager.clock_observations().size());
+  // Undisturbed clocks read true time: every sighting is exact.
+  for (const auto& o : manager.clock_observations()) {
+    EXPECT_EQ(o.local_time, o.true_time);
+  }
+}
+
+TEST_F(RecoveryTest, ClockObservationsSurviveCrashAndReplay) {
+  auto mc = durable_config();
+  mc.track_clocks = true;
+  Manager manager(net, mc);
+  launch_one(manager, ref);
+  manager.start();
+  feed_hellos(manager.honeypot(0), 5);
+  s.run_until(s.now() + minutes(30));
+  const auto before = manager.clock_observations();
+  ASSERT_FALSE(before.empty());
+
+  manager.crash();
+  EXPECT_TRUE(manager.clock_observations().empty());  // dead process state
+  manager.recover(s.now());
+  const auto& after = manager.clock_observations();
+  ASSERT_GE(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "observation " << i;
+  }
+
+  // Second crash replays from the checkpoint recovery wrote — the clock
+  // section must round-trip through the snapshot path too.
+  const auto mid = manager.clock_observations();
+  manager.crash();
+  manager.recover(s.now());
+  ASSERT_GE(manager.clock_observations().size(), mid.size());
+  for (std::size_t i = 0; i < mid.size(); ++i) {
+    EXPECT_EQ(manager.clock_observations()[i], mid[i]);
+  }
+}
+
 // A self-probe is in flight (verdict or timeout pending) when the manager
 // dies. The probe sink must not reach into the dead incarnation — crash()
 // severs it — and the verdict stream must resume once recovery rewires the

@@ -10,6 +10,7 @@
 //   journal <journal...>      audit a manager write-ahead journal
 //   degrade <journal...>      triage overload/degradation episodes
 //   integrity <journal...>    triage Byzantine-defense verdicts/quarantines
+//   clock <journal...>        triage honeypot clock skew from observations
 //
 // A `--json` flag anywhere on the command line switches the reporting modes
 // (stats, defense, journal, degrade, integrity, clients) to one JSON object
@@ -27,8 +28,15 @@
 // recorded but every episode closed (fully declared loss), 4 = at least one
 // honeypot still degraded at the end of the journal. `integrity` mirrors it:
 // 0 = no Byzantine-defense activity, 3 = every quarantine was reinstated,
-// 4 = a server is still quarantined when the journal ends.
+// 4 = a server is still quarantined when the journal ends. `clock` completes
+// the family: 0 = no clock observations recorded, 3 = observations present
+// and every honeypot's local clock ran monotonically through them, 4 = at
+// least one honeypot's local clock was caught running backwards (a step the
+// merge had to repair).
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <iostream>
 #include <map>
 #include <string>
@@ -52,7 +60,7 @@ using namespace edhp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect [--json] <stats|csv|merge|anonymize|clients|defense|journal|degrade|integrity> ...\n"
+  std::cerr << "usage: edhp_inspect [--json] <stats|csv|merge|anonymize|clients|defense|journal|degrade|integrity|clock> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
@@ -64,6 +72,8 @@ int usage() {
                " episodes, 4: still degraded\n"
                "  integrity <journal...> exit 0: no Byzantine activity,"
                " 3: quarantines all reinstated, 4: still quarantined\n"
+               "  clock <journal...>     exit 0: no clock observations,"
+               " 3: all clocks monotone, 4: backwards clock observed\n"
                "  --json: reporting modes emit one JSON object per file\n";
   return 2;
 }
@@ -256,6 +266,88 @@ int print_integrity(const std::string& path, const logbook::Journal& journal,
   emit(path, rows, json);
   if (quiet) return 0;
   return any_open ? 4 : 3;
+}
+
+/// Clock-skew triage over the manager journal's clock_observation entries
+/// (checkpoint-embedded observation sections are deliberately ignored: the
+/// live entries are a superset until a checkpoint compacts them, and a
+/// post-checkpoint journal replays them back into manager memory anyway).
+/// Per honeypot: how many sightings exist, the drift the end-to-end span
+/// implies, the worst absolute offset from true time, and whether the local
+/// clock was ever caught running backwards between consecutive sightings.
+/// Exit: 0 = no observations, 3 = observations and every clock monotone,
+/// 4 = at least one backwards step observed.
+int print_clock(const std::string& path, const logbook::Journal& journal,
+                bool json) {
+  struct PerHoneypot {
+    std::uint64_t observations = 0;
+    double first_true = 0, first_local = 0;
+    double last_true = 0, last_local = 0;
+    double max_abs_offset = 0;
+    std::uint64_t backwards = 0;  ///< local regressions between sightings
+  };
+  std::map<std::uint16_t, PerHoneypot> fleet;
+  std::uint64_t undecodable = 0;
+  const auto scan = journal.scan();
+  for (const auto& e : scan.entries) {
+    if (static_cast<logbook::JournalEntryType>(e.type) !=
+        logbook::JournalEntryType::clock_observation) {
+      continue;
+    }
+    try {
+      ByteReader r(e.payload);
+      const auto id = r.u16();
+      const double true_time = std::bit_cast<double>(r.u64());
+      const double local_time = std::bit_cast<double>(r.u64());
+      auto& hp = fleet[id];
+      if (hp.observations == 0) {
+        hp.first_true = true_time;
+        hp.first_local = local_time;
+      } else if (local_time < hp.last_local) {
+        ++hp.backwards;
+      }
+      hp.last_true = true_time;
+      hp.last_local = local_time;
+      hp.max_abs_offset =
+          std::max(hp.max_abs_offset, std::abs(local_time - true_time));
+      ++hp.observations;
+    } catch (const DecodeError&) {
+      ++undecodable;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::uint64_t observations = 0;
+  std::uint64_t backwards = 0;
+  for (const auto& [id, hp] : fleet) {
+    observations += hp.observations;
+    backwards += hp.backwards;
+    const double span = hp.last_true - hp.first_true;
+    const double drift_ppm =
+        span > 0
+            ? ((hp.last_local - hp.first_local) - span) / span * 1e6
+            : 0.0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s obs, drift %+.1f ppm, max offset %.3f s%s",
+                  analysis::with_commas(hp.observations).c_str(), drift_ppm,
+                  hp.max_abs_offset,
+                  hp.backwards > 0 ? ", BACKWARDS CLOCK" : "");
+    rows.emplace_back("  hp " + std::to_string(id), buf);
+  }
+  rows.emplace_back("clock observations", analysis::with_commas(observations));
+  rows.emplace_back("honeypots tracked", analysis::with_commas(fleet.size()));
+  rows.emplace_back("backwards steps observed", analysis::with_commas(backwards));
+  if (undecodable > 0) {
+    rows.emplace_back("undecodable clock entries",
+                      analysis::with_commas(undecodable));
+  }
+  rows.emplace_back("verdict", observations == 0 ? "no clock observations"
+                               : backwards > 0   ? "backwards clock observed"
+                                                 : "all clocks monotone");
+  emit(path, rows, json);
+  if (observations == 0) return 0;
+  return backwards > 0 ? 4 : 3;
 }
 
 /// Overload triage over the manager journal's degrade_enter/degrade_exit
@@ -509,6 +601,15 @@ int main(int argc, char** argv) {
         verdict = std::max(
             verdict,
             print_integrity(args[i], logbook::Journal::load(args[i]), json));
+      }
+      return verdict;
+    }
+    if (cmd == "clock") {
+      int verdict = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        verdict = std::max(
+            verdict,
+            print_clock(args[i], logbook::Journal::load(args[i]), json));
       }
       return verdict;
     }
