@@ -1,0 +1,211 @@
+// Ablation: conservation-ledger cost and coverage.
+//
+// Two claims, measured in one harness:
+//
+//   1. Cost — auditing is (nearly) free. The only hot-path addition is one
+//      unconditional counter increment at record-stamp time; everything
+//      else reads counters the subsystems already keep. Best-of-3 timed
+//      twin runs, audit off vs on, must stay within 5% events/s.
+//
+//   2. Coverage — the balance equation  born == merged + Σ accounted
+//      holds across a sweep of composed chaos configurations: silence
+//      faults, abuse traffic, byzantine lies, clock faults, resource
+//      budgets, and all of them at once. Zero unaccounted records across
+//      the whole sweep, with the loss landing in *named* dispositions.
+//
+// Usage mirrors the other ablations: --scale/--days/--seed/--quiet.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace edhp;
+
+namespace {
+
+double one_run(const scenario::DistributedConfig& config,
+               std::uint64_t* events) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = scenario::run_distributed(config);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *events = r.sim_events;
+  return static_cast<double>(r.sim_events) / elapsed;
+}
+
+/// Audit-on/off throughput comparison robust to machine noise: seven
+/// back-to-back (off, on) pairs after one untimed warm-up. Each pair shares
+/// its slice of machine state (caches, thermal/throttle phase), so the
+/// per-pair on/off RATIO is far steadier than any absolute rate; the median
+/// ratio then shrugs off the odd descheduled run that best-of-N absolute
+/// comparisons are hostage to. Returns the median on/off ratio; the peak
+/// absolute rates come back for the human row and the perf trajectory.
+double timed_twins(scenario::DistributedConfig config, double* rate_off,
+                   double* rate_on, std::uint64_t* events_off,
+                   std::uint64_t* events_on) {
+  std::uint64_t scratch = 0;
+  config.audit = false;
+  (void)one_run(config, &scratch);  // warm-up, untimed
+  *rate_off = *rate_on = 0;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < 7; ++rep) {
+    // Alternate which variant goes first so a slow monotonic drift (thermal
+    // ramp, background load decay) biases neither side.
+    double off = 0, on = 0;
+    if (rep % 2 == 0) {
+      config.audit = false;
+      off = one_run(config, events_off);
+      config.audit = true;
+      on = one_run(config, events_on);
+    } else {
+      config.audit = true;
+      on = one_run(config, events_on);
+      config.audit = false;
+      off = one_run(config, events_off);
+    }
+    *rate_off = std::max(*rate_off, off);
+    *rate_on = std::max(*rate_on, on);
+    ratios.push_back(on / off);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
+struct SweepCase {
+  const char* name;
+  void (*arm)(scenario::DistributedConfig&);
+};
+
+void arm_silence(scenario::DistributedConfig& c) {
+  c.chaos.enabled = true;
+  c.chaos.host_mtbf = hours(18);
+  c.chaos.uplink_mtbf = hours(16);
+  c.chaos.server_mtbf = days(2);
+}
+
+void arm_abuse(scenario::DistributedConfig& c) {
+  arm_silence(c);
+  c.abuse.enabled = true;
+}
+
+void arm_byzantine(scenario::DistributedConfig& c) {
+  arm_abuse(c);
+  auto& b = c.chaos.byzantine;
+  b.enabled = true;
+  b.fabricate_mtbf = hours(12);
+  b.stale_index_mtbf = hours(12);
+  b.forge_list_mtba = hours(4);
+  b.replay_hello_mtba = hours(4);
+}
+
+void arm_clock(scenario::DistributedConfig& c) {
+  arm_byzantine(c);
+  c.chaos.clock_drift_mtbf = days(2);
+  c.chaos.clock_step_mtbf = hours(12);
+  c.chaos.clock_step_max = 60.0;
+}
+
+void arm_budgets(scenario::DistributedConfig& c) {
+  arm_clock(c);
+  c.chaos.disk_quota_bytes = 192 * 1024;
+  c.chaos.mem_budget_records = 4096;
+}
+
+void arm_everything(scenario::DistributedConfig& c) {
+  arm_budgets(c);
+  c.chaos.manager_mtbf = days(1);
+  c.chaos.disk_full_mtbf = hours(12);
+  c.chaos.mem_pressure_mtbf = hours(12);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv, 0.02);
+  std::cout << "ablation: conservation-ledger cost and coverage (acceptance: "
+               "audit-on within 5% events/s of audit-off; zero unaccounted "
+               "records across the composed-chaos sweep)\n\n";
+  bool all_ok = true;
+
+  // --- Cost: timed twins on the chaos-off hot path -------------------------
+  auto base = bench::distributed_config(opt);
+  base.with_top_peer = false;
+  std::uint64_t events_off = 0, events_on = 0;
+  double rate_off = 0, rate_on = 0;
+  const double median_ratio =
+      timed_twins(base, &rate_off, &rate_on, &events_off, &events_on);
+  // Two noise-contaminated estimators of the same ratio: the median of the
+  // paired runs (robust to outlier runs, hostage to slow load waves) and
+  // peak-vs-peak (robust to waves, hostage to one descheduled side). Real
+  // overhead shows in both; noise rarely inflates both, so gate on the
+  // smaller.
+  const double overhead_pct =
+      100.0 * (1.0 - std::max(median_ratio, rate_on / rate_off));
+  std::cout << "  audit off: " << static_cast<std::uint64_t>(rate_off)
+            << " events/s   audit on: " << static_cast<std::uint64_t>(rate_on)
+            << " events/s   overhead (min of median-paired and peak-vs-peak): "
+            << overhead_pct << "%\n";
+  if (events_on != events_off) {
+    std::cout << "  EVENT COUNTS DIVERGED (auditing must not change "
+                 "behaviour): off=" << events_off << " on=" << events_on
+              << "\n";
+    all_ok = false;
+  }
+  if (overhead_pct > 5.0) {
+    std::cout << "  OVERHEAD GATE FAILED (> 5%)\n";
+    all_ok = false;
+  }
+
+  // --- Coverage: the composed-chaos sweep, every run audited ---------------
+  const SweepCase cases[] = {
+      {"silence faults", arm_silence},
+      {"+ abuse", arm_abuse},
+      {"+ byzantine", arm_byzantine},
+      {"+ clock faults", arm_clock},
+      {"+ budgets", arm_budgets},
+      {"+ manager churn + resource faults", arm_everything},
+  };
+  std::cout << "\n  composed-chaos sweep (audited; imbalance throws and fails "
+               "the bench):\n";
+  std::uint64_t sweep_born = 0, sweep_accounted = 0;
+  std::int64_t unaccounted_total = 0;
+  for (const auto& c : cases) {
+    auto config = bench::distributed_config(opt);
+    config.with_top_peer = false;
+    config.audit = true;
+    c.arm(config);
+    audit::AuditStats a;
+    try {
+      a = scenario::run_distributed(config).audit;
+    } catch (const audit::ImbalanceError& e) {
+      std::cout << "  " << c.name << ": IMBALANCE — " << e.what() << "\n";
+      all_ok = false;
+      continue;
+    }
+    std::cout << "  " << c.name << ": " << a.breakdown() << "\n";
+    sweep_born += a.records_born;
+    sweep_accounted += a.accounted();
+    unaccounted_total += a.unaccounted();
+    all_ok = all_ok && a.balanced();
+  }
+
+  std::cout << "\nexpected: overhead under 5% with identical event counts; "
+               "every sweep row balanced, losses in named dispositions\n";
+  if (!all_ok) std::cout << "ACCEPTANCE FAILED (see rows above)\n";
+  // One machine-readable line for the perf trajectory (BENCH_audit.json).
+  std::printf(
+      "{\"bench\":\"audit\",\"overhead_pct\":%.2f,"
+      "\"events_per_sec_on\":%.0f,\"events_per_sec_off\":%.0f,"
+      "\"sweep_cases\":%zu,\"sweep_born\":%llu,\"sweep_accounted\":%llu,"
+      "\"unaccounted_total\":%lld}\n",
+      overhead_pct, rate_on, rate_off, std::size(cases),
+      static_cast<unsigned long long>(sweep_born),
+      static_cast<unsigned long long>(sweep_accounted),
+      static_cast<long long>(unaccounted_total));
+  return all_ok ? 0 : 1;
+}

@@ -1,14 +1,20 @@
 #!/usr/bin/env sh
 # Tier-1 in one command: Release build + tests, then the ASan/UBSan preset.
 #
-#   scripts/tier1.sh            # both presets
-#   scripts/tier1.sh --release  # release only (fast inner loop)
-#   scripts/tier1.sh --asan     # sanitizer only
-#   scripts/tier1.sh --fuzz     # asan preset, codec-hardening tests only
+#   scripts/tier1.sh                # both presets
+#   scripts/tier1.sh --release      # release only (fast inner loop)
+#   scripts/tier1.sh --asan         # sanitizer only
+#   scripts/tier1.sh --fuzz         # asan preset, codec-hardening tests only
+#   scripts/tier1.sh --chaosfuzz N  # release build, N-point chaos-schedule
+#                                   # fuzz batch (fixed seed, deterministic)
+#                                   # + committed corpus replay
 #
 # The deterministic codec fuzzer and the abuse/admission tests are ordinary
 # ctest entries, so both presets always run them; under the asan preset they
-# double as memory-safety proofs. --fuzz is the focused loop for codec work.
+# double as memory-safety proofs. --fuzz is the focused loop for codec work;
+# --chaosfuzz is the conservation-ledger smoke (see tools/edhp_chaosfuzz.cpp):
+# a fixed-seed batch means a failure here is reproducible verbatim, and any
+# shrunk repro lands in tests/chaos_corpus/ ready to commit.
 #
 # Requires cmake >= 3.21 (presets v3). Run from anywhere; paths resolve
 # relative to the repo root.
@@ -20,12 +26,18 @@ cd "$root"
 want_release=1
 want_asan=1
 fuzz_only=0
+chaosfuzz_points=0
 case "${1:-}" in
   --release) want_asan=0 ;;
   --asan) want_release=0 ;;
   --fuzz) want_release=0; fuzz_only=1 ;;
+  --chaosfuzz)
+    want_release=0
+    want_asan=0
+    chaosfuzz_points="${2:-40}"
+    ;;
   "") ;;
-  *) echo "usage: scripts/tier1.sh [--release|--asan|--fuzz]" >&2; exit 2 ;;
+  *) echo "usage: scripts/tier1.sh [--release|--asan|--fuzz|--chaosfuzz N]" >&2; exit 2 ;;
 esac
 
 if [ "$want_release" = 1 ]; then
@@ -44,6 +56,20 @@ if [ "$want_asan" = 1 ]; then
   else
     ctest --preset asan -j"$(nproc)"
   fi
+fi
+
+if [ "$chaosfuzz_points" != 0 ]; then
+  echo "== tier1: chaos-schedule fuzz ($chaosfuzz_points points) =="
+  cmake --preset default
+  cmake --build --preset default -j --target edhp_chaosfuzz
+  build/tools/edhp_chaosfuzz --selftest
+  build/tools/edhp_chaosfuzz --points="$chaosfuzz_points" --seed=20260808 --quiet
+  replays=""
+  for cfg in tests/chaos_corpus/*.cfg; do
+    replays="$replays --replay=$cfg"
+  done
+  # shellcheck disable=SC2086  # word-splitting the --replay list is the point
+  build/tools/edhp_chaosfuzz $replays
 fi
 
 echo "== tier1: OK =="

@@ -1,0 +1,29 @@
+#include "audit/audit.hpp"
+
+#include <sstream>
+
+namespace edhp::audit {
+
+std::string AuditStats::breakdown() const {
+  std::ostringstream out;
+  out << "born=" << records_born << " merged=" << records_merged
+      << " shed=" << records_shed << " excluded=" << records_excluded
+      << " lost_tail=" << records_lost_tail
+      << " unflushed=" << records_unflushed
+      << " quarantined=" << records_quarantined
+      << " streamed=" << records_streamed
+      << " unaccounted=" << unaccounted();
+  return out.str();
+}
+
+ImbalanceError::ImbalanceError(const AuditStats& stats)
+    : std::runtime_error("record-conservation audit failed: " +
+                         stats.breakdown()),
+      stats_(stats) {}
+
+void enforce(const AuditStats& stats) {
+  if (!stats.enabled || stats.balanced()) return;
+  throw ImbalanceError(stats);
+}
+
+}  // namespace edhp::audit

@@ -1,0 +1,102 @@
+#pragma once
+// Record-conservation audit ledger.
+//
+// The paper's headline claim is measurement *completeness*: the merged,
+// anonymised log is a faithful record of everything the honeypots observed.
+// Every fault axis added since the seed (crashes, abuse, byzantine lies,
+// clock faults, overload) was proven zero-silent-loss one axis at a time;
+// this ledger proves it for any *composition* of axes, machine-checked on
+// every audited run instead of hand-asserted per scenario.
+//
+// The model: every record gets a birth certificate the instant a honeypot
+// stamps it (Honeypot::append_record), and must end the run with exactly
+// one terminal disposition:
+//
+//   merged       landed in the published dataset;
+//   shed         degraded away under a resource budget (at the source or by
+//                spool compaction) — budget::DegradeStats::records_shed;
+//   excluded     tainted evidence dropped by the merge's integrity filter;
+//   lost_tail    destroyed by a host crash before it was ever spooled;
+//   unflushed    alive in a honeypot's memory but never cut into a chunk
+//                when a durable (post-manager-crash) publish happened;
+//   quarantined  resident in a checksum-failed chunk the store set aside
+//                and no intact re-send ever replaced;
+//   streamed     folded into a count + fingerprint by stream mode.
+//
+// The balance equation  born == merged + Σ(the rest)  must hold for every
+// chaos configuration; a deficit means records vanished with no counter
+// admitting it (the exact bug class the one-axis PRs each fixed once).
+//
+// Disposition precedence (the seams ISSUE 10 satellite 6 pins down):
+//   - quarantine is a *state*, not a disposition, while a re-send can still
+//     deliver the chunk intact: the store reclassifies the records as
+//     stored when the same (honeypot, seq) later lands (see
+//     SpoolStore::records_quarantined_resident); only still-resident
+//     quarantines at publish time count here;
+//   - a corrupt re-send of an already-stored chunk counts a chunk
+//     quarantine but zero resident records (they are already durable);
+//   - shed and lost_tail are final the moment they happen: a record shed by
+//     compaction cannot also be tail-lost (compaction removes it from the
+//     log and adjusts the spool mark together), and a tainted record
+//     destroyed by either never reaches the merge, so `excluded` counts
+//     merge-time drops only — never the stamp-time quarantine tally.
+//
+// Off-path cost: the ledger reads counters every subsystem already keeps;
+// the only hot-path addition is one unconditional integer increment at
+// record-stamp time (no RNG, no events, no branches), so chaos-off golden
+// datasets are bit-identical with auditing on or off.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace edhp::audit {
+
+/// The filled-in ledger of one measurement run.
+struct AuditStats {
+  /// Whether the run was audited (imbalance is then a hard failure).
+  bool enabled = false;
+
+  std::uint64_t records_born = 0;         ///< stamped by any honeypot
+  std::uint64_t records_merged = 0;       ///< in the published dataset
+  std::uint64_t records_shed = 0;         ///< degraded away under budgets
+  std::uint64_t records_excluded = 0;     ///< tainted, dropped at merge
+  std::uint64_t records_lost_tail = 0;    ///< crash-destroyed before spooling
+  std::uint64_t records_unflushed = 0;    ///< never chunked at durable publish
+  std::uint64_t records_quarantined = 0;  ///< resident in corrupt chunks
+  std::uint64_t records_streamed = 0;     ///< folded into count+fingerprint
+
+  /// Sum of every accounted (non-merged) disposition.
+  [[nodiscard]] std::uint64_t accounted() const noexcept {
+    return records_shed + records_excluded + records_lost_tail +
+           records_unflushed + records_quarantined + records_streamed;
+  }
+  /// born − merged − accounted. Positive: silent loss (records vanished
+  /// with no disposition). Negative: double accounting or fabrication
+  /// (more dispositions than births). Zero iff the ledger balances.
+  [[nodiscard]] std::int64_t unaccounted() const noexcept {
+    return static_cast<std::int64_t>(records_born) -
+           static_cast<std::int64_t>(records_merged) -
+           static_cast<std::int64_t>(accounted());
+  }
+  [[nodiscard]] bool balanced() const noexcept { return unaccounted() == 0; }
+
+  /// One-line human rendering of the full equation (triage and errors).
+  [[nodiscard]] std::string breakdown() const;
+};
+
+/// Thrown by enforce() when an audited run's ledger does not balance.
+class ImbalanceError : public std::runtime_error {
+ public:
+  explicit ImbalanceError(const AuditStats& stats);
+  [[nodiscard]] const AuditStats& stats() const noexcept { return stats_; }
+
+ private:
+  AuditStats stats_;
+};
+
+/// Hard-fail an audited imbalance; no-op when `stats.enabled` is false or
+/// the ledger balances.
+void enforce(const AuditStats& stats);
+
+}  // namespace edhp::audit

@@ -160,6 +160,16 @@ struct ChaosConfig {
   // splits: enabling lies never shifts any silence-fault schedule ---------
   ByzantineConfig byzantine;
 
+  // --- Link-quality model the scenarios hand the network at construction
+  // (all-zero defaults = the pristine link, bit-for-bit). These feed
+  // net::LinkModel directly; the burst chain is Gilbert–Elliott -----------
+  double link_burst_enter = 0;            ///< P(good → bad) per datagram
+  double link_burst_exit = 0.3;           ///< P(bad → good) per datagram
+  double link_burst_loss = 0.5;           ///< drop probability while bad
+  double link_dup = 0;                    ///< datagram duplication probability
+  double link_reorder = 0;                ///< datagram reordering probability
+  Duration link_reorder_delay = 0.25;     ///< extra delay of a reordered copy
+
   // --- Recovery policy the scenarios apply alongside the plan ------------
   Duration retry_base = 30.0;             ///< honeypot reconnect backoff base
   Duration retry_cap = minutes(30);
@@ -167,6 +177,14 @@ struct ChaosConfig {
   Duration spool_period = minutes(10);    ///< log-chunk gathering cadence
   Duration heartbeat_timeout = hours(2);  ///< manager watchdog stall limit
   std::size_t backup_servers = 1;         ///< standby servers for escalation
+
+  /// Audit self-test fault: every Nth admitted record is destroyed AFTER
+  /// the shed/stream accounting points, i.e. a deliberate silent loss no
+  /// disposition counter sees (0 = off, the only sane setting outside the
+  /// auditor's own negative tests). This is the "historical-style injected
+  /// imbalance" the conservation ledger must catch: with it enabled the
+  /// balance equation cannot hold, and an audited run must fail.
+  std::uint32_t audit_selftest_drop = 0;
 };
 
 /// Counters of faults actually applied by an Injector.

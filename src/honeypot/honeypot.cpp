@@ -927,7 +927,17 @@ void Honeypot::append_record(const PeerConn& conn, logbook::QueryType type,
   // observed traffic; only the LOG is subject to the budget gate.
   heartbeat_ = net_.simulation().now();
   counters_.add(std::string(logbook::to_string(type)));
+  // Birth certificate for the conservation ledger: every stamped record
+  // counts, whatever disposition it meets below. Unconditional (one add,
+  // no RNG, no events), so audited and unaudited runs are bit-identical.
+  ++records_born_;
   if (!admit_record(r.user)) return;
+  if (config_.audit_selftest_drop != 0 &&
+      ++audit_selftest_tick_ % config_.audit_selftest_drop == 0) {
+    // Deliberate silent loss (see HoneypotConfig::audit_selftest_drop):
+    // born above, no disposition — an audited run must now fail.
+    return;
+  }
   if (config_.stream_records) {
     // Fold instead of retain: the running count + fingerprint are the
     // evidence a bench campaign keeps of its dataset.

@@ -254,6 +254,14 @@ class Honeypot {
     return defense_;
   }
 
+  /// Records ever stamped by this honeypot (the conservation ledger's
+  /// birth count): every append_record call, before the budget gate, the
+  /// stream fold or any later destruction. Survives crash/relaunch with
+  /// the object, like the disposition counters it balances against.
+  [[nodiscard]] std::uint64_t records_born() const noexcept {
+    return records_born_;
+  }
+
   /// Records folded away by stream mode (0 unless config.stream_records).
   [[nodiscard]] std::uint64_t records_streamed() const noexcept {
     return records_streamed_;
@@ -381,6 +389,8 @@ class Honeypot {
   logbook::LogFile log_;
   std::uint64_t records_streamed_ = 0;
   std::uint64_t stream_fingerprint_ = 1469598103934665603ull;  // FNV offset
+  std::uint64_t records_born_ = 0;         ///< conservation-ledger births
+  std::uint64_t audit_selftest_tick_ = 0;  ///< Nth-record drop cadence
   std::unordered_map<std::string, std::uint16_t> name_cache_;
   std::unordered_map<FileId, std::uint32_t> observed_files_;
   std::uint64_t observed_bytes_ = 0;

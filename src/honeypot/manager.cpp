@@ -1133,6 +1133,8 @@ logbook::LogFile Manager::merged_anonymized(std::uint64_t* distinct_peers_out) c
     excluded += before - log.records.size();
   }
   records_excluded_ = excluded;
+  // Live merges read in-memory logs: nothing can sit in chunk quarantine.
+  durable_quarantine_records_ = 0;
   auto merged = merge_with_clock_correction(logs);
   const auto distinct = anonymize::renumber_peers(merged);
   if (distinct_peers_out != nullptr) {
@@ -1172,6 +1174,10 @@ logbook::LogFile Manager::merged_anonymized_durable(
     salvage_from(*hp);
   }
   auto logs = salvage.reassemble_all();
+  // Records still resident in corrupt chunks after the salvage pass keep
+  // the `quarantined` disposition in the conservation ledger (a winning
+  // re-send would have reclassified them as stored during ingestion).
+  durable_quarantine_records_ = salvage.records_quarantined_resident();
   std::uint64_t excluded = 0;
   for (auto& log : logs) {
     const auto before = log.records.size();

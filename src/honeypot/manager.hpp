@@ -266,6 +266,21 @@ class Manager {
     return *spool_store_;
   }
 
+  // --- Conservation-ledger inputs (see audit::AuditStats) -----------------
+
+  /// Tainted records dropped by the most recent merged_anonymized[_durable]
+  /// call — the ledger's merge-time `excluded` disposition (deliberately
+  /// NOT the stamp-time quarantine tally in IntegrityStats, which also
+  /// counts tainted records a budget or crash destroyed first).
+  [[nodiscard]] std::uint64_t records_excluded_last_merge() const noexcept {
+    return records_excluded_;
+  }
+  /// Records left resident in corrupt (quarantined) chunks by the most
+  /// recent merged_anonymized_durable salvage pass; 0 after a live merge.
+  [[nodiscard]] std::uint64_t records_quarantined_last_merge() const noexcept {
+    return durable_quarantine_records_;
+  }
+
   /// Snapshot every honeypot's current log (without draining).
   [[nodiscard]] std::vector<logbook::LogFile> collect_logs() const;
 
@@ -396,6 +411,9 @@ class Manager {
   /// Tainted records dropped by the most recent merged_anonymized[_durable]
   /// pass (mutable: merging is logically const, the audit trail is not).
   mutable std::uint64_t records_excluded_ = 0;
+  /// Quarantined-resident records observed by the most recent durable
+  /// salvage merge (mutable for the same reason).
+  mutable std::uint64_t durable_quarantine_records_ = 0;
 
   // --- Virtual-clock state (empty unless config_.track_clocks) -------------
   /// Clock sightings in arrival order; journaled (type clock_observation)

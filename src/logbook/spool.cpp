@@ -1,6 +1,7 @@
 #include "logbook/spool.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "common/bytes.hpp"
 #include "logbook/journal.hpp"
@@ -52,6 +53,7 @@ void SpoolStore::set_header(std::uint16_t honeypot, const LogHeader& header) {
 }
 
 SpoolStore::Ingest SpoolStore::ingest(const LogChunk& chunk) {
+  const auto key = std::make_pair(chunk.honeypot, chunk.seq);
   if (chunk.checksum != 0 && chunk_checksum(chunk) != chunk.checksum) {
     // The payload does not match what the honeypot stamped: a corrupted
     // transfer. Never merged, never acked — the sender keeps it spooled
@@ -60,12 +62,34 @@ SpoolStore::Ingest SpoolStore::ingest(const LogChunk& chunk) {
     if (quarantine_.size() < kQuarantineRefCap) {
       quarantine_.push_back({chunk.honeypot, chunk.seq});
     }
+    // Conservation accounting: the records are quarantined-resident only
+    // while no intact copy of this sequence is durable. A corrupt re-send
+    // of an already-stored sequence adds nothing (its records are safe),
+    // and a re-quarantine of the same pending sequence is not re-counted.
+    const auto hp_it = honeypots_.find(chunk.honeypot);
+    const bool already_stored =
+        hp_it != honeypots_.end() && hp_it->second.chunks.contains(chunk.seq);
+    if (!already_stored && !quarantine_pending_.contains(key)) {
+      if (quarantine_pending_.size() < kQuarantineRefCap) {
+        quarantine_pending_.emplace(key, chunk.records.size());
+        quarantine_resident_ += chunk.records.size();
+      } else {
+        quarantine_resident_untracked_ += chunk.records.size();
+      }
+    }
     return Ingest::quarantined;
   }
   auto& hp = honeypots_[chunk.honeypot];
   if (hp.chunks.contains(chunk.seq)) {
     ++chunks_duplicate_;
     return Ingest::duplicate;
+  }
+  // An intact copy landed: any earlier quarantine of this sequence is
+  // reclassified — those records' terminal disposition is `stored`.
+  if (const auto pending = quarantine_pending_.find(key);
+      pending != quarantine_pending_.end()) {
+    quarantine_resident_ -= pending->second;
+    quarantine_pending_.erase(pending);
   }
   // Splice the name-table tail at its declared base. Re-sent chunks carry
   // the same (base, names) slice, and chunks are cut in order, so the table

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -141,6 +142,19 @@ class SpoolStore {
                ? chunks_quarantined_ - quarantine_.size()
                : 0;
   }
+  /// Records currently resident in quarantined chunks with no intact copy
+  /// stored — the conservation ledger's `quarantined` disposition. The
+  /// classification is decided once, at publish time, not at quarantine
+  /// time: a later intact re-send of the same (honeypot, seq) moves the
+  /// records to `stored` (the pending entry is erased), and a corrupt
+  /// re-send of an ALREADY-stored sequence counts a chunk quarantine but
+  /// zero resident records (they are durable regardless). Per-sequence
+  /// tracking is capped at kQuarantineRefCap distinct sequences, like the
+  /// triage refs; beyond it records are still counted but a winning re-send
+  /// can no longer reclassify them (documented cap, not silent loss).
+  [[nodiscard]] std::uint64_t records_quarantined_resident() const noexcept {
+    return quarantine_resident_ + quarantine_resident_untracked_;
+  }
   /// Highest stored sequence number + 1 for a honeypot (0 when none): the
   /// ack frontier a recovering manager re-acknowledges from.
   [[nodiscard]] std::uint64_t next_seq(std::uint16_t honeypot) const;
@@ -159,6 +173,13 @@ class SpoolStore {
   std::uint64_t records_stored_ = 0;
   std::uint64_t chunks_quarantined_ = 0;
   std::vector<QuarantineRef> quarantine_;
+  /// Record counts of quarantined sequences still awaiting an intact
+  /// re-send, keyed (honeypot, seq); erased when the re-send wins. Capped
+  /// at kQuarantineRefCap entries (overflow counts into the untracked sum).
+  std::map<std::pair<std::uint16_t, std::uint64_t>, std::uint64_t>
+      quarantine_pending_;
+  std::uint64_t quarantine_resident_ = 0;
+  std::uint64_t quarantine_resident_untracked_ = 0;
 };
 
 }  // namespace edhp::logbook

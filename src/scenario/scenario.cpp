@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <ostream>
+#include <span>
 #include <unordered_map>
 
 #include "common/memstat.hpp"
@@ -26,9 +27,10 @@ struct World {
   peer::SourceCache source_cache;
   std::unordered_map<std::uint32_t, double> source_weights;
 
-  World(std::uint64_t seed, const peer::BehaviorParams& behavior, double scale)
+  World(std::uint64_t seed, const peer::BehaviorParams& behavior, double scale,
+        const net::LinkModel& link = {})
       : simulation(seed),
-        network(simulation),
+        network(simulation, link),
         catalog(catalog_2008(), simulation.rng().split(0xCA7A)),
         // The penalty models the *fraction* of the community a published
         // detection reaches, so the product (reports x penalty) must be
@@ -50,6 +52,20 @@ struct World {
     return ctx;
   }
 };
+
+/// Project the chaos link knobs onto the network's link model. All-default
+/// knobs yield the default model (no extra RNG draws), so link-clean runs
+/// are bit-identical to a build without the projection.
+net::LinkModel link_model(const fault::ChaosConfig& chaos) {
+  net::LinkModel m;
+  m.ge_p_enter_bad = chaos.link_burst_enter;
+  m.ge_p_exit_bad = chaos.link_burst_exit;
+  m.ge_loss_bad = chaos.link_burst_loss;
+  m.datagram_dup = chaos.link_dup;
+  m.datagram_reorder = chaos.link_reorder;
+  m.reorder_delay = chaos.link_reorder_delay;
+  return m;
+}
 
 /// Tracks the control-plane outage window a fault plan opens via the
 /// crash_manager binding, so teardown can recover (or account the loss).
@@ -97,6 +113,35 @@ void fill_result(ScenarioResult& result, World& world,
   }
   result.stream_fingerprint = sf;
   result.peak_rss_bytes = peak_rss_bytes();
+}
+
+/// Fill the conservation ledger from counters every subsystem already
+/// keeps, then hard-fail an audited imbalance. `hosts` must cover every
+/// honeypot ever launched — the scenarios' stable pointers do, fleet and
+/// orphans alike, since a manager crash moves the owning unique_ptr but
+/// never the Honeypot object. `durable` mirrors the merge path fill_result
+/// took. Call after every other result field is final (degrade, streamed
+/// and merged all feed the equation).
+void finalize_audit(ScenarioResult& result, const honeypot::Manager& manager,
+                    std::span<honeypot::Honeypot* const> hosts, bool durable,
+                    bool enforce) {
+  auto& a = result.audit;
+  a.enabled = enforce;
+  a.records_merged = result.merged.records.size();
+  a.records_shed = result.degrade.records_shed;
+  a.records_excluded = manager.records_excluded_last_merge();
+  a.records_streamed = result.records_streamed;
+  for (const auto* hp : hosts) {
+    a.records_born += hp->records_born();
+    a.records_lost_tail += hp->records_lost_tail();
+    // In-memory tails reach a live merge but not a durable salvage: they
+    // are an accounted (spool-period-bounded) loss only on that path.
+    if (durable) a.records_unflushed += hp->unspooled_tail();
+  }
+  if (durable) {
+    a.records_quarantined = manager.records_quarantined_last_merge();
+  }
+  audit::enforce(a);
 }
 
 /// The defense policy a run actually applies: an explicit request wins;
@@ -178,7 +223,8 @@ GreedyConfig::GreedyConfig() : behavior(behavior_2008()) {
 
 ScenarioResult run_distributed(const DistributedConfig& config,
                                std::ostream* progress) {
-  World world(config.seed, config.behavior, config.scale);
+  World world(config.seed, config.behavior, config.scale,
+              link_model(config.chaos));
   if (config.diurnal) {
     world.diurnal = *config.diurnal;
   }
@@ -255,6 +301,7 @@ ScenarioResult run_distributed(const DistributedConfig& config,
     hp.budget.session_ceiling = config.chaos.session_ceiling;
     hp.budget.policy = config.chaos.degrade_policy;
     hp.budget.shed_user_word = fault::kAbuseUserWord;
+    hp.audit_selftest_drop = config.chaos.audit_selftest_drop;
     hp.stream_records = config.stream_records;
     if (config.chaos.byzantine.enabled && config.chaos.byzantine.defend) {
       hp.self_probe_period = config.chaos.byzantine.probe_period;
@@ -530,11 +577,13 @@ ScenarioResult run_distributed(const DistributedConfig& config,
   // Integrity accounting is filled unconditionally (all-zero when the
   // Byzantine model is off); records_excluded was fixed by the merge above.
   result.integrity = manager.integrity_stats();
+  finalize_audit(result, manager, hosts, outage.crashes > 0, config.audit);
   return result;
 }
 
 ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
-  World world(config.seed, config.behavior, config.scale);
+  World world(config.seed, config.behavior, config.scale,
+              link_model(config.chaos));
   auto& rng = world.simulation.rng();
 
   const net::DefenseConfig defense =
@@ -560,6 +609,7 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
   hp.budget.session_ceiling = config.chaos.session_ceiling;
   hp.budget.policy = config.chaos.degrade_policy;
   hp.budget.shed_user_word = fault::kAbuseUserWord;
+  hp.audit_selftest_drop = config.chaos.audit_selftest_drop;
   if (config.chaos.byzantine.enabled && config.chaos.byzantine.defend) {
     hp.self_probe_period = config.chaos.byzantine.probe_period;
     hp.self_probe_timeout = config.chaos.byzantine.probe_timeout;
@@ -769,6 +819,9 @@ ScenarioResult run_greedy(const GreedyConfig& config, std::ostream* progress) {
     result.byzantine = byz->stats();
   }
   result.integrity = manager.integrity_stats();
+  honeypot::Honeypot* const greedy_hosts[] = {hp0};
+  finalize_audit(result, manager, greedy_hosts, outage.crashes > 0,
+                 config.audit);
   return result;
 }
 

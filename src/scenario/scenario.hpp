@@ -20,6 +20,7 @@
 
 #include <optional>
 
+#include "audit/audit.hpp"
 #include "common/budget.hpp"
 #include "fault/abuse.hpp"
 #include "fault/fault.hpp"
@@ -79,6 +80,12 @@ struct DistributedConfig {
   /// Live-peer storage strategy; both modes produce bit-identical campaign
   /// datasets and differ only in memory behaviour.
   peer::PopulationMode population_mode = peer::PopulationMode::lazy;
+  /// Enforce the record-conservation ledger: the run fails (throws
+  /// audit::ImbalanceError) unless born == merged + Σ accounted. The ledger
+  /// itself is always filled (ScenarioResult::audit); this flag only arms
+  /// the hard failure. Off-path cost is one counter increment per record,
+  /// so goldens are bit-identical either way.
+  bool audit = false;
 
   DistributedConfig();
 
@@ -100,6 +107,8 @@ struct GreedyConfig {
   peer::BehaviorParams behavior;
   /// Live-peer storage strategy (see DistributedConfig::population_mode).
   peer::PopulationMode population_mode = peer::PopulationMode::lazy;
+  /// Enforce the record-conservation ledger (see DistributedConfig::audit).
+  bool audit = false;
 
   GreedyConfig();
 };
@@ -155,6 +164,10 @@ struct ScenarioResult {
   /// unless clock faults were enabled: observations, corrections, detected
   /// monotonicity violations, ambiguous mappings).
   logbook::TimeIntegrityStats time_integrity;
+  /// Record-conservation ledger: born == merged + Σ accounted for any
+  /// chaos configuration. Always filled; `audit.enabled` mirrors the
+  /// config flag that makes imbalance a hard failure.
+  audit::AuditStats audit;
 
   // --- Memory telemetry ----------------------------------------------------
   /// Peak process RSS at result-fill time (bytes; 0 when the platform can't

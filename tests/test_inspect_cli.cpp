@@ -387,6 +387,67 @@ TEST_F(InspectCliTest, ClockModeJsonEmitsVerdictLine) {
   EXPECT_NE(r.output.find("\"clock observations\":\"2\""), std::string::npos);
 }
 
+// --- audit triage mode -------------------------------------------------------
+
+/// Write a chaos-repro file and return its path.
+std::string write_cfg(const std::filesystem::path& dir, const std::string& name,
+                      const std::string& body) {
+  const auto path = (dir / name).string();
+  std::ofstream f(path);
+  f << body;
+  return path;
+}
+
+TEST_F(InspectCliTest, AuditModeBalancedRunExitsZero) {
+  const auto cfg = write_cfg(dir, "balanced.cfg",
+                             "seed=11\nscale=0.01\ndays=0.5\nhoneypots=2\n"
+                             "expect=balanced\n");
+  const auto r = run_inspect("audit " + cfg);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("verdict"), std::string::npos);
+  EXPECT_NE(r.output.find("balanced"), std::string::npos);
+  EXPECT_NE(r.output.find("unaccounted  0"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, AuditModeAccountedLossExitsThree) {
+  // Host churn destroys an unspooled tail: real loss, but every record of
+  // it lands in the lost_tail disposition — accounted, exit 3.
+  const auto cfg = write_cfg(dir, "churn.cfg",
+                             "seed=97031\nscale=0.02\ndays=1\nhoneypots=4\n"
+                             "expect=balanced\nknob host_mtbf=7200\n");
+  const auto r = run_inspect("audit " + cfg);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("accounted loss"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, AuditModeUnaccountedLossExitsFour) {
+  const auto cfg = write_cfg(dir, "silent.cfg",
+                             "seed=11\nscale=0.01\ndays=0.5\nhoneypots=2\n"
+                             "expect=imbalance\nknob audit_selftest_drop=50\n");
+  const auto r = run_inspect("audit " + cfg);
+  EXPECT_EQ(r.exit_code, 4);
+  EXPECT_NE(r.output.find("UNACCOUNTED LOSS"), std::string::npos);
+}
+
+TEST_F(InspectCliTest, AuditModeJsonEmitsVerdictLine) {
+  const auto cfg = write_cfg(dir, "balanced_json.cfg",
+                             "seed=11\nscale=0.01\ndays=0.5\nhoneypots=2\n"
+                             "expect=balanced\n");
+  const auto r = run_inspect("--json audit " + cfg);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.front(), '{');
+  EXPECT_EQ(std::count(r.output.begin(), r.output.end(), '\n'), 1);
+  EXPECT_NE(r.output.find("\"verdict\":\"balanced\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"unaccounted\":\"0\""), std::string::npos);
+}
+
+TEST_F(InspectCliTest, AuditModeRejectsMalformedRepro) {
+  const auto cfg = write_cfg(dir, "garbage.cfg", "this is not a repro\n");
+  const auto r = run_inspect("audit " + cfg);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
 // --- --json output -----------------------------------------------------------
 
 TEST_F(InspectCliTest, JsonFlagEmitsOneObjectPerFile) {

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "audit/audit.hpp"
 #include "honeypot/manager.hpp"
 #include "proto/messages.hpp"
 #include "server/server.hpp"
@@ -178,6 +179,17 @@ TEST_F(RecoveryTest, JournalProvenChunksAreAckedWithoutResend) {
   const auto durable = manager.merged_anonymized_durable();
   const auto live = manager.merged_anonymized();
   EXPECT_EQ(durable.records, live.records);
+  // The conservation ledger over the same run: every record the honeypot
+  // ever stamped landed in the durable dataset — no shed, no tail loss, no
+  // quarantine residue, so `born == merged` exactly.
+  audit::AuditStats ledger;
+  ledger.records_born = hp->records_born();
+  ledger.records_merged = durable.records.size();
+  ledger.records_excluded = manager.records_excluded_last_merge();
+  ledger.records_quarantined = manager.records_quarantined_last_merge();
+  ledger.records_lost_tail = hp->records_lost_tail();
+  EXPECT_EQ(ledger.records_born, 5u);
+  EXPECT_TRUE(ledger.balanced()) << ledger.breakdown();
 }
 
 TEST_F(RecoveryTest, CountersSurviveAcrossCrash) {

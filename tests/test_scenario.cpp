@@ -20,6 +20,7 @@ const ScenarioResult& mini_distributed() {
     config.scale = 0.02;
     config.days = 8;
     config.honeypots = 8;
+    config.audit = true;  // golden fingerprints prove auditing is a no-op
     return run_distributed(config);
   }();
   return result;
@@ -30,6 +31,7 @@ const ScenarioResult& mini_greedy() {
     GreedyConfig config;
     config.scale = 0.05;
     config.days = 5;
+    config.audit = true;
     return run_greedy(config);
   }();
   return result;
@@ -245,12 +247,21 @@ TEST(Scenarios, GoldenDistributedUnchangedWithFaultsDisabled) {
             0u);
   EXPECT_EQ(r.recovery.records_lost_tail, 0u);
   EXPECT_EQ(r.recovery.retained_fraction, 1.0);
+  // The fixture is audited (and the fingerprints above still match the
+  // pre-audit seed): the conservation ledger balances with every record in
+  // exactly one disposition — here, all of them merged.
+  EXPECT_TRUE(r.audit.enabled);
+  EXPECT_TRUE(r.audit.balanced()) << r.audit.breakdown();
+  EXPECT_EQ(r.audit.records_born, r.merged.records.size());
+  EXPECT_EQ(r.audit.accounted(), 0u);
 }
 
 TEST(Scenarios, GoldenGreedyUnchangedWithFaultsDisabled) {
   const auto& r = mini_greedy();
   EXPECT_EQ(r.merged.records.size(), 479288u);
   EXPECT_EQ(fingerprint(r.merged), 0x7fe276d7b5708429ull);
+  EXPECT_TRUE(r.audit.balanced()) << r.audit.breakdown();
+  EXPECT_EQ(r.audit.records_born, r.merged.records.size());
 }
 
 TEST(Scenarios, DeterministicForFixedSeed) {

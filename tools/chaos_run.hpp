@@ -1,0 +1,30 @@
+#pragma once
+// Shared between edhp_chaosfuzz and `edhp_inspect audit`: turn a committed
+// chaos repro into a runnable scaled-down campaign. Enforcement is left OFF
+// in the returned config — the caller inspects the ledger itself (the
+// fuzzer to shrink, the inspector to report) instead of catching throws.
+
+#include "audit/chaos_point.hpp"
+#include "scenario/scenario.hpp"
+
+namespace edhp::tools {
+
+inline scenario::DistributedConfig repro_config(
+    const audit::ReproConfig& repro) {
+  scenario::DistributedConfig config;
+  config.scale = repro.scale;
+  config.seed = repro.seed;
+  config.days = repro.days;
+  config.honeypots = repro.honeypots;
+  config.with_top_peer = false;  // shape knob, not a chaos axis: keep fast
+  config.audit = false;
+  audit::apply(repro.point, config.chaos, config.abuse);
+  return config;
+}
+
+/// Run one repro and return its filled ledger (never throws on imbalance).
+inline audit::AuditStats run_repro(const audit::ReproConfig& repro) {
+  return scenario::run_distributed(repro_config(repro)).audit;
+}
+
+}  // namespace edhp::tools

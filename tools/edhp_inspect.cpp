@@ -11,6 +11,8 @@
 //   degrade <journal...>      triage overload/degradation episodes
 //   integrity <journal...>    triage Byzantine-defense verdicts/quarantines
 //   clock <journal...>        triage honeypot clock skew from observations
+//   audit <repro.cfg...>      replay chaos repro(s), report the
+//                             record-conservation ledger
 //
 // A `--json` flag anywhere on the command line switches the reporting modes
 // (stats, defense, journal, degrade, integrity, clients) to one JSON object
@@ -32,7 +34,12 @@
 // the family: 0 = no clock observations recorded, 3 = observations present
 // and every honeypot's local clock ran monotonically through them, 4 = at
 // least one honeypot's local clock was caught running backwards (a step the
-// merge had to repair).
+// merge had to repair). `audit` extends it to the conservation ledger:
+// 0 = balanced with nothing lost anywhere (born == merged + streamed),
+// 3 = balanced but some records met an accounted loss disposition
+// (shed/excluded/tail-lost/unflushed/quarantined — declared, bounded),
+// 4 = the ledger does not balance (silent loss or double accounting: the
+// bug class the auditor exists to catch).
 
 #include <algorithm>
 #include <bit>
@@ -43,10 +50,15 @@
 #include <string_view>
 #include <vector>
 
+#include <fstream>
+#include <iterator>
+
 #include "analysis/client_stats.hpp"
 #include "analysis/log_stats.hpp"
 #include "analysis/report.hpp"
 #include "anonymize/renumber.hpp"
+#include "audit/audit.hpp"
+#include "audit/chaos_point.hpp"
 #include "common/budget.hpp"
 #include "common/bytes.hpp"
 #include "fault/abuse.hpp"
@@ -55,12 +67,14 @@
 #include "logbook/merge.hpp"
 #include "logbook/spool.hpp"
 
+#include "chaos_run.hpp"
+
 using namespace edhp;
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: edhp_inspect [--json] <stats|csv|merge|anonymize|clients|defense|journal|degrade|integrity|clock> ...\n"
+  std::cerr << "usage: edhp_inspect [--json] <stats|csv|merge|anonymize|clients|defense|journal|degrade|integrity|clock|audit> ...\n"
                "  stats <log...>\n"
                "  csv <log>\n"
                "  merge <out> <log...>\n"
@@ -74,6 +88,8 @@ int usage() {
                " 3: quarantines all reinstated, 4: still quarantined\n"
                "  clock <journal...>     exit 0: no clock observations,"
                " 3: all clocks monotone, 4: backwards clock observed\n"
+               "  audit <repro.cfg...>   exit 0: conserved with zero loss,"
+               " 3: accounted loss only, 4: unaccounted loss\n"
                "  --json: reporting modes emit one JSON object per file\n";
   return 2;
 }
@@ -526,6 +542,49 @@ void print_stats(const std::string& path, const logbook::LogFile& log,
   emit(path, rows, json);
 }
 
+/// Record-conservation triage: replay a committed chaos repro and report
+/// the ledger. Verdict: 0 = balanced and nothing met a loss disposition,
+/// 3 = balanced with accounted loss only, 4 = unbalanced (silent loss or
+/// double accounting). `expect=imbalance` repros that do imbalance still
+/// exit 4 — the verdict reports the ledger, the expectation lives in the
+/// fuzzer's replay mode and the regression tests.
+int print_audit(const std::string& path, bool json) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+  const audit::ReproConfig repro = audit::parse_repro(text);
+  const audit::AuditStats a = tools::run_repro(repro);
+  const std::uint64_t lost = a.accounted() - a.records_streamed;
+  int verdict = 0;
+  if (!a.balanced()) {
+    verdict = 4;
+  } else if (lost > 0) {
+    verdict = 3;
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("knobs", std::to_string(repro.point.knobs.size()));
+  rows.emplace_back("expected", repro.expect_imbalance ? "imbalance"
+                                                       : "balanced");
+  rows.emplace_back("born", analysis::with_commas(a.records_born));
+  rows.emplace_back("merged", analysis::with_commas(a.records_merged));
+  rows.emplace_back("shed", analysis::with_commas(a.records_shed));
+  rows.emplace_back("excluded", analysis::with_commas(a.records_excluded));
+  rows.emplace_back("lost tail", analysis::with_commas(a.records_lost_tail));
+  rows.emplace_back("unflushed", analysis::with_commas(a.records_unflushed));
+  rows.emplace_back("quarantined",
+                    analysis::with_commas(a.records_quarantined));
+  rows.emplace_back("streamed", analysis::with_commas(a.records_streamed));
+  rows.emplace_back("unaccounted", std::to_string(a.unaccounted()));
+  rows.emplace_back("verdict", verdict == 0   ? "balanced"
+                               : verdict == 3 ? "accounted loss"
+                                              : "UNACCOUNTED LOSS");
+  emit(path, rows, json);
+  return verdict;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -610,6 +669,13 @@ int main(int argc, char** argv) {
         verdict = std::max(
             verdict,
             print_clock(args[i], logbook::Journal::load(args[i]), json));
+      }
+      return verdict;
+    }
+    if (cmd == "audit") {
+      int verdict = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        verdict = std::max(verdict, print_audit(args[i], json));
       }
       return verdict;
     }
